@@ -1,0 +1,428 @@
+package impossible
+
+// One benchmark per experiment in EXPERIMENTS.md (E01–E21), plus the
+// ablation benches DESIGN.md calls out. Each bench regenerates the
+// experiment's headline quantity and reports it via b.ReportMetric, so
+// `go test -bench=. -benchmem` reprints the whole evaluation.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/async"
+	"repro/internal/clocks"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/datalink"
+	"repro/internal/flp"
+	"repro/internal/knowledge"
+	"repro/internal/registers"
+	"repro/internal/ring"
+	"repro/internal/rounds"
+	"repro/internal/scenario"
+	"repro/internal/sessions"
+	"repro/internal/sharedmem"
+	"repro/internal/spec"
+	"repro/internal/synth"
+)
+
+func BenchmarkE01SynthTASMutex(b *testing.B) {
+	var passed uint64
+	for i := 0; i < b.N; i++ {
+		res, err := synth.SearchTASMutex(synth.TASSearchConfig{
+			Values: 2, TryStates: 2, RequireLockoutFree: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		passed = res.Passed
+	}
+	b.ReportMetric(float64(passed), "fair-protocols-found")
+}
+
+func BenchmarkE02MutexValues(b *testing.B) {
+	var values int
+	for i := 0; i < b.N; i++ {
+		rep, err := sharedmem.CheckMutex(sharedmem.NewHandoffLock(), sharedmem.CheckMutexOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		values = rep.ValuesUsed[0]
+	}
+	b.ReportMetric(float64(values), "values-for-fairness")
+}
+
+func BenchmarkE03RWMutex(b *testing.B) {
+	var passed uint64
+	for i := 0; i < b.N; i++ {
+		res, err := synth.SearchRWMutex(synth.RWSearchConfig{Values: 2, TryStates: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		passed = res.Passed
+	}
+	b.ReportMetric(float64(passed), "rw-protocols-found")
+}
+
+func BenchmarkE04KExclusion(b *testing.B) {
+	var combined int
+	for i := 0; i < b.N; i++ {
+		rep, err := sharedmem.CheckMutex(sharedmem.NewTicketLock(4), sharedmem.CheckMutexOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		combined = rep.CombinedValues
+	}
+	b.ReportMetric(float64(combined), "joint-memory-contents")
+}
+
+func BenchmarkE05ByzantineBounds(b *testing.B) {
+	var violations int
+	for i := 0; i < b.N; i++ {
+		e := &consensus.EIG{Procs: 3, MaxFaults: 1}
+		v, err := scenario.SpliceCheck(e, 1, e.Rounds())
+		if err != nil {
+			b.Fatal(err)
+		}
+		violations = len(v.Violations)
+	}
+	b.ReportMetric(float64(violations), "scenario-violations")
+}
+
+func BenchmarkE06Connectivity(b *testing.B) {
+	line, err := rounds.NewGraph(3, [][2]int{{0, 1}, {1, 2}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var disagreed float64
+	for i := 0; i < b.N; i++ {
+		f := &consensus.FloodSet{Procs: 3, MaxFaults: 1}
+		v, err := scenario.CutReplayCheck(f, line, []int{1}, f.Rounds())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v.Violation != "" {
+			disagreed = 1
+		}
+	}
+	b.ReportMetric(disagreed, "split-brain-violations")
+}
+
+func BenchmarkE07ClockSyncFault(b *testing.B) {
+	net := clocks.Network{Base: 1, Epsilon: 0.5}
+	var skew float64
+	for i := 0; i < b.N; i++ {
+		e := clocks.UniformExecution(3, net)
+		obs := clocks.Observe(e)
+		obs[0][2].ReceivedAt -= 10
+		obs[1][2].ReceivedAt += 10
+		a0 := (clocks.LundeliusLynch{}).Correction(0, obs[0], net)
+		a1 := (clocks.LundeliusLynch{}).Correction(1, obs[1], net)
+		skew = a1 - a0
+		if skew < 0 {
+			skew = -skew
+		}
+	}
+	b.ReportMetric(skew, "faulty-skew")
+}
+
+func BenchmarkE08RoundLowerBound(b *testing.B) {
+	var chain float64
+	for i := 0; i < b.N; i++ {
+		res, err := consensus.ChainLowerBound(3, 1, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ChainFound {
+			chain = float64(res.ChainLength)
+		}
+	}
+	b.ReportMetric(chain, "chain-length")
+}
+
+func BenchmarkE09ApproxAgreement(b *testing.B) {
+	inputs := []int{0, 1_000_000, 500_000, 250_000, 750_000}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rep, err := consensus.MeasureApprox(5, 1, 3, inputs, consensus.TwoFacedExtremes(4, 1_000_000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = rep.Ratio
+	}
+	b.ReportMetric(ratio, "convergence-ratio-k3")
+}
+
+func BenchmarkE10MessageBound(b *testing.B) {
+	var msgs int
+	for i := 0; i < b.N; i++ {
+		t := 3
+		n := 2*t + 2
+		ba := consensus.NewAuthBA(n, t, 0, 0, 3)
+		inputs := make([]int, n)
+		inputs[0] = 1
+		res, err := rounds.Run(ba, inputs, rounds.NoFaults{}, rounds.RunOptions{Rounds: ba.Rounds()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs = res.MessagesSent
+	}
+	b.ReportMetric(float64(msgs), "auth-ba-messages")
+}
+
+func BenchmarkE11FLP(b *testing.B) {
+	var bivalent int
+	for i := 0; i < b.N; i++ {
+		rep, err := flp.Analyze(flp.NewWaitQuorum(3), flp.AnalyzeOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bivalent = rep.BivalentConfigs
+	}
+	b.ReportMetric(float64(bivalent), "bivalent-configs")
+}
+
+func BenchmarkE12TwoGenerals(b *testing.B) {
+	var chainLen int
+	for i := 0; i < b.N; i++ {
+		rep, err := datalink.ChainCheck(&datalink.Handshake{Depth: 4}, 1, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		chainLen = rep.ChainLength
+	}
+	b.ReportMetric(float64(chainLen), "chain-length")
+}
+
+func BenchmarkE13BenOr(b *testing.B) {
+	var deliveries float64
+	for i := 0; i < b.N; i++ {
+		rep, err := async.MeasureBenOr(5, 2, 5, []int{0, 1, 0, 1, 1}, nil, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		deliveries = float64(rep.TotalDeliveries) / float64(rep.Runs)
+	}
+	b.ReportMetric(deliveries, "avg-deliveries")
+}
+
+func BenchmarkE14Commit(b *testing.B) {
+	var msgs int
+	for i := 0; i < b.N; i++ {
+		n := 8
+		c := &consensus.TwoPhaseCommit{Procs: n}
+		inputs := make([]int, n)
+		for j := range inputs {
+			inputs[j] = spec.Commit
+		}
+		res, err := rounds.Run(c, inputs, rounds.NoFaults{}, rounds.RunOptions{Rounds: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs = res.MessagesSent
+	}
+	b.ReportMetric(float64(msgs), "commit-messages-n8")
+}
+
+func BenchmarkE15Sessions(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		syncRes := sessions.RunSynchronous(8, 5)
+		asyncRes, err := sessions.RunTokenBarrier(8, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = asyncRes.Time / syncRes.Time
+	}
+	b.ReportMetric(gap, "async-over-sync-time")
+}
+
+func BenchmarkE16ClockSkew(b *testing.B) {
+	net := clocks.Network{Base: 1, Epsilon: 0.5}
+	var skew float64
+	for i := 0; i < b.N; i++ {
+		adj, err := clocks.AdjustedClocks(clocks.LundeliusLynch{}, clocks.WorstCaseExecution(8, net), net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		skew = clocks.MaxSkew(adj)
+	}
+	b.ReportMetric(skew, "worst-skew-n8")
+	b.ReportMetric(clocks.TheoreticalBound(8, net), "bound-n8")
+}
+
+func BenchmarkE17AnonymousRing(b *testing.B) {
+	var round int
+	for i := 0; i < b.N; i++ {
+		rep, err := ring.CheckAnonymousSymmetry(ring.NewCountdownProtocol(3), 6, 0, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		round = rep.RoundOfViolation
+	}
+	b.ReportMetric(float64(round), "all-leaders-round")
+}
+
+func BenchmarkE18RingMessages(b *testing.B) {
+	n := 64
+	var lcr, hs int
+	for i := 0; i < b.N; i++ {
+		w, err := ring.RunLCR(ring.DescendingIDs(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := ring.RunHS(ring.DescendingIDs(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		lcr, hs = w.Messages, h.Messages
+	}
+	b.ReportMetric(float64(lcr), "lcr-worst-msgs-n64")
+	b.ReportMetric(float64(hs), "hs-msgs-n64")
+}
+
+func BenchmarkE19ItaiRodeh(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	var msgs int
+	for i := 0; i < b.N; i++ {
+		res, err := ring.RunItaiRodeh(16, 16, rng, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs = res.Messages
+	}
+	b.ReportMetric(float64(msgs), "messages-n16")
+}
+
+func BenchmarkE20WaitFree(b *testing.B) {
+	var found float64
+	for i := 0; i < b.N; i++ {
+		res, err := registers.SearchConsensus(registers.ConsSearchConfig{
+			Kind: registers.RWRegister, Values: 2, LocalStates: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Found() {
+			found = 1
+		}
+	}
+	b.ReportMetric(found, "rw-consensus-found")
+}
+
+func BenchmarkE21DataLink(b *testing.B) {
+	msgs := []string{"m1", "m2", "m3", "m4", "m5"}
+	var packets int
+	for i := 0; i < b.N; i++ {
+		res, err := datalink.RunABP(msgs, datalink.Script{
+			DropData: func(step int) bool { return step%3 == 0 },
+		}, 10_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		packets = res.DataPackets
+	}
+	b.ReportMetric(float64(packets)/float64(len(msgs)), "packets-per-message")
+}
+
+// --- Ablation benches (DESIGN.md) ---
+
+// chainSys is a plain linear system used to weigh exploration costs.
+type chainSys struct{ n int }
+
+func (c chainSys) Init() []int { return []int{0} }
+
+func (c chainSys) Steps(s int) []core.Step[int] {
+	if s >= c.n {
+		return nil
+	}
+	return []core.Step[int]{{To: s + 1, Label: "inc", Actor: 0}}
+}
+
+// stringChainSys is the same system over string-encoded states, to measure
+// the cost of string canonicalization in the explorer.
+type stringChainSys struct{ n int }
+
+func (c stringChainSys) Init() []string { return []string{string(make([]byte, 1))} }
+
+func (c stringChainSys) Steps(s string) []core.Step[string] {
+	if len(s) >= c.n {
+		return nil
+	}
+	return []core.Step[string]{{To: s + "x", Label: "inc", Actor: 0}}
+}
+
+func BenchmarkAblationCanonicalizationInt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Explore[int](chainSys{n: 2000}, core.ExploreOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationCanonicalizationString(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Explore[string](stringChainSys{n: 2000}, core.ExploreOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSymmetryOn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.SearchTASMutex(synth.TASSearchConfig{
+			Values: 2, TryStates: 2, Symmetric: true, RequireLockoutFree: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSymmetryOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.SearchTASMutex(synth.TASSearchConfig{
+			Values: 2, TryStates: 2, Symmetric: false, RequireLockoutFree: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSearchOrderBFSValence(b *testing.B) {
+	// Valence propagation over the wait-quorum graph: the BFS-built graph
+	// plus the backward fixpoint, the core of every bivalence argument.
+	rep, err := flp.Analyze(flp.NewWaitQuorum(3), flp.AnalyzeOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = rep
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flp.Analyze(flp.NewWaitQuorum(3), flp.AnalyzeOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE08KnowledgeLevels(b *testing.B) {
+	someOne := func(e knowledge.Execution) bool {
+		for _, v := range e.Inputs {
+			if v == 1 {
+				return true
+			}
+		}
+		return false
+	}
+	var ck float64
+	for i := 0; i < b.N; i++ {
+		u, err := knowledge.NewCrashUniverse(3, 1, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, _ := u.Find([]int{1, 1, 1})
+		if u.CommonKnowledge(e, someOne) {
+			ck = 1
+		}
+	}
+	b.ReportMetric(ck, "common-knowledge-at-t+1")
+}

@@ -1,0 +1,56 @@
+// Command ringbench sweeps ring sizes and prints the message-complexity
+// landscape of the §2.4 leader election algorithms: LCR worst/best case,
+// Hirschberg–Sinclair, the variable-speeds counterexample algorithm, and
+// Itai–Rodeh randomized election on anonymous rings — the series behind
+// the Ω(n log n) lower bound discussion.
+//
+// Usage:
+//
+//	ringbench -max 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+)
+
+import "repro/internal/ring"
+
+func main() {
+	maxN := flag.Int("max", 128, "largest ring size (swept in powers of two from 8)")
+	seed := flag.Int64("seed", 42, "seed for randomized election")
+	flag.Parse()
+
+	fmt.Printf("%-6s %12s %12s %12s %14s %10s %12s\n",
+		"n", "LCR worst", "LCR best", "HS", "var-speeds", "n log n", "Itai-Rodeh")
+	rng := rand.New(rand.NewSource(*seed))
+	for n := 8; n <= *maxN; n *= 2 {
+		worst, err := ring.RunLCR(ring.DescendingIDs(n))
+		exitOn(err)
+		best, err := ring.RunLCR(ring.AscendingIDs(n))
+		exitOn(err)
+		hs, err := ring.RunHS(ring.DescendingIDs(n))
+		exitOn(err)
+		small := make([]int, n)
+		for i := range small {
+			small[i] = (i + 1) % n
+		}
+		vs, err := ring.RunVariableSpeeds(small)
+		exitOn(err)
+		ir, err := ring.RunItaiRodeh(n, n, rng, 1000)
+		exitOn(err)
+		fmt.Printf("%-6d %12d %12d %12d %14d %10.0f %12d\n",
+			n, worst.Messages, best.Messages, hs.Messages, vs.Messages,
+			float64(n)*math.Log2(float64(n)), ir.Messages)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

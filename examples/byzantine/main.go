@@ -1,0 +1,49 @@
+// Byzantine agreement end to end (§2.2.1): run exponential information
+// gathering at n=4, t=1 and watch it survive a two-faced traitor; then let
+// the scenario engine splice two copies of the n=3 system into a ring and
+// derive the concrete Byzantine execution that defeats it — the
+// Fischer–Lynch–Merritt "easy impossibility proof", executed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	impossible "repro"
+	"repro/internal/rounds"
+)
+
+func main() {
+	// The possibility side: n = 4 > 3t.
+	eig := impossible.NewEIG(4, 1)
+	traitor := &rounds.ByzantineStrategy{
+		Corrupt: map[int]bool{3: true},
+		Forge: func(r, _, to int, honest rounds.Message) rounds.Message {
+			if r == 1 { // report 0 to half the peers, 1 to the rest
+				if to%2 == 0 {
+					return "=0"
+				}
+				return "=1"
+			}
+			return honest
+		},
+	}
+	res, err := rounds.Run(eig, []int{0, 1, 1, 0}, traitor, rounds.RunOptions{Rounds: eig.Rounds()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("n=4, t=1 with a two-faced traitor: decisions %v (p3 faulty) — agreement holds\n", res.Decisions)
+
+	// The impossibility side: n = 3t.
+	small := impossible.NewEIG(3, 1)
+	verdict, err := impossible.SpliceCheck(small, 1, small.Rounds())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nn=3, t=1 spliced ring decisions: %v\n", verdict.RingDecisions)
+	for _, v := range verdict.Violations {
+		fmt.Printf("  scenario violation: %s (%s)\n", v.Requirement, v.Detail)
+	}
+	fmt.Printf("  concrete 1-fault counterexample reproduced against the real system: %v\n",
+		verdict.CounterexampleChecked)
+}

@@ -1,0 +1,69 @@
+// Ring elections (§2.4): the message-complexity landscape around the
+// Ω(n log n) lower bound — LCR's quadratic worst case, Hirschberg–
+// Sinclair's n log n, the variable-speeds counterexample trading time for
+// messages, Angluin's anonymous-ring impossibility, and the Itai–Rodeh
+// randomized escape.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	impossible "repro"
+	"repro/internal/ring"
+)
+
+func main() {
+	n := 32
+	worst, err := impossible.RunLCR(impossible.DescendingIDs(n))
+	check(err)
+	hs, err := impossible.RunHS(impossible.DescendingIDs(n))
+	check(err)
+	fmt.Printf("n=%d descending ids: LCR %d messages (Θ(n²)), HS %d messages (O(n log n))\n",
+		n, worst.Messages, hs.Messages)
+
+	// The counterexample algorithm: O(n) messages bought with time
+	// exponential in the identifier magnitudes.
+	ids := make([]int, 8)
+	for i := range ids {
+		ids[i] = i + 4 // larger ids => slower tokens
+	}
+	vs, err := impossible.RunVariableSpeeds(ids)
+	check(err)
+	fmt.Printf("variable speeds on 8 nodes: %d messages but %d rounds — why the lower bound needs its assumptions\n",
+		vs.Messages, vs.Rounds)
+
+	// Anonymous rings: determinism cannot elect.
+	rep, err := impossible.CheckAnonymousSymmetry(anonymousNaive{}, 6, 0, 20)
+	check(err)
+	fmt.Printf("\nanonymous deterministic protocol: all 6 processes declared leader together in round %d\n",
+		rep.RoundOfViolation)
+
+	// Randomization breaks the symmetry.
+	ir, err := impossible.RunItaiRodeh(6, 6, rand.New(rand.NewSource(1)), 100)
+	check(err)
+	fmt.Printf("Itai–Rodeh randomized election: unique leader at position %d after %d phases, %d messages\n",
+		ir.Leader, ir.Phases, ir.Messages)
+}
+
+// anonymousNaive declares leadership after two rounds — for everyone.
+type anonymousNaive struct{}
+
+func (anonymousNaive) Name() string                  { return "naive" }
+func (anonymousNaive) Init(int) string               { return "" }
+func (anonymousNaive) Round(string) (string, string) { return "x", "x" }
+func (anonymousNaive) Receive(s, _, _ string) string { return s + "." }
+
+func (anonymousNaive) Status(s string) ring.Status {
+	if len(s) >= 2 {
+		return ring.Leader
+	}
+	return ring.Unknown
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+// FLP in action (§2.2.4): run the bivalence analyzer against three
+// asynchronous consensus attempts and watch each fall on a horn of the
+// theorem — then see Ben-Or's randomized algorithm thread the needle with
+// probability-1 termination.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	impossible "repro"
+	"repro/internal/flp"
+)
+
+func main() {
+	zero := 0
+	protos := []struct {
+		p          impossible.FLPProtocol
+		resilience *int
+	}{
+		{impossible.NewWaitAll(3), nil},     // safe, dies on a crash
+		{impossible.NewWaitQuorum(3), nil},  // crash-tolerant, disagrees
+		{impossible.NewAdoptSwap(2), &zero}, // safe, loops forever without any crash
+	}
+	for _, c := range protos {
+		rep, err := impossible.AnalyzeFLP(c.p, flp.AnalyzeOptions{Resilience: c.resilience})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", flp.DescribeHorn(rep))
+		fmt.Printf("  %d configurations, %d bivalent, bivalent initial: %v\n",
+			rep.States, rep.BivalentConfigs, rep.HasBivalentInitial)
+		if rep.NondecidingLasso != nil {
+			fmt.Printf("  forever-undecided cycle (%d events) exists despite weak fairness\n",
+				len(rep.NondecidingLasso.Cycle))
+		}
+		fmt.Println()
+	}
+
+	// The randomized escape: Ben-Or decides with probability 1.
+	rep, err := impossible.MeasureBenOr(5, 2, 40, []int{0, 1, 0, 1, 1}, nil, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Ben-Or (n=5, t=2), %d seeded runs: %d terminated, %d agreed, %.1f deliveries on average\n",
+		rep.Runs, rep.Terminated, rep.Agreed, float64(rep.TotalDeliveries)/float64(rep.Runs))
+}

@@ -1,0 +1,108 @@
+package impossible
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/flp"
+)
+
+// The facade tests exercise the public API end to end, one call per proof
+// technique, so that the README examples stay honest.
+
+func TestFacadeMutexAndSearch(t *testing.T) {
+	rep, err := CheckMutex(NewPeterson2(), MutexOptions{})
+	if err != nil || !rep.LockoutFree {
+		t.Fatalf("Peterson via facade: %+v, %v", rep, err)
+	}
+	ok, err := CheckBoundedBypass(NewPeterson2(), 1, 0)
+	if err != nil || !ok {
+		t.Fatalf("bypass via facade: %v %v", ok, err)
+	}
+	rep, err = CheckMutex(NewTournament4(), MutexOptions{})
+	if err != nil || !rep.MutualExclusion {
+		t.Fatalf("tournament via facade: %+v, %v", rep, err)
+	}
+}
+
+func TestFacadeChainAndSplice(t *testing.T) {
+	chain, err := ChainLowerBound(3, 1, 1)
+	if err != nil || !chain.ChainFound {
+		t.Fatalf("chain via facade: %+v, %v", chain, err)
+	}
+	eig := NewEIG(3, 1)
+	v, err := SpliceCheck(eig, 1, eig.Rounds())
+	if err != nil || len(v.Violations) == 0 {
+		t.Fatalf("splice via facade: %+v, %v", v, err)
+	}
+	count, err := VerifyFloodSet(3, 1)
+	if err != nil || count == 0 {
+		t.Fatalf("floodset via facade: %d, %v", count, err)
+	}
+}
+
+func TestFacadeFLPAndBenOr(t *testing.T) {
+	rep, err := AnalyzeFLP(NewWaitQuorum(3), flp.AnalyzeOptions{})
+	if err != nil || !rep.AgreementViolated {
+		t.Fatalf("flp via facade: %+v, %v", rep, err)
+	}
+	bo, err := MeasureBenOr(5, 2, 5, []int{0, 1, 0, 1, 1}, nil, 1)
+	if err != nil || bo.Terminated != 5 {
+		t.Fatalf("ben-or via facade: %+v, %v", bo, err)
+	}
+}
+
+func TestFacadeRings(t *testing.T) {
+	a, err := RunLCR(DescendingIDs(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunHS(DescendingIDs(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LeaderID != b.LeaderID {
+		t.Fatalf("LCR/HS disagree: %d vs %d", a.LeaderID, b.LeaderID)
+	}
+	p, err := RunPetersonRing(DescendingIDs(8))
+	if err != nil || p.Leader < 0 {
+		t.Fatalf("peterson ring via facade: %+v, %v", p, err)
+	}
+	ir, err := RunItaiRodeh(6, 6, rand.New(rand.NewSource(2)), 100)
+	if err != nil || ir.Leader < 0 {
+		t.Fatalf("itai-rodeh via facade: %+v, %v", ir, err)
+	}
+}
+
+func TestFacadeClocksAndSessions(t *testing.T) {
+	net := ClockNetwork{Base: 1, Epsilon: 0.5}
+	adj, err := ClockAdjusted(LundeliusLynchAlgo{}, ClockWorstCase(4, net), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ClockMaxSkew(adj) > ClockBound(4, net)+1e-9 {
+		t.Fatal("clock skew exceeds bound via facade")
+	}
+	res, err := RunSessionsToken(4, 2)
+	if err != nil || res.Sessions != 2 {
+		t.Fatalf("sessions via facade: %+v, %v", res, err)
+	}
+	if CountSessions(RunSessionsSynchronous(3, 2).Flashes, 3) != 2 {
+		t.Fatal("sync sessions via facade")
+	}
+}
+
+func TestFacadeDataLinkAndRegisters(t *testing.T) {
+	rep, err := TwoGeneralsChainCheck(NewTwoGeneralsHandshake(2), 1, 1)
+	if err != nil || rep.Horn == "" {
+		t.Fatalf("two generals via facade: %+v, %v", rep, err)
+	}
+	ok, err := IsAtomicHistory(nil, 0)
+	if err != nil || !ok {
+		t.Fatalf("empty history should be atomic: %v %v", ok, err)
+	}
+	task := BinaryConsensusTask(3)
+	if imp, _ := task.MoranWolfstahlImpossible(); !imp {
+		t.Fatal("consensus task should be flagged by Moran–Wolfstahl")
+	}
+}

@@ -1,0 +1,234 @@
+// Package async is the concrete asynchronous message-passing runtime: it
+// executes protocols under pluggable schedulers (the "adversary" of
+// §2.2.4), injects crash faults, and collects step and message counts.
+// Where the flp package *explores* all schedules exhaustively, this
+// package *runs* single large executions — the tool for randomized
+// algorithms like Ben-Or's (§2.2.4, [19]), whose whole point is that they
+// terminate with probability 1 against the very adversary that defeats
+// deterministic protocols.
+package async
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Send is a message emitted by a protocol step.
+type Send struct {
+	// To is the destination process.
+	To int
+	// Payload is the message body.
+	Payload string
+}
+
+// Protocol is an asynchronous message-passing protocol. Unlike
+// flp.Protocol, states are opaque and steps may consume randomness (the
+// rng is per-process and seeded deterministically, so runs reproduce).
+type Protocol interface {
+	// Name identifies the protocol.
+	Name() string
+	// NumProcs returns the number of processes.
+	NumProcs() int
+	// Init returns process p's initial state.
+	Init(p, input int, rng *rand.Rand) any
+	// InitialSends returns the messages p emits on its first step.
+	InitialSends(p int, state any) []Send
+	// Step handles one delivered message.
+	Step(p int, state any, from int, payload string, rng *rand.Rand) (any, []Send)
+	// Decide reports p's decision, if any.
+	Decide(p int, state any) (int, bool)
+}
+
+// Envelope is an in-flight message (exported for Scheduler implementers).
+type Envelope struct {
+	From, To int
+	Payload  string
+	// Seq is a global sequence number (send order).
+	Seq int
+}
+
+// Scheduler picks which pending envelope to deliver next — it is the
+// adversary controlling asynchrony.
+type Scheduler interface {
+	// Pick returns the index into pending of the next message to
+	// deliver. pending is never empty.
+	Pick(pending []Envelope) int
+}
+
+// RandomScheduler delivers a uniformly random pending message.
+type RandomScheduler struct {
+	// Rng drives the choices.
+	Rng *rand.Rand
+}
+
+var _ Scheduler = (*RandomScheduler)(nil)
+
+// Pick implements Scheduler.
+func (r *RandomScheduler) Pick(pending []Envelope) int { return r.Rng.Intn(len(pending)) }
+
+// FIFOScheduler delivers messages in send order.
+type FIFOScheduler struct{}
+
+var _ Scheduler = FIFOScheduler{}
+
+// Pick implements Scheduler.
+func (FIFOScheduler) Pick(pending []Envelope) int {
+	best := 0
+	for i, e := range pending {
+		if e.Seq < pending[best].Seq {
+			best = i
+		}
+	}
+	return best
+}
+
+// LIFOScheduler delivers the most recently sent message first — a simple
+// adversarial pattern that starves old messages as long as new ones keep
+// arriving.
+type LIFOScheduler struct{}
+
+var _ Scheduler = LIFOScheduler{}
+
+// Pick implements Scheduler.
+func (LIFOScheduler) Pick(pending []Envelope) int {
+	best := 0
+	for i, e := range pending {
+		if e.Seq > pending[best].Seq {
+			best = i
+		}
+	}
+	return best
+}
+
+// Options configures Run.
+type Options struct {
+	// Scheduler picks deliveries (required).
+	Scheduler Scheduler
+	// MaxDeliveries aborts the run after this many deliveries (0 means
+	// DefaultMaxDeliveries); the run is then reported as not terminated.
+	MaxDeliveries int
+	// CrashAfter maps a process to the number of its own steps after
+	// which it crashes (0 = crashed from the start, before its initial
+	// sends).
+	CrashAfter map[int]int
+	// Seed derives the per-process RNGs.
+	Seed int64
+	// StopWhenAllDecided ends the run once every non-crashed process has
+	// decided.
+	StopWhenAllDecided bool
+}
+
+// DefaultMaxDeliveries bounds runs unless overridden.
+const DefaultMaxDeliveries = 1_000_000
+
+// Result reports a completed run.
+type Result struct {
+	// Decisions[p] is p's decision or -1.
+	Decisions []int
+	// Deliveries counts delivered messages.
+	Deliveries int
+	// Sent counts messages emitted.
+	Sent int
+	// Steps[p] counts p's steps (wake-up included).
+	Steps []int
+	// Crashed[p] reports whether p crashed.
+	Crashed []bool
+	// AllDecided reports whether every non-crashed process decided.
+	AllDecided bool
+}
+
+// ErrNoScheduler is returned when Options.Scheduler is nil.
+var ErrNoScheduler = errors.New("async: Options.Scheduler is required")
+
+// Run executes the protocol until quiescence, decision, or the delivery
+// budget.
+func Run(p Protocol, inputs []int, opts Options) (Result, error) {
+	if opts.Scheduler == nil {
+		return Result{}, ErrNoScheduler
+	}
+	n := p.NumProcs()
+	if len(inputs) != n {
+		return Result{}, fmt.Errorf("async: %d inputs for %d processes", len(inputs), n)
+	}
+	maxDel := opts.MaxDeliveries
+	if maxDel <= 0 {
+		maxDel = DefaultMaxDeliveries
+	}
+	rngs := make([]*rand.Rand, n)
+	states := make([]any, n)
+	res := Result{
+		Decisions: make([]int, n),
+		Steps:     make([]int, n),
+		Crashed:   make([]bool, n),
+	}
+	for q := 0; q < n; q++ {
+		rngs[q] = rand.New(rand.NewSource(opts.Seed*31 + int64(q)))
+		states[q] = p.Init(q, inputs[q], rngs[q])
+		res.Decisions[q] = -1
+	}
+	seq := 0
+	var pending []Envelope
+	emit := func(from int, sends []Send) {
+		for _, s := range sends {
+			pending = append(pending, Envelope{From: from, To: s.To, Payload: s.Payload, Seq: seq})
+			seq++
+			res.Sent++
+		}
+	}
+	crashBudget := func(q int) (int, bool) {
+		if opts.CrashAfter == nil {
+			return 0, false
+		}
+		b, ok := opts.CrashAfter[q]
+		return b, ok
+	}
+	// Wake-up steps (initial sends), unless crashed from the start.
+	for q := 0; q < n; q++ {
+		if b, ok := crashBudget(q); ok && b == 0 {
+			res.Crashed[q] = true
+			continue
+		}
+		res.Steps[q]++
+		emit(q, p.InitialSends(q, states[q]))
+	}
+	allDecided := func() bool {
+		for q := 0; q < n; q++ {
+			if res.Crashed[q] {
+				continue
+			}
+			if _, ok := p.Decide(q, states[q]); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for len(pending) > 0 && res.Deliveries < maxDel {
+		if opts.StopWhenAllDecided && allDecided() {
+			break
+		}
+		i := opts.Scheduler.Pick(pending)
+		env := pending[i]
+		pending[i] = pending[len(pending)-1]
+		pending = pending[:len(pending)-1]
+		res.Deliveries++
+		if res.Crashed[env.To] {
+			continue // lost: the receiver is dead
+		}
+		newState, sends := p.Step(env.To, states[env.To], env.From, env.Payload, rngs[env.To])
+		states[env.To] = newState
+		res.Steps[env.To]++
+		if b, ok := crashBudget(env.To); ok && res.Steps[env.To] >= b {
+			res.Crashed[env.To] = true
+			continue // crash consumes the emitted messages
+		}
+		emit(env.To, sends)
+	}
+	for q := 0; q < n; q++ {
+		if d, ok := p.Decide(q, states[q]); ok {
+			res.Decisions[q] = d
+		}
+	}
+	res.AllDecided = allDecided()
+	return res, nil
+}

@@ -1,0 +1,266 @@
+package async
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// pingProto: p0 sends one message to p1; p1 decides on receipt.
+type pingProto struct{}
+
+func (pingProto) Name() string                     { return "ping" }
+func (pingProto) NumProcs() int                    { return 2 }
+func (pingProto) Init(_, in int, _ *rand.Rand) any { return in }
+
+func (pingProto) InitialSends(p int, _ any) []Send {
+	if p == 0 {
+		return []Send{{To: 1, Payload: "ping"}}
+	}
+	return nil
+}
+
+func (pingProto) Step(_ int, state any, _ int, _ string, _ *rand.Rand) (any, []Send) {
+	return 100, nil
+}
+
+func (pingProto) Decide(_ int, state any) (int, bool) {
+	v := state.(int)
+	return v, v == 100
+}
+
+func TestRunBasics(t *testing.T) {
+	res, err := Run(pingProto{}, []int{0, 0}, Options{Scheduler: FIFOScheduler{}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Deliveries != 1 || res.Sent != 1 {
+		t.Fatalf("deliveries/sent = %d/%d, want 1/1", res.Deliveries, res.Sent)
+	}
+	if res.Decisions[1] != 100 {
+		t.Fatalf("p1 decision = %d, want 100", res.Decisions[1])
+	}
+}
+
+func TestRunRequiresScheduler(t *testing.T) {
+	if _, err := Run(pingProto{}, []int{0, 0}, Options{}); err != ErrNoScheduler {
+		t.Fatalf("err = %v, want ErrNoScheduler", err)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if _, err := Run(pingProto{}, []int{0}, Options{Scheduler: FIFOScheduler{}}); err == nil {
+		t.Fatal("input length mismatch should error")
+	}
+}
+
+func TestCrashFromStartSuppressesInitialSends(t *testing.T) {
+	res, err := Run(pingProto{}, []int{0, 0}, Options{
+		Scheduler:  FIFOScheduler{},
+		CrashAfter: map[int]int{0: 0},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Crashed[0] {
+		t.Fatal("p0 should be crashed")
+	}
+	if res.Sent != 0 {
+		t.Fatalf("sent = %d, want 0 (crashed before wake-up)", res.Sent)
+	}
+	if res.Decisions[1] != -1 {
+		t.Fatal("p1 should be undecided")
+	}
+}
+
+func TestSchedulerOrders(t *testing.T) {
+	pending := []Envelope{{Seq: 3}, {Seq: 1}, {Seq: 2}}
+	if got := (FIFOScheduler{}).Pick(pending); got != 1 {
+		t.Errorf("FIFO picked %d, want 1", got)
+	}
+	if got := (LIFOScheduler{}).Pick(pending); got != 0 {
+		t.Errorf("LIFO picked %d, want 0", got)
+	}
+	rs := &RandomScheduler{Rng: rand.New(rand.NewSource(1))}
+	if got := rs.Pick(pending); got < 0 || got > 2 {
+		t.Errorf("random pick out of range: %d", got)
+	}
+}
+
+// TestBenOrUniformInputsDecideImmediately: validity — uniform inputs
+// decide that value in phase 1.
+func TestBenOrUniformInputsDecideImmediately(t *testing.T) {
+	for _, v := range []int{0, 1} {
+		b := &BenOr{Procs: 5, MaxFaults: 2}
+		inputs := []int{v, v, v, v, v}
+		res, err := Run(b, inputs, Options{
+			Scheduler:          FIFOScheduler{},
+			Seed:               1,
+			StopWhenAllDecided: true,
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if !res.AllDecided {
+			t.Fatalf("v=%d: not all decided", v)
+		}
+		for p, d := range res.Decisions {
+			if d != v {
+				t.Fatalf("v=%d: p%d decided %d", v, p, d)
+			}
+		}
+	}
+}
+
+// TestBenOrTerminatesAndAgreesUnderRandomScheduling: the probabilistic
+// circumvention of FLP (E13): over many seeds, mixed inputs terminate with
+// agreement.
+func TestBenOrTerminatesAndAgreesUnderRandomScheduling(t *testing.T) {
+	rep, err := MeasureBenOr(5, 2, 30, []int{0, 1, 0, 1, 1}, nil, 1000)
+	if err != nil {
+		t.Fatalf("MeasureBenOr: %v", err)
+	}
+	if rep.Terminated != rep.Runs {
+		t.Errorf("terminated %d/%d runs", rep.Terminated, rep.Runs)
+	}
+	if rep.Agreed != rep.Runs {
+		t.Errorf("agreed %d/%d runs", rep.Agreed, rep.Runs)
+	}
+}
+
+// TestBenOrSurvivesCrashes: t crashes do not prevent termination.
+func TestBenOrSurvivesCrashes(t *testing.T) {
+	crash := map[int]int{3: 2, 4: 5}
+	rep, err := MeasureBenOr(5, 2, 20, []int{0, 1, 1, 0, 1}, crash, 77)
+	if err != nil {
+		t.Fatalf("MeasureBenOr: %v", err)
+	}
+	if rep.Terminated != rep.Runs {
+		t.Errorf("terminated %d/%d runs with crashes", rep.Terminated, rep.Runs)
+	}
+	if rep.Agreed != rep.Runs {
+		t.Errorf("agreed %d/%d runs with crashes", rep.Agreed, rep.Runs)
+	}
+}
+
+// TestBenOrAgreementHoldsUnderAdversarialScheduling: LIFO starves old
+// messages but can never produce disagreement (the safety half survives
+// any adversary; only termination becomes probabilistic).
+func TestBenOrAgreementHoldsUnderAdversarialScheduling(t *testing.T) {
+	b := &BenOr{Procs: 3, MaxFaults: 1}
+	res, err := Run(b, []int{0, 1, 0}, Options{
+		Scheduler:          LIFOScheduler{},
+		Seed:               5,
+		MaxDeliveries:      50_000,
+		StopWhenAllDecided: true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	seen := -1
+	for q, d := range res.Decisions {
+		if d < 0 {
+			continue
+		}
+		if seen >= 0 && d != seen {
+			t.Fatalf("disagreement: p%d decided %d, another %d", q, d, seen)
+		}
+		seen = d
+	}
+}
+
+// TestRotatingCoordTerminatesUnderTimelyScheduling: the [46] trade — with
+// benign (FIFO) timing, the deterministic protocol terminates and agrees.
+func TestRotatingCoordTerminatesUnderTimelyScheduling(t *testing.T) {
+	rc := &RotatingCoord{Procs: 5, MaxFaults: 2}
+	res, err := Run(rc, []int{0, 1, 0, 1, 1}, Options{
+		Scheduler:          FIFOScheduler{},
+		Seed:               3,
+		StopWhenAllDecided: true,
+		MaxDeliveries:      200_000,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.AllDecided {
+		t.Fatalf("rotating coordinator should decide under FIFO timing: %+v", res.Decisions)
+	}
+	seen := -1
+	for _, d := range res.Decisions {
+		if d < 0 {
+			continue
+		}
+		if seen >= 0 && d != seen {
+			t.Fatalf("disagreement: %v", res.Decisions)
+		}
+		seen = d
+	}
+	if seen != 0 && seen != 1 {
+		t.Fatalf("invalid decision %d", seen)
+	}
+}
+
+// TestRotatingCoordUniformInputs: validity under all schedulers.
+func TestRotatingCoordUniformInputs(t *testing.T) {
+	for _, v := range []int{0, 1} {
+		rc := &RotatingCoord{Procs: 4, MaxFaults: 1}
+		inputs := []int{v, v, v, v}
+		res, err := Run(rc, inputs, Options{
+			Scheduler:          FIFOScheduler{},
+			StopWhenAllDecided: true,
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		for p, d := range res.Decisions {
+			if d != v {
+				t.Fatalf("v=%d: p%d decided %d", v, p, d)
+			}
+		}
+	}
+}
+
+// TestRotatingCoordSafeUnderAdversarialScheduling: agreement survives any
+// scheduler; only termination is at risk (the FLP-mandated price, paid in
+// liveness instead of safety or randomness).
+func TestRotatingCoordSafeUnderAdversarialScheduling(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rc := &RotatingCoord{Procs: 5, MaxFaults: 2}
+		res, err := Run(rc, []int{0, 1, 1, 0, 0}, Options{
+			Scheduler:     &RandomScheduler{Rng: rand.New(rand.NewSource(seed))},
+			Seed:          seed,
+			MaxDeliveries: 30_000,
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		seen := -1
+		for q, d := range res.Decisions {
+			if d < 0 {
+				continue
+			}
+			if seen >= 0 && d != seen {
+				t.Fatalf("seed=%d: disagreement at p%d: %v", seed, q, res.Decisions)
+			}
+			seen = d
+		}
+	}
+	// LIFO starves old messages; decided values must still agree.
+	rc := &RotatingCoord{Procs: 3, MaxFaults: 1}
+	res, err := Run(rc, []int{0, 1, 0}, Options{
+		Scheduler:     LIFOScheduler{},
+		MaxDeliveries: 30_000,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	seen := -1
+	for _, d := range res.Decisions {
+		if d < 0 {
+			continue
+		}
+		if seen >= 0 && d != seen {
+			t.Fatalf("LIFO disagreement: %v", res.Decisions)
+		}
+		seen = d
+	}
+}

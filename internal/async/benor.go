@@ -1,0 +1,224 @@
+package async
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// BenOr is Ben-Or's randomized binary consensus ([19], §2.2.4): the
+// algorithm that "circumvents" FLP by trading deterministic termination
+// for termination with probability 1. It tolerates t < n/2 crash faults.
+// Each phase has a report wave (R) and a proposal wave (P); a process
+// decides when at least t+1 proposals carry the same value, adopts a
+// proposed value when it sees one, and flips a fair coin otherwise.
+type BenOr struct {
+	// Procs is the number of processes n.
+	Procs int
+	// MaxFaults is the crash bound t < n/2.
+	MaxFaults int
+}
+
+var _ Protocol = (*BenOr)(nil)
+
+const benOrUnknown = -1
+
+// benOrState is one process's view.
+type benOrState struct {
+	value    int
+	phase    int
+	stage    int // 0: collecting R, 1: collecting P
+	decided  bool
+	decision int
+	rMsgs    map[int]map[int]int // phase -> sender -> value
+	pMsgs    map[int]map[int]int // phase -> sender -> value (-1 = "?")
+	self     int
+}
+
+// Name implements Protocol.
+func (b *BenOr) Name() string { return fmt.Sprintf("ben-or(n=%d,t=%d)", b.Procs, b.MaxFaults) }
+
+// NumProcs implements Protocol.
+func (b *BenOr) NumProcs() int { return b.Procs }
+
+// Init implements Protocol.
+func (b *BenOr) Init(p, input int, _ *rand.Rand) any {
+	s := &benOrState{
+		value: input,
+		phase: 1,
+		rMsgs: map[int]map[int]int{},
+		pMsgs: map[int]map[int]int{},
+		self:  p,
+	}
+	b.record(s.rMsgs, 1, p, input) // own report
+	return s
+}
+
+func (b *BenOr) record(m map[int]map[int]int, phase, from, v int) {
+	if m[phase] == nil {
+		m[phase] = map[int]int{}
+	}
+	if _, ok := m[phase][from]; !ok {
+		m[phase][from] = v
+	}
+}
+
+// InitialSends implements Protocol: broadcast the phase-1 report.
+func (b *BenOr) InitialSends(p int, state any) []Send {
+	s := state.(*benOrState)
+	return b.broadcast(p, "R", s.phase, s.value)
+}
+
+func (b *BenOr) broadcast(p int, kind string, phase, v int) []Send {
+	out := make([]Send, 0, b.Procs-1)
+	payload := kind + "|" + strconv.Itoa(phase) + "|" + strconv.Itoa(v)
+	for q := 0; q < b.Procs; q++ {
+		if q != p {
+			out = append(out, Send{To: q, Payload: payload})
+		}
+	}
+	return out
+}
+
+// Step implements Protocol.
+func (b *BenOr) Step(p int, state any, from int, payload string, rng *rand.Rand) (any, []Send) {
+	s := state.(*benOrState)
+	parts := strings.Split(payload, "|")
+	if len(parts) == 3 {
+		phase, err1 := strconv.Atoi(parts[1])
+		v, err2 := strconv.Atoi(parts[2])
+		if err1 == nil && err2 == nil {
+			switch parts[0] {
+			case "R":
+				b.record(s.rMsgs, phase, from, v)
+			case "P":
+				b.record(s.pMsgs, phase, from, v)
+			}
+		}
+	}
+	var sends []Send
+	for {
+		progressed, out := b.advance(p, s, rng)
+		sends = append(sends, out...)
+		if !progressed {
+			break
+		}
+	}
+	return s, sends
+}
+
+// advance fires at most one stage transition when its quorum is met.
+func (b *BenOr) advance(p int, s *benOrState, rng *rand.Rand) (bool, []Send) {
+	n, t := b.Procs, b.MaxFaults
+	quorum := n - t
+	switch s.stage {
+	case 0: // collecting reports for s.phase
+		reports := s.rMsgs[s.phase]
+		if len(reports) < quorum {
+			return false, nil
+		}
+		counts := map[int]int{}
+		for _, v := range reports {
+			counts[v]++
+		}
+		prop := benOrUnknown
+		for v, c := range counts {
+			if 2*c > n {
+				prop = v
+				break
+			}
+		}
+		s.stage = 1
+		b.record(s.pMsgs, s.phase, p, prop)
+		return true, b.broadcast(p, "P", s.phase, prop)
+	default: // collecting proposals for s.phase
+		props := s.pMsgs[s.phase]
+		if len(props) < quorum {
+			return false, nil
+		}
+		val, count := benOrUnknown, 0
+		for _, v := range props {
+			if v != benOrUnknown {
+				val = v
+				count++
+			}
+		}
+		switch {
+		case val != benOrUnknown && count >= t+1:
+			if !s.decided {
+				s.decided = true
+				s.decision = val
+			}
+			s.value = val
+		case val != benOrUnknown:
+			s.value = val
+		default:
+			s.value = rng.Intn(2)
+		}
+		s.phase++
+		s.stage = 0
+		b.record(s.rMsgs, s.phase, p, s.value)
+		return true, b.broadcast(p, "R", s.phase, s.value)
+	}
+}
+
+// Decide implements Protocol.
+func (b *BenOr) Decide(_ int, state any) (int, bool) {
+	s := state.(*benOrState)
+	return s.decision, s.decided
+}
+
+// PhaseOf reports the phase a process had reached (for measurements).
+func (b *BenOr) PhaseOf(state any) int { return state.(*benOrState).phase }
+
+// MeasureBenOr runs Ben-Or once per seed and reports decision phases.
+type BenOrReport struct {
+	// Runs is the number of seeded executions.
+	Runs int
+	// Agreed counts runs where all non-crashed deciders agreed.
+	Agreed int
+	// Terminated counts runs where every non-crashed process decided
+	// within the delivery budget.
+	Terminated int
+	// TotalDeliveries sums deliveries across runs.
+	TotalDeliveries int
+}
+
+// MeasureBenOr runs `runs` seeded executions with a random scheduler and
+// optional crashes and aggregates the outcomes.
+func MeasureBenOr(n, t, runs int, inputs []int, crashAfter map[int]int, baseSeed int64) (BenOrReport, error) {
+	rep := BenOrReport{Runs: runs}
+	for r := 0; r < runs; r++ {
+		b := &BenOr{Procs: n, MaxFaults: t}
+		seed := baseSeed + int64(r)
+		res, err := Run(b, inputs, Options{
+			Scheduler:          &RandomScheduler{Rng: rand.New(rand.NewSource(seed))},
+			Seed:               seed,
+			StopWhenAllDecided: true,
+			CrashAfter:         crashAfter,
+		})
+		if err != nil {
+			return rep, fmt.Errorf("async: ben-or run %d: %w", r, err)
+		}
+		rep.TotalDeliveries += res.Deliveries
+		if res.AllDecided {
+			rep.Terminated++
+		}
+		agreed := true
+		seen := -1
+		for q := 0; q < n; q++ {
+			if res.Crashed[q] || res.Decisions[q] < 0 {
+				continue
+			}
+			if seen >= 0 && res.Decisions[q] != seen {
+				agreed = false
+			}
+			seen = res.Decisions[q]
+		}
+		if agreed && seen >= 0 {
+			rep.Agreed++
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,197 @@
+package async
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// RotatingCoord is a deterministic consensus protocol in the spirit of
+// Dwork, Lynch and Stockmeyer [46] (§2.2.4): agreement and validity hold
+// under *every* scheduler, while termination is guaranteed only when the
+// timing is benign — the weakened problem statement that circumvents FLP
+// without randomness. Each phase has the Ben-Or wave structure, but where
+// Ben-Or flips a coin, an undecided process adopts the phase coordinator's
+// broadcast value; once a synchronous-enough phase delivers the
+// coordinator's value to everyone promptly, all processes enter the next
+// phase unanimous and decide.
+type RotatingCoord struct {
+	// Procs is the number of processes n.
+	Procs int
+	// MaxFaults is the crash bound t < n/2.
+	MaxFaults int
+}
+
+var _ Protocol = (*RotatingCoord)(nil)
+
+// rcState is one process's view.
+type rcState struct {
+	value    int
+	phase    int
+	stage    int
+	decided  bool
+	decision int
+	rMsgs    map[int]map[int]int
+	pMsgs    map[int]map[int]int
+	cMsgs    map[int]int // phase -> coordinator's broadcast value
+	self     int
+}
+
+// Name implements Protocol.
+func (rc *RotatingCoord) Name() string {
+	return fmt.Sprintf("rotating-coordinator(n=%d,t=%d)", rc.Procs, rc.MaxFaults)
+}
+
+// NumProcs implements Protocol.
+func (rc *RotatingCoord) NumProcs() int { return rc.Procs }
+
+// Init implements Protocol.
+func (rc *RotatingCoord) Init(p, input int, _ *rand.Rand) any {
+	s := &rcState{
+		value: input,
+		phase: 1,
+		rMsgs: map[int]map[int]int{},
+		pMsgs: map[int]map[int]int{},
+		cMsgs: map[int]int{},
+		self:  p,
+	}
+	rc.record(s.rMsgs, 1, p, input)
+	return s
+}
+
+func (rc *RotatingCoord) record(m map[int]map[int]int, phase, from, v int) {
+	if m[phase] == nil {
+		m[phase] = map[int]int{}
+	}
+	if _, ok := m[phase][from]; !ok {
+		m[phase][from] = v
+	}
+}
+
+func (rc *RotatingCoord) coordinator(phase int) int { return phase % rc.Procs }
+
+// InitialSends implements Protocol.
+func (rc *RotatingCoord) InitialSends(p int, state any) []Send {
+	s := state.(*rcState)
+	out := rc.broadcast(p, "R", s.phase, s.value)
+	if rc.coordinator(s.phase) == p {
+		out = append(out, rc.broadcast(p, "C", s.phase, s.value)...)
+		s.cMsgs[s.phase] = s.value
+	}
+	return out
+}
+
+func (rc *RotatingCoord) broadcast(p int, kind string, phase, v int) []Send {
+	payload := kind + "|" + strconv.Itoa(phase) + "|" + strconv.Itoa(v)
+	out := make([]Send, 0, rc.Procs-1)
+	for q := 0; q < rc.Procs; q++ {
+		if q != p {
+			out = append(out, Send{To: q, Payload: payload})
+		}
+	}
+	return out
+}
+
+// Step implements Protocol.
+func (rc *RotatingCoord) Step(p int, state any, from int, payload string, _ *rand.Rand) (any, []Send) {
+	s := state.(*rcState)
+	parts := strings.Split(payload, "|")
+	if len(parts) == 3 {
+		phase, err1 := strconv.Atoi(parts[1])
+		v, err2 := strconv.Atoi(parts[2])
+		if err1 == nil && err2 == nil {
+			switch parts[0] {
+			case "R":
+				rc.record(s.rMsgs, phase, from, v)
+			case "P":
+				rc.record(s.pMsgs, phase, from, v)
+			case "C":
+				if _, ok := s.cMsgs[phase]; !ok && from == rc.coordinator(phase) {
+					s.cMsgs[phase] = v
+				}
+			}
+		}
+	}
+	var sends []Send
+	for {
+		progressed, out := rc.advance(p, s)
+		sends = append(sends, out...)
+		if !progressed {
+			break
+		}
+	}
+	return s, sends
+}
+
+func (rc *RotatingCoord) advance(p int, s *rcState) (bool, []Send) {
+	n, t := rc.Procs, rc.MaxFaults
+	quorum := n - t
+	switch s.stage {
+	case 0:
+		reports := s.rMsgs[s.phase]
+		if len(reports) < quorum {
+			return false, nil
+		}
+		counts := map[int]int{}
+		for _, v := range reports {
+			counts[v]++
+		}
+		prop := benOrUnknown
+		for v, c := range counts {
+			if 2*c > n {
+				prop = v
+				break
+			}
+		}
+		s.stage = 1
+		rc.record(s.pMsgs, s.phase, p, prop)
+		return true, rc.broadcast(p, "P", s.phase, prop)
+	default:
+		props := s.pMsgs[s.phase]
+		if len(props) < quorum {
+			return false, nil
+		}
+		// An undecided process without a proposed value needs the
+		// coordinator's word (or gives up waiting only when it has it —
+		// safety permits waiting forever; that is the FLP-mandated price,
+		// paid here in liveness-under-bad-timing).
+		val, count := benOrUnknown, 0
+		for _, v := range props {
+			if v != benOrUnknown {
+				val = v
+				count++
+			}
+		}
+		coordVal, haveCoord := s.cMsgs[s.phase]
+		switch {
+		case val != benOrUnknown && count >= t+1:
+			if !s.decided {
+				s.decided = true
+				s.decision = val
+			}
+			s.value = val
+		case val != benOrUnknown:
+			s.value = val
+		case haveCoord:
+			s.value = coordVal
+		default:
+			return false, nil // wait for the coordinator's word
+		}
+		s.phase++
+		s.stage = 0
+		rc.record(s.rMsgs, s.phase, p, s.value)
+		out := rc.broadcast(p, "R", s.phase, s.value)
+		if rc.coordinator(s.phase) == p {
+			out = append(out, rc.broadcast(p, "C", s.phase, s.value)...)
+			s.cMsgs[s.phase] = s.value
+		}
+		return true, out
+	}
+}
+
+// Decide implements Protocol.
+func (rc *RotatingCoord) Decide(_ int, state any) (int, bool) {
+	s := state.(*rcState)
+	return s.decision, s.decided
+}

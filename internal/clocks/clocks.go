@@ -1,0 +1,232 @@
+// Package clocks implements the clock synchronization results of §2.2.6:
+// the Lundelius–Lynch averaging algorithm, whose worst-case skew over a
+// complete graph is exactly ε(1−1/n) for message-delay uncertainty ε, and
+// the diagram-shifting argument behind the matching lower bound — an
+// execution can be "stretched" (one process's clock shifted, its link
+// delays adjusted to compensate) without any process observing a
+// difference, so no algorithm can synchronize more tightly.
+//
+// The model follows [77]: hardware clocks run at perfect rate but with
+// unknown offsets; every message between two processes takes a delay in
+// [Base, Base+Epsilon] chosen by the adversary.
+package clocks
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Network fixes the delay model.
+type Network struct {
+	// Base is the minimum message delay.
+	Base float64
+	// Epsilon is the delay uncertainty: delays lie in [Base, Base+Epsilon].
+	Epsilon float64
+}
+
+// Execution is one synchronization experiment: process i's hardware clock
+// reads t + Offsets[i] at real time t, and the message i->j experiences
+// delay Delays[i][j].
+type Execution struct {
+	// Offsets are the hardware clock offsets.
+	Offsets []float64
+	// Delays[i][j] is the delay of the message from i to j.
+	Delays [][]float64
+}
+
+// Validate checks the execution against the network's delay bounds.
+func (e Execution) Validate(net Network) error {
+	n := len(e.Offsets)
+	if len(e.Delays) != n {
+		return fmt.Errorf("clocks: %d delay rows for %d processes", len(e.Delays), n)
+	}
+	const tol = 1e-9
+	for i := range e.Delays {
+		if len(e.Delays[i]) != n {
+			return fmt.Errorf("clocks: delay row %d has %d entries", i, len(e.Delays[i]))
+		}
+		for j, d := range e.Delays[i] {
+			if i == j {
+				continue
+			}
+			if d < net.Base-tol || d > net.Base+net.Epsilon+tol {
+				return fmt.Errorf("clocks: delay %d->%d = %v outside [%v, %v]",
+					i, j, d, net.Base, net.Base+net.Epsilon)
+			}
+		}
+	}
+	return nil
+}
+
+// Observation is what process j learns from process i's broadcast: the
+// receiver's hardware clock at receipt. (Every process broadcasts when its
+// own hardware clock reads zero, so the sender-side timestamp carries no
+// information; receive times are the *only* algorithm inputs — the
+// mechanized form of "if a process sees the same thing in two executions,
+// it behaves the same in both".)
+type Observation struct {
+	ReceivedAt float64 // receiver hardware clock at receipt
+}
+
+// Observe runs the one-shot broadcast experiment: every process broadcasts
+// at hardware time 0 (real time -Offsets[i]). Observe returns obs[j][i],
+// process j's observation of process i's broadcast.
+func Observe(e Execution) [][]Observation {
+	n := len(e.Offsets)
+	obs := make([][]Observation, n)
+	for j := 0; j < n; j++ {
+		obs[j] = make([]Observation, n)
+		for i := 0; i < n; i++ {
+			if i == j {
+				obs[j][i] = Observation{}
+				continue
+			}
+			realArrival := -e.Offsets[i] + e.Delays[i][j]
+			obs[j][i] = Observation{ReceivedAt: realArrival + e.Offsets[j]}
+		}
+	}
+	return obs
+}
+
+// Algorithm computes, from a process's observations, the correction to
+// add to its hardware clock.
+type Algorithm interface {
+	// Name identifies the algorithm.
+	Name() string
+	// Correction returns process j's clock adjustment.
+	Correction(j int, obs []Observation, net Network) float64
+}
+
+// LundeliusLynch is the averaging algorithm of [77]: estimate each peer's
+// offset difference assuming the midpoint delay, and add the average
+// estimated difference (self included as zero).
+type LundeliusLynch struct{}
+
+var _ Algorithm = LundeliusLynch{}
+
+// Name implements Algorithm.
+func (LundeliusLynch) Name() string { return "lundelius-lynch-averaging" }
+
+// Correction implements Algorithm.
+func (LundeliusLynch) Correction(j int, obs []Observation, net Network) float64 {
+	n := len(obs)
+	mid := net.Base + net.Epsilon/2
+	sum := 0.0
+	for i, o := range obs {
+		if i == j {
+			continue
+		}
+		// Estimated difference (peer clock - own clock): the peer sent at
+		// its hardware time 0; assuming the midpoint delay, at receipt the
+		// peer's clock reads mid while ours reads ReceivedAt.
+		sum += mid - o.ReceivedAt
+	}
+	return sum / float64(n)
+}
+
+// AdjustedClocks runs the algorithm in the execution and returns each
+// process's adjusted clock value at real time 0 (hardware offset plus
+// correction).
+func AdjustedClocks(a Algorithm, e Execution, net Network) ([]float64, error) {
+	if err := e.Validate(net); err != nil {
+		return nil, err
+	}
+	obs := Observe(e)
+	out := make([]float64, len(e.Offsets))
+	for j := range out {
+		out[j] = e.Offsets[j] + a.Correction(j, obs[j], net)
+	}
+	return out, nil
+}
+
+// MaxSkew returns the spread of the adjusted clocks.
+func MaxSkew(adjusted []float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range adjusted {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return hi - lo
+}
+
+// TheoreticalBound returns the tight worst-case skew ε(1−1/n) of [77].
+func TheoreticalBound(n int, net Network) float64 {
+	return net.Epsilon * (1 - 1/float64(n))
+}
+
+// UniformExecution builds the benign execution: zero offsets, midpoint
+// delays.
+func UniformExecution(n int, net Network) Execution {
+	e := Execution{Offsets: make([]float64, n), Delays: make([][]float64, n)}
+	for i := range e.Delays {
+		e.Delays[i] = make([]float64, n)
+		for j := range e.Delays[i] {
+			e.Delays[i][j] = net.Base + net.Epsilon/2
+		}
+	}
+	return e
+}
+
+// WorstCaseExecution builds the adversarial delay assignment that drives
+// the averaging algorithm exactly to its ε(1−1/n) bound: every message
+// into process 1 rides the fastest delay (so process 1 overestimates all
+// peers by ε/2) and every message into process 0 the slowest (so process
+// 0 underestimates all peers by ε/2); everyone else sees midpoints.
+func WorstCaseExecution(n int, net Network) Execution {
+	e := UniformExecution(n, net)
+	for i := 0; i < n; i++ {
+		if i != 1 {
+			e.Delays[i][1] = net.Base
+		}
+		if i != 0 {
+			e.Delays[i][0] = net.Base + net.Epsilon
+		}
+	}
+	return e
+}
+
+// ErrNotIndistinguishable reports that two executions differ observably.
+var ErrNotIndistinguishable = errors.New("clocks: executions are observably different")
+
+// ShiftExecution produces the "stretched" execution of the lower-bound
+// argument: process k's hardware offset moves by s (its real-time events
+// slide earlier), its outgoing delays grow by s and its incoming delays
+// shrink by s, leaving every observation identical. The result may
+// violate the delay bounds — that is the point: the amount of legal shift
+// is limited by the remaining delay slack, which is where the ε(1−1/n)
+// bound comes from.
+func ShiftExecution(e Execution, k int, s float64) Execution {
+	n := len(e.Offsets)
+	out := Execution{Offsets: make([]float64, n), Delays: make([][]float64, n)}
+	copy(out.Offsets, e.Offsets)
+	out.Offsets[k] += s
+	for i := range e.Delays {
+		out.Delays[i] = make([]float64, n)
+		copy(out.Delays[i], e.Delays[i])
+	}
+	for j := 0; j < n; j++ {
+		if j == k {
+			continue
+		}
+		out.Delays[k][j] += s // k sends earlier; arrivals stay put
+		out.Delays[j][k] -= s // k's receipts stay put on its own clock
+	}
+	return out
+}
+
+// CheckIndistinguishable verifies that two executions generate identical
+// observations for every process.
+func CheckIndistinguishable(a, b Execution) error {
+	oa, ob := Observe(a), Observe(b)
+	const tol = 1e-9
+	for j := range oa {
+		for i := range oa[j] {
+			if math.Abs(oa[j][i].ReceivedAt-ob[j][i].ReceivedAt) > tol {
+				return fmt.Errorf("%w: process %d sees %v vs %v for sender %d",
+					ErrNotIndistinguishable, j, oa[j][i], ob[j][i], i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package clocks
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var testNet = Network{Base: 1.0, Epsilon: 0.5}
+
+func TestUniformExecutionIsPerfectlySynchronized(t *testing.T) {
+	e := UniformExecution(4, testNet)
+	adj, err := AdjustedClocks(LundeliusLynch{}, e, testNet)
+	if err != nil {
+		t.Fatalf("AdjustedClocks: %v", err)
+	}
+	if skew := MaxSkew(adj); skew > 1e-9 {
+		t.Fatalf("uniform execution skew = %v, want 0", skew)
+	}
+}
+
+func TestAlgorithmRemovesInitialOffsets(t *testing.T) {
+	// With midpoint delays, arbitrary hardware offsets synchronize
+	// perfectly: the estimates are exact.
+	e := UniformExecution(3, testNet)
+	e.Offsets = []float64{5, -2, 0.75}
+	adj, err := AdjustedClocks(LundeliusLynch{}, e, testNet)
+	if err != nil {
+		t.Fatalf("AdjustedClocks: %v", err)
+	}
+	if skew := MaxSkew(adj); skew > 1e-9 {
+		t.Fatalf("offset-only skew = %v, want 0", skew)
+	}
+}
+
+func TestWorstCaseHitsTheBoundExactly(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		e := WorstCaseExecution(n, testNet)
+		if err := e.Validate(testNet); err != nil {
+			t.Fatalf("n=%d: worst case invalid: %v", n, err)
+		}
+		adj, err := AdjustedClocks(LundeliusLynch{}, e, testNet)
+		if err != nil {
+			t.Fatalf("AdjustedClocks: %v", err)
+		}
+		got := MaxSkew(adj)
+		want := TheoreticalBound(n, testNet)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("n=%d: worst-case skew %v, want exactly ε(1−1/n) = %v", n, got, want)
+		}
+	}
+}
+
+func TestSkewNeverExceedsBound(t *testing.T) {
+	// Property: over random legal delay matrices and offsets, the
+	// averaging algorithm's skew stays within ε(1−1/n).
+	prop := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%6) + 2
+		rng := rand.New(rand.NewSource(seed))
+		e := UniformExecution(n, testNet)
+		for i := range e.Offsets {
+			e.Offsets[i] = rng.Float64()*10 - 5
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j {
+					e.Delays[i][j] = testNet.Base + rng.Float64()*testNet.Epsilon
+				}
+			}
+		}
+		adj, err := AdjustedClocks(LundeliusLynch{}, e, testNet)
+		if err != nil {
+			return false
+		}
+		return MaxSkew(adj) <= TheoreticalBound(n, testNet)+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftExecutionIsIndistinguishable(t *testing.T) {
+	e := WorstCaseExecution(4, testNet)
+	shifted := ShiftExecution(e, 2, 0.3)
+	if err := CheckIndistinguishable(e, shifted); err != nil {
+		t.Fatalf("shifted execution should be observably identical: %v", err)
+	}
+	// And the shifted process's adjusted clock moves by exactly the
+	// shift: the algorithm cannot tell, so its correction is unchanged.
+	adjA, err := AdjustedClocks(LundeliusLynch{}, e, testNet)
+	if err != nil {
+		t.Fatalf("AdjustedClocks: %v", err)
+	}
+	obsB := Observe(shifted)
+	corrB := LundeliusLynch{}.Correction(2, obsB[2], testNet)
+	adjB2 := shifted.Offsets[2] + corrB
+	if math.Abs((adjB2-adjA[2])-0.3) > 1e-9 {
+		t.Fatalf("adjusted clock moved by %v, want exactly the shift 0.3", adjB2-adjA[2])
+	}
+}
+
+// TestShiftBeyondEpsilonLeavesLegalEnvelope is the lower-bound mechanism:
+// a shift is undetectable, but shifting by more than the remaining delay
+// slack produces an illegal execution. From the midpoint execution the
+// maximal legal shift of one process is ε/2 in each direction — chaining
+// these shifts across processes yields the ε(1−1/n) bound.
+func TestShiftBeyondEpsilonLeavesLegalEnvelope(t *testing.T) {
+	e := UniformExecution(3, testNet)
+	small := ShiftExecution(e, 1, testNet.Epsilon/2)
+	if err := small.Validate(testNet); err != nil {
+		t.Fatalf("ε/2 shift should stay legal: %v", err)
+	}
+	big := ShiftExecution(e, 1, testNet.Epsilon/2+0.01)
+	if err := big.Validate(testNet); err == nil {
+		t.Fatal("shift beyond the slack should violate the delay bounds")
+	}
+}
+
+func TestValidateRejectsBadShapes(t *testing.T) {
+	e := UniformExecution(3, testNet)
+	e.Delays = e.Delays[:2]
+	if err := e.Validate(testNet); err == nil {
+		t.Fatal("truncated delay matrix should be rejected")
+	}
+	e2 := UniformExecution(3, testNet)
+	e2.Delays[0][1] = testNet.Base - 1
+	if err := e2.Validate(testNet); err == nil {
+		t.Fatal("out-of-range delay should be rejected")
+	}
+}
+
+func TestCheckIndistinguishableDetectsDifferences(t *testing.T) {
+	a := UniformExecution(3, testNet)
+	b := UniformExecution(3, testNet)
+	b.Delays[0][1] += 0.1
+	err := CheckIndistinguishable(a, b)
+	if !errors.Is(err, ErrNotIndistinguishable) {
+		t.Fatalf("err = %v, want ErrNotIndistinguishable", err)
+	}
+}
+
+// TestTwoFacedClockFaultDefeatsAveraging sketches E07 (the impossibility
+// of synchronizing 3 clocks with one fault, [44]): a faulty process that
+// reports different clock readings to its two peers drags their adjusted
+// clocks apart, beyond what any legal delay assignment could explain.
+func TestTwoFacedClockFaultDefeatsAveraging(t *testing.T) {
+	net := testNet
+	n := 3
+	e := UniformExecution(n, net)
+	obs := Observe(e)
+	// Process 2 runs a two-faced clock: its broadcast reaches process 0
+	// looking 10 units early and process 1 looking 10 units late —
+	// impossible for any single legal clock-and-delay assignment.
+	obs[0][2].ReceivedAt -= 10
+	obs[1][2].ReceivedAt += 10
+	adj := make([]float64, 2)
+	for j := 0; j < 2; j++ {
+		adj[j] = e.Offsets[j] + (LundeliusLynch{}).Correction(j, obs[j], net)
+	}
+	skew := math.Abs(adj[0] - adj[1])
+	if skew <= TheoreticalBound(n, net) {
+		t.Fatalf("two-faced fault produced skew %v, expected beyond the fault-free bound %v",
+			skew, TheoreticalBound(n, net))
+	}
+}
+
+func TestTheoreticalBoundShape(t *testing.T) {
+	// The bound increases in n and approaches ε.
+	prev := 0.0
+	for _, n := range []int{2, 3, 5, 10, 100} {
+		b := TheoreticalBound(n, testNet)
+		if b <= prev || b >= testNet.Epsilon {
+			t.Fatalf("bound %v for n=%d out of order", b, n)
+		}
+		prev = b
+	}
+}
+
+// TestRateStretchingIsIndistinguishable is the §2.2.6 stretching argument:
+// scaling all delays by σ and all rates by 1/σ preserves every hardware
+// observation, so no algorithm can measure real time.
+func TestRateStretchingIsIndistinguishable(t *testing.T) {
+	e := UniformRated(4, testNet)
+	e.Offsets = []float64{0.5, -1, 2, 0}
+	for _, sigma := range []float64{2, 10, 0.25} {
+		stretched := StretchExecution(e, sigma)
+		if err := CheckRatedIndistinguishable(e, stretched); err != nil {
+			t.Fatalf("sigma=%v: %v", sigma, err)
+		}
+		// Real-time intervals scale by sigma even though nothing is
+		// observable: the delay matrix grew.
+		if stretched.Delays[0][1] != e.Delays[0][1]*sigma {
+			t.Fatalf("sigma=%v: delays not scaled", sigma)
+		}
+	}
+}
+
+func TestObserveRatedValidation(t *testing.T) {
+	e := UniformRated(3, testNet)
+	e.Rates[1] = 0
+	if _, err := ObserveRated(e); err == nil {
+		t.Fatal("zero rate should be rejected")
+	}
+	bad := RatedExecution{Offsets: []float64{0, 0}, Rates: []float64{1}, Delays: nil}
+	if _, err := ObserveRated(bad); err == nil {
+		t.Fatal("shape mismatch should be rejected")
+	}
+}
+
+func TestRatedObservationsDetectRealDifferences(t *testing.T) {
+	a := UniformRated(3, testNet)
+	b := UniformRated(3, testNet)
+	b.Delays[0][1] *= 2 // delay change without rate compensation is visible
+	if err := CheckRatedIndistinguishable(a, b); err == nil {
+		t.Fatal("unbalanced delay change should be observable")
+	}
+}

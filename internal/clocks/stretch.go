@@ -1,0 +1,105 @@
+package clocks
+
+import "fmt"
+
+// This file mechanizes the *rate-stretching* argument of §2.2.6
+// (Arjomandi–Fischer–Lynch [8], and the clock version in [75]/[44]): an
+// execution in which all message delays are multiplied by σ and all
+// hardware clock rates divided by σ generates exactly the same
+// observations, so no process can tell how fast real time is passing —
+// which is why no algorithm can bound real-time quantities (session
+// latency, real-time clock skew) without an a-priori bound on rates or
+// delays.
+
+// RatedExecution extends Execution with hardware clock rates: process i's
+// hardware clock reads Rates[i]*t + Offsets[i] at real time t.
+type RatedExecution struct {
+	// Offsets are the hardware clock offsets.
+	Offsets []float64
+	// Rates are the hardware clock rates (must be positive).
+	Rates []float64
+	// Delays[i][j] is the delay of the message from i to j.
+	Delays [][]float64
+}
+
+// ObserveRated runs the hardware-time-zero broadcast experiment under
+// rates: process i broadcasts when its hardware clock reads 0 (real time
+// -Offsets[i]/Rates[i]); obs[j][i] is j's hardware receive time.
+func ObserveRated(e RatedExecution) ([][]Observation, error) {
+	n := len(e.Offsets)
+	if len(e.Rates) != n || len(e.Delays) != n {
+		return nil, fmt.Errorf("clocks: inconsistent rated execution shape")
+	}
+	obs := make([][]Observation, n)
+	for j := 0; j < n; j++ {
+		if e.Rates[j] <= 0 {
+			return nil, fmt.Errorf("clocks: nonpositive rate %v for process %d", e.Rates[j], j)
+		}
+		obs[j] = make([]Observation, n)
+		for i := 0; i < n; i++ {
+			if i == j {
+				continue
+			}
+			realSend := -e.Offsets[i] / e.Rates[i]
+			realArrival := realSend + e.Delays[i][j]
+			obs[j][i] = Observation{ReceivedAt: e.Rates[j]*realArrival + e.Offsets[j]}
+		}
+	}
+	return obs, nil
+}
+
+// StretchExecution scales real time by sigma: every delay multiplies by
+// sigma and every rate divides by sigma. All hardware observations are
+// unchanged — the executions are indistinguishable — while every
+// real-time interval in the system grows by the factor sigma.
+func StretchExecution(e RatedExecution, sigma float64) RatedExecution {
+	n := len(e.Offsets)
+	out := RatedExecution{
+		Offsets: make([]float64, n),
+		Rates:   make([]float64, n),
+		Delays:  make([][]float64, n),
+	}
+	copy(out.Offsets, e.Offsets)
+	for i := 0; i < n; i++ {
+		out.Rates[i] = e.Rates[i] / sigma
+		out.Delays[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			out.Delays[i][j] = e.Delays[i][j] * sigma
+		}
+	}
+	return out
+}
+
+// CheckRatedIndistinguishable verifies two rated executions generate
+// identical observations.
+func CheckRatedIndistinguishable(a, b RatedExecution) error {
+	oa, err := ObserveRated(a)
+	if err != nil {
+		return err
+	}
+	ob, err := ObserveRated(b)
+	if err != nil {
+		return err
+	}
+	const tol = 1e-9
+	for j := range oa {
+		for i := range oa[j] {
+			d := oa[j][i].ReceivedAt - ob[j][i].ReceivedAt
+			if d > tol || d < -tol {
+				return fmt.Errorf("%w: process %d sees %v vs %v for sender %d",
+					ErrNotIndistinguishable, j, oa[j][i], ob[j][i], i)
+			}
+		}
+	}
+	return nil
+}
+
+// UniformRated builds a benign rated execution with unit rates.
+func UniformRated(n int, net Network) RatedExecution {
+	base := UniformExecution(n, net)
+	out := RatedExecution{Offsets: base.Offsets, Rates: make([]float64, n), Delays: base.Delays}
+	for i := range out.Rates {
+		out.Rates[i] = 1
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package consensus
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/rounds"
+)
+
+// ApproxAgreement is the round-by-round approximate agreement algorithm of
+// Dolev, Lynch, Pinter, Stark and Weihl ([36], §2.2.2): in each round
+// every process broadcasts its current real value, discards the t lowest
+// and t highest received values, and averages the rest. The paper reports
+// that k independent rounds achieve an output-to-input range ratio of
+// about (t/n)^k, while the lower bound for any k-round algorithm is
+// (t/(nk))^k — the gap Fekete's counterexample algorithm [50] exploited.
+//
+// Values are scaled integers (millionths) so runs are exact and
+// deterministic.
+type ApproxAgreement struct {
+	// Procs is the number of processes n.
+	Procs int
+	// MaxFaults is the tolerated Byzantine fault count t.
+	MaxFaults int
+}
+
+var _ rounds.Protocol = (*ApproxAgreement)(nil)
+
+// approxState is the process's current value in millionths.
+type approxState int64
+
+// Name implements rounds.Protocol.
+func (a *ApproxAgreement) Name() string { return "approximate-agreement" }
+
+// NumProcs implements rounds.Protocol.
+func (a *ApproxAgreement) NumProcs() int { return a.Procs }
+
+// Init implements rounds.Protocol. The input is interpreted directly in
+// millionths.
+func (a *ApproxAgreement) Init(_, input int) any { return approxState(input) }
+
+// Send implements rounds.Protocol.
+func (a *ApproxAgreement) Send(_ int, state any, _, _ int) rounds.Message {
+	return strconv.FormatInt(int64(state.(approxState)), 10)
+}
+
+// Receive implements rounds.Protocol: trimmed mean of received + own value.
+func (a *ApproxAgreement) Receive(_ int, state any, _ int, msgs []rounds.Message) any {
+	own := int64(state.(approxState))
+	vals := make([]int64, 0, a.Procs)
+	vals = append(vals, own)
+	for _, m := range msgs {
+		if m == "" {
+			continue
+		}
+		if v, err := strconv.ParseInt(m, 10, 64); err == nil {
+			vals = append(vals, v)
+		}
+	}
+	// Pad missing senders (crashed) with own value, so trimming is
+	// calibrated to n values.
+	for len(vals) < a.Procs {
+		vals = append(vals, own)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	trimmed := vals[a.MaxFaults : len(vals)-a.MaxFaults]
+	var sum int64
+	for _, v := range trimmed {
+		sum += v
+	}
+	return approxState(sum / int64(len(trimmed)))
+}
+
+// Decide implements rounds.Protocol: the current value.
+func (a *ApproxAgreement) Decide(_ int, state any) (int, bool) {
+	return int(state.(approxState)), true
+}
+
+// ApproxReport measures one approximate agreement run.
+type ApproxReport struct {
+	// InputRange and OutputRange are the spreads of nonfaulty inputs and
+	// outputs (millionths).
+	InputRange, OutputRange int64
+	// Ratio is OutputRange/InputRange.
+	Ratio float64
+	// RoundByRoundBound is the (t/n)^k ratio the paper attributes to this
+	// algorithm family.
+	RoundByRoundBound float64
+	// LowerBound is the (t/(n·k))^k bound no k-round algorithm can beat.
+	LowerBound float64
+	// Rounds is k.
+	Rounds int
+}
+
+// MeasureApprox runs the algorithm for k rounds under adv and reports the
+// achieved convergence ratio next to the paper's two bounds.
+func MeasureApprox(n, t, k int, inputs []int, adv rounds.Adversary) (ApproxReport, error) {
+	a := &ApproxAgreement{Procs: n, MaxFaults: t}
+	res, err := rounds.Run(a, inputs, adv, rounds.RunOptions{Rounds: k})
+	if err != nil {
+		return ApproxReport{}, fmt.Errorf("consensus: approximate agreement run: %w", err)
+	}
+	rep := ApproxReport{Rounds: k}
+	var inLo, inHi, outLo, outHi int64
+	first := true
+	for p := 0; p < n; p++ {
+		if res.Faulty[p] {
+			continue
+		}
+		in := int64(inputs[p])
+		out := int64(res.Decisions[p])
+		if first {
+			inLo, inHi, outLo, outHi = in, in, out, out
+			first = false
+			continue
+		}
+		inLo, inHi = min64(inLo, in), max64(inHi, in)
+		outLo, outHi = min64(outLo, out), max64(outHi, out)
+	}
+	rep.InputRange = inHi - inLo
+	rep.OutputRange = outHi - outLo
+	if rep.InputRange > 0 {
+		rep.Ratio = float64(rep.OutputRange) / float64(rep.InputRange)
+	}
+	rep.RoundByRoundBound = pow(float64(t)/float64(n), k)
+	rep.LowerBound = pow(float64(t)/float64(n*k), k)
+	return rep, nil
+}
+
+func pow(x float64, k int) float64 {
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out *= x
+	}
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TwoFacedExtremes is the adversary that keeps approximate agreement from
+// converging faster than the (t/n)-per-round factor: the corrupt process
+// reports the lowest value to half its peers and the highest to the other
+// half, every round, pulling the honest trimmed means apart.
+func TwoFacedExtremes(corrupt int, high int64) rounds.Adversary {
+	return &rounds.ByzantineStrategy{
+		Corrupt: map[int]bool{corrupt: true},
+		Forge: func(_, _, to int, _ rounds.Message) rounds.Message {
+			if to%2 == 0 {
+				return "0"
+			}
+			return strconv.FormatInt(high, 10)
+		},
+	}
+}

@@ -1,0 +1,229 @@
+package consensus
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/rounds"
+	"repro/internal/spec"
+)
+
+// This file mechanizes the t+1 round lower bound for crash-fault consensus
+// (§2.2.2, [56] and the Dwork–Moses folklore refinement): no deterministic
+// protocol can decide in k <= t rounds. The proof is a *chain argument*: a
+// sequence of admissible k-round executions, each pair consecutive
+// executions indistinguishable to some process nonfaulty in both, linking
+// the all-zeros failure-free execution to the all-ones failure-free
+// execution. Any k-round protocol's decision is a function of a process's
+// full-information view, so the decision value is constant along the chain
+// — contradicting validity at the endpoints.
+//
+// The mechanization enumerates every input vector and every crash schedule
+// with at most t faults in k rounds, computes full-information views, and
+// searches for the chain by BFS. A found chain *is* the lower-bound proof
+// for (n, t, k); the absence of any chain at k = t+1 is consistent with
+// FloodSet's correctness at t+1 rounds.
+
+// FullInfo is the full-information protocol: every process's state is its
+// complete history, rebroadcast every round. Every deterministic k-round
+// protocol factors through it.
+type FullInfo struct {
+	// Procs is the number of processes.
+	Procs int
+}
+
+var _ rounds.Protocol = (*FullInfo)(nil)
+
+// Name implements rounds.Protocol.
+func (f *FullInfo) Name() string { return "full-information" }
+
+// NumProcs implements rounds.Protocol.
+func (f *FullInfo) NumProcs() int { return f.Procs }
+
+// Init implements rounds.Protocol.
+func (f *FullInfo) Init(p, input int) any {
+	return "p" + strconv.Itoa(p) + "=" + strconv.Itoa(input)
+}
+
+// Send implements rounds.Protocol.
+func (f *FullInfo) Send(_ int, state any, _, _ int) rounds.Message {
+	return state.(string)
+}
+
+// Receive implements rounds.Protocol.
+func (f *FullInfo) Receive(_ int, state any, r int, msgs []rounds.Message) any {
+	var b strings.Builder
+	b.WriteString(state.(string))
+	b.WriteString("\x1er")
+	b.WriteString(strconv.Itoa(r))
+	for q, m := range msgs {
+		b.WriteString("\x1f")
+		b.WriteString(strconv.Itoa(q))
+		b.WriteString("<")
+		b.WriteString(m)
+	}
+	return b.String()
+}
+
+// Decide implements rounds.Protocol (the full-information protocol itself
+// never decides; consumers interpret views).
+func (f *FullInfo) Decide(int, any) (int, bool) { return 0, false }
+
+// chainExecution is one enumerated k-round execution.
+type chainExecution struct {
+	inputs   []int
+	schedule *rounds.CrashSchedule
+	// viewKeys[p] identifies p's full-information view; equal keys mean
+	// indistinguishable executions for p.
+	viewKeys []string
+	faulty   []bool
+}
+
+// ChainResult reports a ChainLowerBound search.
+type ChainResult struct {
+	// N, T, K are the instance parameters.
+	N, T, K int
+	// Executions is the number of admissible executions enumerated.
+	Executions int
+	// ChainFound reports whether an indistinguishability chain connects
+	// the all-zeros and all-ones failure-free executions (proving no
+	// k-round protocol exists for this n and t).
+	ChainFound bool
+	// ChainLength is the number of links in the found chain.
+	ChainLength int
+}
+
+// String renders the verdict.
+func (r ChainResult) String() string {
+	if r.ChainFound {
+		return fmt.Sprintf("n=%d t=%d k=%d: chain of length %d over %d executions — no %d-round protocol exists",
+			r.N, r.T, r.K, r.ChainLength, r.Executions, r.K)
+	}
+	return fmt.Sprintf("n=%d t=%d k=%d: no chain over %d executions — consistent with a %d-round protocol",
+		r.N, r.T, r.K, r.Executions, r.K)
+}
+
+// ChainLowerBound enumerates all k-round crash executions for n processes
+// and at most t faults and searches for the indistinguishability chain.
+func ChainLowerBound(n, t, k int) (ChainResult, error) {
+	proto := &FullInfo{Procs: n}
+	schedules := AllCrashSchedules(n, t, k)
+	inputs := AllBinaryInputs(n)
+	execs := make([]chainExecution, 0, len(schedules)*len(inputs))
+	for _, in := range inputs {
+		for _, sched := range schedules {
+			res, err := rounds.Run(proto, in, sched, rounds.RunOptions{Rounds: k, RecordViews: true})
+			if err != nil {
+				return ChainResult{}, fmt.Errorf("consensus: chain enumeration: %w", err)
+			}
+			ex := chainExecution{
+				inputs:   in,
+				schedule: sched,
+				viewKeys: make([]string, n),
+				faulty:   res.Faulty,
+			}
+			for p := 0; p < n; p++ {
+				ex.viewKeys[p] = "in=" + strconv.Itoa(in[p]) + "\x1d" + strings.Join(res.Views[p][:], "\x1c")
+			}
+			execs = append(execs, ex)
+		}
+	}
+	out := ChainResult{N: n, T: t, K: k, Executions: len(execs)}
+
+	// Locate the endpoints: failure-free all-zeros and all-ones.
+	start, goal := -1, -1
+	for i, ex := range execs {
+		if ex.schedule.NumFaulty() != 0 {
+			continue
+		}
+		if allEqual(ex.inputs, 0) {
+			start = i
+		}
+		if allEqual(ex.inputs, 1) {
+			goal = i
+		}
+	}
+	if start < 0 || goal < 0 {
+		return out, fmt.Errorf("consensus: chain endpoints missing")
+	}
+
+	// Group executions by (process, view): all members of a group are
+	// pairwise indistinguishable to that process, provided it is
+	// nonfaulty in both.
+	groups := make(map[string][]int32)
+	for i, ex := range execs {
+		for p := 0; p < n; p++ {
+			if ex.faulty[p] {
+				continue
+			}
+			key := strconv.Itoa(p) + "\x1b" + ex.viewKeys[p]
+			groups[key] = append(groups[key], int32(i))
+		}
+	}
+	// BFS over executions through shared groups.
+	dist := make([]int32, len(execs))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[start] = 0
+	queue := []int32{int32(start)}
+	usedGroup := make(map[string]bool, len(groups))
+	for head := 0; head < len(queue); head++ {
+		i := queue[head]
+		if int(i) == goal {
+			out.ChainFound = true
+			out.ChainLength = int(dist[i])
+			return out, nil
+		}
+		ex := execs[i]
+		for p := 0; p < n; p++ {
+			if ex.faulty[p] {
+				continue
+			}
+			key := strconv.Itoa(p) + "\x1b" + ex.viewKeys[p]
+			if usedGroup[key] {
+				continue
+			}
+			usedGroup[key] = true
+			for _, j := range groups[key] {
+				if dist[j] < 0 {
+					dist[j] = dist[i] + 1
+					queue = append(queue, j)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func allEqual(xs []int, v int) bool {
+	for _, x := range xs {
+		if x != v {
+			return false
+		}
+	}
+	return true
+}
+
+// VerifyFloodSetExhaustively runs FloodSet at its full t+1 rounds against
+// every input vector and every enumerated crash schedule and checks the
+// consensus conditions, returning the number of executions verified.
+func VerifyFloodSetExhaustively(n, t int) (int, error) {
+	f := &FloodSet{Procs: n, MaxFaults: t}
+	schedules := AllCrashSchedules(n, t, f.Rounds())
+	count := 0
+	for _, in := range AllBinaryInputs(n) {
+		for _, sched := range schedules {
+			res, err := rounds.Run(f, in, sched, rounds.RunOptions{Rounds: f.Rounds()})
+			if err != nil {
+				return count, fmt.Errorf("consensus: floodset run: %w", err)
+			}
+			if err := spec.CheckCrashConsensus(in, res.Decisions, res.Faulty); err != nil {
+				return count, fmt.Errorf("consensus: floodset inputs=%v schedule=%+v: %w", in, sched.Crashes, err)
+			}
+			count++
+		}
+	}
+	return count, nil
+}

@@ -1,0 +1,484 @@
+package consensus
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/rounds"
+	"repro/internal/spec"
+)
+
+func TestFloodSetExhaustive(t *testing.T) {
+	cases := []struct{ n, tt int }{{3, 1}, {3, 2}, {4, 1}}
+	for _, c := range cases {
+		count, err := VerifyFloodSetExhaustively(c.n, c.tt)
+		if err != nil {
+			t.Errorf("n=%d t=%d: %v", c.n, c.tt, err)
+			continue
+		}
+		if count == 0 {
+			t.Errorf("n=%d t=%d: no executions verified", c.n, c.tt)
+		}
+	}
+}
+
+// TestFloodSetTruncatedFails shows that running FloodSet for only t rounds
+// admits a disagreement under some crash schedule — the executable side of
+// the t+1 round lower bound.
+func TestFloodSetTruncatedFails(t *testing.T) {
+	n, tt := 4, 2 // the lower bound needs n >= t+2
+	f := &FloodSet{Procs: n, MaxFaults: tt}
+	truncated := tt // one round short
+	found := false
+	for _, in := range AllBinaryInputs(n) {
+		for _, sched := range AllCrashSchedules(n, tt, truncated) {
+			res, err := rounds.Run(f, in, sched, rounds.RunOptions{Rounds: truncated})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if spec.CheckCrashConsensus(in, res.Decisions, res.Faulty) != nil {
+				found = true
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Fatal("expected a violating execution for t-round FloodSet")
+	}
+}
+
+func TestChainLowerBound(t *testing.T) {
+	cases := []struct {
+		n, tt, k  int
+		wantChain bool
+	}{
+		{3, 1, 1, true},  // 1 round insufficient for 1 fault
+		{4, 2, 2, true},  // 2 rounds insufficient for 2 faults (n >= t+2)
+		{3, 1, 2, false}, // t+1 rounds suffice
+		{4, 1, 1, true},
+		// The lower bound needs n >= t+2: with n = t+1 = 3 there is no
+		// chain at k = t = 2 — a t-round protocol exists in that corner,
+		// and the mechanized search correctly refuses to "prove" too much.
+		{3, 2, 2, false},
+		{2, 1, 1, false}, // same corner at n=2: one round suffices
+	}
+	for _, c := range cases {
+		res, err := ChainLowerBound(c.n, c.tt, c.k)
+		if err != nil {
+			t.Fatalf("ChainLowerBound(%d,%d,%d): %v", c.n, c.tt, c.k, err)
+		}
+		if res.ChainFound != c.wantChain {
+			t.Errorf("%s: ChainFound = %v, want %v", res, res.ChainFound, c.wantChain)
+		}
+		if c.wantChain && res.ChainLength == 0 {
+			t.Errorf("%s: expected a nonzero chain length", res)
+		}
+	}
+}
+
+// twoFacedStrategies enumerates deterministic Byzantine strategies for one
+// corrupt process f against EIG with t=1: in round 1 it sends an arbitrary
+// binary value per receiver; in round 2 it relays arbitrary binary values
+// for each level-1 label per receiver.
+func twoFacedStrategies(n, f int) []*rounds.ByzantineStrategy {
+	receivers := otherProcs(n, f)
+	var labels []string
+	for q := 0; q < n; q++ {
+		if q != f {
+			labels = append(labels, strconv.Itoa(q))
+		}
+	}
+	r1Bits := len(receivers)
+	r2Bits := len(labels) * len(receivers)
+	var out []*rounds.ByzantineStrategy
+	for seed := 0; seed < 1<<uint(r1Bits+r2Bits); seed++ {
+		seed := seed
+		r1val := map[int]int{}
+		for i, q := range receivers {
+			r1val[q] = (seed >> uint(i)) & 1
+		}
+		r2val := map[string]int{}
+		for li, l := range labels {
+			for ri, q := range receivers {
+				bit := r1Bits + li*len(receivers) + ri
+				r2val[l+">"+strconv.Itoa(q)] = (seed >> uint(bit)) & 1
+			}
+		}
+		out = append(out, &rounds.ByzantineStrategy{
+			Corrupt: map[int]bool{f: true},
+			Forge: func(r, _, to int, _ rounds.Message) rounds.Message {
+				if r == 1 {
+					return "=" + strconv.Itoa(r1val[to])
+				}
+				parts := make([]string, 0, len(labels))
+				for _, l := range labels {
+					parts = append(parts, l+"="+strconv.Itoa(r2val[l+">"+strconv.Itoa(to)]))
+				}
+				return strings.Join(parts, ";")
+			},
+		})
+	}
+	return out
+}
+
+// TestEIGWithFourProcessesToleratesOneByzantine: n=4 > 3t=3, so agreement
+// and validity must hold among nonfaulty processes under every two-faced
+// strategy of the corrupt process.
+func TestEIGWithFourProcessesToleratesOneByzantine(t *testing.T) {
+	n, f := 4, 3
+	e := &EIG{Procs: n, MaxFaults: 1}
+	strategies := twoFacedStrategies(n, f)
+	runs := 0
+	for mask := 0; mask < 8; mask++ {
+		inputs := []int{mask & 1, (mask >> 1) & 1, (mask >> 2) & 1, 0}
+		for _, adv := range strategies {
+			res, err := rounds.Run(e, inputs, adv, rounds.RunOptions{Rounds: e.Rounds()})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if err := spec.CheckConsensus(inputs, res.Decisions, res.Faulty); err != nil {
+				t.Fatalf("inputs=%v: %v (decisions=%v)", inputs, err, res.Decisions)
+			}
+			runs++
+		}
+	}
+	if runs == 0 {
+		t.Fatal("no strategies enumerated")
+	}
+}
+
+// TestEIGWithThreeProcessesFails: n=3 = 3t, so some Byzantine behavior
+// must break agreement or validity (§2.2.1) — and the two-faced family
+// contains it.
+func TestEIGWithThreeProcessesFails(t *testing.T) {
+	n, f := 3, 2
+	e := &EIG{Procs: n, MaxFaults: 1}
+	for _, inputs := range [][]int{{0, 1, 0}, {0, 0, 0}, {1, 1, 0}, {0, 1, 1}} {
+		for _, adv := range twoFacedStrategies(n, f) {
+			res, err := rounds.Run(e, inputs, adv, rounds.RunOptions{Rounds: e.Rounds()})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if spec.CheckConsensus(inputs, res.Decisions, res.Faulty) != nil {
+				return // found the predicted violation
+			}
+		}
+	}
+	t.Fatal("no violating Byzantine strategy found for n=3, t=1 — but n <= 3t should fail")
+}
+
+func TestEIGFailureFree(t *testing.T) {
+	for n := 4; n <= 5; n++ {
+		e := &EIG{Procs: n, MaxFaults: 1}
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = i % 2
+		}
+		res, err := rounds.Run(e, inputs, rounds.NoFaults{}, rounds.RunOptions{Rounds: e.Rounds()})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if err := spec.CheckConsensus(inputs, res.Decisions, nil); err != nil {
+			t.Fatalf("n=%d: %v (decisions=%v)", n, err, res.Decisions)
+		}
+	}
+}
+
+func TestApproxAgreementConvergence(t *testing.T) {
+	n, tt := 5, 1
+	inputs := []int{0, 1_000_000, 500_000, 250_000, 750_000}
+	for _, k := range []int{1, 2, 3} {
+		rep, err := MeasureApprox(n, tt, k, inputs, rounds.NoFaults{})
+		if err != nil {
+			t.Fatalf("MeasureApprox: %v", err)
+		}
+		if rep.InputRange != 1_000_000 {
+			t.Fatalf("input range = %d", rep.InputRange)
+		}
+		// Convergence must beat the per-round factor t/n each round
+		// in the failure-free case (the paper's ~(t/n)^k shape), up to
+		// integer-rounding slack.
+		slack := 0.02
+		if rep.Ratio > rep.RoundByRoundBound+slack {
+			t.Errorf("k=%d: ratio %.4f exceeds round-by-round bound %.4f", k, rep.Ratio, rep.RoundByRoundBound)
+		}
+		// And no algorithm can beat the (t/(nk))^k lower bound.
+		if rep.Ratio != 0 && rep.Ratio < rep.LowerBound {
+			t.Errorf("k=%d: ratio %.6f beats the lower bound %.6f — measurement bug", k, rep.Ratio, rep.LowerBound)
+		}
+	}
+}
+
+func TestApproxAgreementWithCrash(t *testing.T) {
+	n, tt := 4, 1
+	inputs := []int{0, 900_000, 300_000, 600_000}
+	sched := &rounds.CrashSchedule{Crashes: map[int]rounds.Crash{
+		1: {Round: 1, DeliverTo: map[int]bool{0: true}},
+	}}
+	rep, err := MeasureApprox(n, tt, 3, inputs, sched)
+	if err != nil {
+		t.Fatalf("MeasureApprox: %v", err)
+	}
+	if rep.OutputRange >= rep.InputRange {
+		t.Errorf("no convergence despite 3 rounds: %+v", rep)
+	}
+}
+
+func TestTwoPhaseCommitMessageCount(t *testing.T) {
+	// E14: every failure-free committing execution uses exactly 2n-2
+	// messages — the Dwork–Skeen bound, met by 2PC.
+	for _, n := range []int{3, 4, 6} {
+		c := &TwoPhaseCommit{Procs: n}
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = spec.Commit
+		}
+		res, err := rounds.Run(c, inputs, rounds.NoFaults{}, rounds.RunOptions{Rounds: c.Rounds()})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		for p, d := range res.Decisions {
+			if d != spec.Commit {
+				t.Fatalf("n=%d: p%d decided %d, want commit", n, p, d)
+			}
+		}
+		if got, want := res.MessagesSent, 2*n-2; got != want {
+			t.Errorf("n=%d: messages = %d, want %d", n, got, want)
+		}
+		if err := spec.CheckCommitRule(inputs, res.Decisions, false); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestTwoPhaseCommitAbortPaths(t *testing.T) {
+	n := 4
+	c := &TwoPhaseCommit{Procs: n}
+	// One abort vote forces abort.
+	inputs := []int{spec.Commit, spec.Abort, spec.Commit, spec.Commit}
+	res, err := rounds.Run(c, inputs, rounds.NoFaults{}, rounds.RunOptions{Rounds: 2})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := spec.CheckCommitRule(inputs, res.Decisions, false); err != nil {
+		t.Fatalf("commit rule: %v", err)
+	}
+	for p, d := range res.Decisions {
+		if d != spec.Abort {
+			t.Errorf("p%d decided %d, want abort", p, d)
+		}
+	}
+	// A participant crashing before voting forces abort too.
+	all := []int{spec.Commit, spec.Commit, spec.Commit, spec.Commit}
+	sched := &rounds.CrashSchedule{Crashes: map[int]rounds.Crash{
+		2: {Round: 1, DeliverTo: map[int]bool{}},
+	}}
+	res, err = rounds.Run(c, all, sched, rounds.RunOptions{Rounds: 2})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for p, d := range res.Decisions {
+		if res.Faulty[p] || d == spec.Undecided {
+			continue
+		}
+		if d != spec.Abort {
+			t.Errorf("p%d decided %d, want abort after missing vote", p, d)
+		}
+	}
+	// A coordinator crash after collecting votes leaves participants
+	// undecided: the blocking behavior that motivates §2.2.5.
+	sched = &rounds.CrashSchedule{Crashes: map[int]rounds.Crash{
+		0: {Round: 2, DeliverTo: map[int]bool{}},
+	}}
+	res, err = rounds.Run(c, all, sched, rounds.RunOptions{Rounds: 2})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for p := 1; p < n; p++ {
+		if res.Decisions[p] != spec.Undecided {
+			t.Errorf("p%d decided %d despite silent coordinator", p, res.Decisions[p])
+		}
+	}
+}
+
+func TestAuthBAHonestGeneral(t *testing.T) {
+	for _, tt := range []int{1, 2} {
+		n := tt + 2 // authentication needs only n > t
+		ba := NewAuthBA(n, tt, 0, 0, 42)
+		inputs := make([]int, n)
+		inputs[0] = 1
+		res, err := rounds.Run(ba, inputs, rounds.NoFaults{}, rounds.RunOptions{Rounds: ba.Rounds()})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		for p, d := range res.Decisions {
+			if d != 1 {
+				t.Errorf("n=%d t=%d: p%d decided %d, want the general's 1", n, tt, p, d)
+			}
+		}
+	}
+}
+
+func TestAuthBAByzantineGeneralStillAgrees(t *testing.T) {
+	// The corrupt general signs conflicting values for different
+	// receivers; relaying with signature chains still forces agreement
+	// among the nonfaulty processes.
+	n, tt := 4, 1
+	ba := NewAuthBA(n, tt, 0, 0, 7)
+	sig0 := ba.SignAs(0, chainContent(0, nil))
+	sig1 := ba.SignAs(0, chainContent(1, nil))
+	chain0 := ba.EncodeChain(0, []int{0}, []string{sig0})
+	chain1 := ba.EncodeChain(1, []int{0}, []string{sig1})
+	adv := &rounds.ByzantineStrategy{
+		Corrupt: map[int]bool{0: true},
+		Forge: func(r, _, to int, honest rounds.Message) rounds.Message {
+			if r != 1 {
+				return honest
+			}
+			if to%2 == 0 {
+				return chain0
+			}
+			return chain1
+		},
+	}
+	inputs := []int{0, 0, 0, 0}
+	res, err := rounds.Run(ba, inputs, adv, rounds.RunOptions{Rounds: ba.Rounds()})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := spec.CheckAgreement(res.Decisions, res.Faulty); err != nil {
+		t.Fatalf("agreement among nonfaulty: %v (decisions=%v)", err, res.Decisions)
+	}
+}
+
+func TestAuthBARejectsForgedSignatures(t *testing.T) {
+	n, tt := 4, 1
+	ba := NewAuthBA(n, tt, 0, 0, 9)
+	// A corrupt relay fabricates a chain with a bogus general signature.
+	adv := &rounds.ByzantineStrategy{
+		Corrupt: map[int]bool{2: true},
+		Forge: func(r, _, _ int, _ rounds.Message) rounds.Message {
+			forged := ba.EncodeChain(1, []int{0}, []string{"deadbeef00000000"})
+			if r == 1 {
+				return forged
+			}
+			return ""
+		},
+	}
+	inputs := []int{0, 0, 0, 0}
+	res, err := rounds.Run(ba, inputs, adv, rounds.RunOptions{Rounds: ba.Rounds()})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for p, d := range res.Decisions {
+		if res.Faulty[p] {
+			continue
+		}
+		if d != 0 {
+			t.Errorf("p%d decided %d despite forged chains, want general's 0", p, d)
+		}
+	}
+}
+
+func TestVerifyChainValidation(t *testing.T) {
+	ba := NewAuthBA(4, 2, 0, 0, 1)
+	sig := ba.SignAs(0, chainContent(1, nil))
+	chain := ba.EncodeChain(1, []int{0}, []string{sig})
+	if _, _, ok := ba.VerifyChain(chain, 1); !ok {
+		t.Fatal("valid chain rejected")
+	}
+	// Wrong round length.
+	if _, _, ok := ba.VerifyChain(chain, 2); ok {
+		t.Fatal("round-length mismatch accepted")
+	}
+	// Tampered value.
+	bad := strings.Replace(chain, "1;", "0;", 1)
+	if _, _, ok := ba.VerifyChain(bad, 1); ok {
+		t.Fatal("tampered chain accepted")
+	}
+	// Chain not starting with the general.
+	sig2 := ba.SignAs(2, chainContent(1, nil))
+	notGeneral := ba.EncodeChain(1, []int{2}, []string{sig2})
+	if _, _, ok := ba.VerifyChain(notGeneral, 1); ok {
+		t.Fatal("chain not starting with the general accepted")
+	}
+}
+
+func TestAuthBAMessageGrowth(t *testing.T) {
+	// E10 shape: total message volume grows at least linearly in n*t —
+	// the Dolev–Reischuk Ω(nt) lower bound for authenticated agreement.
+	var counts []int
+	for _, tt := range []int{1, 2, 3} {
+		n := 2*tt + 2
+		ba := NewAuthBA(n, tt, 0, 0, 3)
+		inputs := make([]int, n)
+		inputs[0] = 1
+		res, err := rounds.Run(ba, inputs, rounds.NoFaults{}, rounds.RunOptions{Rounds: ba.Rounds()})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		counts = append(counts, res.MessagesSent)
+		if res.MessagesSent < n*tt/2 {
+			t.Errorf("t=%d: %d messages, below the Ω(nt) shape", tt, res.MessagesSent)
+		}
+	}
+	if !(counts[0] < counts[1] && counts[1] < counts[2]) {
+		t.Errorf("message counts should grow with t: %v", counts)
+	}
+}
+
+func TestEncodeDecodeSet(t *testing.T) {
+	for _, s := range [][]int{nil, {0}, {0, 1}, {1, 2, 5}} {
+		got := decodeSet(encodeSet(s))
+		if fmt.Sprint(got) != fmt.Sprint([]int(s)) && !(len(got) == 0 && len(s) == 0) {
+			t.Errorf("round trip %v -> %v", s, got)
+		}
+	}
+}
+
+func TestAllCrashSchedulesCountsFaults(t *testing.T) {
+	scheds := AllCrashSchedules(3, 1, 1)
+	// 1 failure-free + 3 procs * 1 round * 2^2 subsets = 13.
+	if len(scheds) != 13 {
+		t.Fatalf("len = %d, want 13", len(scheds))
+	}
+	for _, s := range scheds {
+		if s.NumFaulty() > 1 {
+			t.Fatalf("schedule with %d faults enumerated for t=1", s.NumFaulty())
+		}
+	}
+}
+
+func TestAllBinaryInputs(t *testing.T) {
+	ins := AllBinaryInputs(3)
+	if len(ins) != 8 {
+		t.Fatalf("len = %d, want 8", len(ins))
+	}
+}
+
+func TestApproxAgreementUnderTwoFacedAdversary(t *testing.T) {
+	// With a Byzantine two-faced process, convergence slows to the
+	// paper's ~(t/n) per-round shape: the ratio is nonzero but shrinks
+	// geometrically, staying between the two bounds (up to rounding).
+	n, tt := 5, 1
+	inputs := []int{0, 1_000_000, 500_000, 250_000, 0}
+	prev := 2.0
+	for _, k := range []int{1, 2, 3} {
+		rep, err := MeasureApprox(n, tt, k, inputs, TwoFacedExtremes(4, 1_000_000))
+		if err != nil {
+			t.Fatalf("MeasureApprox: %v", err)
+		}
+		if rep.Ratio >= prev && rep.Ratio != 0 {
+			t.Errorf("k=%d: ratio %.6f did not shrink from %.6f", k, rep.Ratio, prev)
+		}
+		if rep.Ratio < rep.LowerBound && rep.Ratio != 0 {
+			t.Errorf("k=%d: ratio %.8f beats the universal lower bound %.8f", k, rep.Ratio, rep.LowerBound)
+		}
+		prev = rep.Ratio
+	}
+}

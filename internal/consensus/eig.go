@@ -1,0 +1,173 @@
+package consensus
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/rounds"
+)
+
+// EIG is the exponential information gathering protocol for Byzantine
+// agreement ([89],[73], §2.2.1): each process maintains a tree of "who
+// said that who said ..." values, relays one tree level per round for t+1
+// rounds, and decides by a recursive strict-majority reduction. It
+// tolerates t Byzantine faults when n > 3t; the scenario package
+// mechanizes why n ≤ 3t is impossible.
+type EIG struct {
+	// Procs is the number of processes n.
+	Procs int
+	// MaxFaults is the tolerated Byzantine fault count t.
+	MaxFaults int
+	// DefaultValue is used when majorities are inconclusive.
+	DefaultValue int
+}
+
+var _ rounds.Protocol = (*EIG)(nil)
+
+// eigState maps tree labels to values. A label is a "/"-joined sequence of
+// distinct process ids, e.g. "" (root), "2", "2/0". val("q1/.../qk") held
+// by p means: "qk told p that q(k-1) told qk that ... q1's input was v".
+// Labels ending in p itself record p's own (trusted) relays.
+type eigState struct {
+	vals map[string]int
+	self int
+}
+
+// Rounds returns the protocol's intended round count, t+1.
+func (e *EIG) Rounds() int { return e.MaxFaults + 1 }
+
+// Name implements rounds.Protocol.
+func (e *EIG) Name() string { return "eig-byzantine" }
+
+// NumProcs implements rounds.Protocol.
+func (e *EIG) NumProcs() int { return e.Procs }
+
+// Init implements rounds.Protocol.
+func (e *EIG) Init(p, input int) any {
+	return &eigState{vals: map[string]int{"": input}, self: p}
+}
+
+func labelIDs(l string) map[int]bool {
+	out := map[int]bool{}
+	if l == "" {
+		return out
+	}
+	for _, part := range strings.Split(l, "/") {
+		if v, err := strconv.Atoi(part); err == nil {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+func labelLen(l string) int {
+	if l == "" {
+		return 0
+	}
+	return strings.Count(l, "/") + 1
+}
+
+func extendLabel(l string, q int) string {
+	if l == "" {
+		return strconv.Itoa(q)
+	}
+	return l + "/" + strconv.Itoa(q)
+}
+
+// Send implements rounds.Protocol: in round r, relay every stored level
+// r-1 value whose label does not already contain the sender.
+func (e *EIG) Send(p int, state any, r, _ int) rounds.Message {
+	s := state.(*eigState)
+	var parts []string
+	for l, v := range s.vals {
+		if labelLen(l) != r-1 || labelIDs(l)[p] {
+			continue
+		}
+		parts = append(parts, l+"="+strconv.Itoa(v))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}
+
+// Receive implements rounds.Protocol: store each received level r-1 value
+// v under label·sender, and self-relay own level r-1 values under
+// label·self (a process trusts its own reports).
+func (e *EIG) Receive(p int, state any, r int, msgs []rounds.Message) any {
+	s := state.(*eigState)
+	// Self-relay first: for every level r-1 label not containing p,
+	// val(label·p) := val(label).
+	for l, v := range copyLevel(s.vals, r-1) {
+		if labelIDs(l)[p] {
+			continue
+		}
+		s.vals[extendLabel(l, p)] = v
+	}
+	for q, m := range msgs {
+		if m == "" || q == p {
+			continue
+		}
+		for _, part := range strings.Split(m, ";") {
+			if part == "" {
+				continue
+			}
+			eq := strings.LastIndexByte(part, '=')
+			if eq < 0 {
+				continue
+			}
+			label := part[:eq]
+			v, err := strconv.Atoi(part[eq+1:])
+			if err != nil {
+				continue
+			}
+			if labelLen(label) != r-1 || labelIDs(label)[q] {
+				continue // malformed or dishonest framing: ignore
+			}
+			s.vals[extendLabel(label, q)] = v
+		}
+	}
+	return s
+}
+
+func copyLevel(vals map[string]int, level int) map[string]int {
+	out := map[string]int{}
+	for l, v := range vals {
+		if labelLen(l) == level {
+			out[l] = v
+		}
+	}
+	return out
+}
+
+// Decide implements rounds.Protocol: recursive strict-majority reduction
+// from the leaves (depth t+1) to the root.
+func (e *EIG) Decide(_ int, state any) (int, bool) {
+	s := state.(*eigState)
+	return e.resolve(s, "", 0), true
+}
+
+// resolve computes the reduced value of the subtree rooted at label.
+func (e *EIG) resolve(s *eigState, label string, depth int) int {
+	if depth == e.Rounds() {
+		if v, ok := s.vals[label]; ok {
+			return v
+		}
+		return e.DefaultValue
+	}
+	used := labelIDs(label)
+	counts := map[int]int{}
+	children := 0
+	for q := 0; q < e.Procs; q++ {
+		if used[q] {
+			continue
+		}
+		children++
+		counts[e.resolve(s, extendLabel(label, q), depth+1)]++
+	}
+	for v, c := range counts {
+		if 2*c > children {
+			return v
+		}
+	}
+	return e.DefaultValue
+}

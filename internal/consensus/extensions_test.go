@@ -1,0 +1,281 @@
+package consensus
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/rounds"
+	"repro/internal/spec"
+)
+
+func TestPhaseKingFailureFree(t *testing.T) {
+	pk := &PhaseKing{Procs: 5, MaxFaults: 1}
+	for _, inputs := range [][]int{{0, 0, 0, 0, 0}, {1, 1, 1, 1, 1}, {0, 1, 0, 1, 1}} {
+		res, err := rounds.Run(pk, inputs, rounds.NoFaults{}, rounds.RunOptions{Rounds: pk.Rounds()})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if err := spec.CheckConsensus(inputs, res.Decisions, nil); err != nil {
+			t.Fatalf("inputs=%v: %v (decisions=%v)", inputs, err, res.Decisions)
+		}
+	}
+}
+
+// randomByzantine builds a deterministic pseudorandom Byzantine strategy
+// for one corrupt process: arbitrary well-formed bits per (round, kind,
+// receiver).
+func randomByzantine(corrupt int, seed int64) *rounds.ByzantineStrategy {
+	rng := rand.New(rand.NewSource(seed))
+	cache := map[string]string{}
+	return &rounds.ByzantineStrategy{
+		Corrupt: map[int]bool{corrupt: true},
+		Forge: func(r, _, to int, honest rounds.Message) rounds.Message {
+			key := strconv.Itoa(r) + ":" + strconv.Itoa(to)
+			if m, ok := cache[key]; ok {
+				return m
+			}
+			kind := "A"
+			switch (r - 1) % 3 {
+			case 1:
+				kind = "B"
+			case 2:
+				kind = "C"
+			}
+			m := kind + strconv.Itoa(rng.Intn(2))
+			if kind == "B" && rng.Intn(3) == 0 {
+				m = "B2" // claim "no majority"
+			}
+			cache[key] = m
+			return m
+		},
+	}
+}
+
+// TestPhaseKingToleratesByzantine: n=5 > 4t=4 — agreement and validity
+// must survive every sampled Byzantine strategy of process 4.
+func TestPhaseKingToleratesByzantine(t *testing.T) {
+	pk := &PhaseKing{Procs: 5, MaxFaults: 1}
+	for seed := int64(0); seed < 150; seed++ {
+		for mask := 0; mask < 16; mask += 5 { // a spread of input vectors
+			inputs := []int{mask & 1, (mask >> 1) & 1, (mask >> 2) & 1, (mask >> 3) & 1, 0}
+			adv := randomByzantine(4, seed)
+			res, err := rounds.Run(pk, inputs, adv, rounds.RunOptions{Rounds: pk.Rounds()})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if err := spec.CheckConsensus(inputs, res.Decisions, res.Faulty); err != nil {
+				t.Fatalf("seed=%d inputs=%v: %v (decisions=%v)", seed, inputs, err, res.Decisions)
+			}
+		}
+	}
+}
+
+// TestPhaseKingConstantMessagesVsEIG: the §2.2.3 communication contrast —
+// EIG's relayed trees grow with t while phase-king messages stay constant
+// size; at n=9, t=2 the byte totals diverge decisively.
+func TestPhaseKingConstantMessagesVsEIG(t *testing.T) {
+	n, tt := 9, 2
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i % 2
+	}
+	eigBytes, pkBytes, err := CompareMessageSizes(n, tt, inputs)
+	if err != nil {
+		t.Fatalf("CompareMessageSizes: %v", err)
+	}
+	if eigBytes < 10*pkBytes {
+		t.Errorf("EIG bytes %d should dwarf phase-king bytes %d", eigBytes, pkBytes)
+	}
+	// And phase-king's individual messages are tiny (<= 3 bytes each).
+	pk := &PhaseKing{Procs: n, MaxFaults: tt}
+	res, err := rounds.Run(pk, inputs, rounds.NoFaults{}, rounds.RunOptions{Rounds: pk.Rounds()})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.MessagesSent > 0 && res.BytesSent/res.MessagesSent > 3 {
+		t.Errorf("phase-king average message size %d bytes, want <= 3", res.BytesSent/res.MessagesSent)
+	}
+}
+
+// TestThreePhaseCommitFailureFree: commits on unanimous yes, aborts
+// otherwise.
+func TestThreePhaseCommitFailureFree(t *testing.T) {
+	n := 4
+	c := &ThreePhaseCommit{Procs: n}
+	all := []int{spec.Commit, spec.Commit, spec.Commit, spec.Commit}
+	res, err := rounds.Run(c, all, rounds.NoFaults{}, rounds.RunOptions{Rounds: c.Rounds()})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for p, d := range res.Decisions {
+		if d != spec.Commit {
+			t.Fatalf("p%d decided %d, want commit", p, d)
+		}
+	}
+	mixed := []int{spec.Commit, spec.Abort, spec.Commit, spec.Commit}
+	res, err = rounds.Run(c, mixed, rounds.NoFaults{}, rounds.RunOptions{Rounds: c.Rounds()})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for p, d := range res.Decisions {
+		if d != spec.Abort {
+			t.Fatalf("p%d decided %d, want abort", p, d)
+		}
+	}
+}
+
+// TestThreePhaseCommitNonBlocking is the 2PC-vs-3PC separation: under
+// every single-crash schedule, all surviving 3PC participants decide and
+// agree — including the coordinator-crash windows where 2PC blocks.
+func TestThreePhaseCommitNonBlocking(t *testing.T) {
+	n := 4
+	c := &ThreePhaseCommit{Procs: n}
+	inputsList := [][]int{
+		{spec.Commit, spec.Commit, spec.Commit, spec.Commit},
+		{spec.Commit, spec.Abort, spec.Commit, spec.Commit},
+	}
+	for _, inputs := range inputsList {
+		for _, sched := range AllCrashSchedules(n, 1, c.Rounds()) {
+			res, err := rounds.Run(c, inputs, sched, rounds.RunOptions{Rounds: c.Rounds()})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if err := spec.CheckTermination(res.Decisions, res.Faulty); err != nil {
+				t.Fatalf("inputs=%v schedule=%+v: %v (3PC must not block)", inputs, sched.Crashes, err)
+			}
+			if err := spec.CheckAgreement(res.Decisions, res.Faulty); err != nil {
+				t.Fatalf("inputs=%v schedule=%+v: %v (decisions=%v)", inputs, sched.Crashes, err, res.Decisions)
+			}
+			anyFail := sched.NumFaulty() > 0
+			// Commit-rule check over nonfaulty decisions only.
+			nf := make([]int, 0, n)
+			for p, d := range res.Decisions {
+				if !res.Faulty[p] {
+					nf = append(nf, d)
+				}
+			}
+			_ = anyFail
+			if err := spec.CheckCommitRule(inputs, res.Decisions, anyFail); err != nil {
+				// Faulty processes' stale decisions are exempt; re-check
+				// ignoring them.
+				ok := true
+				for p, d := range res.Decisions {
+					if res.Faulty[p] || d == spec.Undecided {
+						continue
+					}
+					if singleErr := spec.CheckCommitRule(inputs, []int{d}, anyFail); singleErr != nil {
+						ok = false
+					}
+				}
+				if !ok {
+					t.Fatalf("inputs=%v schedule=%+v: %v", inputs, sched.Crashes, err)
+				}
+			}
+		}
+	}
+}
+
+// TestTwoPhaseCommitBlocksWhereThreePhaseDoesNot pins the exact
+// separation: the coordinator crashing in round 2 leaves 2PC participants
+// undecided forever, while 3PC participants all terminate.
+func TestTwoPhaseCommitBlocksWhereThreePhaseDoesNot(t *testing.T) {
+	n := 4
+	all := []int{spec.Commit, spec.Commit, spec.Commit, spec.Commit}
+	crash := &rounds.CrashSchedule{Crashes: map[int]rounds.Crash{
+		0: {Round: 2, DeliverTo: map[int]bool{}},
+	}}
+	two := &TwoPhaseCommit{Procs: n}
+	res2, err := rounds.Run(two, all, crash, rounds.RunOptions{Rounds: two.Rounds()})
+	if err != nil {
+		t.Fatalf("Run 2PC: %v", err)
+	}
+	blocked := 0
+	for p := 1; p < n; p++ {
+		if res2.Decisions[p] == spec.Undecided {
+			blocked++
+		}
+	}
+	if blocked == 0 {
+		t.Fatal("2PC should block under a round-2 coordinator crash")
+	}
+	three := &ThreePhaseCommit{Procs: n}
+	crash3 := &rounds.CrashSchedule{Crashes: map[int]rounds.Crash{
+		0: {Round: 2, DeliverTo: map[int]bool{}},
+	}}
+	res3, err := rounds.Run(three, all, crash3, rounds.RunOptions{Rounds: three.Rounds()})
+	if err != nil {
+		t.Fatalf("Run 3PC: %v", err)
+	}
+	for p := 1; p < n; p++ {
+		if res3.Decisions[p] == spec.Undecided {
+			t.Fatalf("3PC participant p%d blocked", p)
+		}
+	}
+	if err := spec.CheckAgreement(res3.Decisions, res3.Faulty); err != nil {
+		t.Fatalf("3PC agreement: %v", err)
+	}
+}
+
+// TestFloodSetBreaksUnderOmissionFaults is a fault-model separation
+// finding in the spirit of §2.2's crash/omission/Byzantine gradation:
+// FloodSet is exhaustively correct under crash faults at t+1 rounds
+// (TestFloodSetExhaustive), yet a *send-omission* faulty process — which,
+// unlike a crashed one, may stay silent early and then inject its value to
+// a subset in the very last round — produces disagreement among the
+// nonfaulty. Crash-tolerance does not imply omission-tolerance.
+func TestFloodSetBreaksUnderOmissionFaults(t *testing.T) {
+	n, tt := 3, 1
+	f := &FloodSet{Procs: n, MaxFaults: tt}
+	k := f.Rounds()
+	violations := 0
+	for faulty := 0; faulty < n; faulty++ {
+		// Enumerate all drop patterns: k rounds x (n-1) receivers.
+		receivers := otherProcs(n, faulty)
+		bits := k * len(receivers)
+		for mask := 0; mask < 1<<uint(bits); mask++ {
+			omit := map[[2]int]bool{}
+			bit := 0
+			for r := 1; r <= k; r++ {
+				for _, q := range receivers {
+					if mask&(1<<uint(bit)) != 0 {
+						omit[[2]int{r, q}] = true
+					}
+					bit++
+				}
+			}
+			adv := &rounds.OmissionSchedule{Omit: map[int]map[[2]int]bool{faulty: omit}}
+			for _, inputs := range [][]int{{0, 1, 1}, {1, 0, 1}, {0, 0, 1}} {
+				res, err := rounds.Run(f, inputs, adv, rounds.RunOptions{Rounds: k})
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if spec.CheckCrashConsensus(inputs, res.Decisions, res.Faulty) != nil {
+					violations++
+				}
+			}
+		}
+	}
+	if violations == 0 {
+		t.Fatal("expected send-omission patterns to break crash-tolerant FloodSet")
+	}
+}
+
+// TestOmissionScheduleSemantics covers the adversary itself.
+func TestOmissionScheduleSemantics(t *testing.T) {
+	adv := &rounds.OmissionSchedule{Omit: map[int]map[[2]int]bool{
+		1: {{2, 0}: true},
+	}}
+	if !adv.Faulty(1) || adv.Faulty(0) {
+		t.Fatal("faulty classification wrong")
+	}
+	if _, ok := adv.Deliver(2, 1, 0, "x"); ok {
+		t.Error("omitted message should drop")
+	}
+	if m, ok := adv.Deliver(2, 1, 2, "x"); !ok || m != "x" {
+		t.Error("non-omitted message should deliver")
+	}
+	if m, ok := adv.Deliver(1, 0, 1, "y"); !ok || m != "y" {
+		t.Error("nonfaulty sender should deliver")
+	}
+}

@@ -1,0 +1,199 @@
+// Package consensus implements the distributed consensus algorithms and
+// lower-bound engines of §2.2: FloodSet for crash faults, exponential
+// information gathering (EIG) for Byzantine faults, authenticated
+// broadcast, approximate agreement, two-phase commit, and the mechanized
+// chain argument for the t+1 round lower bound.
+package consensus
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/rounds"
+)
+
+// FloodSet is the classic crash-tolerant consensus protocol: every process
+// floods the set of input values it has seen for t+1 rounds, then decides
+// the minimum of its set. With at most t crash faults, t+1 rounds
+// guarantee a clean round in which no process crashes, after which all
+// sets are equal (§2.2.2: "two rounds can't suffice ... t+1 rounds" is
+// tight; see ChainLowerBound for the matching impossibility).
+type FloodSet struct {
+	// Procs is the number of processes.
+	Procs int
+	// MaxFaults is the tolerated number of crash faults t; the protocol
+	// is meant to run Rounds() = t+1 rounds.
+	MaxFaults int
+}
+
+var _ rounds.Protocol = (*FloodSet)(nil)
+
+// floodState is the set of values seen, kept sorted.
+type floodState []int
+
+// Rounds returns the protocol's intended round count, t+1.
+func (f *FloodSet) Rounds() int { return f.MaxFaults + 1 }
+
+// Name implements rounds.Protocol.
+func (f *FloodSet) Name() string { return "floodset" }
+
+// NumProcs implements rounds.Protocol.
+func (f *FloodSet) NumProcs() int { return f.Procs }
+
+// Init implements rounds.Protocol.
+func (f *FloodSet) Init(_, input int) any { return floodState{input} }
+
+// Send implements rounds.Protocol: broadcast the whole set.
+func (f *FloodSet) Send(_ int, state any, _, _ int) rounds.Message {
+	return encodeSet(state.(floodState))
+}
+
+// Receive implements rounds.Protocol: union all received sets.
+func (f *FloodSet) Receive(_ int, state any, _ int, msgs []rounds.Message) any {
+	s := state.(floodState)
+	seen := make(map[int]bool, len(s))
+	for _, v := range s {
+		seen[v] = true
+	}
+	for _, m := range msgs {
+		if m == "" {
+			continue
+		}
+		for _, v := range decodeSet(m) {
+			seen[v] = true
+		}
+	}
+	out := make(floodState, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Decide implements rounds.Protocol: the minimum value seen.
+func (f *FloodSet) Decide(_ int, state any) (int, bool) {
+	s := state.(floodState)
+	if len(s) == 0 {
+		return 0, false
+	}
+	return s[0], true
+}
+
+func encodeSet(s []int) string {
+	if len(s) == 0 {
+		return "∅"
+	}
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func decodeSet(m string) []int {
+	if m == "" || m == "∅" {
+		return nil
+	}
+	parts := strings.Split(m, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		if v, err := strconv.Atoi(p); err == nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// AllCrashSchedules enumerates every crash schedule with at most t faulty
+// processes among n, crashing within maxRound rounds, with every possible
+// set of final-round deliveries. The enumeration is the adversary space of
+// the chain argument (§2.2.2) and of exhaustive robustness tests.
+func AllCrashSchedules(n, t, maxRound int) []*rounds.CrashSchedule {
+	// Enumerate subsets of processes of size <= t, then per-process crash
+	// parameters.
+	var out []*rounds.CrashSchedule
+	out = append(out, &rounds.CrashSchedule{Crashes: map[int]rounds.Crash{}})
+	var subsets [][]int
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) > 0 {
+			cp := make([]int, len(cur))
+			copy(cp, cur)
+			subsets = append(subsets, cp)
+		}
+		if len(cur) == t {
+			return
+		}
+		for v := start; v < n; v++ {
+			rec(v+1, append(cur, v))
+		}
+	}
+	rec(0, nil)
+	for _, sub := range subsets {
+		// Per faulty process: a crash round in [1,maxRound] and a subset
+		// of receivers for the crash round.
+		perProc := make([][]rounds.Crash, len(sub))
+		for i, p := range sub {
+			var opts []rounds.Crash
+			for r := 1; r <= maxRound; r++ {
+				receivers := otherProcs(n, p)
+				for mask := 0; mask < 1<<uint(len(receivers)); mask++ {
+					del := make(map[int]bool, len(receivers))
+					for bi, q := range receivers {
+						if mask&(1<<uint(bi)) != 0 {
+							del[q] = true
+						}
+					}
+					opts = append(opts, rounds.Crash{Round: r, DeliverTo: del})
+				}
+			}
+			perProc[i] = opts
+		}
+		idx := make([]int, len(sub))
+		for {
+			crashes := make(map[int]rounds.Crash, len(sub))
+			for i, p := range sub {
+				crashes[p] = perProc[i][idx[i]]
+			}
+			out = append(out, &rounds.CrashSchedule{Crashes: crashes})
+			// Odometer.
+			k := len(idx) - 1
+			for ; k >= 0; k-- {
+				idx[k]++
+				if idx[k] < len(perProc[k]) {
+					break
+				}
+				idx[k] = 0
+			}
+			if k < 0 {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func otherProcs(n, p int) []int {
+	out := make([]int, 0, n-1)
+	for q := 0; q < n; q++ {
+		if q != p {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// AllBinaryInputs enumerates every 0/1 input vector for n processes.
+func AllBinaryInputs(n int) [][]int {
+	out := make([][]int, 0, 1<<uint(n))
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		v := make([]int, n)
+		for i := 0; i < n; i++ {
+			v[i] = (mask >> uint(i)) & 1
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package consensus
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/rounds"
+)
+
+// PhaseKing is the Berman–Garay phase-king Byzantine agreement protocol:
+// t+1 phases of three rounds each, with constant-size messages — the
+// polynomial-communication counterpoint to EIG's exponential relays. It
+// tolerates t Byzantine faults when n > 4t. Per phase: every process
+// broadcasts its value (round A); broadcasts which value it saw a > n/2
+// majority for, if any (round B); then the phase's king broadcasts a
+// tiebreak that processes without an overwhelming (> n/2 + t) count adopt
+// (round C).
+type PhaseKing struct {
+	// Procs is the number of processes n > 4t.
+	Procs int
+	// MaxFaults is the tolerated Byzantine fault count t.
+	MaxFaults int
+}
+
+var _ rounds.Protocol = (*PhaseKing)(nil)
+
+// pkState is one process's view.
+type pkState struct {
+	value int
+	// counts accumulates the current phase's tallies.
+	countA [2]int
+	countB [3]int // votes for 0, 1, and "no majority" (index 2)
+	strong bool   // saw > n/2 + t support in round B
+	self   int
+}
+
+// Rounds returns the protocol's total round count, 3(t+1).
+func (pk *PhaseKing) Rounds() int { return 3 * (pk.MaxFaults + 1) }
+
+// phaseOf decomposes a 1-based global round into (phase, subround).
+func (pk *PhaseKing) phaseOf(r int) (phase, sub int) {
+	return (r - 1) / 3, (r - 1) % 3
+}
+
+// Name implements rounds.Protocol.
+func (pk *PhaseKing) Name() string { return "phase-king" }
+
+// NumProcs implements rounds.Protocol.
+func (pk *PhaseKing) NumProcs() int { return pk.Procs }
+
+// Init implements rounds.Protocol.
+func (pk *PhaseKing) Init(p, input int) any {
+	return &pkState{value: clampBit(input), self: p}
+}
+
+func clampBit(v int) int {
+	if v != 0 {
+		return 1
+	}
+	return v
+}
+
+// Send implements rounds.Protocol: constant-size messages only.
+func (pk *PhaseKing) Send(p int, state any, r, _ int) rounds.Message {
+	s := state.(*pkState)
+	phase, sub := pk.phaseOf(r)
+	switch sub {
+	case 0: // round A: broadcast value
+		return "A" + strconv.Itoa(s.value)
+	case 1: // round B: broadcast majority claim
+		maj := 2 // "no majority"
+		for v := 0; v <= 1; v++ {
+			if 2*s.countA[v] > pk.Procs {
+				maj = v
+			}
+		}
+		return "B" + strconv.Itoa(maj)
+	default: // round C: the king's tiebreak
+		if p == phase%pk.Procs {
+			return "C" + strconv.Itoa(s.value)
+		}
+		return ""
+	}
+}
+
+// Receive implements rounds.Protocol.
+func (pk *PhaseKing) Receive(p int, state any, r int, msgs []rounds.Message) any {
+	s := state.(*pkState)
+	phase, sub := pk.phaseOf(r)
+	switch sub {
+	case 0:
+		s.countA = [2]int{}
+		s.countA[s.value]++ // own vote
+		for q, m := range msgs {
+			if q == p || !strings.HasPrefix(m, "A") {
+				continue
+			}
+			if v, err := strconv.Atoi(m[1:]); err == nil && (v == 0 || v == 1) {
+				s.countA[v]++
+			}
+		}
+	case 1:
+		s.countB = [3]int{}
+		ownMaj := 2
+		for v := 0; v <= 1; v++ {
+			if 2*s.countA[v] > pk.Procs {
+				ownMaj = v
+			}
+		}
+		s.countB[ownMaj]++
+		for q, m := range msgs {
+			if q == p || !strings.HasPrefix(m, "B") {
+				continue
+			}
+			if v, err := strconv.Atoi(m[1:]); err == nil && v >= 0 && v <= 2 {
+				s.countB[v]++
+			}
+		}
+		// Adopt the most-claimed majority value as the working value.
+		best := 2
+		for v := 0; v <= 1; v++ {
+			if s.countB[v] > s.countB[best] {
+				best = v
+			}
+		}
+		if best != 2 {
+			s.value = best
+		}
+		s.strong = best != 2 && s.countB[best] > pk.Procs/2+pk.MaxFaults
+	default:
+		king := phase % pk.Procs
+		if king == p {
+			return s // the king keeps its own value
+		}
+		if s.strong {
+			return s // overwhelming support: ignore the king
+		}
+		m := msgs[king]
+		if strings.HasPrefix(m, "C") {
+			if v, err := strconv.Atoi(m[1:]); err == nil && (v == 0 || v == 1) {
+				s.value = v
+			}
+		}
+	}
+	return s
+}
+
+// Decide implements rounds.Protocol.
+func (pk *PhaseKing) Decide(_ int, state any) (int, bool) {
+	return state.(*pkState).value, true
+}
+
+// CompareMessageSizes runs EIG and PhaseKing side by side on failure-free
+// executions and reports their total communication in bytes — the paper's
+// message-size axis (§2.2.3): EIG relays trees that grow exponentially in
+// t while phase-king messages stay constant.
+func CompareMessageSizes(n, t int, inputs []int) (eigBytes, pkBytes int, err error) {
+	e := &EIG{Procs: n, MaxFaults: t}
+	resE, err := rounds.Run(e, inputs, rounds.NoFaults{}, rounds.RunOptions{Rounds: e.Rounds()})
+	if err != nil {
+		return 0, 0, fmt.Errorf("consensus: EIG run: %w", err)
+	}
+	pk := &PhaseKing{Procs: n, MaxFaults: t}
+	resP, err := rounds.Run(pk, inputs, rounds.NoFaults{}, rounds.RunOptions{Rounds: pk.Rounds()})
+	if err != nil {
+		return 0, 0, fmt.Errorf("consensus: phase-king run: %w", err)
+	}
+	return resE.BytesSent, resP.BytesSent, nil
+}

@@ -1,0 +1,150 @@
+package consensus
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/rounds"
+	"repro/internal/spec"
+)
+
+// ThreePhaseCommit is the classic non-blocking refinement of 2PC (§2.2.5)
+// in its synchronous form, tolerating one crash fault: the coordinator
+// inserts a pre-commit round between vote collection and the decision, and
+// a final participant round exchanges "I saw pre-commit / commit" flags,
+// so that a participant facing coordinator silence can terminate safely —
+// commit if anyone witnessed the pre-commit, abort otherwise. This removes
+// the blocking window that TwoPhaseCommit demonstrates. (The FLP-implied
+// caveat stands: this termination guarantee is a synchronous-model
+// property; the §2.2.5 asynchronous commit impossibility is untouched.)
+//
+// Round structure: 1 votes to coordinator; 2 coordinator pre-commit;
+// 3 coordinator commit/abort; 4 participants exchange witness flags and
+// decide.
+type ThreePhaseCommit struct {
+	// Procs is the number of processes; process 0 coordinates.
+	Procs int
+}
+
+var _ rounds.Protocol = (*ThreePhaseCommit)(nil)
+
+// tpc3State tracks one participant.
+type tpc3State struct {
+	vote       int
+	votes      []int // coordinator only
+	preCommit  bool  // coordinator: all votes were commit
+	sawPrepare bool  // participant: received pre-commit
+	gotWord    int   // participant: explicit round-3 word (-1 none)
+	decision   int
+	decided    bool
+}
+
+// Rounds returns the protocol's round count, 4.
+func (c *ThreePhaseCommit) Rounds() int { return 4 }
+
+// Name implements rounds.Protocol.
+func (c *ThreePhaseCommit) Name() string { return "three-phase-commit" }
+
+// NumProcs implements rounds.Protocol.
+func (c *ThreePhaseCommit) NumProcs() int { return c.Procs }
+
+// Init implements rounds.Protocol.
+func (c *ThreePhaseCommit) Init(p, input int) any {
+	s := &tpc3State{vote: input, decision: spec.Abort, gotWord: -1}
+	if p == 0 {
+		s.votes = make([]int, c.Procs)
+		for i := range s.votes {
+			s.votes[i] = -1
+		}
+		s.votes[0] = input
+	}
+	return s
+}
+
+// Send implements rounds.Protocol.
+func (c *ThreePhaseCommit) Send(p int, state any, r, q int) rounds.Message {
+	s := state.(*tpc3State)
+	switch {
+	case r == 1 && p != 0 && q == 0:
+		return "vote:" + strconv.Itoa(s.vote)
+	case r == 2 && p == 0 && s.preCommit:
+		return "precommit"
+	case r == 3 && p == 0:
+		if s.preCommit {
+			return "commit"
+		}
+		return "abort"
+	case r == 4 && p != 0:
+		if s.sawPrepare || s.gotWord == spec.Commit {
+			return "saw:1"
+		}
+		return "saw:0"
+	default:
+		return ""
+	}
+}
+
+// Receive implements rounds.Protocol.
+func (c *ThreePhaseCommit) Receive(p int, state any, r int, msgs []rounds.Message) any {
+	s := state.(*tpc3State)
+	switch {
+	case p == 0 && r == 1:
+		for q, m := range msgs {
+			if strings.HasPrefix(m, "vote:") {
+				if v, err := strconv.Atoi(m[5:]); err == nil {
+					s.votes[q] = v
+				}
+			}
+		}
+		s.preCommit = true
+		for q := 0; q < c.Procs; q++ {
+			if s.votes[q] != spec.Commit {
+				s.preCommit = false
+				break
+			}
+		}
+		if s.preCommit {
+			s.decision = spec.Commit
+		}
+	case p == 0 && r == 3:
+		s.decided = true // the coordinator decides after its final word
+	case p != 0 && r == 2:
+		s.sawPrepare = msgs[0] == "precommit"
+	case p != 0 && r == 3:
+		switch msgs[0] {
+		case "commit":
+			s.gotWord = spec.Commit
+		case "abort":
+			s.gotWord = spec.Abort
+		}
+	case p != 0 && r == 4:
+		// Termination rule: commit iff this or any other participant
+		// witnessed the pre-commit/commit intent. The coordinator only
+		// ever says "commit" after pre-committing, and only pre-commits
+		// on unanimous commit votes, so witnesses are mutually
+		// consistent; with at most one crash (the coordinator) all
+		// surviving participants see the same witness set.
+		witness := s.sawPrepare || s.gotWord == spec.Commit
+		for q, m := range msgs {
+			if q != 0 && m == "saw:1" {
+				witness = true
+			}
+		}
+		if s.gotWord == spec.Abort {
+			witness = false // explicit abort word wins; no commit was possible
+		}
+		if witness {
+			s.decision = spec.Commit
+		} else {
+			s.decision = spec.Abort
+		}
+		s.decided = true
+	}
+	return s
+}
+
+// Decide implements rounds.Protocol.
+func (c *ThreePhaseCommit) Decide(_ int, state any) (int, bool) {
+	s := state.(*tpc3State)
+	return s.decision, s.decided
+}

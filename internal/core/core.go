@@ -1,0 +1,257 @@
+// Package core provides the unified formal model underlying every checker
+// in this library: finite labeled transition systems, bounded reachability
+// exploration, execution traces, valence analysis, and fairness-aware
+// liveness checking.
+//
+// The paper this library reproduces (Lynch, "A Hundred Impossibility Proofs
+// for Distributed Computing", PODC 1989) argues that all impossibility
+// proofs in distributed computing rest on the limitation of local knowledge,
+// and calls (§3.6, §4.4) for a unified model in which the arguments can be
+// expressed once instead of re-deriving ad-hoc models per paper. This
+// package is that unified model: shared-memory systems, synchronous round
+// systems, asynchronous message-passing systems, and timed systems all
+// compile down to a System over canonical comparable states, and every
+// proof-technique engine (bivalence, scenario, chain, stretching, symmetry)
+// operates on the resulting Graph.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// EnvironmentActor is the Actor value used for steps taken by the
+// environment (message delivery, clock advance, adversary moves) rather
+// than by a numbered process. Environment steps are exempt from process
+// fairness requirements.
+const EnvironmentActor = -1
+
+// Step is one labeled transition out of a state. Actor identifies the
+// process taking the step (or EnvironmentActor); Label is a human-readable
+// action name used in traces and counterexamples.
+type Step[S comparable] struct {
+	To    S
+	Label string
+	Actor int
+}
+
+// System is a (finitely explorable) labeled transition system over
+// canonical comparable states. Implementations must ensure that equal
+// states (in the == sense) are behaviorally identical: the explorer
+// deduplicates by state equality, which is exactly the paper's "if a
+// process sees the same thing in two executions, it behaves the same in
+// both" — equality of canonical encodings is the mechanized form of
+// indistinguishability.
+type System[S comparable] interface {
+	// Init returns the initial states.
+	Init() []S
+	// Steps returns every enabled transition from s. An empty result
+	// marks s as terminal.
+	Steps(s S) []Step[S]
+}
+
+// ErrStateLimit is returned by Explore when the reachable state space
+// exceeds the configured bound before exploration completes.
+var ErrStateLimit = errors.New("core: state limit exceeded during exploration")
+
+// edge is the interned form of a Step.
+type edge struct {
+	to    int
+	label string
+	actor int
+}
+
+// Graph is the explored reachable state graph of a System. It supports the
+// analyses every impossibility engine needs: invariant checking with
+// counterexample paths, terminal/deadlock detection, valence computation,
+// and fair-cycle (livelock) detection.
+type Graph[S comparable] struct {
+	states []S
+	index  map[S]int
+	edges  [][]edge
+	// parent[i] is the state that first reached state i during BFS, used
+	// to reconstruct shortest witness paths; -1 for initial states.
+	parent     []int
+	parentEdge []edge
+	inits      []int
+}
+
+// ExploreOptions bound an exploration.
+type ExploreOptions struct {
+	// MaxStates caps the number of distinct states explored. Zero means
+	// DefaultMaxStates.
+	MaxStates int
+}
+
+// DefaultMaxStates bounds exploration when ExploreOptions.MaxStates is zero.
+const DefaultMaxStates = 2_000_000
+
+// Explore performs breadth-first exhaustive exploration of sys and returns
+// the reachable graph. It returns ErrStateLimit (wrapped) if the state
+// space exceeds the bound; partial graphs are never returned.
+func Explore[S comparable](sys System[S], opts ExploreOptions) (*Graph[S], error) {
+	limit := opts.MaxStates
+	if limit <= 0 {
+		limit = DefaultMaxStates
+	}
+	g := &Graph[S]{index: make(map[S]int)}
+	intern := func(s S) (int, bool) {
+		if id, ok := g.index[s]; ok {
+			return id, false
+		}
+		id := len(g.states)
+		g.states = append(g.states, s)
+		g.index[s] = id
+		g.edges = append(g.edges, nil)
+		g.parent = append(g.parent, -1)
+		g.parentEdge = append(g.parentEdge, edge{})
+		return id, true
+	}
+	queue := make([]int, 0, 1024)
+	for _, s := range sys.Init() {
+		id, fresh := intern(s)
+		if fresh {
+			g.inits = append(g.inits, id)
+			queue = append(queue, id)
+		}
+	}
+	if len(g.inits) == 0 {
+		return nil, errors.New("core: system has no initial states")
+	}
+	for head := 0; head < len(queue); head++ {
+		id := queue[head]
+		steps := sys.Steps(g.states[id])
+		out := make([]edge, 0, len(steps))
+		for _, st := range steps {
+			tid, fresh := intern(st.To)
+			if fresh {
+				if len(g.states) > limit {
+					return nil, fmt.Errorf("%w: limit %d", ErrStateLimit, limit)
+				}
+				g.parent[tid] = id
+				g.parentEdge[tid] = edge{to: tid, label: st.Label, actor: st.Actor}
+				queue = append(queue, tid)
+			}
+			out = append(out, edge{to: tid, label: st.Label, actor: st.Actor})
+		}
+		g.edges[id] = out
+	}
+	return g, nil
+}
+
+// Len returns the number of reachable states.
+func (g *Graph[S]) Len() int { return len(g.states) }
+
+// NumEdges returns the number of transitions in the reachable graph.
+func (g *Graph[S]) NumEdges() int {
+	n := 0
+	for _, es := range g.edges {
+		n += len(es)
+	}
+	return n
+}
+
+// State returns the state with internal id i. Ids are stable for the life
+// of the graph and densely numbered from 0.
+func (g *Graph[S]) State(i int) S { return g.states[i] }
+
+// StateID returns the id of state s, if it is reachable.
+func (g *Graph[S]) StateID(s S) (int, bool) {
+	id, ok := g.index[s]
+	return id, ok
+}
+
+// Initials returns the ids of the initial states.
+func (g *Graph[S]) Initials() []int {
+	out := make([]int, len(g.inits))
+	copy(out, g.inits)
+	return out
+}
+
+// Successors returns the steps out of state id i.
+func (g *Graph[S]) Successors(i int) []Step[S] {
+	es := g.edges[i]
+	out := make([]Step[S], len(es))
+	for k, e := range es {
+		out[k] = Step[S]{To: g.states[e.to], Label: e.label, Actor: e.actor}
+	}
+	return out
+}
+
+// IsTerminal reports whether state id i has no outgoing transitions.
+func (g *Graph[S]) IsTerminal(i int) bool { return len(g.edges[i]) == 0 }
+
+// TraceEvent is one step of a witness execution.
+type TraceEvent struct {
+	Label string
+	Actor int
+}
+
+// Trace is a finite execution fragment: the sequence of events from an
+// initial state to a witness state. It is the mechanized form of the
+// paper's "construction of a bad execution".
+type Trace []TraceEvent
+
+// String renders the trace one event per line.
+func (t Trace) String() string {
+	out := ""
+	for i, ev := range t {
+		if i > 0 {
+			out += "\n"
+		}
+		if ev.Actor == EnvironmentActor {
+			out += fmt.Sprintf("%3d. [env] %s", i+1, ev.Label)
+		} else {
+			out += fmt.Sprintf("%3d. p%-3d %s", i+1, ev.Actor, ev.Label)
+		}
+	}
+	return out
+}
+
+// PathTo reconstructs the BFS-shortest trace from an initial state to
+// state id i.
+func (g *Graph[S]) PathTo(i int) Trace {
+	var rev []TraceEvent
+	for cur := i; g.parent[cur] != -1; cur = g.parent[cur] {
+		pe := g.parentEdge[cur]
+		rev = append(rev, TraceEvent{Label: pe.label, Actor: pe.actor})
+	}
+	out := make(Trace, len(rev))
+	for k := range rev {
+		out[k] = rev[len(rev)-1-k]
+	}
+	return out
+}
+
+// FindState returns the id of a BFS-first reachable state satisfying pred,
+// or ok=false if none exists.
+func (g *Graph[S]) FindState(pred func(S) bool) (int, bool) {
+	for i, s := range g.states {
+		if pred(s) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// CheckInvariant verifies that inv holds in every reachable state. On
+// violation it returns the violating state id and a witness trace.
+func (g *Graph[S]) CheckInvariant(inv func(S) bool) (violation int, trace Trace, ok bool) {
+	for i, s := range g.states {
+		if !inv(s) {
+			return i, g.PathTo(i), false
+		}
+	}
+	return 0, nil, true
+}
+
+// Terminals returns the ids of all terminal (deadlocked or decided) states.
+func (g *Graph[S]) Terminals() []int {
+	var out []int
+	for i := range g.states {
+		if g.IsTerminal(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

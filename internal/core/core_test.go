@@ -1,0 +1,328 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// chainSys is a linear system 0 -> 1 -> ... -> n, stepped by actor 0.
+type chainSys struct{ n int }
+
+func (c chainSys) Init() []int { return []int{0} }
+
+func (c chainSys) Steps(s int) []Step[int] {
+	if s >= c.n {
+		return nil
+	}
+	return []Step[int]{{To: s + 1, Label: "inc", Actor: 0}}
+}
+
+func TestExploreChain(t *testing.T) {
+	g, err := Explore[int](chainSys{n: 10}, ExploreOptions{})
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if got, want := g.Len(), 11; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	if got, want := g.NumEdges(), 10; got != want {
+		t.Fatalf("NumEdges = %d, want %d", got, want)
+	}
+	terms := g.Terminals()
+	if len(terms) != 1 || g.State(terms[0]) != 10 {
+		t.Fatalf("Terminals = %v, want the single state 10", terms)
+	}
+}
+
+func TestExploreStateLimit(t *testing.T) {
+	_, err := Explore[int](chainSys{n: 100}, ExploreOptions{MaxStates: 5})
+	if !errors.Is(err, ErrStateLimit) {
+		t.Fatalf("err = %v, want ErrStateLimit", err)
+	}
+}
+
+func TestPathToReconstructsShortestTrace(t *testing.T) {
+	g, err := Explore[int](chainSys{n: 5}, ExploreOptions{})
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	id, ok := g.FindState(func(s int) bool { return s == 3 })
+	if !ok {
+		t.Fatal("state 3 not found")
+	}
+	tr := g.PathTo(id)
+	if len(tr) != 3 {
+		t.Fatalf("trace length = %d, want 3", len(tr))
+	}
+	for _, ev := range tr {
+		if ev.Label != "inc" || ev.Actor != 0 {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+	}
+}
+
+func TestCheckInvariant(t *testing.T) {
+	g, err := Explore[int](chainSys{n: 5}, ExploreOptions{})
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if _, _, ok := g.CheckInvariant(func(s int) bool { return s <= 5 }); !ok {
+		t.Fatal("invariant s<=5 should hold")
+	}
+	id, tr, ok := g.CheckInvariant(func(s int) bool { return s < 4 })
+	if ok {
+		t.Fatal("invariant s<4 should fail")
+	}
+	if g.State(id) != 4 {
+		t.Fatalf("violating state = %d, want 4 (BFS-first)", g.State(id))
+	}
+	if len(tr) != 4 {
+		t.Fatalf("witness length = %d, want 4", len(tr))
+	}
+}
+
+// diamondSys branches from 0 to terminal decisions: 0 -> 1 (decides 0),
+// 0 -> 2 -> {3 decides 0, 4 decides 1}.
+type diamondSys struct{}
+
+func (diamondSys) Init() []string { return []string{"root"} }
+
+func (diamondSys) Steps(s string) []Step[string] {
+	switch s {
+	case "root":
+		return []Step[string]{
+			{To: "d0", Label: "left", Actor: 0},
+			{To: "mid", Label: "right", Actor: 1},
+		}
+	case "mid":
+		return []Step[string]{
+			{To: "d0b", Label: "down0", Actor: 0},
+			{To: "d1", Label: "down1", Actor: 1},
+		}
+	default:
+		return nil
+	}
+}
+
+func diamondDecide(s string) (int, bool) {
+	switch s {
+	case "d0", "d0b":
+		return 0, true
+	case "d1":
+		return 1, true
+	default:
+		return 0, false
+	}
+}
+
+func TestValenceDiamond(t *testing.T) {
+	g, err := Explore[string](diamondSys{}, ExploreOptions{})
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	v, err := g.Valence(diamondDecide)
+	if err != nil {
+		t.Fatalf("Valence: %v", err)
+	}
+	rootID, _ := g.StateID("root")
+	midID, _ := g.StateID("mid")
+	d1ID, _ := g.StateID("d1")
+	if !v.IsBivalent(rootID) {
+		t.Error("root should be bivalent")
+	}
+	if !v.IsBivalent(midID) {
+		t.Error("mid should be bivalent")
+	}
+	if !v.IsUnivalent(d1ID) {
+		t.Error("d1 should be univalent")
+	}
+	if got := v.Values(rootID); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Values(root) = %v, want [0 1]", got)
+	}
+	if got := v.Values(d1ID); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Values(d1) = %v, want [1]", got)
+	}
+	init, ok := g.BivalentInitial(v)
+	if !ok || g.State(init) != "root" {
+		t.Errorf("BivalentInitial = %v,%v, want root", init, ok)
+	}
+	// mid is bivalent and all its successors are decided (univalent):
+	// it is a decider in Herlihy's sense.
+	dec, ok := g.Decider(v)
+	if !ok || g.State(dec) != "mid" {
+		t.Errorf("Decider = %v,%v, want mid", dec, ok)
+	}
+}
+
+func TestValenceRejectsOutOfRange(t *testing.T) {
+	g, err := Explore[int](chainSys{n: 1}, ExploreOptions{})
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if _, err := g.Valence(func(s int) (int, bool) { return 99, s == 1 }); err == nil {
+		t.Fatal("expected error for value >= MaxDecisionValues")
+	}
+}
+
+// loopSys: two actors; actor 0 can loop forever at "spin" while actor 1
+// could move to "goal". State "spin" has both a self-loop (actor 0) and an
+// exit (actor 1). An unfair run spins forever, but weak fairness forces
+// actor 1 to move.
+type loopSys struct{}
+
+func (loopSys) Init() []string { return []string{"spin"} }
+
+func (loopSys) Steps(s string) []Step[string] {
+	switch s {
+	case "spin":
+		return []Step[string]{
+			{To: "spin", Label: "spin", Actor: 0},
+			{To: "goal", Label: "exit", Actor: 1},
+		}
+	case "goal":
+		return []Step[string]{{To: "goal", Label: "stay", Actor: 1}}
+	default:
+		return nil
+	}
+}
+
+func TestLeadsToWeakFairnessExcludesSpin(t *testing.T) {
+	g, err := Explore[string](loopSys{}, ExploreOptions{})
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	prem := func(s string) bool { return s == "spin" }
+	goal := func(s string) bool { return s == "goal" }
+	// Under weak fairness actor 1 must eventually exit, so leads-to holds.
+	res := g.CheckLeadsTo(prem, goal, WeakFairness, 2)
+	if !res.Holds {
+		t.Fatalf("leads-to should hold under weak fairness; got %+v", res)
+	}
+	// Without fairness the self-loop is a legitimate livelock.
+	res = g.CheckLeadsTo(prem, goal, NoFairness, 2)
+	if res.Holds {
+		t.Fatal("leads-to should fail without fairness")
+	}
+	if res.Kind != "livelock" {
+		t.Fatalf("Kind = %q, want livelock", res.Kind)
+	}
+	if len(res.Cycle) == 0 {
+		t.Fatal("expected a nonempty violating cycle")
+	}
+}
+
+// stuckSys: a deadlock before the goal.
+type stuckSys struct{}
+
+func (stuckSys) Init() []string { return []string{"a"} }
+
+func (stuckSys) Steps(s string) []Step[string] {
+	if s == "a" {
+		return []Step[string]{{To: "dead", Label: "step", Actor: 0}}
+	}
+	return nil
+}
+
+func TestLeadsToDeadlock(t *testing.T) {
+	g, err := Explore[string](stuckSys{}, ExploreOptions{})
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	res := g.CheckLeadsTo(
+		func(s string) bool { return s == "a" },
+		func(s string) bool { return s == "goal" },
+		WeakFairness, 1)
+	if res.Holds {
+		t.Fatal("leads-to should fail")
+	}
+	if res.Kind != "deadlock" {
+		t.Fatalf("Kind = %q, want deadlock", res.Kind)
+	}
+	if g.State(res.StateID) != "dead" {
+		t.Fatalf("deadlock state = %q, want dead", g.State(res.StateID))
+	}
+}
+
+// pingpong: two actors alternate between two states forever. The cycle is
+// weakly fair for both actors (each takes a step in it).
+type pingpong struct{}
+
+func (pingpong) Init() []string { return []string{"ping"} }
+
+func (pingpong) Steps(s string) []Step[string] {
+	if s == "ping" {
+		return []Step[string]{{To: "pong", Label: "p0", Actor: 0}}
+	}
+	return []Step[string]{{To: "ping", Label: "p1", Actor: 1}}
+}
+
+func TestFairLassoWithin(t *testing.T) {
+	g, err := Explore[string](pingpong{}, ExploreOptions{})
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	lasso, ok := g.FairLassoWithin(func(int) bool { return true }, WeakFairness, 2)
+	if !ok {
+		t.Fatal("expected a fair lasso")
+	}
+	if len(lasso.Cycle) == 0 {
+		t.Fatal("expected nonempty cycle")
+	}
+	actors := map[int]bool{}
+	for _, ev := range lasso.Cycle {
+		actors[ev.Actor] = true
+	}
+	if !actors[0] || !actors[1] {
+		t.Fatalf("cycle %v does not include both actors", lasso.Cycle)
+	}
+}
+
+func TestFairLassoRespectsAllowedSet(t *testing.T) {
+	g, err := Explore[string](pingpong{}, ExploreOptions{})
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	pingID, _ := g.StateID("ping")
+	// Only ping allowed: no cycle fits inside the allowed set.
+	if _, ok := g.FairLassoWithin(func(i int) bool { return i == pingID }, NoFairness, 2); ok {
+		t.Fatal("no lasso should exist inside {ping}")
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	tr := Trace{
+		{Label: "send", Actor: 2},
+		{Label: "deliver", Actor: EnvironmentActor},
+	}
+	s := tr.String()
+	if !strings.Contains(s, "p2") || !strings.Contains(s, "[env]") {
+		t.Fatalf("unexpected trace rendering:\n%s", s)
+	}
+}
+
+func TestFairnessString(t *testing.T) {
+	if WeakFairness.String() != "weak-fairness" || NoFairness.String() != "no-fairness" {
+		t.Fatal("unexpected Fairness string values")
+	}
+	if Fairness(42).String() != "Fairness(42)" {
+		t.Fatal("unexpected fallthrough Fairness string")
+	}
+}
+
+func TestNullvalent(t *testing.T) {
+	// Chain with no decided states: everything is nullvalent.
+	g, err := Explore[int](chainSys{n: 3}, ExploreOptions{})
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	v, err := g.Valence(func(int) (int, bool) { return 0, false })
+	if err != nil {
+		t.Fatalf("Valence: %v", err)
+	}
+	for i := 0; i < g.Len(); i++ {
+		if !v.IsNullvalent(i) {
+			t.Fatalf("state %d should be nullvalent", i)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package datalink implements the communication-protocol results of §2.5:
+// the alternating-bit protocol, which achieves reliable FIFO message
+// delivery over channels that lose packets; the demonstrations of the
+// Lynch–Mansour–Fekete impossibility results [78] — a crash that wipes
+// receiver memory forces duplicate delivery, and with bounded headers a
+// channel that can replay ("steal") old packets forces incorrect delivery;
+// and the Two Generals chain argument of [61].
+package datalink
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// ErrStalled is returned when a run exhausts its step budget before the
+// sender finishes.
+var ErrStalled = errors.New("datalink: protocol stalled within step budget")
+
+// Packet is a data packet on the wire: a one-bit header plus payload —
+// the bounded-header regime of [78].
+type Packet struct {
+	// Bit is the alternating header bit.
+	Bit int
+	// Payload is the carried message.
+	Payload string
+}
+
+// Script controls the channel adversary per step.
+type Script struct {
+	// DropData reports whether the data packet sent at this step is lost.
+	DropData func(step int) bool
+	// DropAck reports whether the ack sent at this step is lost.
+	DropAck func(step int) bool
+	// CrashReceiverAt wipes the receiver's memory (its expected-bit
+	// state) at the start of the given step; 0 means never. This is the
+	// "crashes that cause a loss of memory" case of [78].
+	CrashReceiverAt int
+	// ReplayAt injects, at the start of the given step, a copy of the
+	// ReplayIndex-th data packet ever sent (0-based) — the channel
+	// "steals" a packet and delivers it later, the message-stealing move
+	// of [78]. Zero-valued means no replay.
+	ReplayAt    int
+	ReplayIndex int
+}
+
+// never is the default drop function.
+func never(int) bool { return false }
+
+// Result reports an alternating-bit run.
+type Result struct {
+	// Delivered is the sequence of payloads the receiver handed to its
+	// client, in order.
+	Delivered []string
+	// DataPackets and AckPackets count transmissions (including
+	// retransmissions).
+	DataPackets, AckPackets int
+	// Steps is the number of simulation steps consumed.
+	Steps int
+}
+
+// RunABP drives the alternating-bit protocol until all messages are
+// acknowledged or the step budget runs out. Each step the sender
+// (re)transmits its current packet; the channel applies the script; the
+// receiver acks every packet it gets and delivers fresh ones.
+func RunABP(msgs []string, script Script, maxSteps int) (Result, error) {
+	if script.DropData == nil {
+		script.DropData = never
+	}
+	if script.DropAck == nil {
+		script.DropAck = never
+	}
+	res := Result{}
+	senderBit := 0
+	next := 0 // index of the message being sent
+	expected := 0
+	var history []Packet // every data packet ever sent, for replays
+	for step := 1; next < len(msgs); step++ {
+		res.Steps = step
+		if step > maxSteps {
+			return res, fmt.Errorf("%w: %d messages left", ErrStalled, len(msgs)-next)
+		}
+		if script.CrashReceiverAt == step {
+			expected = 0 // memory wiped: the receiver restarts fresh
+		}
+		if script.ReplayAt == step && script.ReplayIndex < len(history) {
+			// The channel delivers a stolen copy of an old packet.
+			p := history[script.ReplayIndex]
+			if p.Bit == expected {
+				res.Delivered = append(res.Delivered, p.Payload)
+				expected = 1 - expected
+			}
+			// The duplicate's ack (if any) is absorbed by the script's
+			// ack handling below only for regular packets; replay acks
+			// are dropped to keep the demonstration minimal.
+		}
+		// Sender transmits the current packet.
+		pkt := Packet{Bit: senderBit, Payload: msgs[next]}
+		history = append(history, pkt)
+		res.DataPackets++
+		ackBit := -1
+		if !script.DropData(step) {
+			if pkt.Bit == expected {
+				res.Delivered = append(res.Delivered, pkt.Payload)
+				expected = 1 - expected
+			}
+			// The receiver acks the packet's bit either way.
+			res.AckPackets++
+			if !script.DropAck(step) {
+				ackBit = pkt.Bit
+			}
+		}
+		if ackBit == senderBit {
+			next++
+			senderBit = 1 - senderBit
+		}
+	}
+	return res, nil
+}
+
+// RunSeqNo drives the unbounded-header counterpart of the alternating-bit
+// protocol: packets carry full sequence numbers instead of one bit. The
+// same channel adversary that defeats ABP by replaying a stolen packet
+// (TestMessageStealingForcesPhantomDelivery) is harmless here — the stale
+// sequence number is simply rejected — which is exactly the [78] dichotomy:
+// with only boundedly many headers reliable delivery is impossible, with
+// unbounded headers it is routine. HeaderBytes reports the cumulative
+// header cost, the quantity whose necessary growth [99] studies.
+func RunSeqNo(msgs []string, script Script, maxSteps int) (Result, int, error) {
+	if script.DropData == nil {
+		script.DropData = never
+	}
+	if script.DropAck == nil {
+		script.DropAck = never
+	}
+	res := Result{}
+	headerBytes := 0
+	next := 0
+	expected := 0
+	type seqPacket struct {
+		seq     int
+		payload string
+	}
+	var history []seqPacket
+	for step := 1; next < len(msgs); step++ {
+		res.Steps = step
+		if step > maxSteps {
+			return res, headerBytes, fmt.Errorf("%w: %d messages left", ErrStalled, len(msgs)-next)
+		}
+		if script.CrashReceiverAt == step {
+			expected = 0
+		}
+		if script.ReplayAt == step && script.ReplayIndex < len(history) {
+			p := history[script.ReplayIndex]
+			if p.seq == expected { // stale sequence numbers never match
+				res.Delivered = append(res.Delivered, p.payload)
+				expected++
+			}
+		}
+		pkt := seqPacket{seq: next, payload: msgs[next]}
+		history = append(history, pkt)
+		res.DataPackets++
+		headerBytes += len(strconv.Itoa(pkt.seq))
+		ackSeq := -1
+		if !script.DropData(step) {
+			if pkt.seq == expected {
+				res.Delivered = append(res.Delivered, pkt.payload)
+				expected++
+			}
+			res.AckPackets++
+			if !script.DropAck(step) {
+				ackSeq = pkt.seq
+			}
+		}
+		if ackSeq == next {
+			next++
+		}
+	}
+	return res, headerBytes, nil
+}

@@ -1,0 +1,286 @@
+package datalink
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestABPLosslessDeliversInOrder(t *testing.T) {
+	msgs := []string{"a", "b", "c"}
+	res, err := RunABP(msgs, Script{}, 100)
+	if err != nil {
+		t.Fatalf("RunABP: %v", err)
+	}
+	if len(res.Delivered) != 3 {
+		t.Fatalf("delivered %v", res.Delivered)
+	}
+	for i, m := range msgs {
+		if res.Delivered[i] != m {
+			t.Fatalf("delivered %v, want %v", res.Delivered, msgs)
+		}
+	}
+	if res.DataPackets != 3 {
+		t.Fatalf("data packets = %d, want 3 (no retransmissions)", res.DataPackets)
+	}
+}
+
+func TestABPSurvivesLoss(t *testing.T) {
+	msgs := []string{"m1", "m2", "m3", "m4"}
+	// Drop every third data packet and every fourth ack.
+	script := Script{
+		DropData: func(step int) bool { return step%3 == 0 },
+		DropAck:  func(step int) bool { return step%4 == 0 },
+	}
+	res, err := RunABP(msgs, script, 1000)
+	if err != nil {
+		t.Fatalf("RunABP: %v", err)
+	}
+	if len(res.Delivered) != len(msgs) {
+		t.Fatalf("delivered %d messages, want %d", len(res.Delivered), len(msgs))
+	}
+	for i, m := range msgs {
+		if res.Delivered[i] != m {
+			t.Fatalf("delivered %v, want %v", res.Delivered, msgs)
+		}
+	}
+	if res.DataPackets <= len(msgs) {
+		t.Fatal("expected retransmissions under loss")
+	}
+}
+
+func TestABPRandomLossProperty(t *testing.T) {
+	// Property: under any random loss pattern (with eventual delivery),
+	// ABP delivers exactly the sent sequence — the §2.5 positive result.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		msgs := []string{"x", "y", "z"}
+		script := Script{
+			DropData: func(int) bool { return rng.Intn(3) == 0 },
+			DropAck:  func(int) bool { return rng.Intn(3) == 0 },
+		}
+		res, err := RunABP(msgs, script, 10_000)
+		if err != nil {
+			return false
+		}
+		if len(res.Delivered) != len(msgs) {
+			return false
+		}
+		for i := range msgs {
+			if res.Delivered[i] != msgs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestABPStallsUnderTotalLoss(t *testing.T) {
+	script := Script{DropData: func(int) bool { return true }}
+	_, err := RunABP([]string{"a"}, script, 50)
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+}
+
+// TestReceiverCrashForcesDuplicate is the first [78] impossibility made
+// concrete: wiping the receiver's memory (its expected-bit) makes it
+// accept a retransmission of an already-delivered message — duplicate
+// delivery, for any bounded-state data link protocol.
+func TestReceiverCrashForcesDuplicate(t *testing.T) {
+	msgs := []string{"pay $100", "pay $200"}
+	// Step 1: m1 delivered, ack lost (sender will retransmit m1).
+	// Step 2: receiver crashes (expected-bit resets to 0), m1
+	// retransmitted with bit 0 — accepted again.
+	script := Script{
+		DropAck:         func(step int) bool { return step == 1 },
+		CrashReceiverAt: 2,
+	}
+	res, err := RunABP(msgs, script, 100)
+	if err != nil {
+		t.Fatalf("RunABP: %v", err)
+	}
+	dup := 0
+	for _, d := range res.Delivered {
+		if d == "pay $100" {
+			dup++
+		}
+	}
+	if dup < 2 {
+		t.Fatalf("expected duplicate delivery of m1 after crash; got %v", res.Delivered)
+	}
+}
+
+// TestMessageStealingForcesPhantomDelivery is the second [78]
+// impossibility: with bounded (1-bit) headers over a channel that can
+// replay old packets, the receiver accepts a stale packet as a fresh
+// message — the channel "steals" a packet and spends it later.
+func TestMessageStealingForcesPhantomDelivery(t *testing.T) {
+	msgs := []string{"m1", "m2", "m3"}
+	// Let m1 (bit 0) and m2 (bit 1) flow normally; at the step where the
+	// receiver expects bit 0 again (for m3), replay the very first m1
+	// packet: its bit matches and the receiver delivers m1 out of place.
+	script := Script{
+		ReplayAt:    3,
+		ReplayIndex: 0,
+	}
+	res, err := RunABP(msgs, script, 100)
+	if err != nil {
+		t.Fatalf("RunABP: %v", err)
+	}
+	// Delivered sequence should contain m1 twice (once as a phantom).
+	count := 0
+	for _, d := range res.Delivered {
+		if d == "m1" {
+			count++
+		}
+	}
+	if count < 2 {
+		t.Fatalf("expected the stolen m1 to be delivered again; got %v", res.Delivered)
+	}
+}
+
+// TestTwoGeneralsChainDefeatsHandshake: E12 — the chain argument finds
+// the execution where the k-round handshake protocol breaks.
+func TestTwoGeneralsChainDefeatsHandshake(t *testing.T) {
+	for _, depth := range []int{1, 2, 4} {
+		rep, err := ChainCheck(&Handshake{Depth: depth}, 1, 1)
+		if err != nil {
+			t.Fatalf("ChainCheck(depth=%d): %v", depth, err)
+		}
+		if rep.DisagreementAt < 0 && rep.ValidityBroken == "" {
+			t.Fatalf("depth=%d: no horn found: %+v", depth, rep)
+		}
+		if rep.ChainLength != 2*depth+1 {
+			t.Fatalf("depth=%d: chain length %d, want %d", depth, rep.ChainLength, 2*depth+1)
+		}
+	}
+}
+
+// TestTwoGeneralsChainDefeatsOptimist: the eager protocol disagrees even
+// earlier in the chain.
+func TestTwoGeneralsChainDefeatsOptimist(t *testing.T) {
+	rep, err := ChainCheck(&Optimist{R: 3}, 1, 1)
+	if err != nil {
+		t.Fatalf("ChainCheck: %v", err)
+	}
+	if rep.DisagreementAt < 0 {
+		t.Fatalf("optimist should disagree somewhere in the chain: %+v", rep)
+	}
+}
+
+// TestTwoGeneralsValidityHornForCoward: a protocol that never attacks
+// fails validity instead of agreement.
+type coward struct{}
+
+func (coward) Name() string                                            { return "coward" }
+func (coward) Rounds() int                                             { return 2 }
+func (coward) Init(_, input int) string                                { return "x" }
+func (coward) Send(int, string, int) string                            { return "m" }
+func (coward) Receive(_ int, s string, _ int, _ string, _ bool) string { return s }
+func (coward) Decide(int, string) int                                  { return 0 }
+
+func TestTwoGeneralsValidityHornForCoward(t *testing.T) {
+	rep, err := ChainCheck(coward{}, 1, 1)
+	if err != nil {
+		t.Fatalf("ChainCheck: %v", err)
+	}
+	if rep.ValidityBroken == "" {
+		t.Fatalf("coward should break validity: %+v", rep)
+	}
+}
+
+func TestHandshakeAttacksOnFullCommunication(t *testing.T) {
+	h := &Handshake{Depth: 3}
+	states := run(h, [2]int{1, 1}, fullPattern(3))
+	if h.Decide(0, states[0]) != 1 || h.Decide(1, states[1]) != 1 {
+		t.Fatal("handshake should attack under full communication")
+	}
+	// An unwilling general never attacks and never sends.
+	states = run(h, [2]int{1, 0}, fullPattern(3))
+	if h.Decide(1, states[1]) != 0 {
+		t.Fatal("unwilling general attacked")
+	}
+	if h.Decide(0, states[0]) != 0 {
+		t.Fatal("willing general should hold when the peer is silent")
+	}
+}
+
+// TestSeqNoSurvivesReplay completes the [78] dichotomy: the replay attack
+// that forces ABP into a phantom delivery is rejected by sequence-number
+// (unbounded-header) packets.
+func TestSeqNoSurvivesReplay(t *testing.T) {
+	msgs := []string{"m1", "m2", "m3"}
+	script := Script{ReplayAt: 3, ReplayIndex: 0}
+	res, headerBytes, err := RunSeqNo(msgs, script, 100)
+	if err != nil {
+		t.Fatalf("RunSeqNo: %v", err)
+	}
+	if len(res.Delivered) != 3 {
+		t.Fatalf("delivered %v, want exactly the 3 messages", res.Delivered)
+	}
+	for i, m := range msgs {
+		if res.Delivered[i] != m {
+			t.Fatalf("delivered %v, want %v", res.Delivered, msgs)
+		}
+	}
+	if headerBytes == 0 {
+		t.Fatal("expected nonzero header cost")
+	}
+	// Contrast: ABP corrupts the delivered sequence under the same script.
+	abp, err := RunABP(msgs, script, 100)
+	if err != nil {
+		t.Fatalf("RunABP: %v", err)
+	}
+	same := len(abp.Delivered) == len(msgs)
+	if same {
+		for i := range msgs {
+			if abp.Delivered[i] != msgs[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatalf("ABP should have corrupted the sequence under replay; got %v", abp.Delivered)
+	}
+}
+
+// TestSeqNoHeaderGrowth: header cost grows with the number of messages —
+// the unavoidable price [99] quantifies.
+func TestSeqNoHeaderGrowth(t *testing.T) {
+	short := make([]string, 5)
+	long := make([]string, 500)
+	for i := range short {
+		short[i] = "x"
+	}
+	for i := range long {
+		long[i] = "x"
+	}
+	_, hShort, err := RunSeqNo(short, Script{}, 10_000)
+	if err != nil {
+		t.Fatalf("RunSeqNo short: %v", err)
+	}
+	_, hLong, err := RunSeqNo(long, Script{}, 10_000)
+	if err != nil {
+		t.Fatalf("RunSeqNo long: %v", err)
+	}
+	if hLong <= hShort*20 {
+		t.Errorf("header bytes %d vs %d: cost must grow with message count", hLong, hShort)
+	}
+}
+
+func TestSeqNoLossRecovery(t *testing.T) {
+	msgs := []string{"a", "b", "c"}
+	res, _, err := RunSeqNo(msgs, Script{DropData: func(s int) bool { return s%2 == 0 }}, 1000)
+	if err != nil {
+		t.Fatalf("RunSeqNo: %v", err)
+	}
+	if len(res.Delivered) != 3 || res.Delivered[2] != "c" {
+		t.Fatalf("delivered %v", res.Delivered)
+	}
+}

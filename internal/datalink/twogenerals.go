@@ -1,0 +1,240 @@
+package datalink
+
+import "fmt"
+
+// This file mechanizes the Two Generals chain argument ([61], §2.2.4):
+// two parties communicating over an unreliable channel cannot reach
+// consensus on whether to attack. Starting from the execution in which
+// every message is delivered, remove the last delivery; the resulting
+// execution looks identical to one of the generals, who therefore decides
+// the same — and agreement drags the other general along. Iterating down
+// to the empty execution forces the full-communication decision to equal
+// the no-communication decision, which validity forbids. For any concrete
+// protocol, ChainCheck walks the chain and reports the execution where the
+// protocol actually breaks.
+
+// GeneralProtocol is a deterministic two-party protocol run in lockstep
+// rounds; the channel may drop any message.
+type GeneralProtocol interface {
+	// Name identifies the protocol.
+	Name() string
+	// Rounds is the number of communication rounds.
+	Rounds() int
+	// Init returns a general's initial state; input 1 means "wants to
+	// attack". General 0 is A, general 1 is B.
+	Init(general, input int) string
+	// Send returns the message the general sends in round r ("" = none).
+	Send(general int, state string, r int) string
+	// Receive folds the (possibly lost) peer message into the state.
+	Receive(general int, state string, r int, msg string, delivered bool) string
+	// Decide returns 1 to attack, 0 to hold.
+	Decide(general int, state string) int
+}
+
+// pattern[r][g] records whether general g's round-r message is delivered.
+type pattern [][2]bool
+
+func fullPattern(rounds int) pattern {
+	p := make(pattern, rounds)
+	for i := range p {
+		p[i] = [2]bool{true, true}
+	}
+	return p
+}
+
+// run executes the protocol under a delivery pattern and returns both
+// final states.
+func run(p GeneralProtocol, inputs [2]int, del pattern) [2]string {
+	states := [2]string{p.Init(0, inputs[0]), p.Init(1, inputs[1])}
+	for r := 1; r <= p.Rounds(); r++ {
+		msgs := [2]string{
+			p.Send(0, states[0], r),
+			p.Send(1, states[1], r),
+		}
+		for g := 0; g < 2; g++ {
+			peer := 1 - g
+			delivered := del[r-1][peer] && msgs[peer] != ""
+			payload := ""
+			if delivered {
+				payload = msgs[peer]
+			}
+			states[g] = p.Receive(g, states[g], r, payload, delivered)
+		}
+	}
+	return states
+}
+
+// ChainReport is the outcome of ChainCheck.
+type ChainReport struct {
+	// Protocol names the checked protocol.
+	Protocol string
+	// ChainLength is the number of executions in the chain.
+	ChainLength int
+	// DisagreementAt is the chain index of an execution where the two
+	// generals decide differently (-1 if none).
+	DisagreementAt int
+	// ValidityBroken is set when the protocol attacks with no
+	// communication, or refuses to attack with full communication.
+	ValidityBroken string
+	// Horn summarizes which requirement failed.
+	Horn string
+}
+
+// ChainCheck walks the Two Generals chain for the protocol with both
+// inputs "attack": executions e_0 (all delivered), e_1, ..., e_k (nothing
+// delivered), each obtained by dropping the last remaining delivery. It
+// verifies the indistinguishability invariant mechanically and reports
+// where the protocol violates the problem statement. The theorem
+// guarantees some violation for every protocol.
+func ChainCheck(p GeneralProtocol, inputsA, inputsB int) (ChainReport, error) {
+	rounds := p.Rounds()
+	rep := ChainReport{Protocol: p.Name(), DisagreementAt: -1}
+	// Build the chain by clearing deliveries from the last round
+	// backwards, one at a time (B's delivery then A's in each round).
+	var chain []pattern
+	cur := fullPattern(rounds)
+	chain = append(chain, clonePattern(cur))
+	for r := rounds - 1; r >= 0; r-- {
+		for g := 1; g >= 0; g-- {
+			cur[r][g] = false
+			chain = append(chain, clonePattern(cur))
+		}
+	}
+	rep.ChainLength = len(chain)
+	inputs := [2]int{inputsA, inputsB}
+
+	decisions := make([][2]int, len(chain))
+	for i, pat := range chain {
+		states := run(p, inputs, pat)
+		decisions[i] = [2]int{p.Decide(0, states[0]), p.Decide(1, states[1])}
+		if decisions[i][0] != decisions[i][1] {
+			rep.DisagreementAt = i
+		}
+	}
+	// Validity horns: with both inputs attack and everything delivered
+	// the generals should attack; with no communication they must not
+	// (the no-communication run is indistinguishable from one where the
+	// peer never wanted to attack).
+	if decisions[0][0] != 1 || decisions[0][1] != 1 {
+		rep.ValidityBroken = "no attack despite full communication and willing generals"
+	}
+	last := decisions[len(decisions)-1]
+	if last[0] == 1 && last[1] == 1 {
+		rep.ValidityBroken = "attack with no communication at all"
+	}
+	switch {
+	case rep.DisagreementAt >= 0:
+		rep.Horn = fmt.Sprintf("disagreement at chain index %d", rep.DisagreementAt)
+	case rep.ValidityBroken != "":
+		rep.Horn = "validity: " + rep.ValidityBroken
+	default:
+		return rep, fmt.Errorf("datalink: protocol %s survived the chain — contradicts the Two Generals theorem", p.Name())
+	}
+	return rep, nil
+}
+
+func clonePattern(p pattern) pattern {
+	out := make(pattern, len(p))
+	copy(out, p)
+	return out
+}
+
+// Handshake is the natural k-round confirmation protocol: A proposes, B
+// confirms, A confirms the confirmation, and so on; a general attacks iff
+// it saw the full handshake depth it expected. The chain argument finds
+// the crack: dropping the final message yields one general who saw
+// everything it needed and one who did not.
+type Handshake struct {
+	// Depth is the number of rounds of confirmations.
+	Depth int
+}
+
+var _ GeneralProtocol = (*Handshake)(nil)
+
+// Name implements GeneralProtocol.
+func (h *Handshake) Name() string { return fmt.Sprintf("handshake(depth=%d)", h.Depth) }
+
+// Rounds implements GeneralProtocol.
+func (h *Handshake) Rounds() int { return h.Depth }
+
+// Init implements GeneralProtocol. State: input digit + count of received
+// confirmations.
+func (h *Handshake) Init(_, input int) string { return fmt.Sprintf("%d:0", input) }
+
+func parseState(s string) (input, got int) {
+	fmt.Sscanf(s, "%d:%d", &input, &got)
+	return input, got
+}
+
+// Send implements GeneralProtocol: keep confirming while willing.
+func (h *Handshake) Send(_ int, state string, _ int) string {
+	input, got := parseState(state)
+	if input != 1 {
+		return ""
+	}
+	return fmt.Sprintf("confirm%d", got)
+}
+
+// Receive implements GeneralProtocol.
+func (h *Handshake) Receive(_ int, state string, _ int, _ string, delivered bool) string {
+	input, got := parseState(state)
+	if delivered {
+		got++
+	}
+	return fmt.Sprintf("%d:%d", input, got)
+}
+
+// Decide implements GeneralProtocol: attack iff willing and every round's
+// confirmation arrived.
+func (h *Handshake) Decide(_ int, state string) int {
+	input, got := parseState(state)
+	if input == 1 && got >= h.Depth {
+		return 1
+	}
+	return 0
+}
+
+// Optimist attacks whenever it is willing and saw at least one message —
+// the other extreme, broken even earlier in the chain.
+type Optimist struct {
+	// R is the number of rounds to run.
+	R int
+}
+
+var _ GeneralProtocol = (*Optimist)(nil)
+
+// Name implements GeneralProtocol.
+func (o *Optimist) Name() string { return "optimist" }
+
+// Rounds implements GeneralProtocol.
+func (o *Optimist) Rounds() int { return o.R }
+
+// Init implements GeneralProtocol.
+func (o *Optimist) Init(_, input int) string { return fmt.Sprintf("%d:0", input) }
+
+// Send implements GeneralProtocol.
+func (o *Optimist) Send(_ int, state string, _ int) string {
+	input, _ := parseState(state)
+	if input != 1 {
+		return ""
+	}
+	return "hi"
+}
+
+// Receive implements GeneralProtocol.
+func (o *Optimist) Receive(_ int, state string, _ int, _ string, delivered bool) string {
+	input, got := parseState(state)
+	if delivered {
+		got++
+	}
+	return fmt.Sprintf("%d:%d", input, got)
+}
+
+// Decide implements GeneralProtocol.
+func (o *Optimist) Decide(_ int, state string) int {
+	input, got := parseState(state)
+	if input == 1 && got > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,351 @@
+// Package flp mechanizes the bivalence technique of Fischer, Lynch and
+// Paterson (§2.2.4): for an asynchronous message-passing consensus
+// protocol, it explores the configuration graph (including up to one crash
+// event, since the theorem is about 1-resilient protocols), computes the
+// valence of every configuration, finds bivalent initial configurations
+// and Herlihy-style decider configurations, and constructs the admissible
+// non-deciding executions at the heart of the proof. For any concrete
+// protocol the analyzer therefore exhibits at least one of the horns the
+// theorem guarantees: a safety violation (disagreement or invalidity) or a
+// liveness violation (a fair non-deciding execution or an undecided
+// deadlock after a single crash).
+package flp
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Send is a message emitted by a protocol step.
+type Send struct {
+	// To is the destination process.
+	To int
+	// Payload is the message body.
+	Payload string
+}
+
+// Protocol is a deterministic asynchronous message-passing protocol in the
+// FLP style: every step is the receipt of one in-flight message, which
+// updates the local state and emits messages. Initial messages are
+// declared by InitialSends. Local states are canonical strings so the
+// explorer can deduplicate configurations.
+type Protocol interface {
+	// Name identifies the protocol.
+	Name() string
+	// NumProcs returns the number of processes.
+	NumProcs() int
+	// Init returns process p's initial local state for an input value.
+	Init(p, input int) string
+	// InitialSends returns the messages p emits before receiving anything.
+	InitialSends(p int, state string) []Send
+	// Step handles delivery of a message from a peer and returns the new
+	// state plus emitted messages.
+	Step(p int, state string, from int, payload string) (string, []Send)
+	// Decide reports p's decision, if any, from its state.
+	Decide(p int, state string) (int, bool)
+}
+
+// envelope is one in-flight message.
+type envelope struct {
+	from, to int
+	payload  string
+}
+
+func (e envelope) String() string {
+	return strconv.Itoa(e.from) + ">" + strconv.Itoa(e.to) + ":" + e.payload
+}
+
+// config is the canonical encoding of a configuration: crash mask, process
+// states joined by \x1e, then the sorted in-flight multiset joined by \x1f.
+type config = string
+
+func encodeConfig(crashed int, states []string, flight []envelope) config {
+	msgs := make([]string, len(flight))
+	for i, e := range flight {
+		msgs[i] = e.String()
+	}
+	sort.Strings(msgs)
+	return strconv.Itoa(crashed) + "\x1d" + strings.Join(states, "\x1e") + "\x1d" + strings.Join(msgs, "\x1f")
+}
+
+func decodeConfig(c config) (crashed int, states []string, flight []envelope) {
+	parts := strings.SplitN(c, "\x1d", 3)
+	crashed, _ = strconv.Atoi(parts[0])
+	states = strings.Split(parts[1], "\x1e")
+	if parts[2] == "" {
+		return crashed, states, nil
+	}
+	for _, m := range strings.Split(parts[2], "\x1f") {
+		gt := strings.IndexByte(m, '>')
+		colon := strings.IndexByte(m, ':')
+		if gt < 0 || colon < gt {
+			continue
+		}
+		from, _ := strconv.Atoi(m[:gt])
+		to, _ := strconv.Atoi(m[gt+1 : colon])
+		flight = append(flight, envelope{from: from, to: to, payload: m[colon+1:]})
+	}
+	return crashed, states, flight
+}
+
+// system adapts a Protocol to core.System: events are message deliveries
+// (attributed to the receiving process) and — when resilience > 0 — crash
+// events (attributed to the environment). A crashed process takes no
+// further steps; messages addressed to it are silently absorbed.
+type system struct {
+	p            Protocol
+	inputVectors [][]int
+	resilience   int
+}
+
+var _ core.System[config] = (*system)(nil)
+
+// wakePayload is the self-addressed message whose delivery constitutes a
+// process's first step (emitting its InitialSends). Crashing a process
+// before its wake-up suppresses those sends entirely — without this, the
+// adversary could never prevent a process's first broadcast, and the
+// crash-resilience analysis would be vacuous.
+const wakePayload = "\x00wake"
+
+func (s *system) initialFor(inputs []int) config {
+	n := s.p.NumProcs()
+	states := make([]string, n)
+	flight := make([]envelope, 0, n)
+	for p := 0; p < n; p++ {
+		states[p] = s.p.Init(p, inputs[p])
+		flight = append(flight, envelope{from: p, to: p, payload: wakePayload})
+	}
+	return encodeConfig(0, states, flight)
+}
+
+// Init implements core.System.
+func (s *system) Init() []config {
+	out := make([]config, 0, len(s.inputVectors))
+	for _, in := range s.inputVectors {
+		out = append(out, s.initialFor(in))
+	}
+	return out
+}
+
+// Steps implements core.System.
+func (s *system) Steps(c config) []core.Step[config] {
+	n := s.p.NumProcs()
+	crashed, states, flight := decodeConfig(c)
+	steps := make([]core.Step[config], 0, len(flight)+n)
+	seen := map[string]bool{}
+	for i, env := range flight {
+		if crashed&(1<<uint(env.to)) != 0 {
+			continue // receiver is dead; the message is never delivered
+		}
+		key := env.String()
+		if seen[key] {
+			continue // identical envelopes lead to identical successors
+		}
+		seen[key] = true
+		var newState string
+		var sends []Send
+		if env.payload == wakePayload && env.from == env.to {
+			newState = states[env.to]
+			sends = s.p.InitialSends(env.to, newState)
+		} else {
+			newState, sends = s.p.Step(env.to, states[env.to], env.from, env.payload)
+		}
+		newStates := make([]string, n)
+		copy(newStates, states)
+		newStates[env.to] = newState
+		newFlight := make([]envelope, 0, len(flight)+len(sends)-1)
+		newFlight = append(newFlight, flight[:i]...)
+		newFlight = append(newFlight, flight[i+1:]...)
+		for _, snd := range sends {
+			newFlight = append(newFlight, envelope{from: env.to, to: snd.To, payload: snd.Payload})
+		}
+		steps = append(steps, core.Step[config]{
+			To:    encodeConfig(crashed, newStates, newFlight),
+			Label: "deliver " + key,
+			Actor: env.to,
+		})
+	}
+	if countBits(crashed) < s.resilience {
+		for p := 0; p < n; p++ {
+			if crashed&(1<<uint(p)) != 0 {
+				continue
+			}
+			steps = append(steps, core.Step[config]{
+				To:    encodeConfig(crashed|1<<uint(p), states, flight),
+				Label: "crash p" + strconv.Itoa(p),
+				Actor: core.EnvironmentActor,
+			})
+		}
+	}
+	return steps
+}
+
+func countBits(x int) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+// Report is the outcome of Analyze.
+type Report struct {
+	// Protocol names the analyzed protocol.
+	Protocol string
+	// States and Edges size the explored configuration graph.
+	States, Edges int
+	// HasBivalentInitial reports whether some initial configuration is
+	// bivalent (the first FLP lemma predicts one for every correct
+	// 1-resilient protocol).
+	HasBivalentInitial bool
+	// BivalentConfigs counts bivalent configurations.
+	BivalentConfigs int
+	// AgreementViolated reports a reachable configuration in which two
+	// processes decided differently, with a witness execution.
+	AgreementViolated bool
+	AgreementWitness  core.Trace
+	// ValidityViolated reports a decided value that is not any input.
+	ValidityViolated bool
+	// NondecidingLasso is a weakly-fair infinite execution confined to
+	// undecided configurations, if one exists.
+	NondecidingLasso *core.Lasso
+	// UndecidedDeadlock is a reachable terminal undecided configuration
+	// (typically: everyone waits for a crashed process), if one exists.
+	UndecidedDeadlock core.Trace
+	HasDeadlock       bool
+	// DeciderFound reports a Herlihy-style decider configuration:
+	// bivalent, with every successor univalent.
+	DeciderFound bool
+	// Lively is true when no liveness or safety horn was found — which
+	// the FLP theorem says cannot happen for a nontrivial 1-resilient
+	// protocol.
+	Lively bool
+}
+
+// AnalyzeOptions configures Analyze.
+type AnalyzeOptions struct {
+	// InputVectors are the initial input assignments to explore together
+	// (default: all binary vectors).
+	InputVectors [][]int
+	// Resilience is the number of crash events the adversary may inject
+	// (default 1, per the FLP setting). Set to 0 to analyze the
+	// crash-free graph.
+	Resilience *int
+	// MaxStates bounds exploration.
+	MaxStates int
+}
+
+// Analyze explores the protocol's configuration graph and runs the full
+// bivalence analysis.
+func Analyze(p Protocol, opts AnalyzeOptions) (Report, error) {
+	n := p.NumProcs()
+	vectors := opts.InputVectors
+	if len(vectors) == 0 {
+		vectors = allBinaryVectors(n)
+	}
+	resilience := 1
+	if opts.Resilience != nil {
+		resilience = *opts.Resilience
+	}
+	sys := &system{p: p, inputVectors: vectors, resilience: resilience}
+	g, err := core.Explore[config](sys, core.ExploreOptions{MaxStates: opts.MaxStates})
+	if err != nil {
+		return Report{}, fmt.Errorf("flp: exploring %s: %w", p.Name(), err)
+	}
+	rep := Report{Protocol: p.Name(), States: g.Len(), Edges: g.NumEdges()}
+
+	decideConfig := func(c config) (int, bool) {
+		_, states, _ := decodeConfig(c)
+		for q := 0; q < n; q++ {
+			if v, ok := p.Decide(q, states[q]); ok {
+				return v, true
+			}
+		}
+		return 0, false
+	}
+	val, err := g.Valence(decideConfig)
+	if err != nil {
+		return rep, fmt.Errorf("flp: valence of %s: %w", p.Name(), err)
+	}
+	_, rep.HasBivalentInitial = g.BivalentInitial(val)
+	for i := 0; i < g.Len(); i++ {
+		if val.IsBivalent(i) {
+			rep.BivalentConfigs++
+		}
+	}
+	_, rep.DeciderFound = g.Decider(val)
+
+	// Agreement: no reachable configuration with contradictory decisions.
+	if _, tr, ok := g.CheckInvariant(func(c config) bool {
+		_, states, _ := decodeConfig(c)
+		seen := -1
+		for q := 0; q < n; q++ {
+			if v, ok := p.Decide(q, states[q]); ok {
+				if seen >= 0 && v != seen {
+					return false
+				}
+				seen = v
+			}
+		}
+		return true
+	}); !ok {
+		rep.AgreementViolated = true
+		rep.AgreementWitness = tr
+	}
+
+	// Validity (binary inputs): a decided value must be 0 or 1 here, and
+	// under a uniform input vector it must be that value. Checked by
+	// exploring the uniform vectors separately.
+	for _, v := range []int{0, 1} {
+		uniform := make([]int, n)
+		for i := range uniform {
+			uniform[i] = v
+		}
+		gu, err := core.Explore[config](&system{p: p, inputVectors: [][]int{uniform}, resilience: resilience},
+			core.ExploreOptions{MaxStates: opts.MaxStates})
+		if err != nil {
+			return rep, fmt.Errorf("flp: validity exploration of %s: %w", p.Name(), err)
+		}
+		if _, _, ok := gu.CheckInvariant(func(c config) bool {
+			d, decided := decideConfig(c)
+			return !decided || d == v
+		}); !ok {
+			rep.ValidityViolated = true
+		}
+	}
+
+	// Liveness horns: a fair undecided lasso, or an undecided deadlock.
+	undecided := func(i int) bool {
+		_, decided := decideConfig(g.State(i))
+		return !decided
+	}
+	if lasso, ok := g.FairLassoWithin(undecided, core.WeakFairness, n); ok {
+		rep.NondecidingLasso = &lasso
+	}
+	for _, i := range g.Terminals() {
+		if undecided(i) {
+			rep.HasDeadlock = true
+			rep.UndecidedDeadlock = g.PathTo(i)
+			break
+		}
+	}
+	rep.Lively = !rep.AgreementViolated && !rep.ValidityViolated &&
+		rep.NondecidingLasso == nil && !rep.HasDeadlock
+	return rep, nil
+}
+
+func allBinaryVectors(n int) [][]int {
+	out := make([][]int, 0, 1<<uint(n))
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		v := make([]int, n)
+		for i := 0; i < n; i++ {
+			v[i] = (mask >> uint(i)) & 1
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package flp
+
+import (
+	"testing"
+)
+
+func intPtr(v int) *int { return &v }
+
+// TestWaitAllDeadlocksUnderOneCrash: the wait-for-everyone protocol is
+// safe but not 1-resilient — a single crash leaves an undecided deadlock.
+func TestWaitAllDeadlocksUnderOneCrash(t *testing.T) {
+	rep, err := Analyze(NewWaitAll(3), AnalyzeOptions{})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if rep.AgreementViolated {
+		t.Errorf("wait-all should never disagree; witness:\n%s", rep.AgreementWitness)
+	}
+	if rep.ValidityViolated {
+		t.Error("wait-all should be valid")
+	}
+	if !rep.HasDeadlock {
+		t.Error("wait-all should deadlock undecided after a crash")
+	}
+	if rep.Lively {
+		t.Error("FLP horn must be found")
+	}
+}
+
+// TestWaitAllIsLivelyWithoutCrashes: with resilience 0 the same protocol
+// decides in every fair execution — showing the crash events carry the
+// theorem.
+func TestWaitAllIsLivelyWithoutCrashes(t *testing.T) {
+	rep, err := Analyze(NewWaitAll(3), AnalyzeOptions{Resilience: intPtr(0)})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if !rep.Lively {
+		t.Errorf("wait-all without crashes should be lively: %s", DescribeHorn(rep))
+	}
+}
+
+// TestWaitQuorumDisagrees: waiting for only n-1 values buys crash
+// tolerance at the price of a reachable disagreement.
+func TestWaitQuorumDisagrees(t *testing.T) {
+	rep, err := Analyze(NewWaitQuorum(3), AnalyzeOptions{})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if !rep.AgreementViolated {
+		t.Fatal("wait-quorum should have a reachable disagreement")
+	}
+	if len(rep.AgreementWitness) == 0 {
+		t.Fatal("expected an agreement-violation witness execution")
+	}
+}
+
+// TestAdoptSwapHasNondecidingExecution: the adopt-and-rebroadcast protocol
+// is safe but admits the FLP forever-bivalent run even with no crashes.
+func TestAdoptSwapHasNondecidingExecution(t *testing.T) {
+	rep, err := Analyze(NewAdoptSwap(2), AnalyzeOptions{Resilience: intPtr(0)})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if rep.AgreementViolated {
+		t.Errorf("adopt-swap should be safe; witness:\n%s", rep.AgreementWitness)
+	}
+	if rep.NondecidingLasso == nil {
+		t.Fatal("adopt-swap should admit a fair non-deciding execution")
+	}
+	if len(rep.NondecidingLasso.Cycle) == 0 {
+		t.Fatal("expected a nonempty non-deciding cycle")
+	}
+	if !rep.HasBivalentInitial {
+		t.Error("the (0,1) initial configuration should be bivalent")
+	}
+	if rep.BivalentConfigs == 0 {
+		t.Error("expected bivalent configurations")
+	}
+}
+
+// TestEveryProtocolFallsOnAHorn is the theorem-shaped summary: none of the
+// protocol attempts is simultaneously safe and live with one crash.
+func TestEveryProtocolFallsOnAHorn(t *testing.T) {
+	protos := []Protocol{NewWaitAll(3), NewWaitQuorum(3), NewAdoptSwap(2), NewAdoptSwap(3)}
+	for _, p := range protos {
+		rep, err := Analyze(p, AnalyzeOptions{})
+		if err != nil {
+			t.Fatalf("Analyze(%s): %v", p.Name(), err)
+		}
+		if rep.Lively {
+			t.Errorf("%s: analyzer found no FLP horn — impossible for a 1-resilient protocol", p.Name())
+		}
+	}
+}
+
+// TestValidityViolationDetected: a protocol that decides a constant
+// regardless of inputs trips the validity check.
+type constProto struct{ n int }
+
+func (c constProto) Name() string                    { return "const-0" }
+func (c constProto) NumProcs() int                   { return c.n }
+func (c constProto) Init(int, int) string            { return "s" }
+func (c constProto) InitialSends(int, string) []Send { return nil }
+func (c constProto) Step(_ int, s string, _ int, _ string) (string, []Send) {
+	return s, nil
+}
+func (c constProto) Decide(int, string) (int, bool) { return 0, true }
+
+func TestValidityViolationDetected(t *testing.T) {
+	rep, err := Analyze(constProto{n: 2}, AnalyzeOptions{Resilience: intPtr(0)})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if !rep.ValidityViolated {
+		t.Fatal("constant-0 protocol should violate validity on all-ones inputs")
+	}
+	if rep.HasBivalentInitial {
+		t.Error("a constant protocol has no bivalent configuration")
+	}
+}
+
+func TestConfigCodecRoundTrip(t *testing.T) {
+	states := []string{"a", "b:x", "c"}
+	flight := []envelope{{from: 0, to: 2, payload: "mv"}, {from: 1, to: 0, payload: ""}}
+	c := encodeConfig(5, states, flight)
+	crashed, gotStates, gotFlight := decodeConfig(c)
+	if crashed != 5 {
+		t.Fatalf("crashed = %d, want 5", crashed)
+	}
+	for i := range states {
+		if gotStates[i] != states[i] {
+			t.Fatalf("state %d mismatch: %q", i, gotStates[i])
+		}
+	}
+	if len(gotFlight) != 2 {
+		t.Fatalf("flight length = %d", len(gotFlight))
+	}
+	if gotFlight[0].payload != "mv" && gotFlight[1].payload != "mv" {
+		t.Fatal("payload lost in round trip")
+	}
+}
+
+func TestDescribeHorn(t *testing.T) {
+	rep := Report{Protocol: "x", AgreementViolated: true}
+	if got := DescribeHorn(rep); got != "x: agreement violation" {
+		t.Fatalf("DescribeHorn = %q", got)
+	}
+	empty := Report{Protocol: "y"}
+	if got := DescribeHorn(empty); got == "" {
+		t.Fatal("empty horn description")
+	}
+}
+
+func TestCountBits(t *testing.T) {
+	if countBits(0) != 0 || countBits(5) != 2 || countBits(7) != 3 {
+		t.Fatal("countBits broken")
+	}
+}

@@ -1,0 +1,174 @@
+package flp
+
+import (
+	"strconv"
+	"strings"
+)
+
+// This file provides small asynchronous consensus attempts for the
+// analyzer to dissect. The FLP theorem says every 1-resilient protocol
+// must fail somewhere; these three fail in the three characteristic ways:
+//
+//   - WaitAll is safe but deadlocks (undecided) as soon as one process
+//     crashes: it waits for everybody.
+//   - WaitQuorum waits for only n-1 values (so it survives a crash) but
+//     pays with a reachable disagreement.
+//   - AdoptSwap is safe but admits a weakly-fair non-deciding execution —
+//     the bivalent forever-run of the FLP construction itself.
+
+// waitProto implements WaitAll/WaitQuorum: broadcast the input, collect
+// values, decide the minimum once `need` processes (including self) have
+// reported.
+type waitProto struct {
+	n    int
+	need int
+	name string
+}
+
+// NewWaitAll returns the wait-for-everyone protocol.
+func NewWaitAll(n int) Protocol { return &waitProto{n: n, need: n, name: "wait-all"} }
+
+// NewWaitQuorum returns the wait-for-(n-1) protocol.
+func NewWaitQuorum(n int) Protocol { return &waitProto{n: n, need: n - 1, name: "wait-quorum"} }
+
+var _ Protocol = (*waitProto)(nil)
+
+// Name implements Protocol.
+func (w *waitProto) Name() string { return w.name }
+
+// NumProcs implements Protocol.
+func (w *waitProto) NumProcs() int { return w.n }
+
+// State layout: one value char per process ('-', '0', '1') + ":" +
+// decision char ('-', '0', '1').
+func (w *waitProto) Init(p, input int) string {
+	vals := make([]byte, w.n)
+	for i := range vals {
+		vals[i] = '-'
+	}
+	vals[p] = byte('0' + input)
+	s := string(vals) + ":-"
+	return w.maybeDecide(s)
+}
+
+// InitialSends implements Protocol: broadcast own value.
+func (w *waitProto) InitialSends(p int, state string) []Send {
+	out := make([]Send, 0, w.n-1)
+	for q := 0; q < w.n; q++ {
+		if q != p {
+			out = append(out, Send{To: q, Payload: string(state[p])})
+		}
+	}
+	return out
+}
+
+// Step implements Protocol.
+func (w *waitProto) Step(_ int, state string, from int, payload string) (string, []Send) {
+	vals := []byte(state[:w.n])
+	if payload == "0" || payload == "1" {
+		vals[from] = payload[0]
+	}
+	return w.maybeDecide(string(vals) + state[w.n:]), nil
+}
+
+func (w *waitProto) maybeDecide(state string) string {
+	if state[w.n+1] != '-' {
+		return state // already decided
+	}
+	count := 0
+	best := byte('9')
+	for i := 0; i < w.n; i++ {
+		if state[i] != '-' {
+			count++
+			if state[i] < best {
+				best = state[i]
+			}
+		}
+	}
+	if count >= w.need {
+		return state[:w.n+1] + string(best)
+	}
+	return state
+}
+
+// Decide implements Protocol.
+func (w *waitProto) Decide(_ int, state string) (int, bool) {
+	d := state[w.n+1]
+	if d == '-' {
+		return 0, false
+	}
+	return int(d - '0'), true
+}
+
+// adoptSwap is the livelock-prone protocol, arranged on a logical ring to
+// keep the in-flight message population bounded: on receiving a matching
+// value, decide it; on a mismatch, adopt the received value and forward it
+// to the ring successor. With processes holding different values, an
+// adversarial schedule circulates the mismatch forever — a weakly fair
+// non-deciding execution.
+type adoptSwap struct {
+	n int
+}
+
+// NewAdoptSwap returns the adopt-and-rebroadcast protocol.
+func NewAdoptSwap(n int) Protocol { return &adoptSwap{n: n} }
+
+var _ Protocol = (*adoptSwap)(nil)
+
+// Name implements Protocol.
+func (a *adoptSwap) Name() string { return "adopt-swap" }
+
+// NumProcs implements Protocol.
+func (a *adoptSwap) NumProcs() int { return a.n }
+
+// State layout: value char + decision char.
+func (a *adoptSwap) Init(_, input int) string {
+	return strconv.Itoa(input) + "-"
+}
+
+// InitialSends implements Protocol: send own value to the ring successor.
+func (a *adoptSwap) InitialSends(p int, state string) []Send {
+	return []Send{{To: (p + 1) % a.n, Payload: state[:1]}}
+}
+
+// Step implements Protocol.
+func (a *adoptSwap) Step(p int, state string, _ int, payload string) (string, []Send) {
+	if state[1] != '-' || (payload != "0" && payload != "1") {
+		return state, nil // decided or junk: absorb
+	}
+	if payload == state[:1] {
+		return state[:1] + payload, nil // match: decide
+	}
+	// Mismatch: adopt and forward around the ring.
+	return payload + "-", []Send{{To: (p + 1) % a.n, Payload: payload}}
+}
+
+// Decide implements Protocol.
+func (a *adoptSwap) Decide(_ int, state string) (int, bool) {
+	if state[1] == '-' {
+		return 0, false
+	}
+	return int(state[1] - '0'), true
+}
+
+// DescribeHorn summarizes which FLP horn a report exhibits, for reports
+// and examples.
+func DescribeHorn(rep Report) string {
+	var horns []string
+	if rep.AgreementViolated {
+		horns = append(horns, "agreement violation")
+	}
+	if rep.ValidityViolated {
+		horns = append(horns, "validity violation")
+	}
+	if rep.HasDeadlock {
+		horns = append(horns, "undecided deadlock after a crash")
+	}
+	if rep.NondecidingLasso != nil {
+		horns = append(horns, "fair non-deciding execution")
+	}
+	if len(horns) == 0 {
+		return rep.Protocol + ": no horn found (contradicts FLP for a 1-resilient protocol)"
+	}
+	return rep.Protocol + ": " + strings.Join(horns, "; ")
+}

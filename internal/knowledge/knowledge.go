@@ -1,0 +1,222 @@
+// Package knowledge implements the epistemic reading of the round lower
+// bounds (§2.2.2 Dwork–Moses, §2.6 Chandy–Misra and Halpern–Moses): over
+// the universe of all k-round crash executions, "process p knows φ" means
+// φ holds in every execution p cannot distinguish from the actual one, and
+// "everyone knows" iterates that operator. Common knowledge — the fixpoint
+// E^∞φ — is exactly truth of φ throughout the connected component of the
+// indistinguishability graph, so the chain arguments of the consensus
+// package and the attainability of common knowledge are two faces of one
+// computation: a chain from e to a ¬φ execution exists iff φ is not common
+// knowledge at e. The paper recounts how Dwork and Moses used this view to
+// characterize exactly which failure patterns force t+1 rounds.
+package knowledge
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/consensus"
+	"repro/internal/rounds"
+)
+
+// Execution is one element of the universe.
+type Execution struct {
+	// Inputs is the binary input vector.
+	Inputs []int
+	// Faulty marks the crashed processes.
+	Faulty []bool
+	// viewKeys canonically identify each process's k-round view.
+	viewKeys []string
+}
+
+// Fact is a property of executions (e.g. "some input is 1").
+type Fact func(e Execution) bool
+
+// Universe is the set of all admissible k-round crash executions for n
+// processes and at most t faults, with the indistinguishability structure
+// precomputed.
+type Universe struct {
+	execs []Execution
+	n     int
+	// groups maps (process, view) to the executions sharing it.
+	groups map[string][]int32
+}
+
+// NewCrashUniverse enumerates the k-round crash universe.
+func NewCrashUniverse(n, t, k int) (*Universe, error) {
+	proto := &consensus.FullInfo{Procs: n}
+	u := &Universe{n: n, groups: make(map[string][]int32)}
+	for _, in := range consensus.AllBinaryInputs(n) {
+		for _, sched := range consensus.AllCrashSchedules(n, t, k) {
+			res, err := rounds.Run(proto, in, sched, rounds.RunOptions{Rounds: k, RecordViews: true})
+			if err != nil {
+				return nil, fmt.Errorf("knowledge: enumerating universe: %w", err)
+			}
+			e := Execution{Inputs: in, Faulty: res.Faulty, viewKeys: make([]string, n)}
+			for p := 0; p < n; p++ {
+				e.viewKeys[p] = "in=" + strconv.Itoa(in[p]) + "\x1d" + strings.Join(res.Views[p], "\x1c")
+			}
+			id := int32(len(u.execs))
+			u.execs = append(u.execs, e)
+			for p := 0; p < n; p++ {
+				if e.Faulty[p] {
+					continue
+				}
+				key := strconv.Itoa(p) + "\x1b" + e.viewKeys[p]
+				u.groups[key] = append(u.groups[key], id)
+			}
+		}
+	}
+	return u, nil
+}
+
+// Len returns the number of executions in the universe.
+func (u *Universe) Len() int { return len(u.execs) }
+
+// Execution returns execution i.
+func (u *Universe) Execution(i int) Execution { return u.execs[i] }
+
+// Find returns the index of the execution with the given inputs and no
+// faults.
+func (u *Universe) Find(inputs []int) (int, bool) {
+	for i, e := range u.execs {
+		if anyTrue(e.Faulty) {
+			continue
+		}
+		if equalInts(e.Inputs, inputs) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func anyTrue(bs []bool) bool {
+	for _, b := range bs {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// evaluate memoizes a fact over the whole universe.
+func (u *Universe) evaluate(f Fact) []bool {
+	out := make([]bool, len(u.execs))
+	for i, e := range u.execs {
+		out[i] = f(e)
+	}
+	return out
+}
+
+// knowsAll computes, from a truth vector, the executions at which process
+// p knows the fact: truth must hold at every execution in p's view group.
+func (u *Universe) knowsAll(truth []bool) []bool {
+	out := make([]bool, len(u.execs))
+	for i := range out {
+		out[i] = true
+	}
+	// A group is "all true" iff no member is false; a nonfaulty process
+	// knows the fact at e iff its group at e is all-true. Faulty
+	// processes are not required to know anything.
+	groupAllTrue := make(map[string]bool, len(u.groups))
+	for key, members := range u.groups {
+		all := true
+		for _, m := range members {
+			if !truth[m] {
+				all = false
+				break
+			}
+		}
+		groupAllTrue[key] = all
+	}
+	for i, e := range u.execs {
+		for p := 0; p < u.n; p++ {
+			if e.Faulty[p] {
+				continue
+			}
+			key := strconv.Itoa(p) + "\x1b" + e.viewKeys[p]
+			if !groupAllTrue[key] {
+				out[i] = false
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Knows reports whether nonfaulty process p knows f at execution e.
+func (u *Universe) Knows(p, e int, f Fact) bool {
+	ex := u.execs[e]
+	if ex.Faulty[p] {
+		return false
+	}
+	key := strconv.Itoa(p) + "\x1b" + ex.viewKeys[p]
+	for _, m := range u.groups[key] {
+		if !f(u.execs[m]) {
+			return false
+		}
+	}
+	return true
+}
+
+// KnowledgeLevel returns the largest j <= max such that E^j(f) holds at
+// execution e, where E^0(f) = f and E^(j+1)(f) = "every nonfaulty process
+// knows E^j(f)".
+func (u *Universe) KnowledgeLevel(e int, f Fact, max int) int {
+	truth := u.evaluate(f)
+	if !truth[e] {
+		return -1
+	}
+	level := 0
+	for level < max {
+		truth = u.knowsAll(truth)
+		if !truth[e] {
+			return level
+		}
+		level++
+	}
+	return level
+}
+
+// CommonKnowledge reports whether f is common knowledge at execution e:
+// the fixpoint of the E operator, equivalently truth of f throughout e's
+// connected component of the indistinguishability graph — exactly the
+// absence of a chain from e to any ¬f execution.
+func (u *Universe) CommonKnowledge(e int, f Fact) bool {
+	seen := make([]bool, len(u.execs))
+	seen[e] = true
+	queue := []int32{int32(e)}
+	for head := 0; head < len(queue); head++ {
+		i := queue[head]
+		ex := u.execs[i]
+		if !f(ex) {
+			return false
+		}
+		for p := 0; p < u.n; p++ {
+			if ex.Faulty[p] {
+				continue
+			}
+			key := strconv.Itoa(p) + "\x1b" + ex.viewKeys[p]
+			for _, m := range u.groups[key] {
+				if !seen[m] {
+					seen[m] = true
+					queue = append(queue, m)
+				}
+			}
+		}
+	}
+	return true
+}

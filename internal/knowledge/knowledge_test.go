@@ -1,0 +1,128 @@
+package knowledge
+
+import "testing"
+
+// someOne is the fact "some process started with input 1".
+func someOne(e Execution) bool {
+	for _, v := range e.Inputs {
+		if v == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestUniverseEnumerates(t *testing.T) {
+	u, err := NewCrashUniverse(3, 1, 1)
+	if err != nil {
+		t.Fatalf("NewCrashUniverse: %v", err)
+	}
+	if u.Len() != 104 { // 8 inputs x 13 schedules, matching the chain engine
+		t.Fatalf("Len = %d, want 104", u.Len())
+	}
+	if _, ok := u.Find([]int{1, 1, 1}); !ok {
+		t.Fatal("all-ones failure-free execution missing")
+	}
+}
+
+func TestKnowledgeAfterOneRound(t *testing.T) {
+	u, err := NewCrashUniverse(3, 1, 1)
+	if err != nil {
+		t.Fatalf("NewCrashUniverse: %v", err)
+	}
+	e, _ := u.Find([]int{1, 1, 1})
+	// After one failure-free round everyone has seen a 1: each process
+	// knows the fact...
+	for p := 0; p < 3; p++ {
+		if !u.Knows(p, e, someOne) {
+			t.Fatalf("p%d should know someOne after a failure-free round", p)
+		}
+	}
+	// ...but knowledge levels are finite: E^j(someOne) fails at some
+	// depth, because the indistinguishability chain eventually connects to
+	// executions where inputs were all zero.
+	level := u.KnowledgeLevel(e, someOne, 32)
+	if level < 1 {
+		t.Fatalf("level = %d, want >= 1", level)
+	}
+	if level >= 32 {
+		t.Fatalf("level = %d, want finite (< 32)", level)
+	}
+	// And therefore common knowledge is not attained — the epistemic
+	// restatement of the chain argument's success at k = t = 1.
+	if u.CommonKnowledge(e, someOne) {
+		t.Fatal("someOne should not be common knowledge at k = t = 1")
+	}
+}
+
+func TestCommonKnowledgeMatchesChainVerdict(t *testing.T) {
+	// At k = t+1 = 2 the chain engine finds no chain between all-ones and
+	// all-zeros failure-free executions; common knowledge of "someOne"
+	// at all-ones is exactly the absence of any chain to a ¬someOne
+	// execution. Verify the two engines agree on the connectivity.
+	u, err := NewCrashUniverse(3, 1, 2)
+	if err != nil {
+		t.Fatalf("NewCrashUniverse: %v", err)
+	}
+	e, _ := u.Find([]int{1, 1, 1})
+	gotCK := u.CommonKnowledge(e, someOne)
+	// If CK holds, no ¬someOne execution shares the component: in
+	// particular no chain to all-zeros failure-free exists — consistent
+	// with ChainLowerBound(3,1,2) finding none. If CK fails, a chain to
+	// some all-zeros-input execution exists even at t+1 rounds (crashed
+	// processes widen the component beyond the failure-free all-zeros
+	// target the chain engine uses). Either way the level must be finite
+	// or the component must be someOne-pure; assert internal consistency.
+	level := u.KnowledgeLevel(e, someOne, 64)
+	if gotCK && level < 64 {
+		t.Fatalf("common knowledge attained but E^%d failed — operators inconsistent", level)
+	}
+	if !gotCK && level >= 64 {
+		t.Fatalf("no common knowledge but E^64 held — operators inconsistent")
+	}
+	t.Logf("k=2: common knowledge of someOne at all-ones: %v (level %d)", gotCK, level)
+}
+
+func TestKnowledgeLevelGrowsWithRounds(t *testing.T) {
+	levels := make([]int, 0, 2)
+	for _, k := range []int{1, 2} {
+		u, err := NewCrashUniverse(3, 1, k)
+		if err != nil {
+			t.Fatalf("NewCrashUniverse: %v", err)
+		}
+		e, _ := u.Find([]int{1, 1, 1})
+		levels = append(levels, u.KnowledgeLevel(e, someOne, 64))
+	}
+	if levels[1] <= levels[0] && levels[1] < 64 {
+		t.Fatalf("knowledge depth should grow with rounds: %v", levels)
+	}
+}
+
+func TestFalseFactHasNegativeLevel(t *testing.T) {
+	u, err := NewCrashUniverse(2, 1, 1)
+	if err != nil {
+		t.Fatalf("NewCrashUniverse: %v", err)
+	}
+	e, _ := u.Find([]int{0, 0})
+	if lvl := u.KnowledgeLevel(e, someOne, 8); lvl != -1 {
+		t.Fatalf("level of a false fact = %d, want -1", lvl)
+	}
+	if u.CommonKnowledge(e, someOne) {
+		t.Fatal("false fact cannot be common knowledge")
+	}
+}
+
+func TestFaultyProcessKnowsNothing(t *testing.T) {
+	u, err := NewCrashUniverse(3, 1, 1)
+	if err != nil {
+		t.Fatalf("NewCrashUniverse: %v", err)
+	}
+	for i := 0; i < u.Len(); i++ {
+		ex := u.Execution(i)
+		for p, f := range ex.Faulty {
+			if f && u.Knows(p, i, someOne) {
+				t.Fatalf("faulty p%d reported as knowing", p)
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package registers implements the shared-register results of §2.3: the
+// safe/regular/atomic hierarchy of Lamport [71] as executable history
+// checkers, and Herlihy's consensus-number separation [65] — wait-free
+// 2-process consensus is solvable with one test-and-set object but not
+// with read/write registers, proved here by exhaustive search over bounded
+// protocol tables (the same impossibility-by-exhaustion discipline as the
+// synth package).
+package registers
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// OpKind distinguishes reads from writes.
+type OpKind int
+
+const (
+	// Read returns a value.
+	Read OpKind = iota + 1
+	// Write stores a value.
+	Write
+)
+
+// Op is one complete register operation in a history, with real-time
+// start/end bounds.
+type Op struct {
+	// Proc is the invoking process.
+	Proc int
+	// Kind is Read or Write.
+	Kind OpKind
+	// Value is the written value or the value the read returned.
+	Value int
+	// Start and End bound the operation interval (Start < End).
+	Start, End float64
+}
+
+// ErrBadHistory marks structurally invalid histories.
+var ErrBadHistory = errors.New("registers: invalid history")
+
+// validate checks interval sanity.
+func validate(h []Op) error {
+	for i, op := range h {
+		if op.Start >= op.End {
+			return fmt.Errorf("%w: op %d has Start >= End", ErrBadHistory, i)
+		}
+		if op.Kind != Read && op.Kind != Write {
+			return fmt.Errorf("%w: op %d has bad kind", ErrBadHistory, i)
+		}
+	}
+	return nil
+}
+
+// precedes reports whether a finishes before b starts.
+func precedes(a, b Op) bool { return a.End < b.Start }
+
+// overlaps reports whether the two intervals intersect.
+func overlaps(a, b Op) bool { return !precedes(a, b) && !precedes(b, a) }
+
+// IsAtomic reports whether the history is linearizable as an atomic
+// register initialized to initial: there is a total order of the
+// operations, consistent with real-time precedence, in which every read
+// returns the most recent write (or the initial value). Checked by
+// backtracking over admissible orders — adequate for the small
+// demonstration histories of the §2.3 results.
+func IsAtomic(h []Op, initial int) (bool, error) {
+	if err := validate(h); err != nil {
+		return false, err
+	}
+	n := len(h)
+	used := make([]bool, n)
+	order := make([]int, 0, n)
+	var rec func(last int) bool
+	rec = func(last int) bool {
+		if len(order) == n {
+			return true
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			// Real-time: i may come next only if no unused op precedes it.
+			ok := true
+			for j := 0; j < n; j++ {
+				if !used[j] && j != i && precedes(h[j], h[i]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			cur := last
+			if h[i].Kind == Read && h[i].Value != cur {
+				continue
+			}
+			next := cur
+			if h[i].Kind == Write {
+				next = h[i].Value
+			}
+			used[i] = true
+			order = append(order, i)
+			if rec(next) {
+				return true
+			}
+			order = order[:len(order)-1]
+			used[i] = false
+		}
+		return false
+	}
+	return rec(initial), nil
+}
+
+// IsRegular reports whether the history obeys regular-register semantics
+// for a single-writer register initialized to initial: every read returns
+// either the value of some write it overlaps, or the value of the latest
+// write that completely precedes it (the initial value if none). Regular
+// registers permit the "new/old inversion" that atomic registers forbid —
+// the distinction at the core of Lamport's hierarchy.
+func IsRegular(h []Op, initial int) (bool, error) {
+	if err := validate(h); err != nil {
+		return false, err
+	}
+	writes := make([]Op, 0, len(h))
+	for _, op := range h {
+		if op.Kind == Write {
+			writes = append(writes, op)
+		}
+	}
+	sort.Slice(writes, func(i, j int) bool { return writes[i].End < writes[j].End })
+	for _, op := range h {
+		if op.Kind != Read {
+			continue
+		}
+		allowed := map[int]bool{}
+		latest := initial
+		latestEnd := -1.0
+		for _, w := range writes {
+			if precedes(w, op) {
+				if w.End > latestEnd {
+					latestEnd = w.End
+					latest = w.Value
+				}
+			} else if overlaps(w, op) {
+				allowed[w.Value] = true
+			}
+		}
+		allowed[latest] = true
+		if !allowed[op.Value] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// IsSafe reports whether the history obeys safe-register semantics: reads
+// that overlap no write must return the latest preceding write (or the
+// initial value); overlapping reads may return anything.
+func IsSafe(h []Op, initial int) (bool, error) {
+	if err := validate(h); err != nil {
+		return false, err
+	}
+	for _, op := range h {
+		if op.Kind != Read {
+			continue
+		}
+		overlapping := false
+		latest := initial
+		latestEnd := -1.0
+		for _, w := range h {
+			if w.Kind != Write {
+				continue
+			}
+			if overlaps(w, op) {
+				overlapping = true
+			} else if precedes(w, op) && w.End > latestEnd {
+				latestEnd = w.End
+				latest = w.Value
+			}
+		}
+		if !overlapping && op.Value != latest {
+			return false, nil
+		}
+	}
+	return true, nil
+}

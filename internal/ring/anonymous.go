@@ -1,0 +1,226 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file mechanizes Angluin's symmetry argument (§2.4.1): in a ring of
+// indistinguishable deterministic processes with identical inputs, every
+// process has the same state after every round, so no algorithm can ever
+// put one process in a state ("I am the leader") that the others are not
+// in. The executor runs an arbitrary anonymous protocol in lockstep and
+// verifies the symmetry invariant round by round; the moment a protocol
+// declares a leader, all n processes have declared simultaneously — the
+// contradiction made concrete. Itai–Rodeh randomized election (§2.4.2,
+// [66]) circumvents the argument by breaking symmetry with coin flips.
+
+// Status classifies an anonymous process's self-assessment.
+type Status int
+
+const (
+	// Unknown: the process has not resolved its role.
+	Unknown Status = iota + 1
+	// Leader: the process claims leadership.
+	Leader
+	// Follower: the process has renounced leadership.
+	Follower
+)
+
+// AnonymousProtocol is a deterministic, anonymous, synchronous ring
+// protocol: all processes run identical code with no identifiers. Each
+// round every process sends one message in each direction, then folds the
+// two received messages into its state.
+type AnonymousProtocol interface {
+	// Name identifies the protocol.
+	Name() string
+	// Init returns the (identical) initial state for a common input.
+	Init(input int) string
+	// Round computes the messages to send from the current state.
+	Round(state string) (toLeft, toRight string)
+	// Receive folds the messages arriving from the two neighbors.
+	Receive(state, fromLeft, fromRight string) string
+	// Status reports the process's self-assessment.
+	Status(state string) Status
+}
+
+// SymmetryReport is the verdict of CheckAnonymousSymmetry.
+type SymmetryReport struct {
+	// SymmetricForever is true when all rounds kept all states equal and
+	// no leader emerged (the protocol cannot ever elect).
+	SymmetricForever bool
+	// AllDeclaredLeader is true when the protocol "elected": every
+	// process declared leadership in the same round — a uniqueness
+	// violation.
+	AllDeclaredLeader bool
+	// RoundOfViolation is the round in which all processes declared.
+	RoundOfViolation int
+	// RoundsRun is the number of rounds simulated.
+	RoundsRun int
+}
+
+// CheckAnonymousSymmetry runs the protocol on a ring of n identical
+// processes for up to maxRounds rounds and reports the Angluin dichotomy.
+// It returns an error if the symmetry invariant ever breaks — which for a
+// truly anonymous deterministic protocol cannot happen, so an error means
+// the protocol smuggled in an identifier.
+func CheckAnonymousSymmetry(p AnonymousProtocol, n, input, maxRounds int) (SymmetryReport, error) {
+	if n < 2 {
+		return SymmetryReport{}, fmt.Errorf("ring: need n >= 2, got %d", n)
+	}
+	states := make([]string, n)
+	for i := range states {
+		states[i] = p.Init(input)
+	}
+	rep := SymmetryReport{}
+	for round := 1; round <= maxRounds; round++ {
+		rep.RoundsRun = round
+		toLeft := make([]string, n)
+		toRight := make([]string, n)
+		for i, s := range states {
+			toLeft[i], toRight[i] = p.Round(s)
+		}
+		for i := range states {
+			fromLeft := toRight[(i-1+n)%n]
+			fromRight := toLeft[(i+1)%n]
+			states[i] = p.Receive(states[i], fromLeft, fromRight)
+		}
+		for i := 1; i < n; i++ {
+			if states[i] != states[0] {
+				return rep, fmt.Errorf("ring: symmetry broke at round %d (process %d differs) — protocol is not anonymous", round, i)
+			}
+		}
+		if p.Status(states[0]) == Leader {
+			rep.AllDeclaredLeader = true
+			rep.RoundOfViolation = round
+			return rep, nil
+		}
+	}
+	rep.SymmetricForever = true
+	return rep, nil
+}
+
+// countdownProto "elects" by declaring leadership after k rounds — the
+// naive attempt the symmetry argument demolishes: all n processes declare
+// together.
+type countdownProto struct {
+	k int
+}
+
+// NewCountdownProtocol returns the declare-after-k-rounds protocol.
+func NewCountdownProtocol(k int) AnonymousProtocol { return &countdownProto{k: k} }
+
+func (c *countdownProto) Name() string                  { return fmt.Sprintf("countdown(%d)", c.k) }
+func (c *countdownProto) Init(int) string               { return "0" }
+func (c *countdownProto) Round(string) (string, string) { return "x", "x" }
+
+func (c *countdownProto) Receive(state, _, _ string) string {
+	var r int
+	fmt.Sscanf(state, "%d", &r)
+	return fmt.Sprintf("%d", r+1)
+}
+
+func (c *countdownProto) Status(state string) Status {
+	var r int
+	fmt.Sscanf(state, "%d", &r)
+	if r >= c.k {
+		return Leader
+	}
+	return Unknown
+}
+
+// foreverProto never declares: the other horn of the dichotomy.
+type foreverProto struct{}
+
+// NewForeverProtocol returns a protocol that never declares a leader.
+func NewForeverProtocol() AnonymousProtocol { return foreverProto{} }
+
+func (foreverProto) Name() string                  { return "forever-undecided" }
+func (foreverProto) Init(int) string               { return "s" }
+func (foreverProto) Round(string) (string, string) { return "m", "m" }
+func (foreverProto) Receive(s, _, _ string) string { return s }
+func (foreverProto) Status(string) Status          { return Unknown }
+
+// ItaiRodehResult reports a randomized anonymous election.
+type ItaiRodehResult struct {
+	// Leader is the winning position.
+	Leader int
+	// Phases is the number of id-drawing phases used.
+	Phases int
+	// Messages counts hop-by-hop traffic.
+	Messages int
+}
+
+// RunItaiRodeh elects a leader on an anonymous unidirectional ring of n
+// processes using randomization: in each phase every remaining candidate
+// draws a random id from [0, space); the ids circulate with hop counts and
+// duplicate flags; a unique maximum wins, tied maxima re-draw. The ring
+// size n is known to the processes (provably necessary: without n, even
+// randomized election is impossible, §2.4.2 [1]).
+func RunItaiRodeh(n, space int, rng *rand.Rand, maxPhases int) (ItaiRodehResult, error) {
+	if n < 2 || space < 2 {
+		return ItaiRodehResult{}, fmt.Errorf("ring: need n >= 2 and space >= 2, got %d/%d", n, space)
+	}
+	res := ItaiRodehResult{Leader: -1}
+	candidates := make([]bool, n)
+	for i := range candidates {
+		candidates[i] = true
+	}
+	for phase := 1; phase <= maxPhases; phase++ {
+		res.Phases = phase
+		ids := make([]int, n)
+		for i := range ids {
+			if candidates[i] {
+				ids[i] = rng.Intn(space)
+			} else {
+				ids[i] = -1
+			}
+		}
+		maxID := -1
+		for i, c := range candidates {
+			if c && ids[i] > maxID {
+				maxID = ids[i]
+			}
+		}
+		winners := 0
+		for i, c := range candidates {
+			if c && ids[i] == maxID {
+				winners++
+			}
+		}
+		// Token circulation cost: each candidate's token travels until
+		// swallowed by a strictly larger id or, for the maxima, the whole
+		// ring. Count hops explicitly.
+		for i, c := range candidates {
+			if !c {
+				continue
+			}
+			if ids[i] == maxID {
+				res.Messages += n
+				continue
+			}
+			hops := 0
+			for j := 1; j < n; j++ {
+				hops++
+				pos := (i + j) % n
+				if candidates[pos] && ids[pos] > ids[i] {
+					break
+				}
+			}
+			res.Messages += hops
+		}
+		if winners == 1 {
+			for i, c := range candidates {
+				if c && ids[i] == maxID {
+					res.Leader = i
+					return res, nil
+				}
+			}
+		}
+		// Tie: only the tied maxima survive to the next phase.
+		for i := range candidates {
+			candidates[i] = candidates[i] && ids[i] == maxID
+		}
+	}
+	return res, ErrNoElection
+}

@@ -1,0 +1,63 @@
+package ring
+
+// RunPetersonUnidirectional runs Peterson's O(n log n) election for
+// unidirectional rings (§2.4.2's upper-bound landscape): in each phase an
+// active process adopts the maximum of its own temporary id and the ids of
+// its two nearest active predecessors — it survives exactly when its
+// predecessor's id is a local maximum — so at most half the candidates
+// survive each phase. Relay nodes forward messages; every hop is counted.
+func RunPetersonUnidirectional(ids []int) (ElectionResult, error) {
+	n := len(ids)
+	if err := validateIDs(ids); err != nil {
+		return ElectionResult{}, err
+	}
+	res := ElectionResult{Leader: -1}
+	// active holds ring positions of still-competing processes in ring
+	// order; tids their temporary identifiers.
+	active := make([]int, n)
+	tids := make([]int, n)
+	for i := range active {
+		active[i] = i
+		tids[i] = ids[i]
+	}
+	gap := func(from, to int) int { return ((to - from) + n) % n }
+	for phase := 1; len(active) > 1; phase++ {
+		res.Rounds = phase
+		m := len(active)
+		// First wave: every active sends its tid to its active successor.
+		// Hop cost: the full ring is traversed once per wave.
+		d1 := make([]int, m) // d1[i]: tid of i's active predecessor
+		for i := 0; i < m; i++ {
+			pred := (i - 1 + m) % m
+			res.Messages += gap(active[pred], active[i])
+			d1[i] = tids[pred]
+		}
+		// Second wave: forward the received value one more active hop.
+		d2 := make([]int, m) // d2[i]: tid of i's second active predecessor
+		for i := 0; i < m; i++ {
+			pred := (i - 1 + m) % m
+			res.Messages += gap(active[pred], active[i])
+			d2[i] = d1[pred]
+		}
+		// Survival rule: i survives iff d1[i] > tids[i] and d1[i] > d2[i],
+		// adopting d1[i]; a unique maximum tid always survives.
+		var nextActive, nextTids []int
+		for i := 0; i < m; i++ {
+			if d1[i] > tids[i] && d1[i] > d2[i] {
+				nextActive = append(nextActive, active[i])
+				nextTids = append(nextTids, d1[i])
+			}
+		}
+		if len(nextActive) == 0 {
+			// All candidates died (possible only when m == 1 handled by
+			// the loop condition, so this is a defect guard).
+			return res, ErrNoElection
+		}
+		active, tids = nextActive, nextTids
+	}
+	// Announcement lap: the survivor circulates a leader message.
+	res.Messages += n
+	res.Leader = active[0]
+	res.LeaderID = ids[active[0]]
+	return res, nil
+}

@@ -1,0 +1,293 @@
+// Package ring implements leader election in ring networks and the
+// impossibility/lower-bound apparatus of §2.4: the LCR and
+// Hirschberg–Sinclair algorithms whose message counts bracket the
+// Ω(n log n) lower bound, the Frederickson–Lynch "variable speeds"
+// counterexample algorithm (O(n) messages bought with time exponential in
+// the identifiers — demonstrating that the lower bound's assumptions are
+// necessary), Angluin's symmetry argument for anonymous rings, and the
+// Itai–Rodeh randomized election that circumvents it.
+package ring
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoElection is returned when an election fails to complete within its
+// budget.
+var ErrNoElection = errors.New("ring: no leader elected within budget")
+
+// ElectionResult reports one election run.
+type ElectionResult struct {
+	// Leader is the elected process's ring position.
+	Leader int
+	// LeaderID is the elected identifier.
+	LeaderID int
+	// Messages counts all messages sent (hop by hop).
+	Messages int
+	// Rounds is the number of synchronous rounds used.
+	Rounds int
+}
+
+// RunLCR runs the LeLann–Chang–Roberts algorithm on a unidirectional ring
+// whose position i holds ids[i]: every process launches its id clockwise;
+// a process forwards ids larger than its own and swallows smaller ones;
+// an id returning home wins. Messages are counted hop by hop. Worst case
+// Θ(n²) (descending arrangement), best case n.
+func RunLCR(ids []int) (ElectionResult, error) {
+	n := len(ids)
+	if err := validateIDs(ids); err != nil {
+		return ElectionResult{}, err
+	}
+	// tokens[i] is the id in flight on the link from i to i+1, or -1.
+	tokens := make([]int, n)
+	for i := range tokens {
+		tokens[i] = ids[i]
+	}
+	res := ElectionResult{Leader: -1}
+	inflight := n
+	for round := 1; inflight > 0; round++ {
+		res.Rounds = round
+		next := make([]int, n)
+		for i := range next {
+			next[i] = -1
+		}
+		for i, tok := range tokens {
+			if tok < 0 {
+				continue
+			}
+			res.Messages++
+			dst := (i + 1) % n
+			switch {
+			case tok == ids[dst]:
+				res.Leader = dst
+				res.LeaderID = tok
+				inflight--
+			case tok > ids[dst]:
+				next[dst] = tok // forward
+			default:
+				inflight-- // swallowed
+			}
+		}
+		tokens = next
+		if res.Leader >= 0 {
+			break
+		}
+	}
+	if res.Leader < 0 {
+		return res, ErrNoElection
+	}
+	return res, nil
+}
+
+func validateIDs(ids []int) error {
+	if len(ids) < 2 {
+		return fmt.Errorf("ring: need at least 2 processes, got %d", len(ids))
+	}
+	seen := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		if id < 0 {
+			return fmt.Errorf("ring: negative id %d", id)
+		}
+		if seen[id] {
+			return fmt.Errorf("ring: duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
+// hsMessage is a Hirschberg–Sinclair probe or reply.
+type hsMessage struct {
+	id   int
+	hops int  // remaining travel budget for probes
+	out  bool // probe (outbound) vs reply (inbound)
+}
+
+// RunHS runs the Hirschberg–Sinclair algorithm on a bidirectional ring:
+// candidates probe neighborhoods of doubling radius in both directions;
+// probes are swallowed by processes with larger ids; a candidate whose
+// probe comes home as a probe is the leader. O(n log n) messages in every
+// case.
+func RunHS(ids []int) (ElectionResult, error) {
+	n := len(ids)
+	if err := validateIDs(ids); err != nil {
+		return ElectionResult{}, err
+	}
+	res := ElectionResult{Leader: -1}
+	// Per-direction link queues: cw[i] travels i -> i+1, ccw[i] travels
+	// i -> i-1. Each entry is processed in synchronous rounds.
+	type link struct{ msgs []hsMessage }
+	cw := make([]link, n)
+	ccw := make([]link, n)
+	phase := make([]int, n)   // current phase per candidate
+	replies := make([]int, n) // replies received in current phase
+	for i := 0; i < n; i++ {
+		cw[i].msgs = append(cw[i].msgs, hsMessage{id: ids[i], hops: 1, out: true})
+		ccw[i].msgs = append(ccw[i].msgs, hsMessage{id: ids[i], hops: 1, out: true})
+		res.Messages += 2
+	}
+	for round := 1; res.Leader < 0; round++ {
+		res.Rounds = round
+		if round > 16*n*n { // generous safety budget
+			return res, ErrNoElection
+		}
+		newCW := make([]link, n)
+		newCCW := make([]link, n)
+		send := func(from int, clockwise bool, m hsMessage) {
+			res.Messages++
+			if clockwise {
+				newCW[from].msgs = append(newCW[from].msgs, m)
+			} else {
+				newCCW[from].msgs = append(newCCW[from].msgs, m)
+			}
+		}
+		deliver := func(to int, clockwise bool, m hsMessage) {
+			if m.out {
+				switch {
+				case m.id == ids[to]:
+					res.Leader = to // probe came home
+					res.LeaderID = m.id
+				case m.id > ids[to] && m.hops > 1:
+					send(to, clockwise, hsMessage{id: m.id, hops: m.hops - 1, out: true})
+				case m.id > ids[to]:
+					// Probe exhausted: turn it around as a reply.
+					send(to, !clockwise, hsMessage{id: m.id, out: false})
+				default:
+					// Swallowed by a larger id.
+				}
+				return
+			}
+			// Reply traveling home.
+			if m.id == ids[to] {
+				replies[to]++
+				if replies[to] == 2 {
+					phase[to]++
+					replies[to] = 0
+					budget := 1 << uint(phase[to])
+					send(to, true, hsMessage{id: m.id, hops: budget, out: true})
+					send(to, false, hsMessage{id: m.id, hops: budget, out: true})
+				}
+				return
+			}
+			send(to, clockwise, m) // relay the reply in its direction of travel
+		}
+		quiet := true
+		for i := 0; i < n; i++ {
+			for _, m := range cw[i].msgs {
+				quiet = false
+				deliver((i+1)%n, true, m)
+			}
+			for _, m := range ccw[i].msgs {
+				quiet = false
+				deliver((i-1+n)%n, false, m)
+			}
+		}
+		if quiet {
+			return res, ErrNoElection
+		}
+		cw, ccw = newCW, newCCW
+	}
+	return res, nil
+}
+
+// RunVariableSpeeds runs the Frederickson–Lynch style counterexample
+// algorithm on a synchronous unidirectional ring: the token carrying id v
+// moves one hop every 2^v rounds, and a process swallows tokens whose id
+// exceeds the smallest it has seen. The smallest id's token laps the ring
+// alone: O(n) messages in every execution, at the price of running time
+// ~n·2^(min id) — time exponential in the identifier magnitudes, which is
+// exactly why the Ω(n log n) bound's assumptions (comparison-based, or
+// time bounded relative to the id space) are necessary (§2.4.2).
+func RunVariableSpeeds(ids []int) (ElectionResult, error) {
+	n := len(ids)
+	if err := validateIDs(ids); err != nil {
+		return ElectionResult{}, err
+	}
+	type token struct {
+		id  int
+		pos int
+	}
+	tokens := make([]token, 0, n)
+	smallest := make([]int, n) // smallest id seen by each process
+	minID := ids[0]
+	for i, id := range ids {
+		tokens = append(tokens, token{id: id, pos: i})
+		smallest[i] = id
+		if id < minID {
+			minID = id
+		}
+	}
+	res := ElectionResult{Leader: -1}
+	for round := 1; ; round++ {
+		res.Rounds = round
+		if round > n*(1<<uint(minID))+n {
+			return res, ErrNoElection
+		}
+		kept := tokens[:0]
+		for _, tk := range tokens {
+			if round%(1<<uint(tk.id)) != 0 {
+				kept = append(kept, tk) // not this token's round to move
+				continue
+			}
+			res.Messages++
+			dst := (tk.pos + 1) % n
+			if tk.id == ids[dst] {
+				res.Leader = dst
+				res.LeaderID = tk.id
+				return res, nil
+			}
+			if tk.id < smallest[dst] {
+				smallest[dst] = tk.id
+				kept = append(kept, token{id: tk.id, pos: dst})
+			}
+			// Otherwise swallowed: dst has seen something smaller.
+		}
+		tokens = append([]token(nil), kept...)
+		if len(tokens) == 0 {
+			return res, ErrNoElection
+		}
+	}
+}
+
+// DescendingIDs returns the LCR worst-case arrangement n-1, n-2, ..., 0.
+func DescendingIDs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = n - 1 - i
+	}
+	return out
+}
+
+// AscendingIDs returns the LCR best-case arrangement 0, 1, ..., n-1.
+func AscendingIDs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// BitReversalIDs returns a highly symmetric arrangement (the paper's
+// 0,4,2,6,1,5,3,7 example generalized): position i holds the bit-reversal
+// of i. n must be a power of two.
+func BitReversalIDs(n int) ([]int, error) {
+	bits := 0
+	for 1<<uint(bits) < n {
+		bits++
+	}
+	if 1<<uint(bits) != n {
+		return nil, fmt.Errorf("ring: BitReversalIDs needs a power of two, got %d", n)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		r := 0
+		for b := 0; b < bits; b++ {
+			if i&(1<<uint(b)) != 0 {
+				r |= 1 << uint(bits-1-b)
+			}
+		}
+		out[i] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,355 @@
+package ring
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLCRElectsMaximum(t *testing.T) {
+	cases := [][]int{
+		{3, 1, 2},
+		{0, 1, 2, 3, 4},
+		{9, 2, 7, 4, 1, 0},
+	}
+	for _, ids := range cases {
+		res, err := RunLCR(ids)
+		if err != nil {
+			t.Fatalf("RunLCR(%v): %v", ids, err)
+		}
+		wantID := 0
+		for _, id := range ids {
+			if id > wantID {
+				wantID = id
+			}
+		}
+		if res.LeaderID != wantID {
+			t.Errorf("ids=%v: leader id %d, want %d", ids, res.LeaderID, wantID)
+		}
+		if ids[res.Leader] != wantID {
+			t.Errorf("ids=%v: leader position %d does not hold the max", ids, res.Leader)
+		}
+	}
+}
+
+func TestLCRMessageExtremes(t *testing.T) {
+	n := 16
+	worst, err := RunLCR(DescendingIDs(n))
+	if err != nil {
+		t.Fatalf("RunLCR: %v", err)
+	}
+	best, err := RunLCR(AscendingIDs(n))
+	if err != nil {
+		t.Fatalf("RunLCR: %v", err)
+	}
+	// Descending: id at distance k from max travels k+1... total Θ(n²).
+	if worst.Messages < n*n/2 {
+		t.Errorf("worst-case messages = %d, want >= %d (Θ(n²))", worst.Messages, n*n/2)
+	}
+	// Ascending: every non-max id dies after 1 hop; the max laps the ring.
+	if best.Messages != 2*n-1 {
+		t.Errorf("best-case messages = %d, want %d", best.Messages, 2*n-1)
+	}
+}
+
+func TestLCRPropertyLeaderIsMax(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%14) + 2
+		rng := rand.New(rand.NewSource(seed))
+		ids := rng.Perm(n * 3)[:n]
+		res, err := RunLCR(ids)
+		if err != nil {
+			return false
+		}
+		for _, id := range ids {
+			if id > res.LeaderID {
+				return false
+			}
+		}
+		return ids[res.Leader] == res.LeaderID
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHSElectsMaximumWithNLogNMessages(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		ids := DescendingIDs(n)
+		res, err := RunHS(ids)
+		if err != nil {
+			t.Fatalf("RunHS(n=%d): %v", n, err)
+		}
+		if res.LeaderID != n-1 {
+			t.Errorf("n=%d: leader id %d, want %d", n, res.LeaderID, n-1)
+		}
+		bound := int(10 * float64(n) * (math.Log2(float64(n)) + 2))
+		if res.Messages > bound {
+			t.Errorf("n=%d: HS used %d messages, above the O(n log n) bound %d", n, res.Messages, bound)
+		}
+	}
+}
+
+func TestHSBeatsLCROnWorstCase(t *testing.T) {
+	n := 32
+	lcr, err := RunLCR(DescendingIDs(n))
+	if err != nil {
+		t.Fatalf("RunLCR: %v", err)
+	}
+	hs, err := RunHS(DescendingIDs(n))
+	if err != nil {
+		t.Fatalf("RunHS: %v", err)
+	}
+	if hs.Messages >= lcr.Messages {
+		t.Errorf("HS (%d msgs) should beat LCR (%d msgs) on the descending ring", hs.Messages, lcr.Messages)
+	}
+}
+
+func TestHSPropertyAgreesWithLCR(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%13) + 3
+		rng := rand.New(rand.NewSource(seed))
+		ids := rng.Perm(n * 2)[:n]
+		a, errA := RunLCR(ids)
+		b, errB := RunHS(ids)
+		return errA == nil && errB == nil && a.LeaderID == b.LeaderID
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariableSpeedsLinearMessagesExponentialTime(t *testing.T) {
+	// The counterexample algorithm (§2.4.2): O(n) messages, time growing
+	// with 2^(min id).
+	for _, n := range []int{4, 8, 16} {
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i // min id 0 at position 0
+		}
+		res, err := RunVariableSpeeds(ids)
+		if err != nil {
+			t.Fatalf("RunVariableSpeeds(n=%d): %v", n, err)
+		}
+		if res.LeaderID != 0 {
+			t.Errorf("n=%d: leader id %d, want the minimum 0", n, res.LeaderID)
+		}
+		if res.Messages > 4*n {
+			t.Errorf("n=%d: %d messages, want O(n) (<= %d)", n, res.Messages, 4*n)
+		}
+	}
+	// Time grows exponentially in the minimum id.
+	base, err := RunVariableSpeeds([]int{1, 2, 3, 4})
+	if err != nil {
+		t.Fatalf("RunVariableSpeeds: %v", err)
+	}
+	shifted, err := RunVariableSpeeds([]int{5, 6, 7, 8})
+	if err != nil {
+		t.Fatalf("RunVariableSpeeds: %v", err)
+	}
+	if shifted.Rounds < 8*base.Rounds {
+		t.Errorf("rounds %d vs %d: time should blow up exponentially with id magnitude", shifted.Rounds, base.Rounds)
+	}
+	if shifted.Messages > 2*base.Messages {
+		t.Errorf("messages %d vs %d: message count should stay O(n)", shifted.Messages, base.Messages)
+	}
+}
+
+func TestValidateIDs(t *testing.T) {
+	if _, err := RunLCR([]int{1}); err == nil {
+		t.Error("single process should be rejected")
+	}
+	if _, err := RunLCR([]int{1, 1}); err == nil {
+		t.Error("duplicate ids should be rejected")
+	}
+	if _, err := RunLCR([]int{-1, 2}); err == nil {
+		t.Error("negative ids should be rejected")
+	}
+}
+
+func TestBitReversalIDs(t *testing.T) {
+	ids, err := BitReversalIDs(8)
+	if err != nil {
+		t.Fatalf("BitReversalIDs: %v", err)
+	}
+	want := []int{0, 4, 2, 6, 1, 5, 3, 7} // the paper's figure
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("BitReversalIDs(8) = %v, want %v", ids, want)
+		}
+	}
+	if _, err := BitReversalIDs(6); err == nil {
+		t.Error("non-power-of-two should be rejected")
+	}
+}
+
+// TestAnonymousCountdownViolatesUniqueness: the naive anonymous protocol
+// "elects" all n processes simultaneously — Angluin's contradiction.
+func TestAnonymousCountdownViolatesUniqueness(t *testing.T) {
+	rep, err := CheckAnonymousSymmetry(NewCountdownProtocol(3), 5, 0, 10)
+	if err != nil {
+		t.Fatalf("CheckAnonymousSymmetry: %v", err)
+	}
+	if !rep.AllDeclaredLeader {
+		t.Fatal("countdown protocol should have all processes declare leadership")
+	}
+	if rep.RoundOfViolation != 3 {
+		t.Errorf("violation at round %d, want 3", rep.RoundOfViolation)
+	}
+}
+
+// TestAnonymousForeverNeverElects: the other horn — a protocol that stays
+// symmetric forever cannot elect.
+func TestAnonymousForeverNeverElects(t *testing.T) {
+	rep, err := CheckAnonymousSymmetry(NewForeverProtocol(), 4, 1, 50)
+	if err != nil {
+		t.Fatalf("CheckAnonymousSymmetry: %v", err)
+	}
+	if !rep.SymmetricForever {
+		t.Fatal("forever protocol should stay symmetric and undecided")
+	}
+}
+
+// TestAnonymousSymmetryInvariantHoldsForAnyProtocol: property test — any
+// deterministic anonymous protocol built from a transition table keeps all
+// states equal. The table is derived from the seed.
+func TestAnonymousSymmetryInvariantHoldsForAnyProtocol(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := &randomTableProto{rng: rng, table: map[string]string{}}
+		rep, err := CheckAnonymousSymmetry(p, 4, 0, 20)
+		return err == nil && (rep.SymmetricForever || rep.AllDeclaredLeader)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomTableProto is a deterministic protocol with a random (but fixed
+// per instance) transition table, for the symmetry property test.
+type randomTableProto struct {
+	rng   *rand.Rand
+	table map[string]string
+}
+
+func (r *randomTableProto) Name() string    { return "random-table" }
+func (r *randomTableProto) Init(int) string { return "a" }
+
+func (r *randomTableProto) Round(state string) (string, string) {
+	return state[:1], state[:1]
+}
+
+func (r *randomTableProto) Receive(state, l, rgt string) string {
+	key := state + "|" + l + "|" + rgt
+	if v, ok := r.table[key]; ok {
+		return v
+	}
+	v := string(rune('a' + r.rng.Intn(4)))
+	r.table[key] = v
+	return v
+}
+
+func (r *randomTableProto) Status(state string) Status {
+	if state == "d" {
+		return Leader
+	}
+	return Unknown
+}
+
+// TestItaiRodehElectsUniqueLeader: randomization circumvents Angluin
+// (E19).
+func TestItaiRodehElectsUniqueLeader(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	phasesTotal, messagesTotal := 0, 0
+	runs := 50
+	for r := 0; r < runs; r++ {
+		res, err := RunItaiRodeh(8, 8, rng, 200)
+		if err != nil {
+			t.Fatalf("run %d: %v", r, err)
+		}
+		if res.Leader < 0 || res.Leader >= 8 {
+			t.Fatalf("run %d: bad leader %d", r, res.Leader)
+		}
+		phasesTotal += res.Phases
+		messagesTotal += res.Messages
+	}
+	// With id space = n, expected phases are O(1) (well under 3).
+	if avg := float64(phasesTotal) / float64(runs); avg > 3 {
+		t.Errorf("average phases %.2f, want < 3", avg)
+	}
+	if messagesTotal == 0 {
+		t.Error("expected nonzero message counts")
+	}
+}
+
+func TestItaiRodehValidatesArgs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RunItaiRodeh(1, 4, rng, 10); err == nil {
+		t.Error("n=1 should be rejected")
+	}
+	if _, err := RunItaiRodeh(4, 1, rng, 10); err == nil {
+		t.Error("space=1 should be rejected")
+	}
+}
+
+func TestNoElectionError(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	_, err := RunItaiRodeh(4, 2, rng, 0) // zero phase budget
+	if !errors.Is(err, ErrNoElection) {
+		t.Fatalf("err = %v, want ErrNoElection", err)
+	}
+}
+
+func TestPetersonUnidirectionalElectsUniqueLeader(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		res, err := RunPetersonUnidirectional(DescendingIDs(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Leader < 0 || res.Leader >= n {
+			t.Fatalf("n=%d: bad leader %d", n, res.Leader)
+		}
+		bound := int(6*float64(n)*(math.Log2(float64(n))+1)) + n
+		if res.Messages > bound {
+			t.Errorf("n=%d: %d messages, above O(n log n) bound %d", n, res.Messages, bound)
+		}
+	}
+}
+
+func TestPetersonUnidirectionalPhases(t *testing.T) {
+	// At most ceil(log2 n)+1 phases: half the candidates die per phase.
+	res, err := RunPetersonUnidirectional(DescendingIDs(32))
+	if err != nil {
+		t.Fatalf("RunPetersonUnidirectional: %v", err)
+	}
+	if res.Rounds > 6 {
+		t.Errorf("phases = %d, want <= log2(32)+1", res.Rounds)
+	}
+}
+
+func TestLCRAverageCaseIsNLogN(t *testing.T) {
+	// §2.4.2 ([87]): the average message count of LCR over random
+	// arrangements is Θ(n log n) — far below the n²/2 worst case.
+	n := 64
+	rng := rand.New(rand.NewSource(9))
+	total := 0
+	runs := 40
+	for r := 0; r < runs; r++ {
+		ids := rng.Perm(n)
+		res, err := RunLCR(ids)
+		if err != nil {
+			t.Fatalf("RunLCR: %v", err)
+		}
+		total += res.Messages
+	}
+	avg := float64(total) / float64(runs)
+	nln := float64(n) * math.Log(float64(n))
+	if avg > 2.5*nln {
+		t.Errorf("average %f exceeds 2.5 n ln n = %f", avg, 2.5*nln)
+	}
+	if avg >= float64(n*n)/4 {
+		t.Errorf("average %f should be far below the quadratic worst case", avg)
+	}
+}

@@ -1,0 +1,395 @@
+// Package rounds implements the synchronous message-passing round model of
+// §2.2: n processes proceed in lockstep rounds, each round sending
+// messages along the edges of a network graph and then updating state on
+// the received messages, under an adversary that injects crash, omission
+// or Byzantine faults. The paper notes these models "are a lot simpler
+// than those used for asynchronous systems, because the notions of timing
+// and admissibility are much simpler" — which is why the round lower
+// bounds (§2.2.2) and process-count bounds (§2.2.1) live here.
+package rounds
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// Message is an opaque message payload; the empty string means "no
+// message sent".
+type Message = string
+
+// NoDecision marks an undecided process (alias of spec.Undecided).
+const NoDecision = spec.Undecided
+
+// Protocol is a deterministic synchronous-round protocol. States are
+// opaque to the runner.
+type Protocol interface {
+	// Name identifies the protocol in reports.
+	Name() string
+	// NumProcs returns the number of processes.
+	NumProcs() int
+	// Init returns process p's initial state for the given input value.
+	Init(p, input int) any
+	// Send returns the message process p sends to process q in round r
+	// (1-based), or "" for none. Send must not mutate the state.
+	Send(p int, state any, r, q int) Message
+	// Receive folds the messages received by p in round r into its state.
+	// msgs[q] is the message from q ("" if none arrived).
+	Receive(p int, state any, r int, msgs []Message) any
+	// Decide reports p's decision, if it has decided.
+	Decide(p int, state any) (int, bool)
+}
+
+// Adversary controls faults during a run. Implementations decide which
+// processes are faulty and what actually travels on each link.
+type Adversary interface {
+	// Faulty reports whether process p misbehaves in this execution.
+	Faulty(p int) bool
+	// Deliver intercepts the message m that process "from" would send to
+	// "to" in round r. It returns the message actually delivered and
+	// whether anything is delivered at all. For nonfaulty senders it must
+	// return (m, true).
+	Deliver(r, from, to int, m Message) (Message, bool)
+}
+
+// NoFaults is the adversary of the failure-free execution.
+type NoFaults struct{}
+
+var _ Adversary = NoFaults{}
+
+// Faulty implements Adversary.
+func (NoFaults) Faulty(int) bool { return false }
+
+// Deliver implements Adversary.
+func (NoFaults) Deliver(_, _, _ int, m Message) (Message, bool) { return m, true }
+
+// CrashSchedule crashes selected processes at chosen rounds, delivering
+// only a prefix-subset of their final-round messages — the classic crash
+// fault of the t+1 round lower bound (§2.2.2).
+type CrashSchedule struct {
+	// Crashes maps a process to its crash event; processes not present
+	// are correct.
+	Crashes map[int]Crash
+}
+
+// Crash describes one crash event.
+type Crash struct {
+	// Round is the 1-based round in which the process crashes.
+	Round int
+	// DeliverTo lists the processes that still receive the crashing
+	// process's round-Round message. Others receive nothing, and no
+	// message is sent in later rounds.
+	DeliverTo map[int]bool
+}
+
+var _ Adversary = (*CrashSchedule)(nil)
+
+// Faulty implements Adversary.
+func (c *CrashSchedule) Faulty(p int) bool {
+	_, ok := c.Crashes[p]
+	return ok
+}
+
+// Deliver implements Adversary.
+func (c *CrashSchedule) Deliver(r, from, to int, m Message) (Message, bool) {
+	cr, ok := c.Crashes[from]
+	if !ok || r < cr.Round {
+		return m, true
+	}
+	if r > cr.Round {
+		return "", false
+	}
+	if cr.DeliverTo[to] {
+		return m, true
+	}
+	return "", false
+}
+
+// NumFaulty returns the number of crashing processes.
+func (c *CrashSchedule) NumFaulty() int { return len(c.Crashes) }
+
+// ByzantineStrategy lets chosen processes send arbitrary messages. Forge
+// receives the round, link and the honest message and returns the
+// corrupted one.
+type ByzantineStrategy struct {
+	// Corrupt marks the Byzantine processes.
+	Corrupt map[int]bool
+	// Forge rewrites outgoing messages of corrupt processes.
+	Forge func(r, from, to int, honest Message) Message
+}
+
+var _ Adversary = (*ByzantineStrategy)(nil)
+
+// Faulty implements Adversary.
+func (b *ByzantineStrategy) Faulty(p int) bool { return b.Corrupt[p] }
+
+// Deliver implements Adversary.
+func (b *ByzantineStrategy) Deliver(r, from, to int, m Message) (Message, bool) {
+	if !b.Corrupt[from] {
+		return m, true
+	}
+	return b.Forge(r, from, to, m), true
+}
+
+// Graph is an undirected network over n nodes. A nil Graph means the
+// complete graph.
+type Graph struct {
+	n   int
+	adj [][]bool
+}
+
+// NewGraph builds an n-node graph from an edge list.
+func NewGraph(n int, edges [][2]int) (*Graph, error) {
+	g := &Graph{n: n, adj: make([][]bool, n)}
+	for i := range g.adj {
+		g.adj[i] = make([]bool, n)
+	}
+	for _, e := range edges {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n || e[0] == e[1] {
+			return nil, fmt.Errorf("rounds: invalid edge %v in %d-node graph", e, n)
+		}
+		g.adj[e[0]][e[1]] = true
+		g.adj[e[1]][e[0]] = true
+	}
+	return g, nil
+}
+
+// CompleteGraph returns the complete graph on n nodes.
+func CompleteGraph(n int) *Graph {
+	g := &Graph{n: n, adj: make([][]bool, n)}
+	for i := range g.adj {
+		g.adj[i] = make([]bool, n)
+		for j := range g.adj[i] {
+			g.adj[i][j] = i != j
+		}
+	}
+	return g
+}
+
+// Connected reports whether p and q share an edge.
+func (g *Graph) Connected(p, q int) bool { return g.adj[p][q] }
+
+// Connectivity returns the vertex connectivity of the graph, computed by
+// brute force over vertex-subset removals (adequate for the small
+// networks of the experiments).
+func (g *Graph) Connectivity() int {
+	if g.n <= 1 {
+		return 0
+	}
+	// Complete graph: n-1 by convention.
+	complete := true
+	for i := 0; i < g.n && complete; i++ {
+		for j := i + 1; j < g.n; j++ {
+			if !g.adj[i][j] {
+				complete = false
+				break
+			}
+		}
+	}
+	if complete {
+		return g.n - 1
+	}
+	for k := 1; k < g.n-1; k++ {
+		if g.removableSubsetDisconnects(k) {
+			return k
+		}
+	}
+	return g.n - 1
+}
+
+func (g *Graph) removableSubsetDisconnects(k int) bool {
+	subset := make([]int, k)
+	var rec func(start, i int) bool
+	rec = func(start, i int) bool {
+		if i == k {
+			return g.disconnectedWithout(subset)
+		}
+		for v := start; v < g.n; v++ {
+			subset[i] = v
+			if rec(v+1, i+1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, 0)
+}
+
+func (g *Graph) disconnectedWithout(removed []int) bool {
+	gone := make([]bool, g.n)
+	for _, v := range removed {
+		gone[v] = true
+	}
+	start := -1
+	remaining := 0
+	for v := 0; v < g.n; v++ {
+		if !gone[v] {
+			remaining++
+			if start < 0 {
+				start = v
+			}
+		}
+	}
+	if remaining <= 1 {
+		return false
+	}
+	seen := make([]bool, g.n)
+	stack := []int{start}
+	seen[start] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for w := 0; w < g.n; w++ {
+			if g.adj[v][w] && !gone[w] && !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count < remaining
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Decisions[p] is p's decision or NoDecision.
+	Decisions []int
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// MessagesSent counts nonempty messages put on links (before
+	// adversarial filtering), a proxy for the §2.2.3 message bounds.
+	MessagesSent int
+	// MessagesDelivered counts messages that actually arrived.
+	MessagesDelivered int
+	// BytesSent totals the sizes of sent messages — the communication
+	// bit-complexity measure of §2.4.2/[84] and the contrast between
+	// EIG's exponential messages and phase-king's constant ones.
+	BytesSent int
+	// Faulty[p] reports whether the adversary corrupted p.
+	Faulty []bool
+	// Views[p] is p's full receive transcript, used by chain and scenario
+	// arguments: entry r*n+q is the message p received from q in round
+	// r+1 ("" if none).
+	Views [][]Message
+}
+
+// RunOptions configures Run.
+type RunOptions struct {
+	// Rounds is the number of rounds to execute (required, >= 1).
+	Rounds int
+	// Network is the communication graph (nil = complete).
+	Network *Graph
+	// RecordViews retains per-process receive transcripts in the Result.
+	RecordViews bool
+}
+
+// Run executes the protocol synchronously for the configured number of
+// rounds under the adversary and collects decisions.
+func Run(p Protocol, inputs []int, adv Adversary, opts RunOptions) (Result, error) {
+	n := p.NumProcs()
+	if len(inputs) != n {
+		return Result{}, fmt.Errorf("rounds: %d inputs for %d processes", len(inputs), n)
+	}
+	if opts.Rounds < 1 {
+		return Result{}, errors.New("rounds: RunOptions.Rounds must be >= 1")
+	}
+	net := opts.Network
+	if net == nil {
+		net = CompleteGraph(n)
+	}
+	if net.n != n {
+		return Result{}, fmt.Errorf("rounds: network has %d nodes for %d processes", net.n, n)
+	}
+	states := make([]any, n)
+	for i := 0; i < n; i++ {
+		states[i] = p.Init(i, inputs[i])
+	}
+	res := Result{
+		Decisions: make([]int, n),
+		Rounds:    opts.Rounds,
+		Faulty:    make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		res.Faulty[i] = adv.Faulty(i)
+	}
+	if opts.RecordViews {
+		res.Views = make([][]Message, n)
+		for i := range res.Views {
+			res.Views[i] = make([]Message, opts.Rounds*n)
+		}
+	}
+	inbox := make([][]Message, n)
+	for i := range inbox {
+		inbox[i] = make([]Message, n)
+	}
+	for r := 1; r <= opts.Rounds; r++ {
+		for i := range inbox {
+			for j := range inbox[i] {
+				inbox[i][j] = ""
+			}
+		}
+		for from := 0; from < n; from++ {
+			for to := 0; to < n; to++ {
+				if from == to || !net.Connected(from, to) {
+					continue
+				}
+				m := p.Send(from, states[from], r, to)
+				if m != "" {
+					res.MessagesSent++
+					res.BytesSent += len(m)
+				}
+				got, ok := adv.Deliver(r, from, to, m)
+				if ok && got != "" {
+					inbox[to][from] = got
+					res.MessagesDelivered++
+				}
+			}
+		}
+		for q := 0; q < n; q++ {
+			states[q] = p.Receive(q, states[q], r, inbox[q])
+			if opts.RecordViews {
+				copy(res.Views[q][(r-1)*n:r*n], inbox[q])
+			}
+		}
+	}
+	for q := 0; q < n; q++ {
+		if d, ok := p.Decide(q, states[q]); ok {
+			res.Decisions[q] = d
+		} else {
+			res.Decisions[q] = NoDecision
+		}
+	}
+	return res, nil
+}
+
+// OmissionSchedule makes selected processes send-omission faulty: they
+// follow the protocol but some of their messages silently vanish. Unlike
+// a crash, an omitter keeps participating, and unlike a Byzantine process
+// it never lies — the intermediate fault model of §2.2.2's
+// crash/omission/Byzantine gradation.
+type OmissionSchedule struct {
+	// Omit[p] lists the dropped (round, receiver) pairs for faulty p.
+	Omit map[int]map[[2]int]bool
+}
+
+var _ Adversary = (*OmissionSchedule)(nil)
+
+// Faulty implements Adversary.
+func (o *OmissionSchedule) Faulty(p int) bool {
+	_, ok := o.Omit[p]
+	return ok
+}
+
+// Deliver implements Adversary.
+func (o *OmissionSchedule) Deliver(r, from, to int, m Message) (Message, bool) {
+	drops, ok := o.Omit[from]
+	if !ok {
+		return m, true
+	}
+	if drops[[2]int{r, to}] {
+		return "", false
+	}
+	return m, true
+}

@@ -1,0 +1,170 @@
+package rounds
+
+import (
+	"strconv"
+	"testing"
+)
+
+// echoProto broadcasts its input every round and decides the max seen.
+type echoProto struct{ n int }
+
+func (e echoProto) Name() string       { return "echo" }
+func (e echoProto) NumProcs() int      { return e.n }
+func (e echoProto) Init(_, in int) any { return in }
+
+func (e echoProto) Send(_ int, state any, _, _ int) Message {
+	return strconv.Itoa(state.(int))
+}
+
+func (e echoProto) Receive(_ int, state any, _ int, msgs []Message) any {
+	best := state.(int)
+	for _, m := range msgs {
+		if m == "" {
+			continue
+		}
+		if v, err := strconv.Atoi(m); err == nil && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func (e echoProto) Decide(_ int, state any) (int, bool) { return state.(int), true }
+
+func TestRunFailureFree(t *testing.T) {
+	res, err := Run(echoProto{n: 3}, []int{0, 1, 0}, NoFaults{}, RunOptions{Rounds: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for p, d := range res.Decisions {
+		if d != 1 {
+			t.Errorf("p%d decided %d, want 1", p, d)
+		}
+	}
+	if res.MessagesSent != 6 || res.MessagesDelivered != 6 {
+		t.Errorf("messages sent/delivered = %d/%d, want 6/6", res.MessagesSent, res.MessagesDelivered)
+	}
+}
+
+func TestRunValidatesArguments(t *testing.T) {
+	if _, err := Run(echoProto{n: 3}, []int{0, 1}, NoFaults{}, RunOptions{Rounds: 1}); err == nil {
+		t.Error("input length mismatch should error")
+	}
+	if _, err := Run(echoProto{n: 3}, []int{0, 1, 0}, NoFaults{}, RunOptions{}); err == nil {
+		t.Error("zero rounds should error")
+	}
+	wrong := CompleteGraph(4)
+	if _, err := Run(echoProto{n: 3}, []int{0, 1, 0}, NoFaults{}, RunOptions{Rounds: 1, Network: wrong}); err == nil {
+		t.Error("network size mismatch should error")
+	}
+}
+
+func TestCrashScheduleSemantics(t *testing.T) {
+	sched := &CrashSchedule{Crashes: map[int]Crash{
+		1: {Round: 2, DeliverTo: map[int]bool{0: true}},
+	}}
+	if !sched.Faulty(1) || sched.Faulty(0) {
+		t.Fatal("faulty classification wrong")
+	}
+	if sched.NumFaulty() != 1 {
+		t.Fatal("NumFaulty wrong")
+	}
+	// Before the crash round: full delivery.
+	if m, ok := sched.Deliver(1, 1, 2, "x"); !ok || m != "x" {
+		t.Error("round 1 should deliver")
+	}
+	// Crash round: only the listed receivers.
+	if _, ok := sched.Deliver(2, 1, 2, "x"); ok {
+		t.Error("round 2 to p2 should drop")
+	}
+	if m, ok := sched.Deliver(2, 1, 0, "x"); !ok || m != "x" {
+		t.Error("round 2 to p0 should deliver")
+	}
+	// After the crash: nothing.
+	if _, ok := sched.Deliver(3, 1, 0, "x"); ok {
+		t.Error("round 3 should drop")
+	}
+	// Other senders unaffected.
+	if m, ok := sched.Deliver(3, 0, 2, "y"); !ok || m != "y" {
+		t.Error("nonfaulty sender should deliver")
+	}
+}
+
+func TestByzantineStrategyForgesOnlyCorrupt(t *testing.T) {
+	byz := &ByzantineStrategy{
+		Corrupt: map[int]bool{2: true},
+		Forge:   func(_, _, _ int, _ Message) Message { return "lie" },
+	}
+	if m, _ := byz.Deliver(1, 0, 1, "truth"); m != "truth" {
+		t.Error("honest sender message should pass through")
+	}
+	if m, _ := byz.Deliver(1, 2, 1, "truth"); m != "lie" {
+		t.Error("corrupt sender message should be forged")
+	}
+}
+
+func TestGraphConnectivity(t *testing.T) {
+	ring4, err := NewGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if err != nil {
+		t.Fatalf("NewGraph: %v", err)
+	}
+	if got := ring4.Connectivity(); got != 2 {
+		t.Errorf("ring connectivity = %d, want 2", got)
+	}
+	if got := CompleteGraph(4).Connectivity(); got != 3 {
+		t.Errorf("K4 connectivity = %d, want 3", got)
+	}
+	line, err := NewGraph(3, [][2]int{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatalf("NewGraph: %v", err)
+	}
+	if got := line.Connectivity(); got != 1 {
+		t.Errorf("line connectivity = %d, want 1", got)
+	}
+}
+
+func TestNewGraphRejectsBadEdges(t *testing.T) {
+	if _, err := NewGraph(3, [][2]int{{0, 3}}); err == nil {
+		t.Error("out-of-range edge should error")
+	}
+	if _, err := NewGraph(3, [][2]int{{1, 1}}); err == nil {
+		t.Error("self-loop should error")
+	}
+}
+
+func TestRunOnSparseNetwork(t *testing.T) {
+	// On a line 0-1-2, a value at p0 needs 2 rounds to reach p2.
+	line, err := NewGraph(3, [][2]int{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatalf("NewGraph: %v", err)
+	}
+	res, err := Run(echoProto{n: 3}, []int{1, 0, 0}, NoFaults{}, RunOptions{Rounds: 1, Network: line})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Decisions[2] != 0 {
+		t.Error("p2 should not have learned the value in 1 round")
+	}
+	res, err = Run(echoProto{n: 3}, []int{1, 0, 0}, NoFaults{}, RunOptions{Rounds: 2, Network: line})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Decisions[2] != 1 {
+		t.Error("p2 should have learned the value in 2 rounds")
+	}
+}
+
+func TestRecordViews(t *testing.T) {
+	res, err := Run(echoProto{n: 2}, []int{0, 1}, NoFaults{}, RunOptions{Rounds: 2, RecordViews: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// p0's round-1 view of p1 is "1".
+	if got := res.Views[0][1]; got != "1" {
+		t.Errorf("p0 view of p1 round 1 = %q, want \"1\"", got)
+	}
+	// No self-messages.
+	if got := res.Views[0][0]; got != "" {
+		t.Errorf("p0 view of itself = %q, want empty", got)
+	}
+}

@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/rounds"
+	"repro/internal/spec"
+)
+
+// This file mechanizes the low-connectivity impossibility (§2.2.1, Dolev
+// [39]: Byzantine agreement needs network connectivity > 2t). The engine
+// here demonstrates the heart of that proof for a cut of t vertices: the
+// faulty cut processes run a split brain, replaying toward one side of the
+// cut their behavior from the failure-free all-zeros execution and toward
+// the other side their behavior from the all-ones execution. Each side's
+// view is then identical to a legitimate execution, validity pins the two
+// sides to different decisions, and agreement dies — for any protocol.
+
+// CutVerdict reports a CutReplayCheck.
+type CutVerdict struct {
+	// SideA and SideB are the two components separated by the cut.
+	SideA, SideB []int
+	// Decisions are the decisions of the replayed execution.
+	Decisions []int
+	// Violation is the consensus condition that failed (always set:
+	// the construction defeats every protocol).
+	Violation string
+}
+
+// CutReplayCheck runs the split-brain construction for the given protocol
+// on the given network, corrupting cutSet. The cut must disconnect the
+// network. Returns the verdict with the violated condition.
+func CutReplayCheck(base rounds.Protocol, net *rounds.Graph, cutSet []int, numRounds int) (CutVerdict, error) {
+	n := base.NumProcs()
+	comps := componentsWithout(net, n, cutSet)
+	if len(comps) < 2 {
+		return CutVerdict{}, fmt.Errorf("scenario: cut %v does not disconnect the network", cutSet)
+	}
+	sideA, sideB := comps[0], comps[1]
+
+	// Failure-free reference executions.
+	zeros := make([]int, n)
+	ones := make([]int, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	opts := rounds.RunOptions{Rounds: numRounds, Network: net, RecordViews: true}
+	exec0, err := rounds.Run(base, zeros, rounds.NoFaults{}, opts)
+	if err != nil {
+		return CutVerdict{}, fmt.Errorf("scenario: reference all-zeros run: %w", err)
+	}
+	exec1, err := rounds.Run(base, ones, rounds.NoFaults{}, opts)
+	if err != nil {
+		return CutVerdict{}, fmt.Errorf("scenario: reference all-ones run: %w", err)
+	}
+
+	inA := make(map[int]bool, len(sideA))
+	for _, p := range sideA {
+		inA[p] = true
+	}
+	corrupt := map[int]bool{}
+	for _, p := range cutSet {
+		corrupt[p] = true
+	}
+	inputs := make([]int, n)
+	for _, p := range sideB {
+		inputs[p] = 1
+	}
+	for _, p := range cutSet {
+		inputs[p] = 0
+	}
+	adv := &rounds.ByzantineStrategy{
+		Corrupt: corrupt,
+		Forge: func(r, from, to int, _ rounds.Message) rounds.Message {
+			if inA[to] {
+				return exec0.Views[to][(r-1)*n+from]
+			}
+			return exec1.Views[to][(r-1)*n+from]
+		},
+	}
+	res, err := rounds.Run(base, inputs, adv, rounds.RunOptions{Rounds: numRounds, Network: net})
+	if err != nil {
+		return CutVerdict{}, fmt.Errorf("scenario: split-brain run: %w", err)
+	}
+	out := CutVerdict{SideA: sideA, SideB: sideB, Decisions: res.Decisions}
+	if err := spec.CheckConsensus(inputs, res.Decisions, res.Faulty); err != nil {
+		out.Violation = err.Error()
+		return out, nil
+	}
+	return out, fmt.Errorf("scenario: split brain failed to violate consensus — protocol may be reading forbidden global state")
+}
+
+// componentsWithout returns the connected components of the network after
+// removing the given vertices.
+func componentsWithout(net *rounds.Graph, n int, removed []int) [][]int {
+	gone := make([]bool, n)
+	for _, v := range removed {
+		gone[v] = true
+	}
+	seen := make([]bool, n)
+	var comps [][]int
+	for start := 0; start < n; start++ {
+		if gone[start] || seen[start] {
+			continue
+		}
+		var comp []int
+		stack := []int{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for w := 0; w < n; w++ {
+				if !gone[w] && !seen[w] && net.Connected(v, w) {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}

@@ -1,0 +1,259 @@
+// Package scenario mechanizes the scenario arguments of §2.2.1 ([54],
+// Fischer–Lynch–Merritt): to show that no n = 3t protocol tolerates t
+// Byzantine faults, splice two copies of the protocol's processes into a
+// ring of 6 blocks; every adjacent pair of blocks "thinks it is in" a
+// legitimate 3-block scenario with the rest of the ring impersonating the
+// third block. The problem statement, applied across the splice, demands
+// contradictory decisions.
+//
+// Given any concrete protocol, SpliceCheck runs the spliced ring (a
+// perfectly ordinary failure-free synchronous system), derives the replay
+// adversaries, and reports which requirement of the problem statement the
+// protocol actually violates — producing a concrete counterexample
+// execution with t Byzantine faults, exactly the "bad execution" the
+// paper's proofs construct by hand.
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/rounds"
+	"repro/internal/spec"
+)
+
+// splicedRing adapts a base protocol on n = 3t processes (three blocks
+// A = [0,t), B = [t,2t), C = [2t,3t)) to a 6-block ring of 2n processes:
+// A0 B0 C0 A1 B1 C1, with block-crossing links C_i -> A_{i+1 mod 2}.
+// Within the ring every process runs the unmodified base protocol; it
+// simply talks to the copy of each peer designated by the ring structure.
+type splicedRing struct {
+	base rounds.Protocol
+	n    int // base process count (3t)
+	t    int
+}
+
+var _ rounds.Protocol = (*splicedRing)(nil)
+
+// block returns the block index (0=A, 1=B, 2=C) of base process p.
+func (s *splicedRing) block(p int) int { return p / s.t }
+
+// role maps a ring position to its base process id.
+func (s *splicedRing) role(pos int) int { return pos % s.n }
+
+// copyOf maps a ring position to its copy index (0 or 1).
+func (s *splicedRing) copyOf(pos int) int { return pos / s.n }
+
+// position maps (copy, base process) to a ring position.
+func (s *splicedRing) position(c, p int) int { return c*s.n + p }
+
+// partner returns the ring position that plays base process q from the
+// point of view of ring position pos. Blocks A and B of a copy talk to
+// their own copy for everything except the C↔A crossing: block C of copy
+// c talks to block A of copy 1-c... specifically C_c's A-partner is
+// A_{c+1} and A_c's C-partner is C_{c-1} (indices mod 2).
+func (s *splicedRing) partner(pos, q int) int {
+	c := s.copyOf(pos)
+	p := s.role(pos)
+	bp, bq := s.block(p), s.block(q)
+	switch {
+	case bp == 2 && bq == 0: // C talking to A: next copy
+		return s.position(1-c, q)
+	case bp == 0 && bq == 2: // A talking to C: previous copy
+		return s.position(1-c, q)
+	default:
+		return s.position(c, q)
+	}
+}
+
+// Name implements rounds.Protocol.
+func (s *splicedRing) Name() string { return "spliced-ring(" + s.base.Name() + ")" }
+
+// NumProcs implements rounds.Protocol.
+func (s *splicedRing) NumProcs() int { return 2 * s.n }
+
+// Init implements rounds.Protocol.
+func (s *splicedRing) Init(pos, input int) any { return s.base.Init(s.role(pos), input) }
+
+// Send implements rounds.Protocol: send the base message only to the
+// designated copy of each peer.
+func (s *splicedRing) Send(pos int, state any, r, to int) rounds.Message {
+	q := s.role(to)
+	if q == s.role(pos) {
+		return "" // base processes never talk to themselves
+	}
+	if s.partner(pos, q) != to {
+		return ""
+	}
+	return s.base.Send(s.role(pos), state, r, q)
+}
+
+// Receive implements rounds.Protocol: fold ring messages back into a
+// base-shaped inbox.
+func (s *splicedRing) Receive(pos int, state any, r int, msgs []rounds.Message) any {
+	inbox := make([]rounds.Message, s.n)
+	for q := 0; q < s.n; q++ {
+		if q == s.role(pos) {
+			continue
+		}
+		inbox[q] = msgs[s.partner(pos, q)]
+	}
+	return s.base.Receive(s.role(pos), state, r, inbox)
+}
+
+// Decide implements rounds.Protocol.
+func (s *splicedRing) Decide(pos int, state any) (int, bool) {
+	return s.base.Decide(s.role(pos), state)
+}
+
+// Violation describes one way the protocol failed the problem statement.
+type Violation struct {
+	// Requirement is the problem-statement clause that failed.
+	Requirement string
+	// FaultyBlock is the block (0=A, 1=B, 2=C) the corresponding scenario
+	// corrupts.
+	FaultyBlock int
+	// Detail is a human-readable account.
+	Detail string
+}
+
+// Verdict is the outcome of SpliceCheck.
+type Verdict struct {
+	// T is the fault bound; the base protocol has n = 3t processes.
+	T int
+	// RingDecisions are the decisions at the 6t ring positions.
+	RingDecisions []int
+	// Violations lists the problem-statement clauses the protocol broke.
+	// The theorem guarantees at least one entry for every protocol.
+	Violations []Violation
+	// CounterexampleChecked is true when a violating scenario was
+	// replayed against the real n-process system under a t-fault
+	// Byzantine adversary and the violation reproduced.
+	CounterexampleChecked bool
+}
+
+// SpliceCheck runs the Fischer–Lynch–Merritt splice against a concrete
+// base protocol with n = 3t processes running the given number of rounds,
+// and reports which consensus requirement breaks. Inputs: copy 0 starts
+// with all zeros, copy 1 with all ones.
+func SpliceCheck(base rounds.Protocol, t, numRounds int) (Verdict, error) {
+	n := base.NumProcs()
+	if n != 3*t || t < 1 {
+		return Verdict{}, fmt.Errorf("scenario: SpliceCheck needs n = 3t, got n=%d t=%d", n, t)
+	}
+	s := &splicedRing{base: base, n: n, t: t}
+	inputs := make([]int, 2*n)
+	for i := n; i < 2*n; i++ {
+		inputs[i] = 1
+	}
+	res, err := rounds.Run(s, inputs, rounds.NoFaults{}, rounds.RunOptions{Rounds: numRounds, RecordViews: true})
+	if err != nil {
+		return Verdict{}, fmt.Errorf("scenario: running spliced ring: %w", err)
+	}
+	v := Verdict{T: t, RingDecisions: res.Decisions}
+
+	dec := func(c, p int) int { return res.Decisions[s.position(c, p)] }
+	blockDec := func(c, b int) (int, bool) {
+		val := dec(c, b*t)
+		for i := 0; i < t; i++ {
+			if dec(c, b*t+i) != val {
+				return 0, false
+			}
+		}
+		return val, true
+	}
+
+	// Requirement 1: A0 and B0 sit in a scenario where block C is faulty
+	// and every nonfaulty input is 0 — validity demands they decide 0.
+	if val, ok := blockDec(0, 0); !ok || val != 0 {
+		v.Violations = append(v.Violations, Violation{
+			Requirement: "validity(A0=0)", FaultyBlock: 2,
+			Detail: "block A, copy 0, must decide 0 in the scenario where C is faulty and all inputs are 0",
+		})
+	}
+	if val, ok := blockDec(0, 1); !ok || val != 0 {
+		v.Violations = append(v.Violations, Violation{
+			Requirement: "validity(B0=0)", FaultyBlock: 2,
+			Detail: "block B, copy 0, must decide 0 in the scenario where C is faulty and all inputs are 0",
+		})
+	}
+	// Requirement 2: B1 and C1 sit in a scenario where block A is faulty
+	// and every nonfaulty input is 1.
+	if val, ok := blockDec(1, 1); !ok || val != 1 {
+		v.Violations = append(v.Violations, Violation{
+			Requirement: "validity(B1=1)", FaultyBlock: 0,
+			Detail: "block B, copy 1, must decide 1 in the scenario where A is faulty and all inputs are 1",
+		})
+	}
+	if val, ok := blockDec(1, 2); !ok || val != 1 {
+		v.Violations = append(v.Violations, Violation{
+			Requirement: "validity(C1=1)", FaultyBlock: 0,
+			Detail: "block C, copy 1, must decide 1 in the scenario where A is faulty and all inputs are 1",
+		})
+	}
+	// Requirement 3: A0 and C1 sit in a common scenario where block B is
+	// faulty — agreement demands equal decisions.
+	a0, okA := blockDec(0, 0)
+	c1, okC := blockDec(1, 2)
+	if !okA || !okC || a0 != c1 {
+		v.Violations = append(v.Violations, Violation{
+			Requirement: "agreement(A0,C1)", FaultyBlock: 1,
+			Detail: fmt.Sprintf("blocks A0 and C1 share a scenario with B faulty but decided %d vs %d", a0, c1),
+		})
+	}
+	if len(v.Violations) == 0 {
+		// The theorem says this cannot happen for a protocol meeting the
+		// requirements; reaching here means the decisions are mutually
+		// inconsistent with the checks above, which is impossible.
+		return v, fmt.Errorf("scenario: no violation found — n=3t protocol appears to satisfy all scenario requirements, contradicting [54]")
+	}
+
+	// Replay the first violating scenario against the real n-process
+	// system to produce a checked counterexample.
+	viol := v.Violations[0]
+	adv, scenarioInputs := s.replayAdversary(res, viol.FaultyBlock)
+	real, err := rounds.Run(base, scenarioInputs, adv, rounds.RunOptions{Rounds: numRounds})
+	if err != nil {
+		return v, fmt.Errorf("scenario: replaying counterexample: %w", err)
+	}
+	if spec.CheckConsensus(scenarioInputs, real.Decisions, real.Faulty) != nil {
+		v.CounterexampleChecked = true
+	}
+	return v, nil
+}
+
+// replayAdversary builds the Byzantine adversary that makes the faulty
+// block behave, toward each nonfaulty block, exactly as the corresponding
+// ring copies behaved — together with the scenario's input vector.
+func (s *splicedRing) replayAdversary(ringRes rounds.Result, faultyBlock int) (rounds.Adversary, []int) {
+	// Choose which copy of each nonfaulty block participates, following
+	// the three scenarios of SpliceCheck:
+	//   C faulty: A0, B0 (inputs 0).
+	//   A faulty: B1, C1 (inputs 1).
+	//   B faulty: A0, C1 (inputs 0 for A, 1 for C).
+	copyOfBlock := map[int]int{}
+	switch faultyBlock {
+	case 2:
+		copyOfBlock = map[int]int{0: 0, 1: 0}
+	case 0:
+		copyOfBlock = map[int]int{1: 1, 2: 1}
+	default:
+		copyOfBlock = map[int]int{0: 0, 2: 1}
+	}
+	inputs := make([]int, s.n)
+	corrupt := map[int]bool{}
+	for p := 0; p < s.n; p++ {
+		b := s.block(p)
+		if b == faultyBlock {
+			corrupt[p] = true
+			continue
+		}
+		inputs[p] = copyOfBlock[b] // copy 0 ran inputs 0, copy 1 inputs 1
+	}
+	forge := func(r, from, to int, _ rounds.Message) rounds.Message {
+		// The faulty process `from` sends `to` whatever the ring copy
+		// adjacent to `to`'s copy sent it.
+		toPos := s.position(copyOfBlock[s.block(to)], to)
+		return ringRes.Views[toPos][(r-1)*2*s.n+s.partner(toPos, from)]
+	}
+	return &rounds.ByzantineStrategy{Corrupt: corrupt, Forge: forge}, inputs
+}

@@ -1,0 +1,131 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/rounds"
+)
+
+// TestSpliceCheckDefeatsEIGAtThreeProcesses is E05's negative half: EIG
+// with n = 3, t = 1 must violate some scenario requirement, and the engine
+// must reproduce the violation as a concrete 1-fault Byzantine execution.
+func TestSpliceCheckDefeatsEIGAtThreeProcesses(t *testing.T) {
+	e := &consensus.EIG{Procs: 3, MaxFaults: 1}
+	v, err := SpliceCheck(e, 1, e.Rounds())
+	if err != nil {
+		t.Fatalf("SpliceCheck: %v", err)
+	}
+	if len(v.Violations) == 0 {
+		t.Fatal("EIG at n=3t must violate a scenario requirement")
+	}
+	if !v.CounterexampleChecked {
+		t.Fatalf("the replayed counterexample should violate consensus; verdict: %+v", v)
+	}
+	if len(v.RingDecisions) != 6 {
+		t.Fatalf("expected 6 ring decisions, got %d", len(v.RingDecisions))
+	}
+}
+
+// TestSpliceCheckDefeatsEIGAtSixProcesses extends the splice to t = 2
+// (blocks of two processes).
+func TestSpliceCheckDefeatsEIGAtSixProcesses(t *testing.T) {
+	e := &consensus.EIG{Procs: 6, MaxFaults: 2}
+	v, err := SpliceCheck(e, 2, e.Rounds())
+	if err != nil {
+		t.Fatalf("SpliceCheck: %v", err)
+	}
+	if len(v.Violations) == 0 {
+		t.Fatal("EIG at n=3t (t=2) must violate a scenario requirement")
+	}
+	if !v.CounterexampleChecked {
+		t.Fatalf("the replayed counterexample should violate consensus; verdict: %+v", v)
+	}
+}
+
+func TestSpliceCheckRejectsWrongShape(t *testing.T) {
+	e := &consensus.EIG{Procs: 4, MaxFaults: 1}
+	if _, err := SpliceCheck(e, 1, 2); err == nil {
+		t.Fatal("n != 3t should be rejected")
+	}
+}
+
+// TestCutReplaySplitsFloodSetOnALine is the connectivity result's heart
+// (E06): on the line A-b-C (connectivity 1), a Byzantine b fools A and C
+// into mutually inconsistent legitimate-looking executions, for any
+// protocol — here demonstrated against FloodSet.
+func TestCutReplaySplitsFloodSetOnALine(t *testing.T) {
+	line, err := rounds.NewGraph(3, [][2]int{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatalf("NewGraph: %v", err)
+	}
+	f := &consensus.FloodSet{Procs: 3, MaxFaults: 1}
+	v, err := CutReplayCheck(f, line, []int{1}, f.Rounds())
+	if err != nil {
+		t.Fatalf("CutReplayCheck: %v", err)
+	}
+	if v.Violation == "" {
+		t.Fatal("split brain must violate consensus")
+	}
+	if v.Decisions[0] == v.Decisions[2] {
+		t.Fatalf("A and C should disagree; decisions: %v", v.Decisions)
+	}
+}
+
+// TestCutReplayRequiresACut: the complete graph has no 1-vertex cut.
+func TestCutReplayRequiresACut(t *testing.T) {
+	f := &consensus.FloodSet{Procs: 3, MaxFaults: 1}
+	if _, err := CutReplayCheck(f, rounds.CompleteGraph(3), []int{1}, f.Rounds()); err == nil {
+		t.Fatal("non-disconnecting cut should be rejected")
+	}
+}
+
+// TestConnectivityPredicate pairs the graph-theoretic connectivity
+// calculator with the Dolev criterion: agreement is possible only when
+// connectivity > 2t.
+func TestConnectivityPredicate(t *testing.T) {
+	line, _ := rounds.NewGraph(3, [][2]int{{0, 1}, {1, 2}})
+	ring, _ := rounds.NewGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	cases := []struct {
+		g        *rounds.Graph
+		t        int
+		possible bool
+	}{
+		{line, 1, false},                   // connectivity 1 <= 2
+		{ring, 1, false},                   // connectivity 2 <= 2
+		{rounds.CompleteGraph(4), 1, true}, // connectivity 3 > 2
+		{rounds.CompleteGraph(4), 2, false},
+	}
+	for i, c := range cases {
+		got := c.g.Connectivity() > 2*c.t
+		if got != c.possible {
+			t.Errorf("case %d: connectivity %d with t=%d: possible=%v, want %v",
+				i, c.g.Connectivity(), c.t, got, c.possible)
+		}
+	}
+}
+
+func TestSplicedRingPartnerConsistency(t *testing.T) {
+	// partner must be an involution across the splice: if u's q-partner
+	// is v, then v's role(u)-partner is u.
+	s := &splicedRing{n: 6, t: 2}
+	for pos := 0; pos < 12; pos++ {
+		for q := 0; q < 6; q++ {
+			if s.block(q) == s.block(s.role(pos)) && q != s.role(pos) {
+				// same-block peers: stay within the copy
+				if s.copyOf(s.partner(pos, q)) != s.copyOf(pos) {
+					t.Fatalf("same-block partner of %d for %d leaves the copy", pos, q)
+				}
+			}
+			v := s.partner(pos, q)
+			if s.role(v) != q {
+				t.Fatalf("partner(%d,%d) has role %d", pos, q, s.role(v))
+			}
+			back := s.partner(v, s.role(pos))
+			if back != pos && s.role(back) == s.role(pos) && s.block(s.role(pos)) != s.block(q) {
+				t.Fatalf("partner not symmetric: partner(%d,%d)=%d but partner(%d,%d)=%d",
+					pos, q, v, v, s.role(pos), back)
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package sessions implements the sessions problem of Arjomandi, Fischer
+// and Lynch ([8], §2.2.6): perform s "sessions", each an interval in which
+// every process performs at least one output event ("flash"). A
+// synchronous system does it in s rounds; in an asynchronous network the
+// time (normalized so every message delay is at most 1) is at least about
+// (s-1)·d for diameter d — a provable gap between synchronous and
+// asynchronous time, established by the diagram-stretching argument: an
+// execution whose flashes are not separated by cross-network message
+// chains can be stretched so that the sessions collapse.
+package sessions
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Flash is one output event.
+type Flash struct {
+	// Proc is the flashing process.
+	Proc int
+	// Time is the (virtual, normalized) real time of the flash.
+	Time float64
+}
+
+// CountSessions returns the maximum number of disjoint sessions in the
+// flash sequence: scanning in time order, a session closes as soon as
+// every process has flashed since the previous session closed.
+func CountSessions(flashes []Flash, n int) int {
+	sorted := make([]Flash, len(flashes))
+	copy(sorted, flashes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+	sessions := 0
+	seen := make([]bool, n)
+	count := 0
+	for _, f := range sorted {
+		if f.Proc < 0 || f.Proc >= n {
+			continue
+		}
+		if !seen[f.Proc] {
+			seen[f.Proc] = true
+			count++
+			if count == n {
+				sessions++
+				seen = make([]bool, n)
+				count = 0
+			}
+		}
+	}
+	return sessions
+}
+
+// Result reports one sessions-protocol run.
+type Result struct {
+	// Flashes are the output events.
+	Flashes []Flash
+	// Time is the completion time (normalized units).
+	Time float64
+	// Messages counts messages sent.
+	Messages int
+	// Sessions is the certified session count of the flash sequence.
+	Sessions int
+}
+
+// RunSynchronous models the synchronous solution: in each of s rounds,
+// every process flashes. Time s, zero messages.
+func RunSynchronous(n, s int) Result {
+	res := Result{Flashes: make([]Flash, 0, n*s)}
+	for round := 1; round <= s; round++ {
+		for p := 0; p < n; p++ {
+			res.Flashes = append(res.Flashes, Flash{Proc: p, Time: float64(round)})
+		}
+	}
+	res.Time = float64(s)
+	res.Sessions = CountSessions(res.Flashes, n)
+	return res
+}
+
+// RunTokenBarrier is the natural asynchronous solution on a line network
+// 0-1-...-n-1 (diameter d = n-1): per session, a token sweeps from one
+// end to the other and back; a process flashes when the token passes.
+// Every message takes the worst-case normalized delay 1, so each session
+// costs about 2d time — within a constant of the (s-1)·d lower bound.
+func RunTokenBarrier(n, s int) (Result, error) {
+	if n < 2 || s < 1 {
+		return Result{}, fmt.Errorf("sessions: need n >= 2 and s >= 1, got %d/%d", n, s)
+	}
+	res := Result{}
+	now := 0.0
+	for session := 0; session < s; session++ {
+		// Sweep right: 0 -> n-1. Each hop takes delay 1. A process
+		// flashes when it receives the token (process 0 flashes at
+		// launch).
+		res.Flashes = append(res.Flashes, Flash{Proc: 0, Time: now})
+		for p := 1; p < n; p++ {
+			now++
+			res.Messages++
+			res.Flashes = append(res.Flashes, Flash{Proc: p, Time: now})
+		}
+		// Sweep back so process 0 knows the session completed before
+		// starting the next (no flashes needed on the return trip).
+		if session < s-1 {
+			now += float64(n - 1)
+			res.Messages += n - 1
+		}
+	}
+	res.Time = now
+	res.Sessions = CountSessions(res.Flashes, n)
+	return res, nil
+}
+
+// LowerBound returns the asynchronous time lower bound (s-1)·d of [8]
+// (up to a constant) for diameter d.
+func LowerBound(s, d int) float64 { return float64((s - 1) * d) }
+
+// RunUncoordinated models the "too fast" algorithm that flashes s times
+// per process without any communication. Because no message chains
+// separate the flashes, the adversary may stretch the diagram so that all
+// of process 0's flashes precede all of process 1's, and so on — the
+// flashes still happen, but they form only one session. This is the
+// stretching argument made concrete.
+func RunUncoordinated(n, s int) Result {
+	res := Result{}
+	now := 0.0
+	for p := 0; p < n; p++ {
+		for k := 0; k < s; k++ {
+			now++
+			res.Flashes = append(res.Flashes, Flash{Proc: p, Time: now})
+		}
+	}
+	res.Time = now
+	res.Sessions = CountSessions(res.Flashes, n)
+	return res
+}

@@ -1,0 +1,97 @@
+package sessions
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCountSessionsBasics(t *testing.T) {
+	// Two full rounds of flashes = 2 sessions.
+	flashes := []Flash{
+		{0, 1}, {1, 1.5}, {0, 2}, {1, 2.5},
+	}
+	if got := CountSessions(flashes, 2); got != 2 {
+		t.Fatalf("CountSessions = %d, want 2", got)
+	}
+	// A process never flashing means zero sessions.
+	if got := CountSessions([]Flash{{0, 1}, {0, 2}}, 2); got != 0 {
+		t.Fatalf("CountSessions = %d, want 0", got)
+	}
+	// Out-of-range procs are ignored.
+	if got := CountSessions([]Flash{{5, 1}, {0, 2}, {1, 3}}, 2); got != 1 {
+		t.Fatalf("CountSessions = %d, want 1", got)
+	}
+}
+
+func TestSynchronousAchievesSSessionsInSTime(t *testing.T) {
+	for _, s := range []int{1, 3, 5} {
+		res := RunSynchronous(4, s)
+		if res.Sessions != s {
+			t.Errorf("s=%d: sessions = %d", s, res.Sessions)
+		}
+		if res.Time != float64(s) {
+			t.Errorf("s=%d: time = %v, want %d", s, res.Time, s)
+		}
+	}
+}
+
+func TestTokenBarrierAchievesSessionsAboveLowerBound(t *testing.T) {
+	for _, c := range []struct{ n, s int }{{4, 2}, {6, 3}, {8, 5}} {
+		res, err := RunTokenBarrier(c.n, c.s)
+		if err != nil {
+			t.Fatalf("RunTokenBarrier(%d,%d): %v", c.n, c.s, err)
+		}
+		if res.Sessions != c.s {
+			t.Errorf("n=%d s=%d: sessions = %d, want %d", c.n, c.s, res.Sessions, c.s)
+		}
+		d := c.n - 1
+		if res.Time < LowerBound(c.s, d) {
+			t.Errorf("n=%d s=%d: time %v below the (s-1)d bound %v — impossible",
+				c.n, c.s, res.Time, LowerBound(c.s, d))
+		}
+		// And the synchronous solution is far faster: the provable gap.
+		if float64(c.s) >= res.Time && c.s > 1 {
+			t.Errorf("n=%d s=%d: no synchronous/asynchronous gap (async %v vs sync %d)",
+				c.n, c.s, res.Time, c.s)
+		}
+	}
+}
+
+func TestTokenBarrierValidates(t *testing.T) {
+	if _, err := RunTokenBarrier(1, 2); err == nil {
+		t.Error("n=1 should be rejected")
+	}
+	if _, err := RunTokenBarrier(3, 0); err == nil {
+		t.Error("s=0 should be rejected")
+	}
+}
+
+func TestUncoordinatedCollapsesToOneSession(t *testing.T) {
+	res := RunUncoordinated(4, 5)
+	if len(res.Flashes) != 20 {
+		t.Fatalf("flashes = %d, want 20", len(res.Flashes))
+	}
+	if res.Sessions != 1 {
+		t.Fatalf("stretched uncoordinated run has %d sessions, want 1", res.Sessions)
+	}
+	if res.Messages != 0 {
+		t.Fatalf("uncoordinated run sent %d messages", res.Messages)
+	}
+}
+
+func TestSessionCountMonotoneProperty(t *testing.T) {
+	// Property: the token barrier always certifies exactly s sessions and
+	// its time grows linearly in both s and n.
+	prop := func(nRaw, sRaw uint8) bool {
+		n := int(nRaw%6) + 2
+		s := int(sRaw%4) + 1
+		res, err := RunTokenBarrier(n, s)
+		if err != nil || res.Sessions != s {
+			return false
+		}
+		return res.Time >= LowerBound(s, n-1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,427 @@
+package sharedmem
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// tasLock is the 2-valued test-and-set semaphore: the "plenty if there are
+// no fairness requirements" algorithm of §2.1. It satisfies mutual
+// exclusion and progress but admits lockout.
+type tasLock struct {
+	n int
+}
+
+// NewTASLock returns the n-process 2-valued test-and-set lock.
+func NewTASLock(n int) Algorithm { return tasLock{n: n} }
+
+// Local states: 0 remainder, 1 trying (spin on TAS), 2 critical, 3 exit.
+const (
+	tasRemainder = 0
+	tasTrying    = 1
+	tasCritical  = 2
+	tasExit      = 3
+)
+
+func (t tasLock) Name() string      { return fmt.Sprintf("tas-semaphore(n=%d)", t.n) }
+func (t tasLock) NumProcs() int     { return t.n }
+func (t tasLock) Vars() []VarSpec   { return []VarSpec{{Kind: RMW, Init: 0, Values: 2}} }
+func (t tasLock) InitLocal(int) int { return tasRemainder }
+
+func (t tasLock) Region(_, local int) spec.Region {
+	switch local {
+	case tasRemainder:
+		return spec.Remainder
+	case tasTrying:
+		return spec.Trying
+	case tasCritical:
+		return spec.Critical
+	default:
+		return spec.Exit
+	}
+}
+
+func (t tasLock) Access(_, _ int) int { return 0 }
+
+func (t tasLock) Step(_, local, val int) (int, int) {
+	switch local {
+	case tasRemainder:
+		return tasTrying, val // request: observe only
+	case tasTrying:
+		if val == 0 {
+			return tasCritical, 1
+		}
+		return tasTrying, val
+	case tasCritical:
+		return tasExit, val
+	default: // exit: release
+		return tasRemainder, 0
+	}
+}
+
+// peterson2 is Peterson's two-process mutual exclusion algorithm over
+// read/write registers: two intent flags plus a turn variable. It is the
+// canonical witness that n separate RW variables (here 3 ≥ n+1 for n=2)
+// suffice where a single one cannot (Burns–Lynch, §2.1).
+type peterson2 struct{}
+
+// NewPeterson2 returns Peterson's 2-process RW mutex.
+func NewPeterson2() Algorithm { return peterson2{} }
+
+// Local states for peterson2.
+const (
+	petRemainder = 0 // request: write flag[p]=1
+	petSetTurn   = 1 // write turn = other
+	petCheckFlag = 2 // read flag[other]
+	petCheckTurn = 3 // read turn
+	petCritical  = 4
+	petExit      = 5 // write flag[p]=0
+)
+
+// Variable layout: 0 = flag[0], 1 = flag[1], 2 = turn.
+func (peterson2) Name() string  { return "peterson-2" }
+func (peterson2) NumProcs() int { return 2 }
+func (peterson2) Vars() []VarSpec {
+	return []VarSpec{
+		{Kind: RW, Init: 0, Values: 2},
+		{Kind: RW, Init: 0, Values: 2},
+		{Kind: RW, Init: 0, Values: 2},
+	}
+}
+func (peterson2) InitLocal(int) int { return petRemainder }
+
+func (peterson2) Region(_, local int) spec.Region {
+	switch local {
+	case petRemainder:
+		return spec.Remainder
+	case petCritical:
+		return spec.Critical
+	case petExit:
+		return spec.Exit
+	default:
+		return spec.Trying
+	}
+}
+
+func (peterson2) Access(p, local int) int {
+	switch local {
+	case petRemainder, petExit:
+		return p // flag[p]
+	case petSetTurn, petCheckTurn:
+		return 2 // turn
+	case petCheckFlag:
+		return 1 - p // flag[other]
+	default: // critical: dummy read of own flag
+		return p
+	}
+}
+
+func (peterson2) Step(p, local, val int) (int, int) {
+	switch local {
+	case petRemainder:
+		return petSetTurn, 1 // flag[p] := 1
+	case petSetTurn:
+		return petCheckFlag, 1 - p // turn := other
+	case petCheckFlag:
+		if val == 0 {
+			return petCritical, val
+		}
+		return petCheckTurn, val
+	case petCheckTurn:
+		if val == p {
+			return petCritical, val
+		}
+		return petCheckFlag, val
+	case petCritical:
+		return petExit, val
+	default: // exit
+		return petRemainder, 0 // flag[p] := 0
+	}
+}
+
+// dijkstra is Dijkstra's original n-process mutual exclusion algorithm
+// [38]: flags b[i], c[i] and a favored-process pointer k, all read/write.
+// It guarantees mutual exclusion and progress but not lockout-freedom —
+// the opening example of §2.1's "each paper seemed to solve a slightly
+// different problem".
+type dijkstra struct {
+	n int
+}
+
+// NewDijkstra returns Dijkstra's n-process RW mutex.
+func NewDijkstra(n int) Algorithm { return dijkstra{n: n} }
+
+// Program counters for dijkstra. Local state = pc*n + aux, where aux
+// holds the remembered value of k (pc 2,3) or the scan index j (pc 6).
+const (
+	djRemainder = 0 // request: write b[p]=0
+	djReadK     = 1 // read k
+	djSetC1     = 2 // write c[p]=1 (aux = remembered k)
+	djReadBK    = 3 // read b[aux]
+	djGrabK     = 4 // write k=p
+	djSetC0     = 5 // write c[p]=0
+	djScan      = 6 // read c[aux], scanning aux over all j
+	djCritical  = 7
+	djExitC     = 8 // write c[p]=1
+	djExitB     = 9 // write b[p]=1
+)
+
+// Variable layout: 0 = k; 1..n = b[i]; n+1..2n = c[i].
+func (d dijkstra) Name() string  { return fmt.Sprintf("dijkstra(n=%d)", d.n) }
+func (d dijkstra) NumProcs() int { return d.n }
+
+func (d dijkstra) Vars() []VarSpec {
+	vs := make([]VarSpec, 0, 2*d.n+1)
+	vs = append(vs, VarSpec{Kind: RW, Init: 0, Values: d.n})
+	for i := 0; i < 2*d.n; i++ {
+		vs = append(vs, VarSpec{Kind: RW, Init: 1, Values: 2})
+	}
+	return vs
+}
+
+func (d dijkstra) InitLocal(int) int { return d.enc(djRemainder, 0) }
+
+func (d dijkstra) enc(pc, aux int) int { return pc*d.n + aux }
+
+func (d dijkstra) dec(local int) (pc, aux int) { return local / d.n, local % d.n }
+
+func (d dijkstra) Region(_, local int) spec.Region {
+	pc, _ := d.dec(local)
+	switch pc {
+	case djRemainder:
+		return spec.Remainder
+	case djCritical:
+		return spec.Critical
+	case djExitC, djExitB:
+		return spec.Exit
+	default:
+		return spec.Trying
+	}
+}
+
+func (d dijkstra) Access(p, local int) int {
+	pc, aux := d.dec(local)
+	switch pc {
+	case djRemainder, djExitB:
+		return 1 + p // b[p]
+	case djReadK, djGrabK, djCritical:
+		return 0 // k
+	case djSetC1, djSetC0, djExitC:
+		return 1 + d.n + p // c[p]
+	case djReadBK:
+		return 1 + aux // b[remembered k]
+	default: // djScan
+		return 1 + d.n + aux // c[j]
+	}
+}
+
+func (d dijkstra) Step(p, local, val int) (int, int) {
+	pc, aux := d.dec(local)
+	switch pc {
+	case djRemainder:
+		return d.enc(djReadK, 0), 0 // b[p] := 0 (requesting)
+	case djReadK:
+		if val == p {
+			return d.enc(djSetC0, 0), val
+		}
+		return d.enc(djSetC1, val), val // remember k
+	case djSetC1:
+		return d.enc(djReadBK, aux), 1 // c[p] := 1
+	case djReadBK:
+		if val == 1 { // favored process idle: contend for k
+			return d.enc(djGrabK, 0), val
+		}
+		return d.enc(djReadK, 0), val
+	case djGrabK:
+		return d.enc(djReadK, 0), p // k := p
+	case djSetC0:
+		return d.enc(djScan, 0), 0 // c[p] := 0, start scan at j=0
+	case djScan:
+		next := aux + 1
+		if aux == p || val == 1 { // self, or j not in second stage
+			if next == d.n {
+				return d.enc(djCritical, 0), val
+			}
+			return d.enc(djScan, next), val
+		}
+		return d.enc(djReadK, 0), val // conflict: retry
+	case djCritical:
+		return d.enc(djExitC, 0), val // dummy read of k
+	case djExitC:
+		return d.enc(djExitB, 0), 1 // c[p] := 1
+	default: // djExitB
+		return d.enc(djRemainder, 0), 1 // b[p] := 1
+	}
+}
+
+// ticketLock is the FIFO ticket lock over two read-modify-write counters
+// modulo n+1: "next ticket" and "now serving". It achieves bounded bypass
+// 0 (FIFO), demonstrating that Θ(n) values per variable (Θ(n²) combined
+// shared-memory contents — compare the §2.1 queue-simulation lower bound)
+// buy the strongest fairness.
+type ticketLock struct {
+	n int
+}
+
+// NewTicketLock returns the n-process FIFO ticket lock.
+func NewTicketLock(n int) Algorithm { return ticketLock{n: n} }
+
+// Local states: 0 remainder; 1+t waiting with ticket t (t in [0,n]);
+// n+2 critical; n+3 exit.
+func (t ticketLock) Name() string  { return fmt.Sprintf("ticket-lock(n=%d)", t.n) }
+func (t ticketLock) NumProcs() int { return t.n }
+
+func (t ticketLock) Vars() []VarSpec {
+	return []VarSpec{
+		{Kind: RMW, Init: 0, Values: t.n + 1}, // next ticket
+		{Kind: RMW, Init: 0, Values: t.n + 1}, // now serving
+	}
+}
+
+func (t ticketLock) InitLocal(int) int { return 0 }
+
+func (t ticketLock) Region(_, local int) spec.Region {
+	switch {
+	case local == 0:
+		return spec.Remainder
+	case local == t.n+2:
+		return spec.Critical
+	case local == t.n+3:
+		return spec.Exit
+	default:
+		return spec.Trying
+	}
+}
+
+func (t ticketLock) Access(_, local int) int {
+	switch {
+	case local == 0 || local == t.n+3:
+		if local == 0 {
+			return 0 // take a ticket from "next"
+		}
+		return 1 // advance "serving"
+	case local == t.n+2:
+		return 0 // dummy read in critical
+	default:
+		return 1 // poll "serving"
+	}
+}
+
+func (t ticketLock) Step(_, local, val int) (int, int) {
+	switch {
+	case local == 0: // take ticket
+		return 1 + val, (val + 1) % (t.n + 1)
+	case local == t.n+2: // critical -> exit
+		return t.n + 3, val
+	case local == t.n+3: // exit: serving++
+		return 0, (val + 1) % (t.n + 1)
+	default: // waiting with ticket local-1
+		if val == local-1 {
+			return t.n + 2, val
+		}
+		return local, val
+	}
+}
+
+// countingSemaphore implements k-exclusion (§2.1, [57],[53]) with a single
+// RMW permit counter: at most k processes are simultaneously critical.
+type countingSemaphore struct {
+	n, k int
+}
+
+// NewCountingSemaphore returns the n-process k-exclusion permit counter.
+func NewCountingSemaphore(n, k int) Algorithm { return countingSemaphore{n: n, k: k} }
+
+// Local states: 0 remainder, 1 trying, 2 critical, 3 exit.
+func (c countingSemaphore) Name() string {
+	return fmt.Sprintf("counting-semaphore(n=%d,k=%d)", c.n, c.k)
+}
+func (c countingSemaphore) NumProcs() int { return c.n }
+func (c countingSemaphore) Vars() []VarSpec {
+	return []VarSpec{{Kind: RMW, Init: c.k, Values: c.k + 1}}
+}
+func (c countingSemaphore) InitLocal(int) int { return 0 }
+
+func (c countingSemaphore) Region(_, local int) spec.Region {
+	switch local {
+	case 0:
+		return spec.Remainder
+	case 1:
+		return spec.Trying
+	case 2:
+		return spec.Critical
+	default:
+		return spec.Exit
+	}
+}
+
+func (c countingSemaphore) Access(_, _ int) int { return 0 }
+
+func (c countingSemaphore) Step(_, local, val int) (int, int) {
+	switch local {
+	case 0:
+		return 1, val
+	case 1:
+		if val > 0 {
+			return 2, val - 1
+		}
+		return 1, val
+	case 2:
+		return 3, val
+	default:
+		return 0, val + 1
+	}
+}
+
+// TableAlgorithm is an explicit-transition-table protocol, the raw
+// material of the synth package's exhaustive searches and a convenient
+// way to hard-code small synthesized algorithms.
+type TableAlgorithm struct {
+	// AlgName identifies the algorithm.
+	AlgName string
+	// Procs is the number of processes.
+	Procs int
+	// VarSpecs describes the shared variables.
+	VarSpecs []VarSpec
+	// Initial[p] is process p's initial local state.
+	Initial []int
+	// Regions[p][local] classifies local states.
+	Regions [][]spec.Region
+	// Accesses[p][local] is the variable touched from each local state.
+	Accesses [][]int
+	// Table[p][local][val] is the (nextLocal, newVal) pair.
+	Table [][][]Cell
+}
+
+// Cell is one entry of a TableAlgorithm transition table.
+type Cell struct {
+	NextLocal int
+	NewVal    int
+}
+
+var _ Algorithm = (*TableAlgorithm)(nil)
+
+// Name implements Algorithm.
+func (t *TableAlgorithm) Name() string { return t.AlgName }
+
+// NumProcs implements Algorithm.
+func (t *TableAlgorithm) NumProcs() int { return t.Procs }
+
+// Vars implements Algorithm.
+func (t *TableAlgorithm) Vars() []VarSpec { return t.VarSpecs }
+
+// InitLocal implements Algorithm.
+func (t *TableAlgorithm) InitLocal(p int) int { return t.Initial[p] }
+
+// Region implements Algorithm.
+func (t *TableAlgorithm) Region(p, local int) spec.Region { return t.Regions[p][local] }
+
+// Access implements Algorithm.
+func (t *TableAlgorithm) Access(p, local int) int { return t.Accesses[p][local] }
+
+// Step implements Algorithm.
+func (t *TableAlgorithm) Step(p, local, val int) (int, int) {
+	c := t.Table[p][local][val]
+	return c.NextLocal, c.NewVal
+}

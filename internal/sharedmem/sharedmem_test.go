@@ -1,0 +1,309 @@
+package sharedmem
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func mustCheck(t *testing.T, alg Algorithm, opts CheckMutexOptions) MutexReport {
+	t.Helper()
+	rep, err := CheckMutex(alg, opts)
+	if err != nil {
+		t.Fatalf("CheckMutex(%s): %v", alg.Name(), err)
+	}
+	return rep
+}
+
+func TestTASLockSatisfiesExclusionAndProgressButNotFairness(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		rep := mustCheck(t, NewTASLock(n), CheckMutexOptions{})
+		if !rep.MutualExclusion {
+			t.Errorf("n=%d: mutual exclusion should hold; witness:\n%s", n, rep.MutexWitness)
+		}
+		if !rep.Progress {
+			t.Errorf("n=%d: progress should hold", n)
+		}
+		if rep.LockoutFree {
+			t.Errorf("n=%d: the 2-valued semaphore should admit lockout (§2.1)", n)
+		}
+		if rep.LockoutVictim < 0 {
+			t.Errorf("n=%d: expected a named lockout victim", n)
+		}
+		if len(rep.LockoutCycle) == 0 {
+			t.Errorf("n=%d: expected a starvation cycle witness", n)
+		}
+		if got := rep.ValuesUsed[0]; got != 2 {
+			t.Errorf("n=%d: ValuesUsed = %d, want 2", n, got)
+		}
+	}
+}
+
+func TestPetersonIsAFairTwoProcessMutex(t *testing.T) {
+	alg := NewPeterson2()
+	rep := mustCheck(t, alg, CheckMutexOptions{})
+	if !rep.MutualExclusion {
+		t.Fatalf("mutual exclusion should hold; witness:\n%s", rep.MutexWitness)
+	}
+	if !rep.Progress {
+		t.Fatal("progress should hold")
+	}
+	if !rep.LockoutFree {
+		t.Fatalf("Peterson should be lockout-free; victim p%d cycle:\n%s",
+			rep.LockoutVictim, rep.LockoutCycle)
+	}
+}
+
+func TestPetersonRWDiscipline(t *testing.T) {
+	if err := CheckRWDiscipline(NewPeterson2(), 6); err != nil {
+		t.Fatalf("Peterson should obey RW discipline: %v", err)
+	}
+}
+
+func TestPetersonBoundedBypass(t *testing.T) {
+	ok, _, err := CheckBoundedBypass(NewPeterson2(), 1, 0)
+	if err != nil {
+		t.Fatalf("CheckBoundedBypass: %v", err)
+	}
+	if !ok {
+		t.Fatal("Peterson should have bypass bound 1")
+	}
+	ok, witness, err := CheckBoundedBypass(NewPeterson2(), 0, 0)
+	if err != nil {
+		t.Fatalf("CheckBoundedBypass: %v", err)
+	}
+	if ok {
+		t.Fatal("bypass bound 0 should be violated (the rival can overtake once)")
+	}
+	if len(witness) == 0 {
+		t.Fatal("expected a bypass witness trace")
+	}
+}
+
+func TestDijkstraExclusionAndProgress(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		rep := mustCheck(t, NewDijkstra(n), CheckMutexOptions{})
+		if !rep.MutualExclusion {
+			t.Errorf("n=%d: mutual exclusion should hold; witness:\n%s", n, rep.MutexWitness)
+		}
+		if !rep.Progress {
+			t.Errorf("n=%d: progress should hold", n)
+		}
+		if rep.LockoutFree {
+			t.Errorf("n=%d: Dijkstra's algorithm should admit lockout", n)
+		}
+	}
+}
+
+func TestDijkstraRWDiscipline(t *testing.T) {
+	d := NewDijkstra(3)
+	if err := CheckRWDiscipline(d, 30); err != nil {
+		t.Fatalf("Dijkstra should obey RW discipline: %v", err)
+	}
+}
+
+func TestTicketLockIsFIFOFair(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		alg := NewTicketLock(n)
+		rep := mustCheck(t, alg, CheckMutexOptions{})
+		if !rep.MutualExclusion {
+			t.Errorf("n=%d: mutual exclusion should hold; witness:\n%s", n, rep.MutexWitness)
+		}
+		if !rep.Progress {
+			t.Errorf("n=%d: progress should hold", n)
+		}
+		if !rep.LockoutFree {
+			t.Errorf("n=%d: ticket lock should be lockout-free; victim p%d cycle:\n%s",
+				n, rep.LockoutVictim, rep.LockoutCycle)
+		}
+		// Each counter takes all n+1 values.
+		for vi, used := range rep.ValuesUsed {
+			if used != n+1 {
+				t.Errorf("n=%d: variable %d uses %d values, want %d", n, vi, used, n+1)
+			}
+		}
+	}
+}
+
+func TestTicketLockBoundedBypass(t *testing.T) {
+	// FIFO: while p is trying, each other process can enter at most once
+	// (those already ahead in the queue), so bypass is bounded by n-1.
+	n := 2
+	ok, witness, err := CheckBoundedBypass(NewTicketLock(n), n-1, 0)
+	if err != nil {
+		t.Fatalf("CheckBoundedBypass: %v", err)
+	}
+	if !ok {
+		t.Fatalf("ticket lock bypass should be bounded by %d; witness:\n%s", n-1, witness)
+	}
+}
+
+func TestCountingSemaphoreKExclusion(t *testing.T) {
+	alg := NewCountingSemaphore(3, 2)
+	// 2-exclusion holds.
+	rep := mustCheck(t, alg, CheckMutexOptions{Exclusion: 2})
+	if !rep.MutualExclusion {
+		t.Fatalf("2-exclusion should hold; witness:\n%s", rep.MutexWitness)
+	}
+	if !rep.Progress {
+		t.Fatal("progress should hold")
+	}
+	// Plain mutual exclusion (k=1) is violated: two permits exist.
+	rep = mustCheck(t, alg, CheckMutexOptions{Exclusion: 1})
+	if rep.MutualExclusion {
+		t.Fatal("1-exclusion should be violated by a 2-permit semaphore")
+	}
+	if len(rep.MutexWitness) == 0 {
+		t.Fatal("expected an exclusion-violation witness")
+	}
+}
+
+func TestCombinedValuesGrowQuadraticallyForTicketLock(t *testing.T) {
+	// The FIFO ticket lock uses two mod-(n+1) counters: the number of
+	// distinct joint shared-memory contents grows like Θ(n²) — the shape
+	// of the §2.1 queue-simulation lower bound.
+	var counts []int
+	for _, n := range []int{2, 3, 4} {
+		rep := mustCheck(t, NewTicketLock(n), CheckMutexOptions{})
+		counts = append(counts, rep.CombinedValues)
+		want := (n + 1) * (n + 1)
+		if rep.CombinedValues > want {
+			t.Errorf("n=%d: combined values %d exceeds the (n+1)^2 = %d possible", n, rep.CombinedValues, want)
+		}
+	}
+	if !(counts[0] < counts[1] && counts[1] < counts[2]) {
+		t.Errorf("combined value counts should grow with n: %v", counts)
+	}
+}
+
+func TestCheckRWDisciplineRejectsHiddenRMW(t *testing.T) {
+	// A "register" whose access increments the value is not RW.
+	bad := &TableAlgorithm{
+		AlgName:  "hidden-rmw",
+		Procs:    1,
+		VarSpecs: []VarSpec{{Kind: RW, Init: 0, Values: 2}},
+		Initial:  []int{0},
+		Regions:  [][]spec.Region{{spec.Trying, spec.Critical}},
+		Accesses: [][]int{{0, 0}},
+		Table: [][][]Cell{{
+			{{NextLocal: 1, NewVal: 1}, {NextLocal: 0, NewVal: 0}}, // val-dependent write
+			{{NextLocal: 1, NewVal: 0}, {NextLocal: 1, NewVal: 1}},
+		}},
+	}
+	err := CheckRWDiscipline(bad, 1)
+	if !errors.Is(err, ErrNotRW) {
+		t.Fatalf("err = %v, want ErrNotRW", err)
+	}
+}
+
+func TestVarKindString(t *testing.T) {
+	if RW.String() != "rw" || RMW.String() != "rmw" {
+		t.Fatal("unexpected VarKind strings")
+	}
+	if VarKind(7).String() != "VarKind(7)" {
+		t.Fatal("unexpected fallthrough VarKind string")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	locals := []int{3, 1, 4}
+	vars := []int{1, 5}
+	s := encode(locals, vars)
+	gotL, gotV := decode(s, 3, 2)
+	for i := range locals {
+		if gotL[i] != locals[i] {
+			t.Fatalf("locals round-trip mismatch at %d", i)
+		}
+	}
+	for i := range vars {
+		if gotV[i] != vars[i] {
+			t.Fatalf("vars round-trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestTableAlgorithmImplementsAlgorithm(t *testing.T) {
+	ta := &TableAlgorithm{
+		AlgName:  "tiny",
+		Procs:    1,
+		VarSpecs: []VarSpec{{Kind: RMW, Init: 0, Values: 2}},
+		Initial:  []int{0},
+		Regions:  [][]spec.Region{{spec.Remainder, spec.Critical}},
+		Accesses: [][]int{{0, 0}},
+		Table: [][][]Cell{{
+			{{NextLocal: 1, NewVal: 1}, {NextLocal: 1, NewVal: 1}},
+			{{NextLocal: 0, NewVal: 0}, {NextLocal: 0, NewVal: 0}},
+		}},
+	}
+	if ta.Name() != "tiny" || ta.NumProcs() != 1 {
+		t.Fatal("accessors broken")
+	}
+	nl, nv := ta.Step(0, 0, 1)
+	if nl != 1 || nv != 1 {
+		t.Fatalf("Step = (%d,%d), want (1,1)", nl, nv)
+	}
+	if ta.Region(0, 1) != spec.Critical || ta.Access(0, 0) != 0 {
+		t.Fatal("region/access broken")
+	}
+}
+
+func TestHandoffLockIsFairWithOneVariable(t *testing.T) {
+	alg := NewHandoffLock()
+	rep := mustCheck(t, alg, CheckMutexOptions{})
+	if !rep.MutualExclusion {
+		t.Fatalf("mutual exclusion should hold; witness:\n%s", rep.MutexWitness)
+	}
+	if !rep.Progress {
+		t.Fatal("progress should hold")
+	}
+	if !rep.LockoutFree {
+		t.Fatalf("handoff lock should be lockout-free; victim p%d cycle:\n%s",
+			rep.LockoutVictim, rep.LockoutCycle)
+	}
+	if got := rep.ValuesUsed[0]; got != 4 {
+		t.Fatalf("ValuesUsed = %d, want all 4", got)
+	}
+}
+
+func TestHandoffLockFairnessSensitivity(t *testing.T) {
+	// §2.1: "the extended results turned out to be very sensitive to
+	// assumptions about fairness". The handoff lock is lockout-free under
+	// weak fairness, yet it does NOT have bounded bypass: a trier that has
+	// requested but not yet taken a step can be overtaken arbitrarily
+	// often, because registration costs a step. Lockout-freedom and
+	// bounded waiting are genuinely different conditions.
+	for _, bound := range []int{0, 1, 2, 3} {
+		ok, witness, err := CheckBoundedBypass(NewHandoffLock(), bound, 0)
+		if err != nil {
+			t.Fatalf("CheckBoundedBypass(%d): %v", bound, err)
+		}
+		if ok {
+			t.Fatalf("bypass bound %d should be violated for the handoff lock", bound)
+		}
+		if len(witness) == 0 {
+			t.Fatalf("bound %d: expected a witness", bound)
+		}
+	}
+}
+
+func TestTournamentLockIsAFairFourProcessMutex(t *testing.T) {
+	alg := NewTournament4()
+	rep := mustCheck(t, alg, CheckMutexOptions{})
+	if !rep.MutualExclusion {
+		t.Fatalf("mutual exclusion should hold; witness:\n%s", rep.MutexWitness)
+	}
+	if !rep.Progress {
+		t.Fatal("progress should hold")
+	}
+	if !rep.LockoutFree {
+		t.Fatalf("tournament should be lockout-free; victim p%d cycle:\n%s",
+			rep.LockoutVictim, rep.LockoutCycle)
+	}
+}
+
+func TestTournamentRWDiscipline(t *testing.T) {
+	if err := CheckRWDiscipline(NewTournament4(), 12); err != nil {
+		t.Fatalf("tournament should obey RW discipline: %v", err)
+	}
+}

@@ -1,0 +1,145 @@
+package sharedmem
+
+import "repro/internal/spec"
+
+// tournamentLock is the 4-process tournament built from three Peterson
+// instances (§2.1's n-process generalization by composition): processes
+// 0,1 compete on semifinal lock A, processes 2,3 on semifinal lock B, and
+// the two winners compete on the final lock C. It inherits Peterson's
+// lockout-freedom level by level, and exercises the checker on a
+// composed, multi-variable algorithm (9 RW registers).
+type tournamentLock struct{}
+
+// NewTournament4 returns the 4-process tournament lock.
+func NewTournament4() Algorithm { return tournamentLock{} }
+
+// Variable layout: semifinal A: 0,1 flags (procs 0,1), 2 turn;
+// semifinal B: 3,4 flags (procs 2,3), 5 turn;
+// final C: 6,7 flags (sides 0,1), 8 turn.
+const (
+	tnSemiFlagBase = 0 // + role for lock A, +3 for lock B
+	tnFinalFlag0   = 6
+	tnFinalTurn    = 8
+)
+
+// Program counters.
+const (
+	tnRemainder = 0
+	tnSemiFlag  = 1 // write own semifinal flag
+	tnSemiTurn  = 2 // write semifinal turn
+	tnSemiRFlag = 3 // read rival's semifinal flag
+	tnSemiRTurn = 4 // read semifinal turn
+	tnFinFlag   = 5 // write own final flag
+	tnFinTurn   = 6 // write final turn
+	tnFinRFlag  = 7 // read rival side's final flag
+	tnFinRTurn  = 8 // read final turn
+	tnCritical  = 9
+	tnRelFinal  = 10 // clear final flag
+	tnRelSemi   = 11 // clear semifinal flag
+)
+
+func (tournamentLock) Name() string  { return "tournament-4(peterson^2)" }
+func (tournamentLock) NumProcs() int { return 4 }
+
+func (tournamentLock) Vars() []VarSpec {
+	vs := make([]VarSpec, 9)
+	for i := range vs {
+		vs[i] = VarSpec{Kind: RW, Init: 0, Values: 2}
+	}
+	return vs
+}
+
+func (tournamentLock) InitLocal(int) int { return tnRemainder }
+
+func (tournamentLock) Region(_, local int) spec.Region {
+	switch local {
+	case tnRemainder:
+		return spec.Remainder
+	case tnCritical:
+		return spec.Critical
+	case tnRelFinal, tnRelSemi:
+		return spec.Exit
+	default:
+		return spec.Trying
+	}
+}
+
+// semiVars returns (ownFlag, rivalFlag, turn) for p's semifinal.
+func semiVars(p int) (own, rival, turn int) {
+	base := 0
+	if p >= 2 {
+		base = 3
+	}
+	role := p % 2
+	return base + role, base + 1 - role, base + 2
+}
+
+// finalVars returns (ownFlag, rivalFlag, turn) for p's side of the final.
+func finalVars(p int) (own, rival, turn int) {
+	side := p / 2
+	return tnFinalFlag0 + side, tnFinalFlag0 + 1 - side, tnFinalTurn
+}
+
+func (tournamentLock) Access(p, local int) int {
+	so, sr, st := semiVars(p)
+	fo, fr, ft := finalVars(p)
+	switch local {
+	case tnRemainder, tnSemiFlag, tnRelSemi:
+		return so
+	case tnSemiTurn, tnSemiRTurn:
+		return st
+	case tnSemiRFlag:
+		return sr
+	case tnFinFlag, tnRelFinal:
+		return fo
+	case tnFinTurn, tnFinRTurn:
+		return ft
+	case tnFinRFlag:
+		return fr
+	default: // critical: dummy read of own semifinal flag
+		return so
+	}
+}
+
+func (tournamentLock) Step(p, local, val int) (int, int) {
+	semiRole := p % 2
+	finalSide := p / 2
+	switch local {
+	case tnRemainder: // request: write semifinal flag
+		return tnSemiTurn, 1
+	case tnSemiFlag:
+		return tnSemiTurn, 1
+	case tnSemiTurn: // turn := rival's role
+		return tnSemiRFlag, 1 - semiRole
+	case tnSemiRFlag:
+		if val == 0 {
+			return tnFinFlag, val
+		}
+		return tnSemiRTurn, val
+	case tnSemiRTurn:
+		if val == semiRole {
+			return tnFinFlag, val
+		}
+		return tnSemiRFlag, val
+	case tnFinFlag:
+		return tnFinTurn, 1
+	case tnFinTurn:
+		return tnFinRFlag, 1 - finalSide
+	case tnFinRFlag:
+		if val == 0 {
+			return tnCritical, val
+		}
+		return tnFinRTurn, val
+	case tnFinRTurn:
+		if val == finalSide {
+			return tnCritical, val
+		}
+		return tnFinRFlag, val
+	case tnCritical:
+		return tnRelFinal, val
+	case tnRelFinal:
+		return tnRelSemi, 0
+	default: // tnRelSemi
+		return tnRemainder, 0
+	}
+}

@@ -1,0 +1,200 @@
+// Package spec holds problem statements: the "careful description of the
+// correctness conditions" that §2.1 and §3.3 of the paper identify as the
+// hard, load-bearing half of every impossibility proof. Problem statements
+// here are small, checkable predicates over decision vectors and region
+// assignments, so that checkers can "invoke the problem statement
+// repeatedly to justify steps of a construction".
+package spec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Region is the classic four-region decomposition of a resource-allocation
+// participant (§2.1): remainder, trying, critical, exit.
+type Region int
+
+const (
+	// Remainder: the process is outside the protocol; the *environment*
+	// decides if and when it requests the resource, so fairness never
+	// forces a remainder step.
+	Remainder Region = iota + 1
+	// Trying: the process is executing its entry protocol and is required
+	// to keep taking steps.
+	Trying
+	// Critical: the process holds the resource. Progress conditions are
+	// stated under the assumption that critical sections terminate.
+	Critical
+	// Exit: the process is executing its exit protocol.
+	Exit
+)
+
+// String implements fmt.Stringer.
+func (r Region) String() string {
+	switch r {
+	case Remainder:
+		return "remainder"
+	case Trying:
+		return "trying"
+	case Critical:
+		return "critical"
+	case Exit:
+		return "exit"
+	default:
+		return fmt.Sprintf("Region(%d)", int(r))
+	}
+}
+
+// Undecided marks a process that has not decided in a decision vector.
+const Undecided = -1
+
+// ErrAgreement, ErrValidity and ErrTermination are the three failure modes
+// of a consensus-style decision problem.
+var (
+	ErrAgreement   = errors.New("spec: agreement violated")
+	ErrValidity    = errors.New("spec: validity violated")
+	ErrTermination = errors.New("spec: termination violated")
+)
+
+// CheckAgreement verifies that all decided entries of decisions are equal.
+// faulty[i] marks processes whose decisions are exempt (Byzantine
+// processes may output anything).
+func CheckAgreement(decisions []int, faulty []bool) error {
+	seen := Undecided
+	for i, d := range decisions {
+		if d == Undecided || (faulty != nil && faulty[i]) {
+			continue
+		}
+		if seen == Undecided {
+			seen = d
+			continue
+		}
+		if d != seen {
+			return fmt.Errorf("%w: process decided %d, another decided %d", ErrAgreement, d, seen)
+		}
+	}
+	return nil
+}
+
+// CheckStrongValidity verifies the classic validity condition: if every
+// nonfaulty process starts with the same input v, every nonfaulty decision
+// must be v.
+func CheckStrongValidity(inputs, decisions []int, faulty []bool) error {
+	common := Undecided
+	uniform := true
+	for i, in := range inputs {
+		if faulty != nil && faulty[i] {
+			continue
+		}
+		if common == Undecided {
+			common = in
+		} else if in != common {
+			uniform = false
+		}
+	}
+	if !uniform || common == Undecided {
+		return nil
+	}
+	for i, d := range decisions {
+		if d == Undecided || (faulty != nil && faulty[i]) {
+			continue
+		}
+		if d != common {
+			return fmt.Errorf("%w: uniform input %d but process %d decided %d", ErrValidity, common, i, d)
+		}
+	}
+	return nil
+}
+
+// CheckTermination verifies that every nonfaulty process decided.
+func CheckTermination(decisions []int, faulty []bool) error {
+	for i, d := range decisions {
+		if faulty != nil && faulty[i] {
+			continue
+		}
+		if d == Undecided {
+			return fmt.Errorf("%w: process %d never decided", ErrTermination, i)
+		}
+	}
+	return nil
+}
+
+// CheckConsensus runs the three consensus conditions together.
+func CheckConsensus(inputs, decisions []int, faulty []bool) error {
+	if err := CheckTermination(decisions, faulty); err != nil {
+		return err
+	}
+	if err := CheckAgreement(decisions, faulty); err != nil {
+		return err
+	}
+	return CheckStrongValidity(inputs, decisions, faulty)
+}
+
+// CommitAbort values for the commit problem (§2.2.5).
+const (
+	Abort  = 0
+	Commit = 1
+)
+
+// CheckCommitRule verifies the commit rule: if any input is Abort the
+// decision must be Abort; if all inputs are Commit and the execution was
+// failure-free, the decision must be Commit.
+func CheckCommitRule(inputs, decisions []int, anyFailure bool) error {
+	anyAbort := false
+	for _, in := range inputs {
+		if in == Abort {
+			anyAbort = true
+			break
+		}
+	}
+	for i, d := range decisions {
+		if d == Undecided {
+			continue
+		}
+		if anyAbort && d != Abort {
+			return fmt.Errorf("%w: input vector contains abort but process %d committed", ErrValidity, i)
+		}
+		if !anyAbort && !anyFailure && d != Commit {
+			return fmt.Errorf("%w: all-commit failure-free execution but process %d aborted", ErrValidity, i)
+		}
+	}
+	return nil
+}
+
+// CheckCrashConsensus verifies the consensus conditions appropriate to the
+// crash-fault model: termination and agreement among nonfaulty processes,
+// and validity counting every process's input — a crashed process is
+// honest, so its input legitimately enters the decision (unlike the
+// Byzantine conditions, where faulty inputs are excluded).
+func CheckCrashConsensus(inputs, decisions []int, faulty []bool) error {
+	if err := CheckTermination(decisions, faulty); err != nil {
+		return err
+	}
+	if err := CheckAgreement(decisions, faulty); err != nil {
+		return err
+	}
+	allowed := make(map[int]bool, len(inputs))
+	common := Undecided
+	uniform := true
+	for i, in := range inputs {
+		allowed[in] = true
+		if i == 0 {
+			common = in
+		} else if in != common {
+			uniform = false
+		}
+	}
+	for i, d := range decisions {
+		if d == Undecided || (faulty != nil && faulty[i]) {
+			continue
+		}
+		if !allowed[d] {
+			return fmt.Errorf("%w: process %d decided %d, not any process's input", ErrValidity, i, d)
+		}
+		if uniform && d != common {
+			return fmt.Errorf("%w: uniform input %d but process %d decided %d", ErrValidity, common, i, d)
+		}
+	}
+	return nil
+}

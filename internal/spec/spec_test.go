@@ -1,0 +1,203 @@
+package spec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionString(t *testing.T) {
+	cases := map[Region]string{
+		Remainder: "remainder",
+		Trying:    "trying",
+		Critical:  "critical",
+		Exit:      "exit",
+		Region(9): "Region(9)",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Region(%d).String() = %q, want %q", int(r), got, want)
+		}
+	}
+}
+
+func TestCheckAgreement(t *testing.T) {
+	if err := CheckAgreement([]int{1, 1, Undecided, 1}, nil); err != nil {
+		t.Errorf("uniform decisions: %v", err)
+	}
+	err := CheckAgreement([]int{0, 1}, nil)
+	if !errors.Is(err, ErrAgreement) {
+		t.Errorf("err = %v, want ErrAgreement", err)
+	}
+	// A faulty process's decision is exempt.
+	if err := CheckAgreement([]int{0, 1}, []bool{false, true}); err != nil {
+		t.Errorf("faulty exemption: %v", err)
+	}
+}
+
+func TestCheckStrongValidity(t *testing.T) {
+	if err := CheckStrongValidity([]int{1, 1, 1}, []int{1, 1, 1}, nil); err != nil {
+		t.Errorf("valid uniform: %v", err)
+	}
+	err := CheckStrongValidity([]int{1, 1, 1}, []int{0, 0, 0}, nil)
+	if !errors.Is(err, ErrValidity) {
+		t.Errorf("err = %v, want ErrValidity", err)
+	}
+	// Mixed inputs impose no constraint.
+	if err := CheckStrongValidity([]int{0, 1, 1}, []int{0, 0, 0}, nil); err != nil {
+		t.Errorf("mixed inputs: %v", err)
+	}
+	// Faulty process input excluded from uniformity computation.
+	err = CheckStrongValidity([]int{0, 1, 1}, []int{0, 0, 0}, []bool{true, false, false})
+	if !errors.Is(err, ErrValidity) {
+		t.Errorf("err = %v, want ErrValidity (nonfaulty inputs uniform 1)", err)
+	}
+}
+
+func TestCheckTermination(t *testing.T) {
+	if err := CheckTermination([]int{0, 1}, nil); err != nil {
+		t.Errorf("all decided: %v", err)
+	}
+	err := CheckTermination([]int{0, Undecided}, nil)
+	if !errors.Is(err, ErrTermination) {
+		t.Errorf("err = %v, want ErrTermination", err)
+	}
+	if err := CheckTermination([]int{0, Undecided}, []bool{false, true}); err != nil {
+		t.Errorf("faulty exemption: %v", err)
+	}
+}
+
+func TestCheckConsensus(t *testing.T) {
+	if err := CheckConsensus([]int{0, 0}, []int{0, 0}, nil); err != nil {
+		t.Errorf("valid run: %v", err)
+	}
+	if err := CheckConsensus([]int{0, 0}, []int{0, 1}, nil); err == nil {
+		t.Error("disagreement should fail")
+	}
+	if err := CheckConsensus([]int{0, 0}, []int{Undecided, 0}, nil); err == nil {
+		t.Error("nontermination should fail")
+	}
+}
+
+func TestCheckCommitRule(t *testing.T) {
+	// Any abort input forces abort.
+	if err := CheckCommitRule([]int{Commit, Abort}, []int{Abort, Abort}, false); err != nil {
+		t.Errorf("abort rule: %v", err)
+	}
+	if err := CheckCommitRule([]int{Commit, Abort}, []int{Commit, Commit}, false); err == nil {
+		t.Error("commit despite abort input should fail")
+	}
+	// All-commit failure-free forces commit.
+	if err := CheckCommitRule([]int{Commit, Commit}, []int{Abort, Abort}, false); err == nil {
+		t.Error("abort in all-commit failure-free run should fail")
+	}
+	// With failures, abort is allowed.
+	if err := CheckCommitRule([]int{Commit, Commit}, []int{Abort, Abort}, true); err != nil {
+		t.Errorf("abort with failure: %v", err)
+	}
+}
+
+func TestVectorGraphBasics(t *testing.T) {
+	g := NewVectorGraph([][]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}})
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", g.Len())
+	}
+	if !g.Connected() {
+		t.Fatal("hypercube should be connected")
+	}
+	// Two isolated constant vectors of length 2 differ in 2 places.
+	g2 := NewVectorGraph([][]int{{0, 0}, {1, 1}})
+	if g2.Connected() {
+		t.Fatal("{00,11} should be disconnected")
+	}
+	if got := g2.Components(); got != 2 {
+		t.Fatalf("Components = %d, want 2", got)
+	}
+}
+
+func TestVectorGraphDeduplicates(t *testing.T) {
+	g := NewVectorGraph([][]int{{1, 2}, {1, 2}, {1, 3}})
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 after dedup", g.Len())
+	}
+}
+
+func TestBinaryConsensusTaskMoranWolfstahl(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		task := BinaryConsensusTask(n)
+		if got := task.NumProcs(); got != n {
+			t.Fatalf("NumProcs = %d, want %d", got, n)
+		}
+		impossible, why := task.MoranWolfstahlImpossible()
+		if !impossible {
+			t.Fatalf("n=%d: consensus should satisfy the Moran–Wolfstahl criterion: %s", n, why)
+		}
+		if !strings.Contains(why, "unsolvable") {
+			t.Fatalf("unexpected justification: %s", why)
+		}
+	}
+}
+
+func TestTrivialTaskNotFlagged(t *testing.T) {
+	// "Decide your own input" has a connected decision graph: not flagged.
+	n := 3
+	task := Task{
+		Name:    "identity",
+		Inputs:  allBinaryVectors(n),
+		Outputs: func(in []int) [][]int { return [][]int{in} },
+	}
+	impossible, _ := task.MoranWolfstahlImpossible()
+	if impossible {
+		t.Fatal("identity task should not be flagged impossible")
+	}
+}
+
+func TestInputGraphConnectivityProperty(t *testing.T) {
+	// Property: the full binary cube of any dimension is connected, and
+	// removing the all-ones vector keeps it connected for n >= 2.
+	prop := func(nRaw uint8) bool {
+		n := int(nRaw%3) + 2 // 2..4
+		vecs := allBinaryVectors(n)
+		return NewVectorGraph(vecs).Connected()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgreementProperty(t *testing.T) {
+	// Property: constant decision vectors always satisfy agreement.
+	prop := func(v uint8, nRaw uint8) bool {
+		n := int(nRaw%5) + 1
+		dec := constantVector(n, int(v%7))
+		return CheckAgreement(dec, nil) == nil
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHamming(t *testing.T) {
+	if hamming([]int{1, 2, 3}, []int{1, 0, 3}) != 1 {
+		t.Fatal("hamming distance should be 1")
+	}
+	if hamming([]int{1}, []int{1, 2}) != -1 {
+		t.Fatal("length mismatch should return -1")
+	}
+}
+
+func TestCheckCrashConsensus(t *testing.T) {
+	// A crashed process's input may legitimately determine the decision.
+	if err := CheckCrashConsensus([]int{1, 1, 0}, []int{0, 0, 0}, []bool{false, false, true}); err != nil {
+		t.Errorf("crashed process's input should be a valid decision: %v", err)
+	}
+	// But a value that is nobody's input is invalid.
+	if err := CheckCrashConsensus([]int{1, 1, 1}, []int{0, 0, 0}, nil); err == nil {
+		t.Error("deciding a non-input value should fail")
+	}
+	// Disagreement among nonfaulty still fails.
+	if err := CheckCrashConsensus([]int{1, 0}, []int{1, 0}, nil); err == nil {
+		t.Error("disagreement should fail")
+	}
+}

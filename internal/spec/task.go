@@ -1,0 +1,199 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Task is a decision task in the sense of Moran–Wolfstahl and
+// Biran–Moran–Zaks (§2.2.4): a set of allowable input vectors and, per
+// input vector, the set of allowable decision vectors.
+type Task struct {
+	// Name identifies the task in reports.
+	Name string
+	// Inputs is the set of allowable input vectors (all the same length).
+	Inputs [][]int
+	// Outputs returns the allowable decision vectors for an input vector.
+	Outputs func(in []int) [][]int
+}
+
+// NumProcs returns the number of processes participating in the task.
+func (t Task) NumProcs() int {
+	if len(t.Inputs) == 0 {
+		return 0
+	}
+	return len(t.Inputs[0])
+}
+
+// VectorGraph is the graph whose vertices are vectors and whose edges join
+// vectors differing in exactly one component — the "input graph" and
+// "decision graph" of [85]/[20].
+type VectorGraph struct {
+	vecs  [][]int
+	index map[string]int
+	adj   [][]int
+}
+
+// vecKey canonically encodes a vector.
+func vecKey(v []int) string {
+	var b strings.Builder
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(x))
+	}
+	return b.String()
+}
+
+// NewVectorGraph builds the differ-in-one-component graph over vecs.
+// Duplicate vectors are merged.
+func NewVectorGraph(vecs [][]int) *VectorGraph {
+	g := &VectorGraph{index: make(map[string]int, len(vecs))}
+	for _, v := range vecs {
+		k := vecKey(v)
+		if _, ok := g.index[k]; ok {
+			continue
+		}
+		cp := make([]int, len(v))
+		copy(cp, v)
+		g.index[k] = len(g.vecs)
+		g.vecs = append(g.vecs, cp)
+	}
+	g.adj = make([][]int, len(g.vecs))
+	for i := 0; i < len(g.vecs); i++ {
+		for j := i + 1; j < len(g.vecs); j++ {
+			if hamming(g.vecs[i], g.vecs[j]) == 1 {
+				g.adj[i] = append(g.adj[i], j)
+				g.adj[j] = append(g.adj[j], i)
+			}
+		}
+	}
+	return g
+}
+
+func hamming(a, b []int) int {
+	if len(a) != len(b) {
+		return -1
+	}
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// Len returns the number of distinct vectors in the graph.
+func (g *VectorGraph) Len() int { return len(g.vecs) }
+
+// Components returns the number of connected components.
+func (g *VectorGraph) Components() int {
+	seen := make([]bool, len(g.vecs))
+	comps := 0
+	for i := range g.vecs {
+		if seen[i] {
+			continue
+		}
+		comps++
+		stack := []int{i}
+		seen[i] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	return comps
+}
+
+// Connected reports whether the graph is connected (vacuously true when
+// empty).
+func (g *VectorGraph) Connected() bool { return g.Components() <= 1 }
+
+// InputGraph builds the task's input graph.
+func (t Task) InputGraph() *VectorGraph { return NewVectorGraph(t.Inputs) }
+
+// DecisionGraph builds the task's decision graph: all allowable decision
+// vectors over all allowable inputs.
+func (t Task) DecisionGraph() *VectorGraph {
+	var all [][]int
+	for _, in := range t.Inputs {
+		all = append(all, t.Outputs(in)...)
+	}
+	return NewVectorGraph(all)
+}
+
+// MoranWolfstahlImpossible applies the characterization of [85]: a task
+// with a connected input graph and a disconnected decision graph cannot be
+// solved in an asynchronous system with one faulty process. It returns
+// true when the criterion applies (so the task is provably unsolvable) and
+// a human-readable justification.
+func (t Task) MoranWolfstahlImpossible() (bool, string) {
+	in := t.InputGraph()
+	out := t.DecisionGraph()
+	if in.Connected() && !out.Connected() {
+		return true, fmt.Sprintf(
+			"task %q: input graph connected (%d vectors), decision graph has %d components — unsolvable with 1 faulty process (Moran–Wolfstahl)",
+			t.Name, in.Len(), out.Components())
+	}
+	return false, fmt.Sprintf(
+		"task %q: criterion not applicable (input connected=%v, decision components=%d)",
+		t.Name, in.Connected(), out.Components())
+}
+
+// BinaryConsensusTask builds the n-process binary consensus task: inputs
+// are all 0/1 vectors; allowable decisions are the constant vectors whose
+// value appears in the input.
+func BinaryConsensusTask(n int) Task {
+	inputs := allBinaryVectors(n)
+	return Task{
+		Name:   fmt.Sprintf("binary-consensus-%d", n),
+		Inputs: inputs,
+		Outputs: func(in []int) [][]int {
+			var out [][]int
+			for _, v := range []int{0, 1} {
+				if containsValue(in, v) {
+					out = append(out, constantVector(len(in), v))
+				}
+			}
+			return out
+		},
+	}
+}
+
+func allBinaryVectors(n int) [][]int {
+	out := make([][]int, 0, 1<<uint(n))
+	for m := 0; m < 1<<uint(n); m++ {
+		v := make([]int, n)
+		for i := 0; i < n; i++ {
+			v[i] = (m >> uint(i)) & 1
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func containsValue(v []int, x int) bool {
+	for _, y := range v {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+func constantVector(n, v int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,342 @@
+package synth
+
+import "repro/internal/sharedmem"
+
+// This file implements a dedicated high-throughput checker for the
+// 2-process single-variable skeleton: the exhaustive searches evaluate
+// millions of tables, so instead of the generic core explorer they use a
+// dense integer state encoding (local0, local1, value) and flat arrays.
+// The semantics are identical to sharedmem's adapter: request steps from
+// the remainder state belong to the environment and are exempt from
+// fairness; all other steps are process steps under weak fairness.
+
+// soloLive checks a necessary condition cheaply before any pairing: a
+// process running entirely alone (its rival never requests) must still
+// enter the critical region infinitely often. The deterministic solo walk
+// over (local, value) pairs must cycle through the critical state.
+func (sk tasSkeleton) soloLive(table [][]sharedmem.Cell) bool {
+	// The solo walk over (local, value) pairs is deterministic on at most
+	// numLocals*values states, so it reaches its cycle within that many
+	// steps; walking twice that bound guarantees a full lap of the cycle.
+	// The protocol is solo-live iff the cyclic part visits critical.
+	n := sk.numLocals() * sk.values
+	l, v := 0, 0
+	for step := 0; step < n; step++ { // burn in: reach the cycle
+		c := table[l][v]
+		l, v = c.NextLocal, c.NewVal
+	}
+	crit := sk.critical()
+	startL, startV := l, v
+	for step := 0; step < n; step++ { // one full lap
+		if l == crit {
+			return true
+		}
+		c := table[l][v]
+		l, v = c.NextLocal, c.NewVal
+		if l == startL && v == startV {
+			break
+		}
+	}
+	return l == crit
+}
+
+// pairChecker holds the dense transition structure for one (t0, t1) pair.
+type pairChecker struct {
+	sk tasSkeleton
+	// L is the per-process local state count, V the value count.
+	L, V int
+	// succ[s][p] is the successor state when process p steps from s.
+	succ [][2]int32
+	// isEnv[s][p] marks p's step from s as an environment (request) step.
+	isEnv [][2]bool
+	// reach marks states reachable from the initial state.
+	reach []bool
+	// n is the dense state space size L*L*V.
+	n int
+}
+
+func (sk tasSkeleton) newPairChecker(t0, t1 [][]sharedmem.Cell) *pairChecker {
+	L := sk.numLocals()
+	V := sk.values
+	n := L * L * V
+	pc := &pairChecker{sk: sk, L: L, V: V, n: n}
+	pc.succ = make([][2]int32, n)
+	pc.isEnv = make([][2]bool, n)
+	tables := [2][][]sharedmem.Cell{t0, t1}
+	for l0 := 0; l0 < L; l0++ {
+		for l1 := 0; l1 < L; l1++ {
+			for v := 0; v < V; v++ {
+				s := (l0*L+l1)*V + v
+				for p := 0; p < 2; p++ {
+					lp := l0
+					if p == 1 {
+						lp = l1
+					}
+					c := tables[p][lp][v]
+					nl0, nl1 := l0, l1
+					if p == 0 {
+						nl0 = c.NextLocal
+					} else {
+						nl1 = c.NextLocal
+					}
+					pc.succ[s][p] = int32((nl0*L+nl1)*V + c.NewVal)
+					pc.isEnv[s][p] = lp == sk.remainder()
+				}
+			}
+		}
+	}
+	return pc
+}
+
+// explore computes reachability from the initial state and reports whether
+// mutual exclusion holds everywhere reachable.
+func (pc *pairChecker) explore() (mutualExclusion bool) {
+	pc.reach = make([]bool, pc.n)
+	init := 0 // (l0=0, l1=0, v=0): remainder, remainder, initial value 0
+	pc.reach[init] = true
+	stack := []int32{int32(init)}
+	crit := pc.sk.critical()
+	ok := true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		l0, l1, _ := pc.decode(int(s))
+		if l0 == crit && l1 == crit {
+			ok = false // keep exploring: reach set is reused by callers
+		}
+		for p := 0; p < 2; p++ {
+			t := pc.succ[s][p]
+			if !pc.reach[t] {
+				pc.reach[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return ok
+}
+
+func (pc *pairChecker) decode(s int) (l0, l1, v int) {
+	v = s % pc.V
+	rest := s / pc.V
+	return rest / pc.L, rest % pc.L, v
+}
+
+// region returns process p's region in dense state s, expressed through
+// the skeleton's state layout.
+func (pc *pairChecker) inTrying(s, p int) bool {
+	l0, l1, _ := pc.decode(s)
+	l := l0
+	if p == 1 {
+		l = l1
+	}
+	return l >= 1 && l <= pc.sk.try
+}
+
+func (pc *pairChecker) inCritical(s, p int) bool {
+	l0, l1, _ := pc.decode(s)
+	l := l0
+	if p == 1 {
+		l = l1
+	}
+	return l == pc.sk.critical()
+}
+
+func (pc *pairChecker) inRemainder(s, p int) bool {
+	l0, l1, _ := pc.decode(s)
+	l := l0
+	if p == 1 {
+		l = l1
+	}
+	return l == pc.sk.remainder()
+}
+
+// leadsTo checks "premise leads to goal" under weak fairness on the dense
+// graph. Transition functions are total, so only livelocks (fair cycles in
+// the goal-avoiding region) can violate the property.
+func (pc *pairChecker) leadsTo(premise, goal func(s int) bool) bool {
+	inH := make([]bool, pc.n)
+	var stack []int32
+	for s := 0; s < pc.n; s++ {
+		if pc.reach[s] && premise(s) && !goal(s) {
+			inH[s] = true
+			stack = append(stack, int32(s))
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for p := 0; p < 2; p++ {
+			t := pc.succ[s][p]
+			if !goal(int(t)) && !inH[t] {
+				inH[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return !pc.hasFairCycle(inH)
+}
+
+// hasFairCycle reports whether the subgraph inH contains a cycle that is
+// weakly fair: for each process p, either p takes a step inside the cycle
+// or p is in its remainder region somewhere on the cycle (where its
+// process step does not exist — only the environment's request does).
+func (pc *pairChecker) hasFairCycle(inH []bool) bool {
+	const unvisited = -1
+	index := make([]int32, pc.n)
+	low := make([]int32, pc.n)
+	onStack := make([]bool, pc.n)
+	comp := make([]int32, pc.n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var (
+		counter int32
+		nComp   int32
+		sstack  []int32
+		frames  []int32
+		cursors []int8
+	)
+	for root := 0; root < pc.n; root++ {
+		if !inH[root] || index[root] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], int32(root))
+		cursors = append(cursors[:0], 0)
+		index[root] = counter
+		low[root] = counter
+		counter++
+		sstack = append(sstack, int32(root))
+		onStack[root] = true
+		for len(frames) > 0 {
+			v := frames[len(frames)-1]
+			ci := cursors[len(cursors)-1]
+			advanced := false
+			for ; ci < 2; ci++ {
+				w := pc.succ[v][ci]
+				if !inH[w] {
+					continue
+				}
+				if index[w] == unvisited {
+					cursors[len(cursors)-1] = ci + 1
+					index[w] = counter
+					low[w] = counter
+					counter++
+					sstack = append(sstack, w)
+					onStack[w] = true
+					frames = append(frames, w)
+					cursors = append(cursors, 0)
+					advanced = true
+					break
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			frames = frames[:len(frames)-1]
+			cursors = cursors[:len(cursors)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1]
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				// Pop one SCC and test fairness inline.
+				var members []int32
+				for {
+					w := sstack[len(sstack)-1]
+					sstack = sstack[:len(sstack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					members = append(members, w)
+					if w == v {
+						break
+					}
+				}
+				nComp++
+				if pc.sccFair(members, comp, inH) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// sccFair tests one SCC for an internal edge and weak fairness of both
+// processes.
+func (pc *pairChecker) sccFair(members []int32, comp []int32, inH []bool) bool {
+	cid := comp[members[0]]
+	hasEdge := false
+	var stepTaken [2]bool
+	var disabled [2]bool
+	for _, s := range members {
+		for p := 0; p < 2; p++ {
+			t := pc.succ[s][p]
+			internal := inH[t] && comp[t] == cid
+			if internal {
+				hasEdge = true
+				if !pc.isEnv[s][p] {
+					stepTaken[p] = true
+				}
+			}
+			if pc.isEnv[s][p] {
+				// Process p has no process-step here (it is in remainder):
+				// weak fairness for p is dischargeable at this state.
+				disabled[p] = true
+			}
+		}
+	}
+	if !hasEdge {
+		return false
+	}
+	for p := 0; p < 2; p++ {
+		if !stepTaken[p] && !disabled[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// pairVerdict is the outcome of checkPair.
+type pairVerdict struct {
+	exclusion   bool
+	progress    bool
+	lockoutFree bool
+}
+
+// checkPair runs the full fair-mutex specification on one table pair.
+// Later checks are skipped once an earlier one fails.
+func (sk tasSkeleton) checkPair(t0, t1 [][]sharedmem.Cell, needLockout bool) pairVerdict {
+	pc := sk.newPairChecker(t0, t1)
+	var v pairVerdict
+	v.exclusion = pc.explore()
+	if !v.exclusion {
+		return v
+	}
+	v.progress = pc.leadsTo(
+		func(s int) bool {
+			return (pc.inTrying(s, 0) || pc.inTrying(s, 1)) &&
+				!pc.inCritical(s, 0) && !pc.inCritical(s, 1)
+		},
+		func(s int) bool { return pc.inCritical(s, 0) || pc.inCritical(s, 1) },
+	)
+	if !v.progress || !needLockout {
+		return v
+	}
+	v.lockoutFree = true
+	for p := 0; p < 2; p++ {
+		pp := p
+		if !pc.leadsTo(
+			func(s int) bool { return pc.inTrying(s, pp) },
+			func(s int) bool { return pc.inCritical(s, pp) },
+		) {
+			v.lockoutFree = false
+			break
+		}
+	}
+	return v
+}

@@ -1,0 +1,165 @@
+package synth
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sharedmem"
+)
+
+func TestInvolutions(t *testing.T) {
+	if got := len(involutions(2)); got != 2 {
+		t.Fatalf("involutions(2) = %d, want 2 (id and swap)", got)
+	}
+	if got := len(involutions(3)); got != 4 {
+		t.Fatalf("involutions(3) = %d, want 4 (id and three transpositions)", got)
+	}
+	// Every returned permutation must be self-inverse.
+	for _, pi := range involutions(4) {
+		for i, j := range pi {
+			if pi[j] != i {
+				t.Fatalf("%v is not an involution", pi)
+			}
+		}
+	}
+}
+
+func TestMulCheck(t *testing.T) {
+	if v, ok := mulCheck(1<<40, 1<<40); ok || v != ^uint64(0) {
+		t.Fatal("expected overflow detection")
+	}
+	if v, ok := mulCheck(6, 7); !ok || v != 42 {
+		t.Fatalf("mulCheck(6,7) = %d,%v", v, ok)
+	}
+	if v, ok := mulCheck(0, 99); !ok || v != 0 {
+		t.Fatalf("mulCheck(0,99) = %d,%v", v, ok)
+	}
+}
+
+func TestSearchRejectsInvalidConfigs(t *testing.T) {
+	if _, err := SearchTASMutex(TASSearchConfig{Values: 1, TryStates: 1}); err == nil {
+		t.Fatal("Values=1 should be rejected")
+	}
+	if _, err := SearchRWMutex(RWSearchConfig{Values: 2, TryStates: 0}); err == nil {
+		t.Fatal("TryStates=0 should be rejected")
+	}
+}
+
+func TestSearchRespectsBudget(t *testing.T) {
+	_, err := SearchTASMutex(TASSearchConfig{Values: 3, TryStates: 3, MaxCandidates: 10})
+	if !errors.Is(err, ErrSpaceTooLarge) {
+		t.Fatalf("err = %v, want ErrSpaceTooLarge", err)
+	}
+}
+
+// TestCremersHibbardTwoValuesImpossible is E01's negative half: exhaustive
+// search over every 2-process protocol with a single 2-valued test-and-set
+// variable and up to 2 trying states finds protocols achieving mutual
+// exclusion and progress — but none that is also lockout-free.
+func TestCremersHibbardTwoValuesImpossible(t *testing.T) {
+	res, err := SearchTASMutex(TASSearchConfig{
+		Values:             2,
+		TryStates:          2,
+		Symmetric:          false,
+		RequireLockoutFree: true,
+	})
+	if err != nil {
+		t.Fatalf("SearchTASMutex: %v", err)
+	}
+	if res.PassedProgress == 0 {
+		t.Fatal("some 2-valued protocols should achieve exclusion+progress (the semaphore does)")
+	}
+	if res.Found() {
+		t.Fatalf("no 2-valued protocol should be lockout-free, but found %s (passed=%d)",
+			res.Example.Name(), res.Passed)
+	}
+}
+
+// TestTwoValuedUnfairMutexExists is the sanity counterpart: without the
+// fairness requirement, the search rediscovers the semaphore.
+func TestTwoValuedUnfairMutexExists(t *testing.T) {
+	res, err := SearchTASMutex(TASSearchConfig{
+		Values:    2,
+		TryStates: 1,
+		Symmetric: true,
+	})
+	if err != nil {
+		t.Fatalf("SearchTASMutex: %v", err)
+	}
+	if !res.Found() {
+		t.Fatal("an unfair 2-valued TAS mutex (the semaphore) should be found")
+	}
+	// The found protocol must itself verify.
+	rep, err := sharedmem.CheckMutex(res.Example, sharedmem.CheckMutexOptions{})
+	if err != nil {
+		t.Fatalf("CheckMutex on found example: %v", err)
+	}
+	if !rep.MutualExclusion || !rep.Progress {
+		t.Fatalf("found example fails re-verification: %+v", rep)
+	}
+}
+
+// TestBurnsLynchSingleRWRegisterImpossible is E03: exhaustive search over
+// every 2-process protocol using one read/write register (2 values, up to
+// 2 trying states) finds no protocol achieving even mutual exclusion plus
+// progress — test-and-set power is essential with a single variable.
+func TestBurnsLynchSingleRWRegisterImpossible(t *testing.T) {
+	res, err := SearchRWMutex(RWSearchConfig{
+		Values:    2,
+		TryStates: 2,
+		Symmetric: false,
+	})
+	if err != nil {
+		t.Fatalf("SearchRWMutex: %v", err)
+	}
+	if res.Found() {
+		t.Fatalf("no single-RW-register mutex should exist, but found %s", res.Example.Name())
+	}
+	if res.TablesEnumerated == 0 || res.PairsChecked == 0 {
+		t.Fatalf("search should have enumerated candidates: %+v", res)
+	}
+}
+
+// TestBurnsLynchThreeValuesStillImpossible strengthens E03: more register
+// values do not help (symmetric class to keep the space small).
+func TestBurnsLynchThreeValuesStillImpossible(t *testing.T) {
+	res, err := SearchRWMutex(RWSearchConfig{
+		Values:    3,
+		TryStates: 2,
+		Symmetric: true,
+	})
+	if err != nil {
+		t.Fatalf("SearchRWMutex: %v", err)
+	}
+	if res.Found() {
+		t.Fatalf("no single-RW-register mutex should exist with 3 values either, but found %s", res.Example.Name())
+	}
+}
+
+func TestPermuteTableRoundTrip(t *testing.T) {
+	sk := tasSkeleton{values: 2, try: 1}
+	cells := []sharedmem.Cell{{NextLocal: 2, NewVal: 1}, {NextLocal: 1, NewVal: 0}}
+	table := sk.buildTable(cells, 0)
+	swap := []int{1, 0}
+	double := permuteTable(permuteTable(table, swap), swap)
+	for l := range table {
+		for v := range table[l] {
+			if table[l][v] != double[l][v] {
+				t.Fatalf("permuteTable is not an involution at (%d,%d)", l, v)
+			}
+		}
+	}
+}
+
+func TestCriticalReachablePrunes(t *testing.T) {
+	sk := tasSkeleton{values: 2, try: 1}
+	// A table that loops in trying forever can never reach critical.
+	dead := sk.buildTable([]sharedmem.Cell{{NextLocal: 1, NewVal: 0}, {NextLocal: 1, NewVal: 1}}, 0)
+	if sk.criticalReachable(dead) {
+		t.Fatal("dead table should be pruned")
+	}
+	live := sk.buildTable([]sharedmem.Cell{{NextLocal: 2, NewVal: 1}, {NextLocal: 1, NewVal: 1}}, 0)
+	if !sk.criticalReachable(live) {
+		t.Fatal("live table should not be pruned")
+	}
+}
