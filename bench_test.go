@@ -14,6 +14,7 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/datalink"
+	"repro/internal/engine"
 	"repro/internal/flp"
 	"repro/internal/knowledge"
 	"repro/internal/registers"
@@ -323,6 +324,49 @@ func BenchmarkE21DataLink(b *testing.B) {
 		packets = res.DataPackets
 	}
 	b.ReportMetric(float64(packets)/float64(len(msgs)), "packets-per-message")
+}
+
+// --- Exploration engine benches ---
+//
+// Sequential/parallel pairs over the two largest seed state spaces: the
+// ticket-lock mutex at n=6 (41,083 states) and the FLP wait-quorum
+// protocol at n=4 (563,440 states). The parallel variant runs the engine
+// at GOMAXPROCS workers (forced through the engine even at one worker, so
+// single-core runs measure engine overhead rather than silently aliasing
+// the sequential bench). Both report throughput via states/sec.
+
+func benchExplore(b *testing.B, sys core.System[string], parallel bool) {
+	b.Helper()
+	var states int
+	for i := 0; i < b.N; i++ {
+		opts := core.ExploreOptions{Parallelism: 1}
+		if parallel {
+			opts = core.ExploreOptions{Parallelism: 0, Stats: new(engine.Stats)}
+		}
+		g, err := core.Explore[string](sys, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		states = g.Len()
+	}
+	b.ReportMetric(float64(states)*float64(b.N)/b.Elapsed().Seconds(), "states/sec")
+	b.ReportMetric(float64(states), "states")
+}
+
+func BenchmarkExploreSequentialMutex(b *testing.B) {
+	benchExplore(b, sharedmem.NewSystem(sharedmem.NewTicketLock(6)), false)
+}
+
+func BenchmarkExploreParallelMutex(b *testing.B) {
+	benchExplore(b, sharedmem.NewSystem(sharedmem.NewTicketLock(6)), true)
+}
+
+func BenchmarkExploreSequentialFLP(b *testing.B) {
+	benchExplore(b, flp.NewSystem(flp.NewWaitQuorum(4), nil, 1), false)
+}
+
+func BenchmarkExploreParallelFLP(b *testing.B) {
+	benchExplore(b, flp.NewSystem(flp.NewWaitQuorum(4), nil, 1), true)
 }
 
 // --- Ablation benches (DESIGN.md) ---

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/engine"
 	"repro/internal/flp"
 )
 
@@ -22,6 +23,8 @@ func main() {
 	proto := flag.String("proto", "adopt-swap", "protocol: wait-all | wait-quorum | adopt-swap")
 	n := flag.Int("n", 2, "number of processes")
 	resilience := flag.Int("resilience", 1, "number of crash events the adversary may inject")
+	parallel := flag.Int("parallel", 0, "exploration worker count (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
+	stats := flag.Bool("stats", false, "print exploration engine telemetry")
 	flag.Parse()
 
 	var p flp.Protocol
@@ -36,12 +39,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *proto)
 		os.Exit(2)
 	}
-	rep, err := flp.Analyze(p, flp.AnalyzeOptions{Resilience: resilience})
+	var st *engine.Stats
+	if *stats {
+		st = new(engine.Stats)
+	}
+	rep, err := flp.Analyze(p, flp.AnalyzeOptions{Resilience: resilience, Parallelism: *parallel, Stats: st})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("protocol:            %s (n=%d, resilience=%d)\n", rep.Protocol, *n, *resilience)
+	if st != nil {
+		fmt.Printf("exploration:         %s\n", st)
+	}
 	fmt.Printf("configurations:      %d (%d transitions)\n", rep.States, rep.Edges)
 	fmt.Printf("bivalent configs:    %d (bivalent initial: %v)\n", rep.BivalentConfigs, rep.HasBivalentInitial)
 	fmt.Printf("decider config:      %v\n", rep.DeciderFound)

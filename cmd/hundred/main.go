@@ -19,6 +19,7 @@ import (
 	"repro/internal/clocks"
 	"repro/internal/consensus"
 	"repro/internal/datalink"
+	"repro/internal/engine"
 	"repro/internal/flp"
 	"repro/internal/knowledge"
 	"repro/internal/registers"
@@ -37,8 +38,34 @@ type experiment struct {
 	run   func() error
 }
 
+// parallelism and showStats are the exploration knobs shared by every
+// experiment that walks a state space (-parallel / -stats flags).
+var (
+	parallelism int
+	showStats   bool
+)
+
+// statsSink returns a fresh telemetry sink when -stats is set (which also
+// routes exploration through the engine even at parallelism 1), else nil.
+func statsSink() *engine.Stats {
+	if !showStats {
+		return nil
+	}
+	return new(engine.Stats)
+}
+
+// printStats reports an exploration's telemetry when -stats is set.
+func printStats(st *engine.Stats) {
+	if st != nil {
+		fmt.Printf("    [engine] %s\n", st)
+	}
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
+	flag.IntVar(&parallelism, "parallel", 0,
+		"exploration worker count (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
+	flag.BoolVar(&showStats, "stats", false, "print exploration engine telemetry for state-space experiments")
 	flag.Parse()
 	exps := experiments()
 	if *list {
@@ -119,7 +146,8 @@ func e02() error {
 	}
 	fmt.Printf("  %-26s %8s %9s %12s %7s\n", "algorithm", "values", "progress", "lockout-free", "states")
 	for _, a := range algs {
-		rep, err := sharedmem.CheckMutex(a, sharedmem.CheckMutexOptions{})
+		st := statsSink()
+		rep, err := sharedmem.CheckMutex(a, sharedmem.CheckMutexOptions{Parallelism: parallelism, Stats: st})
 		if err != nil {
 			return err
 		}
@@ -128,6 +156,7 @@ func e02() error {
 			total += v
 		}
 		fmt.Printf("  %-26s %8d %9v %12v %7d\n", rep.Algorithm, total, rep.Progress, rep.LockoutFree, rep.States)
+		printStats(st)
 	}
 	return nil
 }
@@ -147,11 +176,13 @@ func e03() error {
 func e04() error {
 	fmt.Printf("  %-4s %18s %12s\n", "n", "combined values", "(n+1)^2")
 	for _, n := range []int{2, 3, 4, 5} {
-		rep, err := sharedmem.CheckMutex(sharedmem.NewTicketLock(n), sharedmem.CheckMutexOptions{})
+		st := statsSink()
+		rep, err := sharedmem.CheckMutex(sharedmem.NewTicketLock(n), sharedmem.CheckMutexOptions{Parallelism: parallelism, Stats: st})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("  %-4d %18d %12d\n", n, rep.CombinedValues, (n+1)*(n+1))
+		printStats(st)
 	}
 	return nil
 }
@@ -286,11 +317,13 @@ func e10() error {
 
 func e11() error {
 	for _, p := range []flp.Protocol{flp.NewWaitAll(3), flp.NewWaitQuorum(3), flp.NewAdoptSwap(2)} {
-		rep, err := flp.Analyze(p, flp.AnalyzeOptions{})
+		st := statsSink()
+		rep, err := flp.Analyze(p, flp.AnalyzeOptions{Parallelism: parallelism, Stats: st})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("  %s (states=%d, bivalent=%d)\n", flp.DescribeHorn(rep), rep.States, rep.BivalentConfigs)
+		printStats(st)
 	}
 	return nil
 }

@@ -41,6 +41,7 @@ import (
 	"repro/internal/clocks"
 	"repro/internal/consensus"
 	"repro/internal/datalink"
+	"repro/internal/engine"
 	"repro/internal/flp"
 	"repro/internal/knowledge"
 	"repro/internal/registers"
@@ -51,6 +52,16 @@ import (
 	"repro/internal/sharedmem"
 	"repro/internal/spec"
 	"repro/internal/synth"
+)
+
+// Parallel state-space exploration (the substrate under every checker).
+type (
+	// EngineStats is the exploration telemetry sink accepted by the
+	// checkers' options types (states/sec, frontier depth, dedup rate,
+	// per-worker step counts). A non-nil sink routes exploration through
+	// the parallel engine; the resulting graph is identical at any worker
+	// count.
+	EngineStats = engine.Stats
 )
 
 // Shared-memory resource allocation (§2.1).

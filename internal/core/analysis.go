@@ -61,7 +61,7 @@ func (g *Graph[S]) Valence(decide func(S) (int, bool)) (*ValenceInfo, error) {
 	preds := make([][]int32, n)
 	for i := range g.states {
 		for _, e := range g.edges[i] {
-			preds[e.to] = append(preds[e.to], int32(i))
+			preds[e.To] = append(preds[e.To], int32(i))
 		}
 	}
 	queue := make([]int, 0, n)
@@ -141,7 +141,7 @@ func (g *Graph[S]) Decider(v *ValenceInfo) (int, bool) {
 		}
 		all := true
 		for _, e := range g.edges[i] {
-			if !v.IsUnivalent(e.to) {
+			if !v.IsUnivalent(e.To) {
 				all = false
 				break
 			}
@@ -203,9 +203,9 @@ func (g *Graph[S]) CheckLeadsTo(premise, goal func(S) bool, fair Fairness, numAc
 		i := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, e := range g.edges[i] {
-			if !goalSet[e.to] && !inH[e.to] {
-				inH[e.to] = true
-				stack = append(stack, e.to)
+			if !goalSet[e.To] && !inH[e.To] {
+				inH[e.To] = true
+				stack = append(stack, e.To)
 			}
 		}
 	}
@@ -240,9 +240,9 @@ func (g *Graph[S]) FairLassoWithin(allowed func(int) bool, fair Fairness, numAct
 		i := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, e := range g.edges[i] {
-			if allowed(e.to) && !inH[e.to] {
-				inH[e.to] = true
-				stack = append(stack, e.to)
+			if allowed(e.To) && !inH[e.To] {
+				inH[e.To] = true
+				stack = append(stack, e.To)
 			}
 		}
 	}
@@ -302,7 +302,7 @@ func (g *Graph[S]) sccsWithin(inH []bool) [][]int {
 			ei := callEdge[len(callEdge)-1]
 			advanced := false
 			for ; ei < len(g.edges[v]); ei++ {
-				w := g.edges[v][ei].to
+				w := g.edges[v][ei].To
 				if !inH[w] {
 					continue
 				}
@@ -360,7 +360,7 @@ func (g *Graph[S]) sccHasInternalEdge(comp []int, inH []bool) bool {
 	}
 	for _, i := range comp {
 		for _, e := range g.edges[i] {
-			if inH[e.to] && inComp[e.to] {
+			if inH[e.To] && inComp[e.To] {
 				return true
 			}
 		}
@@ -381,11 +381,11 @@ func (g *Graph[S]) sccIsWeaklyFair(comp []int, inH []bool, numActors int) bool {
 		for _, i := range comp {
 			enabledHere := false
 			for _, e := range g.edges[i] {
-				if e.actor != a {
+				if e.Actor != a {
 					continue
 				}
 				enabledHere = true
-				if inH[e.to] && inComp[e.to] {
+				if inH[e.To] && inComp[e.To] {
 					satisfied = true // actor a takes a step inside the SCC
 					break
 				}
@@ -413,7 +413,7 @@ func (g *Graph[S]) buildFairCycle(comp []int, inH []bool, fair Fairness, numActo
 	for _, i := range comp {
 		inComp[i] = true
 	}
-	internal := func(from int, e edge) bool { return inH[e.to] && inComp[e.to] }
+	internal := func(from int, e edge) bool { return inH[e.To] && inComp[e.To] }
 
 	// Choose must-visit edges: one internal edge per actor that takes
 	// internal steps in the component (under weak fairness only).
@@ -427,7 +427,7 @@ func (g *Graph[S]) buildFairCycle(comp []int, inH []bool, fair Fairness, numActo
 			found := false
 			for _, i := range comp {
 				for _, e := range g.edges[i] {
-					if e.actor == a && internal(i, e) {
+					if e.Actor == a && internal(i, e) {
 						musts = append(musts, mustEdge{from: i, e: e})
 						found = true
 						break
@@ -469,8 +469,8 @@ func (g *Graph[S]) buildFairCycle(comp []int, inH []bool, fair Fairness, numActo
 			continue
 		}
 		cycle = append(cycle, seg...)
-		cycle = append(cycle, TraceEvent{Label: m.e.label, Actor: m.e.actor})
-		cur = m.e.to
+		cycle = append(cycle, TraceEvent{Label: m.e.Label, Actor: m.e.Actor})
+		cur = m.e.To
 	}
 	seg, ok := g.pathWithin(cur, entry, inComp, inH, cur == entry)
 	if ok {
@@ -493,29 +493,29 @@ func (g *Graph[S]) pathWithin(src, dst int, inComp map[int]bool, inH []bool, for
 	queue := []int{}
 	// Seed with successors of src so that cycles of length >= 1 are found.
 	for _, e := range g.edges[src] {
-		if inH[e.to] && inComp[e.to] {
-			if e.to == dst {
-				return Trace{{Label: e.label, Actor: e.actor}}, true
+		if inH[e.To] && inComp[e.To] {
+			if e.To == dst {
+				return Trace{{Label: e.Label, Actor: e.Actor}}, true
 			}
-			if _, seen := visited[e.to]; !seen {
-				visited[e.to] = pv{prev: src, e: e}
-				queue = append(queue, e.to)
+			if _, seen := visited[e.To]; !seen {
+				visited[e.To] = pv{prev: src, e: e}
+				queue = append(queue, e.To)
 			}
 		}
 	}
 	for head := 0; head < len(queue); head++ {
 		i := queue[head]
 		for _, e := range g.edges[i] {
-			if !inH[e.to] || !inComp[e.to] {
+			if !inH[e.To] || !inComp[e.To] {
 				continue
 			}
-			if e.to == dst {
+			if e.To == dst {
 				var rev []TraceEvent
-				rev = append(rev, TraceEvent{Label: e.label, Actor: e.actor})
+				rev = append(rev, TraceEvent{Label: e.Label, Actor: e.Actor})
 				cur := i
 				for cur != src {
 					p := visited[cur]
-					rev = append(rev, TraceEvent{Label: p.e.label, Actor: p.e.actor})
+					rev = append(rev, TraceEvent{Label: p.e.Label, Actor: p.e.Actor})
 					cur = p.prev
 				}
 				out := make(Trace, len(rev))
@@ -524,9 +524,9 @@ func (g *Graph[S]) pathWithin(src, dst int, inComp map[int]bool, inH []bool, for
 				}
 				return out, true
 			}
-			if _, seen := visited[e.to]; !seen {
-				visited[e.to] = pv{prev: i, e: e}
-				queue = append(queue, e.to)
+			if _, seen := visited[e.To]; !seen {
+				visited[e.To] = pv{prev: i, e: e}
+				queue = append(queue, e.To)
 			}
 		}
 	}

@@ -18,6 +18,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
+
+	"repro/internal/engine"
 )
 
 // EnvironmentActor is the Actor value used for steps taken by the
@@ -54,12 +57,10 @@ type System[S comparable] interface {
 // exceeds the configured bound before exploration completes.
 var ErrStateLimit = errors.New("core: state limit exceeded during exploration")
 
-// edge is the interned form of a Step.
-type edge struct {
-	to    int
-	label string
-	actor int
-}
+// edge is the interned form of a Step. It is the engine's canonical edge
+// type, aliased so that parallel exploration results are adopted into a
+// Graph without copying.
+type edge = engine.Edge
 
 // Graph is the explored reachable state graph of a System. It supports the
 // analyses every impossibility engine needs: invariant checking with
@@ -81,6 +82,19 @@ type ExploreOptions struct {
 	// MaxStates caps the number of distinct states explored. Zero means
 	// DefaultMaxStates.
 	MaxStates int
+	// Parallelism is the worker count for the exploration engine: 0 means
+	// runtime.GOMAXPROCS(0), 1 selects the legacy sequential explorer.
+	// Whatever the worker count, the resulting Graph is identical — state
+	// numbering, edge order, parent tree and initials all match the
+	// sequential explorer's, so downstream analyses stay reproducible.
+	// Parallel exploration requires System.Steps to be safe for concurrent
+	// calls and a pure function of its argument (true of every System in
+	// this repository: canonical states in, deterministic steps out).
+	Parallelism int
+	// Stats, when non-nil, receives the engine's exploration telemetry.
+	// Setting Stats routes exploration through the engine even when the
+	// resolved parallelism is 1.
+	Stats *engine.Stats
 }
 
 // DefaultMaxStates bounds exploration when ExploreOptions.MaxStates is zero.
@@ -88,12 +102,64 @@ const DefaultMaxStates = 2_000_000
 
 // Explore performs breadth-first exhaustive exploration of sys and returns
 // the reachable graph. It returns ErrStateLimit (wrapped) if the state
-// space exceeds the bound; partial graphs are never returned.
+// space exceeds the bound; the partial graph built up to the bound — itself
+// canonical, and identical at any parallelism — is returned alongside the
+// error.
 func Explore[S comparable](sys System[S], opts ExploreOptions) (*Graph[S], error) {
 	limit := opts.MaxStates
 	if limit <= 0 {
 		limit = DefaultMaxStates
 	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > 1 || opts.Stats != nil {
+		return exploreEngine(sys, limit, par, opts.Stats)
+	}
+	return exploreSequential(sys, limit)
+}
+
+// exploreEngine delegates to the parallel exploration engine and adopts its
+// canonical result as a Graph (the engine's edge arrays are shared, not
+// copied; see the edge alias).
+func exploreEngine[S comparable](sys System[S], limit, par int, stats *engine.Stats) (*Graph[S], error) {
+	res, err := engine.Explore(sys.Init(), func(s S, emit engine.Emit[S]) {
+		for _, st := range sys.Steps(s) {
+			emit(st.To, st.Label, st.Actor)
+		}
+	}, engine.Options{MaxStates: limit, Parallelism: par, Stats: stats})
+	if err != nil {
+		switch {
+		case errors.Is(err, engine.ErrNoInitialStates):
+			return nil, errors.New("core: system has no initial states")
+		case errors.Is(err, engine.ErrStateLimit):
+			return adoptResult(res), fmt.Errorf("%w: limit %d", ErrStateLimit, limit)
+		default:
+			return nil, err
+		}
+	}
+	return adoptResult(res), nil
+}
+
+// adoptResult wraps an engine result as a Graph. The index map is built
+// lazily on the first StateID call rather than eagerly re-interning every
+// state on the hot path.
+func adoptResult[S comparable](res *engine.Result[S]) *Graph[S] {
+	return &Graph[S]{
+		states:     res.States,
+		edges:      res.Edges,
+		parent:     res.Parents,
+		parentEdge: res.ParentEdges,
+		inits:      res.Inits,
+	}
+}
+
+// exploreSequential is the legacy single-threaded explorer, kept both as
+// the Parallelism == 1 fast path (no level barriers, no canonicalization
+// pass) and as the executable specification of the canonical order the
+// engine must reproduce.
+func exploreSequential[S comparable](sys System[S], limit int) (*Graph[S], error) {
 	g := &Graph[S]{index: make(map[S]int)}
 	intern := func(s S) (int, bool) {
 		if id, ok := g.index[s]; ok {
@@ -126,13 +192,13 @@ func Explore[S comparable](sys System[S], opts ExploreOptions) (*Graph[S], error
 			tid, fresh := intern(st.To)
 			if fresh {
 				if len(g.states) > limit {
-					return nil, fmt.Errorf("%w: limit %d", ErrStateLimit, limit)
+					return g, fmt.Errorf("%w: limit %d", ErrStateLimit, limit)
 				}
 				g.parent[tid] = id
-				g.parentEdge[tid] = edge{to: tid, label: st.Label, actor: st.Actor}
+				g.parentEdge[tid] = edge{To: tid, Label: st.Label, Actor: st.Actor}
 				queue = append(queue, tid)
 			}
-			out = append(out, edge{to: tid, label: st.Label, actor: st.Actor})
+			out = append(out, edge{To: tid, Label: st.Label, Actor: st.Actor})
 		}
 		g.edges[id] = out
 	}
@@ -155,8 +221,16 @@ func (g *Graph[S]) NumEdges() int {
 // of the graph and densely numbered from 0.
 func (g *Graph[S]) State(i int) S { return g.states[i] }
 
-// StateID returns the id of state s, if it is reachable.
+// StateID returns the id of state s, if it is reachable. Graphs built by
+// the parallel engine materialize the state index on the first call (like
+// the rest of Graph, StateID is not safe for concurrent use).
 func (g *Graph[S]) StateID(s S) (int, bool) {
+	if g.index == nil {
+		g.index = make(map[S]int, len(g.states))
+		for i, st := range g.states {
+			g.index[st] = i
+		}
+	}
 	id, ok := g.index[s]
 	return id, ok
 }
@@ -173,13 +247,27 @@ func (g *Graph[S]) Successors(i int) []Step[S] {
 	es := g.edges[i]
 	out := make([]Step[S], len(es))
 	for k, e := range es {
-		out[k] = Step[S]{To: g.states[e.to], Label: e.label, Actor: e.actor}
+		out[k] = Step[S]{To: g.states[e.To], Label: e.Label, Actor: e.Actor}
 	}
 	return out
 }
 
 // IsTerminal reports whether state id i has no outgoing transitions.
 func (g *Graph[S]) IsTerminal(i int) bool { return len(g.edges[i]) == 0 }
+
+// Parent returns the id of the state that first reached state i during
+// BFS, or -1 for initial states.
+func (g *Graph[S]) Parent(i int) int { return g.parent[i] }
+
+// ParentStep returns the step by which Parent(i) first reached state i.
+// For initial states it returns the zero Step.
+func (g *Graph[S]) ParentStep(i int) Step[S] {
+	if g.parent[i] < 0 {
+		return Step[S]{}
+	}
+	pe := g.parentEdge[i]
+	return Step[S]{To: g.states[pe.To], Label: pe.Label, Actor: pe.Actor}
+}
 
 // TraceEvent is one step of a witness execution.
 type TraceEvent struct {
@@ -214,7 +302,7 @@ func (g *Graph[S]) PathTo(i int) Trace {
 	var rev []TraceEvent
 	for cur := i; g.parent[cur] != -1; cur = g.parent[cur] {
 		pe := g.parentEdge[cur]
-		rev = append(rev, TraceEvent{Label: pe.label, Actor: pe.actor})
+		rev = append(rev, TraceEvent{Label: pe.Label, Actor: pe.Actor})
 	}
 	out := make(Trace, len(rev))
 	for k := range rev {

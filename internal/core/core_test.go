@@ -2,8 +2,11 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
+
+	"repro/internal/engine"
 )
 
 // chainSys is a linear system 0 -> 1 -> ... -> n, stepped by actor 0.
@@ -325,4 +328,84 @@ func TestNullvalent(t *testing.T) {
 			t.Fatalf("state %d should be nullvalent", i)
 		}
 	}
+}
+
+// graphsIdentical compares every canonical facet of two graphs: state
+// numbering, initials, edge lists (with order), parent tree and parent
+// steps.
+func graphsIdentical[S comparable](t *testing.T, label string, a, b *Graph[S]) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("%s: Len %d vs %d", label, a.Len(), b.Len())
+	}
+	ai, bi := a.Initials(), b.Initials()
+	if len(ai) != len(bi) {
+		t.Fatalf("%s: initials %v vs %v", label, ai, bi)
+	}
+	for k := range ai {
+		if ai[k] != bi[k] {
+			t.Fatalf("%s: initials %v vs %v", label, ai, bi)
+		}
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.State(i) != b.State(i) {
+			t.Fatalf("%s: state %d differs: %v vs %v", label, i, a.State(i), b.State(i))
+		}
+		if a.Parent(i) != b.Parent(i) {
+			t.Fatalf("%s: parent[%d] = %d vs %d", label, i, a.Parent(i), b.Parent(i))
+		}
+		if a.ParentStep(i) != b.ParentStep(i) {
+			t.Fatalf("%s: parent step %d differs", label, i)
+		}
+		as, bs := a.Successors(i), b.Successors(i)
+		if len(as) != len(bs) {
+			t.Fatalf("%s: successors of %d: %d vs %d", label, i, len(as), len(bs))
+		}
+		for k := range as {
+			if as[k] != bs[k] {
+				t.Fatalf("%s: successor %d/%d differs: %+v vs %+v", label, i, k, as[k], bs[k])
+			}
+		}
+	}
+}
+
+// TestParallelExploreMatchesSequential: the engine-backed path must yield a
+// graph identical to the legacy sequential explorer, worker count
+// notwithstanding.
+func TestParallelExploreMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		sys := newRandomSys(seed)
+		seq, err := Explore[int](sys, ExploreOptions{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("seed %d sequential: %v", seed, err)
+		}
+		for _, par := range []int{1, 2, 8} {
+			var st engine.Stats
+			got, err := Explore[int](sys, ExploreOptions{Parallelism: par, Stats: &st})
+			if err != nil {
+				t.Fatalf("seed %d par %d: %v", seed, par, err)
+			}
+			graphsIdentical(t, fmt.Sprintf("seed %d par %d", seed, par), seq, got)
+			if st.States != seq.Len() {
+				t.Fatalf("seed %d par %d: stats states %d, want %d", seed, par, st.States, seq.Len())
+			}
+		}
+	}
+}
+
+// TestTruncationReturnsPartialGraph: both explorer paths return the same
+// canonical partial graph alongside ErrStateLimit.
+func TestTruncationReturnsPartialGraph(t *testing.T) {
+	seq, err := Explore[int](chainSys{n: 100}, ExploreOptions{MaxStates: 5, Parallelism: 1})
+	if !errors.Is(err, ErrStateLimit) {
+		t.Fatalf("sequential err = %v, want ErrStateLimit", err)
+	}
+	if seq == nil || seq.Len() != 6 {
+		t.Fatalf("sequential partial graph missing or wrong size: %v", seq)
+	}
+	par, err := Explore[int](chainSys{n: 100}, ExploreOptions{MaxStates: 5, Parallelism: 4})
+	if !errors.Is(err, ErrStateLimit) {
+		t.Fatalf("parallel err = %v, want ErrStateLimit", err)
+	}
+	graphsIdentical(t, "truncated", seq, par)
 }

@@ -1,0 +1,432 @@
+// Package engine is the parallel reachability-exploration subsystem
+// underneath every proof-technique checker in the library. It executes the
+// unified model the paper calls for (§3.6, §4.4) at scale: a worker-pool
+// breadth-first exploration over a fingerprint-sharded visited set, followed
+// by a sequential canonicalization pass that renumbers the discovered graph
+// into exactly the order a single-threaded BFS would have produced.
+//
+// The determinism guarantee is the load-bearing property: the returned
+// Result — state numbering, edge order, BFS parent tree, initial-state ids —
+// is byte-identical to a sequential exploration of the same system,
+// regardless of worker count or interleaving. Every downstream analysis
+// (valence, deciders, fair lassos, counterexample traces) is therefore
+// reproducible across runs and across machines.
+//
+// The package deliberately does not import internal/core: core adapts its
+// System interface onto Explore's callback form and assembles the Result
+// into a core.Graph, so the engine stays independently testable (notably
+// under -race) and free of import cycles.
+//
+// Correctness of the two-phase design rests on a BFS invariant: the set of
+// states at distance d from the initial states is a function of the system
+// alone, not of scheduling. The parallel phase explores whole levels at a
+// time, so after every level barrier it has discovered exactly the states a
+// sequential BFS would have discovered by the end of that level; the replay
+// pass then re-walks the recorded successor lists in canonical order without
+// ever calling back into the system.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrStateLimit is returned by Explore when the reachable state space
+// exceeds the configured bound. The partial Result accompanying it is still
+// valid — and still canonical: it is exactly the partial graph a sequential
+// BFS would have built when it hit the same bound.
+var ErrStateLimit = errors.New("engine: state limit exceeded during exploration")
+
+// ErrNoInitialStates is returned when the system declares no initial states.
+var ErrNoInitialStates = errors.New("engine: system has no initial states")
+
+// DefaultMaxStates bounds exploration when Options.MaxStates is zero.
+const DefaultMaxStates = 2_000_000
+
+// Emit records one successor of the state being expanded. The engine calls
+// ExpandFunc with an Emit valid only for the duration of that call.
+type Emit[S comparable] func(to S, label string, actor int)
+
+// ExpandFunc enumerates the successors of s by calling emit once per
+// outgoing transition, in a deterministic order. It must be safe to call
+// concurrently from multiple goroutines and must be a pure function of s:
+// the determinism guarantee (and the visited-set dedup) are both built on
+// "same state in, same transitions out".
+type ExpandFunc[S comparable] func(s S, emit Emit[S])
+
+// Options configure an exploration.
+type Options struct {
+	// MaxStates caps the number of distinct states explored. Zero means
+	// DefaultMaxStates.
+	MaxStates int
+	// Parallelism is the worker count. Zero (or negative) means
+	// runtime.GOMAXPROCS(0). One worker still runs the full two-phase
+	// pipeline and produces the same canonical Result.
+	Parallelism int
+	// Stats, when non-nil, receives a copy of the exploration telemetry
+	// (also available as Result.Stats).
+	Stats *Stats
+
+	// degradeFingerprint collapses the state fingerprint to two bits,
+	// forcing heavy shard collisions. Test-only: it exercises the
+	// full-state confirmation path that rules out fingerprint collisions.
+	degradeFingerprint bool
+}
+
+// Edge is one canonical transition: To is the canonical id of the successor
+// state.
+type Edge struct {
+	To    int
+	Label string
+	Actor int
+}
+
+// Result is the canonicalized exploration outcome. Ids are dense from 0 in
+// sequential-BFS discovery order.
+type Result[S comparable] struct {
+	// States maps canonical id to state.
+	States []S
+	// Inits are the canonical ids of the (deduplicated) initial states, in
+	// declaration order.
+	Inits []int
+	// Edges[i] are the outgoing transitions of state i, in expansion order.
+	// A nil entry on a truncated Result marks a state whose expansion was
+	// cut off by the state limit.
+	Edges [][]Edge
+	// Parents[i] is the canonical id of the state that first reached state
+	// i in BFS order; -1 for initial states.
+	Parents []int
+	// ParentEdges[i] is the transition by which Parents[i] first reached i.
+	ParentEdges []Edge
+	// Truncated reports that the state limit cut the exploration short.
+	Truncated bool
+	// Stats is the exploration telemetry.
+	Stats Stats
+}
+
+// rawEdge is the provisional-id form of a transition, recorded by workers
+// during the parallel phase and rewritten by the canonicalization replay.
+type rawEdge struct {
+	to    int32
+	actor int32
+	label string
+}
+
+// span locates one state's recorded successors inside its expanding
+// worker's arena.
+type span struct {
+	worker int32
+	off    int32
+	n      int32
+}
+
+// fpEntry is one occupant of a visited-set shard: the full state is kept so
+// that a fingerprint hit is always confirmed against the real state, ruling
+// out 64-bit collisions.
+type fpEntry[S comparable] struct {
+	state S
+	id    int32
+}
+
+// shard is one stripe of the visited set, keyed by state fingerprint.
+type shard[S comparable] struct {
+	mu sync.Mutex
+	m  map[uint64][]fpEntry[S]
+}
+
+// worker holds one worker's private exploration storage. news and arena are
+// only ever touched by their owner during a level and by the coordinator
+// between levels, so none of it needs locking.
+type worker[S comparable] struct {
+	// arena accumulates rawEdges; spans index into it by offset, so append
+	// growth is safe.
+	arena []rawEdge
+	// news are the states this worker interned during the current level.
+	news []fpEntry[S]
+	// steps counts states expanded by this worker over the whole run.
+	steps uint64
+	// dedup counts successor generations that hit an already-known state.
+	dedup uint64
+}
+
+// explorer is the shared state of one Explore run.
+type explorer[S comparable] struct {
+	expand  ExpandFunc[S]
+	shards  []*shard[S]
+	mask    uint64
+	counter atomic.Int64
+	fp      func(*S) uint64
+
+	// states, spans and expanded are indexed by provisional id. They are
+	// only appended to between level barriers; during a level, workers
+	// write spans/expanded at the distinct indices they own.
+	states   []S
+	spans    []span
+	expanded []bool
+
+	workers []*worker[S]
+}
+
+// intern returns the provisional id of s, assigning a fresh one on first
+// sight. Fresh states must be recorded by the caller (the id -> state
+// mapping is merged into e.states at the next level barrier).
+func (e *explorer[S]) intern(s S) (int32, bool) {
+	h := e.fp(&s)
+	sh := e.shards[h&e.mask]
+	sh.mu.Lock()
+	for _, en := range sh.m[h] {
+		if en.state == s {
+			sh.mu.Unlock()
+			return en.id, false
+		}
+	}
+	id := int32(e.counter.Add(1) - 1)
+	sh.m[h] = append(sh.m[h], fpEntry[S]{state: s, id: id})
+	sh.mu.Unlock()
+	return id, true
+}
+
+// expandRange expands provisional ids [lo, hi) claimed in chunks from
+// cursor, writing successors into worker w's arena.
+func (e *explorer[S]) expandRange(w int32, cursor *atomic.Int64, hi int, chunk int) {
+	ws := e.workers[w]
+	emit := Emit[S](func(to S, label string, actor int) {
+		tid, fresh := e.intern(to)
+		if fresh {
+			ws.news = append(ws.news, fpEntry[S]{state: to, id: tid})
+		} else {
+			ws.dedup++
+		}
+		ws.arena = append(ws.arena, rawEdge{to: tid, actor: int32(actor), label: label})
+	})
+	for {
+		lo := int(cursor.Add(int64(chunk))) - chunk
+		if lo >= hi {
+			return
+		}
+		end := lo + chunk
+		if end > hi {
+			end = hi
+		}
+		for id := lo; id < end; id++ {
+			off := int32(len(ws.arena))
+			e.expand(e.states[id], emit)
+			e.spans[id] = span{worker: w, off: off, n: int32(len(ws.arena)) - off}
+			e.expanded[id] = true
+			ws.steps++
+		}
+	}
+}
+
+// growTo appends zero values until s has length n.
+func growTo[T any](s []T, n int) []T {
+	if len(s) >= n {
+		return s
+	}
+	return append(s, make([]T, n-len(s))...)
+}
+
+// Explore runs the two-phase parallel BFS: inits are the initial states (in
+// declaration order, duplicates tolerated) and expand enumerates
+// successors. See ExpandFunc for the purity and concurrency requirements.
+//
+// On success the Result is canonical: identical to a sequential BFS at any
+// Parallelism. When the state space exceeds Options.MaxStates, Explore
+// returns the canonical partial Result alongside ErrStateLimit (wrapped).
+func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Result[S], error) {
+	start := time.Now()
+	limit := opts.MaxStates
+	if limit <= 0 {
+		limit = DefaultMaxStates
+	}
+	if limit > math.MaxInt32-2 {
+		limit = math.MaxInt32 - 2
+	}
+	nw := opts.Parallelism
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+
+	e := &explorer[S]{expand: expand, fp: fingerprint[S]}
+	if opts.degradeFingerprint {
+		e.fp = func(s *S) uint64 { return fingerprint(s) & 3 }
+	}
+	nShards := shardCount(nw)
+	e.mask = uint64(nShards - 1)
+	e.shards = make([]*shard[S], nShards)
+	for i := range e.shards {
+		e.shards[i] = &shard[S]{m: make(map[uint64][]fpEntry[S])}
+	}
+	e.workers = make([]*worker[S], nw)
+	for i := range e.workers {
+		e.workers[i] = &worker[S]{}
+	}
+
+	// Intern initial states sequentially: their provisional ids coincide
+	// with their canonical ones, and duplicates collapse exactly as in a
+	// sequential exploration.
+	var initIDs []int32
+	for _, s := range inits {
+		id, fresh := e.intern(s)
+		if fresh {
+			e.states = append(e.states, s)
+			initIDs = append(initIDs, id)
+		}
+	}
+	if len(initIDs) == 0 {
+		return nil, ErrNoInitialStates
+	}
+
+	// Parallel phase: expand whole BFS levels between barriers. The level
+	// granularity is what keeps truncation canonical — if the state count
+	// crosses the limit, every state the sequential explorer would have
+	// expanded before failing has already been expanded here (the overshoot
+	// is at most one level of successors).
+	var st Stats
+	st.Workers = nw
+	lo, hi := 0, len(e.states)
+	e.spans = growTo(e.spans, hi)
+	e.expanded = growTo(e.expanded, hi)
+	for lo < hi {
+		frontier := hi - lo
+		if frontier > st.PeakFrontier {
+			st.PeakFrontier = frontier
+		}
+		st.Depth++
+		var cursor atomic.Int64
+		cursor.Store(int64(lo))
+		chunk := frontier/(nw*4) + 1
+		// Small frontiers are not worth a fan-out: per-level goroutine and
+		// barrier costs would dominate on deep, narrow graphs (chains).
+		if nw == 1 || frontier < nw*16 {
+			e.expandRange(0, &cursor, hi, chunk)
+		} else {
+			var wg sync.WaitGroup
+			for w := 1; w < nw; w++ {
+				wg.Add(1)
+				go func(w int32) {
+					defer wg.Done()
+					e.expandRange(w, &cursor, hi, chunk)
+				}(int32(w))
+			}
+			e.expandRange(0, &cursor, hi, chunk)
+			wg.Wait()
+		}
+		// Level barrier: publish the states interned during this level so
+		// the next level's workers can read them by id.
+		total := int(e.counter.Load())
+		e.states = growTo(e.states, total)
+		e.spans = growTo(e.spans, total)
+		e.expanded = growTo(e.expanded, total)
+		for _, ws := range e.workers {
+			for _, en := range ws.news {
+				e.states[en.id] = en.state
+			}
+			ws.news = ws.news[:0]
+		}
+		lo, hi = hi, total
+		if total > limit {
+			break
+		}
+	}
+	for _, ws := range e.workers {
+		st.WorkerSteps = append(st.WorkerSteps, ws.steps)
+		st.Expansions += ws.steps
+		st.DedupHits += ws.dedup
+	}
+
+	res, err := e.replay(initIDs, limit)
+	st.States = len(res.States)
+	for _, es := range res.Edges {
+		st.Edges += len(es)
+	}
+	st.Truncated = res.Truncated
+	st.Elapsed = time.Since(start)
+	if secs := st.Elapsed.Seconds(); secs > 0 {
+		st.StatesPerSec = float64(st.States) / secs
+	}
+	res.Stats = st
+	if opts.Stats != nil {
+		*opts.Stats = st
+	}
+	return res, err
+}
+
+// replay is the canonicalization pass: a sequential BFS over the recorded
+// successor lists, renumbering provisional ids into canonical (discovery
+// order) ids. It mirrors the sequential explorer's loop exactly — including
+// where the state limit fires — so its output is byte-identical to a
+// single-threaded exploration, and its truncated output is byte-identical
+// to a truncated single-threaded exploration.
+func (e *explorer[S]) replay(initIDs []int32, limit int) (*Result[S], error) {
+	n := int(e.counter.Load())
+	canon := make([]int32, n)
+	for i := range canon {
+		canon[i] = -1
+	}
+	res := &Result[S]{}
+	intern := func(pid int32) (int, bool) {
+		if c := canon[pid]; c >= 0 {
+			return int(c), false
+		}
+		c := len(res.States)
+		canon[pid] = int32(c)
+		res.States = append(res.States, e.states[pid])
+		res.Edges = append(res.Edges, nil)
+		res.Parents = append(res.Parents, -1)
+		res.ParentEdges = append(res.ParentEdges, Edge{})
+		return c, true
+	}
+	queue := make([]int32, 0, n)
+	for _, pid := range initIDs {
+		c, _ := intern(pid)
+		res.Inits = append(res.Inits, c)
+		queue = append(queue, pid)
+	}
+	for head := 0; head < len(queue); head++ {
+		pid := queue[head]
+		cid := int(canon[pid])
+		if !e.expanded[pid] {
+			// Unreachable: the level-granular cutoff guarantees the limit
+			// fires (below) before any unexpanded state is dequeued.
+			return res, fmt.Errorf("engine: internal error: state %d dequeued without recorded successors", cid)
+		}
+		sp := e.spans[pid]
+		raw := e.workers[sp.worker].arena[sp.off : sp.off+sp.n]
+		out := make([]Edge, 0, len(raw))
+		for _, r := range raw {
+			tc, fresh := intern(r.to)
+			if fresh {
+				if len(res.States) > limit {
+					res.Truncated = true
+					return res, fmt.Errorf("%w: limit %d", ErrStateLimit, limit)
+				}
+				res.Parents[tc] = cid
+				res.ParentEdges[tc] = Edge{To: tc, Label: r.label, Actor: int(r.actor)}
+				queue = append(queue, r.to)
+			}
+			out = append(out, Edge{To: tc, Label: r.label, Actor: int(r.actor)})
+		}
+		res.Edges[cid] = out
+	}
+	return res, nil
+}
+
+// shardCount picks a power-of-two stripe count for the visited set: one
+// stripe for a lone worker (no contention to spread), otherwise enough
+// stripes that workers rarely collide.
+func shardCount(workers int) int {
+	if workers <= 1 {
+		return 1
+	}
+	n := 1
+	for n < workers*16 && n < 256 {
+		n <<= 1
+	}
+	return n
+}

@@ -1,0 +1,70 @@
+package engine
+
+import "fmt"
+
+// fingerprint maps a state to the 64-bit key used to pick a visited-set
+// shard and to index within it. Collisions are tolerated (every hit is
+// confirmed against the full state), so the only requirements are
+// determinism and reasonable spread.
+//
+// The switch is over *S rather than S: boxing a pointer into an interface
+// stores it directly in the interface word, so the common string/int paths
+// stay allocation-free. Exotic comparable state types fall back to their
+// fmt rendering — slow but correct, and unused by any system in this
+// repository (whose canonical states are strings and small ints).
+func fingerprint[S comparable](s *S) uint64 {
+	switch p := any(s).(type) {
+	case *string:
+		return hashString(*p)
+	case *int:
+		return mix64(uint64(*p))
+	case *int8:
+		return mix64(uint64(*p))
+	case *int16:
+		return mix64(uint64(*p))
+	case *int32:
+		return mix64(uint64(*p))
+	case *int64:
+		return mix64(uint64(*p))
+	case *uint:
+		return mix64(uint64(*p))
+	case *uint8:
+		return mix64(uint64(*p))
+	case *uint16:
+		return mix64(uint64(*p))
+	case *uint32:
+		return mix64(uint64(*p))
+	case *uint64:
+		return mix64(*p)
+	case *uintptr:
+		return mix64(uint64(*p))
+	default:
+		return hashString(fmt.Sprint(*s))
+	}
+}
+
+// hashString is FNV-1a with a splitmix64 finalizer for avalanche.
+func hashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective scrambler that
+// spreads small integers (the typical encoded-state ids) across the full
+// 64-bit range.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

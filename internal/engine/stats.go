@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stats is the exploration telemetry of one Explore run: the observability
+// hook the CLIs and benchmarks surface. All fields describe the completed
+// run (the engine does not stream them mid-exploration).
+type Stats struct {
+	// States is the number of canonical states in the Result.
+	States int
+	// Edges is the number of transitions in the Result.
+	Edges int
+	// Depth is the number of BFS levels expanded (the frontier depth).
+	Depth int
+	// PeakFrontier is the largest BFS level, in states.
+	PeakFrontier int
+	// Expansions is the number of states expanded (ExpandFunc calls). It
+	// can exceed States on a truncated run: the parallel phase finishes the
+	// level in flight when the limit trips.
+	Expansions uint64
+	// DedupHits counts generated successors that were already known — the
+	// visited-set hit rate is DedupHits / (DedupHits + new states).
+	DedupHits uint64
+	// Workers is the resolved worker count.
+	Workers int
+	// WorkerSteps[i] is the number of states worker i expanded; its spread
+	// shows how evenly the frontier sharded.
+	WorkerSteps []uint64
+	// Elapsed is the wall-clock time of the exploration, canonicalization
+	// included.
+	Elapsed time.Duration
+	// StatesPerSec is States / Elapsed.
+	StatesPerSec float64
+	// Truncated reports that the state limit cut the exploration short.
+	Truncated bool
+}
+
+// DedupRate returns the fraction of generated successors that hit an
+// already-known state, in [0, 1].
+func (s Stats) DedupRate() float64 {
+	total := s.DedupHits + uint64(s.States)
+	if total == 0 {
+		return 0
+	}
+	return float64(s.DedupHits) / float64(total)
+}
+
+// String renders the telemetry as a single report line.
+func (s Stats) String() string {
+	line := fmt.Sprintf("states=%d edges=%d depth=%d peak-frontier=%d dedup=%.1f%% workers=%d %s states/sec=%.0f",
+		s.States, s.Edges, s.Depth, s.PeakFrontier, 100*s.DedupRate(), s.Workers, s.Elapsed.Round(time.Microsecond), s.StatesPerSec)
+	if s.Truncated {
+		line += " (truncated)"
+	}
+	return line
+}

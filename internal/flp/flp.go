@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // Send is a message emitted by a protocol step.
@@ -237,6 +238,25 @@ type AnalyzeOptions struct {
 	Resilience *int
 	// MaxStates bounds exploration.
 	MaxStates int
+	// Parallelism is the exploration worker count (0 = GOMAXPROCS,
+	// 1 = sequential); the configuration graph is identical either way.
+	Parallelism int
+	// Stats, when non-nil, receives the telemetry of the main
+	// configuration-graph exploration (the uniform-vector validity
+	// explorations are not included).
+	Stats *engine.Stats
+}
+
+// NewSystem exposes a protocol's configuration graph (canonical encoded
+// configurations, crash events included when resilience > 0) as a
+// core.System, for direct exploration by the determinism tests and the
+// exploration benchmarks. A nil inputVectors means all binary input
+// assignments.
+func NewSystem(p Protocol, inputVectors [][]int, resilience int) core.System[string] {
+	if len(inputVectors) == 0 {
+		inputVectors = allBinaryVectors(p.NumProcs())
+	}
+	return &system{p: p, inputVectors: inputVectors, resilience: resilience}
 }
 
 // Analyze explores the protocol's configuration graph and runs the full
@@ -252,7 +272,9 @@ func Analyze(p Protocol, opts AnalyzeOptions) (Report, error) {
 		resilience = *opts.Resilience
 	}
 	sys := &system{p: p, inputVectors: vectors, resilience: resilience}
-	g, err := core.Explore[config](sys, core.ExploreOptions{MaxStates: opts.MaxStates})
+	g, err := core.Explore[config](sys, core.ExploreOptions{
+		MaxStates: opts.MaxStates, Parallelism: opts.Parallelism, Stats: opts.Stats,
+	})
 	if err != nil {
 		return Report{}, fmt.Errorf("flp: exploring %s: %w", p.Name(), err)
 	}
@@ -306,7 +328,7 @@ func Analyze(p Protocol, opts AnalyzeOptions) (Report, error) {
 			uniform[i] = v
 		}
 		gu, err := core.Explore[config](&system{p: p, inputVectors: [][]int{uniform}, resilience: resilience},
-			core.ExploreOptions{MaxStates: opts.MaxStates})
+			core.ExploreOptions{MaxStates: opts.MaxStates, Parallelism: opts.Parallelism})
 		if err != nil {
 			return rep, fmt.Errorf("flp: validity exploration of %s: %w", p.Name(), err)
 		}

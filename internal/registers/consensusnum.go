@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/core"
 )
 
 // This file mechanizes Herlihy's consensus-number separation (§2.3, [65],
@@ -63,6 +65,10 @@ type ConsSearchConfig struct {
 	StopAtFirst bool
 	// Workers is the parallelism degree; zero means GOMAXPROCS.
 	Workers int
+	// MaxStates bounds each per-pair reachability exploration (zero means
+	// core.DefaultMaxStates). If any pair's configuration space exceeds the
+	// bound, SearchConsensus fails with core.ErrStateLimit.
+	MaxStates int
 }
 
 // ConsResult reports a consensus search.
@@ -154,48 +160,93 @@ func soloValid(t ConsTable, locals, values int) bool {
 	return true
 }
 
+// pairSys is the 2-process configuration system for one table pair under
+// fixed inputs, encoded as core-explorable int states
+// (l0*L + l1)*values + v with L = locals + 2 (the two extra local states
+// are the decide-0/decide-1 pseudo-states). It replaces the hand-rolled
+// visited-array search this file used to carry, so pair checking goes
+// through the same exploration engine — and the same MaxStates/truncation
+// discipline — as every other checker in the repository.
+type pairSys struct {
+	tables         [2]ConsTable
+	locals, values int
+	a, b           int
+}
+
+func (ps *pairSys) idx(l0, l1, v int) int {
+	L := ps.locals + 2
+	return (l0*L+l1)*ps.values + v
+}
+
+func (ps *pairSys) decode(s int) (l0, l1, v int) {
+	L := ps.locals + 2
+	return s / ps.values / L, (s / ps.values) % L, s % ps.values
+}
+
+// Init implements core.System.
+func (ps *pairSys) Init() []int { return []int{ps.idx(ps.a, ps.b, 0)} }
+
+// Steps implements core.System: each undecided process may take its one
+// atomic access next.
+func (ps *pairSys) Steps(s int) []core.Step[int] {
+	l0, l1, v := ps.decode(s)
+	ls := [2]int{l0, l1}
+	var out []core.Step[int]
+	for p := 0; p < 2; p++ {
+		if ls[p] >= ps.locals { // decided: takes no further steps
+			continue
+		}
+		c := ps.tables[p][ls[p]][v]
+		nl := ls
+		nl[p] = c.Next
+		out = append(out, core.Step[int]{To: ps.idx(nl[0], nl[1], c.NewVal), Label: "access", Actor: p})
+	}
+	return out
+}
+
 // checkPair verifies wait-free consensus for one table pair over all four
 // input combinations: every reachable configuration must let each
 // undecided process finish solo (wait-freedom), decided values must agree,
-// and validity must hold.
-func checkPair(t0, t1 ConsTable, locals, values int) bool {
+// and validity must hold. A non-nil error means the exploration itself
+// failed (state bound exceeded), not that the pair is a non-protocol.
+func checkPair(t0, t1 ConsTable, locals, values, maxStates int) (bool, error) {
 	for a := 0; a <= 1; a++ {
 		for b := 0; b <= 1; b++ {
-			if !checkInputs(t0, t1, locals, values, a, b) {
-				return false
+			ok, err := checkInputs(t0, t1, locals, values, a, b, maxStates)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
 			}
 		}
 	}
-	return true
+	return true, nil
 }
 
-func checkInputs(t0, t1 ConsTable, locals, values, a, b int) bool {
-	L := locals + 2
-	n := L * L * values
-	idx := func(l0, l1, v int) int { return (l0*L+l1)*values + v }
+func checkInputs(t0, t1 ConsTable, locals, values, a, b, maxStates int) (bool, error) {
+	sys := &pairSys{tables: [2]ConsTable{t0, t1}, locals: locals, values: values, a: a, b: b}
+	// The per-pair graphs are tiny (at most (locals+2)^2 * values states);
+	// parallelism lives in the outer pair enumeration, so each exploration
+	// runs sequentially.
+	g, err := core.Explore[int](sys, core.ExploreOptions{MaxStates: maxStates, Parallelism: 1})
+	if err != nil {
+		return false, err
+	}
 	decided := func(l int) (int, bool) {
 		if l >= locals {
 			return l - locals, true
 		}
 		return 0, false
 	}
-	visited := make([]bool, n)
-	start := idx(a, b, 0)
-	visited[start] = true
-	stack := []int{start}
-	tables := [2]ConsTable{t0, t1}
-	for len(stack) > 0 {
-		s := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		v := s % values
-		l1 := (s / values) % L
-		l0 := s / values / L
+	for i := 0; i < g.Len(); i++ {
+		l0, l1, v := sys.decode(g.State(i))
 		ls := [2]int{l0, l1}
 		d0, ok0 := decided(l0)
 		d1, ok1 := decided(l1)
 		// Agreement and validity.
 		if ok0 && ok1 && d0 != d1 {
-			return false
+			return false, nil
 		}
 		for _, dv := range []struct {
 			d  int
@@ -205,7 +256,7 @@ func checkInputs(t0, t1 ConsTable, locals, values, a, b int) bool {
 				continue
 			}
 			if dv.d != a && dv.d != b {
-				return false
+				return false, nil
 			}
 		}
 		// Wait-freedom: each undecided process must decide running solo.
@@ -216,7 +267,7 @@ func checkInputs(t0, t1 ConsTable, locals, values, a, b int) bool {
 			sl, sv := ls[p], v
 			finished := false
 			for step := 0; step < locals*values+2; step++ {
-				c := tables[p][sl][sv]
+				c := sys.tables[p][sl][sv]
 				sv = c.NewVal
 				if c.Next >= locals {
 					finished = true
@@ -225,25 +276,11 @@ func checkInputs(t0, t1 ConsTable, locals, values, a, b int) bool {
 				sl = c.Next
 			}
 			if !finished {
-				return false
-			}
-		}
-		// Expand.
-		for p := 0; p < 2; p++ {
-			if _, ok := decided(ls[p]); ok {
-				continue
-			}
-			c := tables[p][ls[p]][v]
-			nl := [2]int{l0, l1}
-			nl[p] = c.Next
-			t := idx(nl[0], nl[1], c.NewVal)
-			if !visited[t] {
-				visited[t] = true
-				stack = append(stack, t)
+				return false, nil
 			}
 		}
 	}
-	return true
+	return true, nil
 }
 
 // SearchConsensus exhaustively enumerates 2-process protocols over a
@@ -281,7 +318,8 @@ func SearchConsensus(cfg ConsSearchConfig) (ConsResult, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	var pairs atomic.Uint64
-	var witnessMu sync.Mutex
+	var mu sync.Mutex // guards res.Witness and firstErr
+	var firstErr error
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -298,14 +336,24 @@ func SearchConsensus(cfg ConsSearchConfig) (ConsResult, error) {
 				}
 				for j := i; j < jEnd; j++ {
 					pairs.Add(1)
-					if !checkPair(tables[i], tables[j], cfg.LocalStates, cfg.Values) {
+					ok, err := checkPair(tables[i], tables[j], cfg.LocalStates, cfg.Values, cfg.MaxStates)
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						stop.Store(true)
+						return
+					}
+					if !ok {
 						continue
 					}
-					witnessMu.Lock()
+					mu.Lock()
 					if res.Witness == nil {
 						res.Witness = &[2]ConsTable{tables[i], tables[j]}
 					}
-					witnessMu.Unlock()
+					mu.Unlock()
 					if cfg.StopAtFirst {
 						stop.Store(true)
 						return
@@ -316,6 +364,9 @@ func SearchConsensus(cfg ConsSearchConfig) (ConsResult, error) {
 	}
 	wg.Wait()
 	res.PairsChecked = pairs.Load()
+	if firstErr != nil {
+		return res, firstErr
+	}
 	return res, nil
 }
 

@@ -1,8 +1,11 @@
 package registers
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
+
+	"repro/internal/core"
 )
 
 // A clean sequential history: write 1, then read 1.
@@ -109,7 +112,11 @@ func TestCanonicalTASConsensusWorks(t *testing.T) {
 	if !soloValid(table, 2, 3) {
 		t.Fatal("canonical protocol fails solo validity")
 	}
-	if !checkPair(table, table, 2, 3) {
+	ok, err := checkPair(table, table, 2, 3, 0)
+	if err != nil {
+		t.Fatalf("checkPair: %v", err)
+	}
+	if !ok {
 		t.Fatal("canonical TAS consensus fails the checker")
 	}
 }
@@ -157,7 +164,11 @@ func TestRMWObjectSolvesConsensus(t *testing.T) {
 	}
 	// Re-verify the witness independently.
 	w := *res.Witness
-	if !checkPair(w[0], w[1], 2, 3) {
+	ok, err := checkPair(w[0], w[1], 2, 3, 0)
+	if err != nil {
+		t.Fatalf("checkPair: %v", err)
+	}
+	if !ok {
 		t.Fatal("found witness fails re-verification")
 	}
 }
@@ -235,4 +246,20 @@ func randomHistory(rng *rand.Rand) []Op {
 		})
 	}
 	return out
+}
+
+// TestSearchConsensusHonorsMaxStates verifies that the per-pair
+// explorations go through the shared engine's state bound: an absurdly
+// tight MaxStates makes the search fail with core.ErrStateLimit instead of
+// silently mis-deciding pairs.
+func TestSearchConsensusHonorsMaxStates(t *testing.T) {
+	_, err := SearchConsensus(ConsSearchConfig{
+		Kind:        RWRegister,
+		Values:      2,
+		LocalStates: 2,
+		MaxStates:   1,
+	})
+	if !errors.Is(err, core.ErrStateLimit) {
+		t.Fatalf("err = %v, want core.ErrStateLimit", err)
+	}
 }

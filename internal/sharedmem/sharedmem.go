@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/spec"
 )
 
@@ -153,9 +154,22 @@ func (sys system) Steps(s state) []core.Step[state] {
 	return steps
 }
 
+// NewSystem exposes the algorithm's transition system (canonical encoded
+// global states) for direct exploration — used by the determinism tests and
+// the exploration benchmarks.
+func NewSystem(alg Algorithm) core.System[string] {
+	return system{alg: alg}
+}
+
 // Explore builds the reachable state graph of the algorithm.
 func Explore(alg Algorithm, maxStates int) (*core.Graph[state], error) {
-	g, err := core.Explore[state](system{alg: alg}, core.ExploreOptions{MaxStates: maxStates})
+	return ExploreWith(alg, core.ExploreOptions{MaxStates: maxStates})
+}
+
+// ExploreWith builds the reachable state graph with full exploration
+// options (worker count, telemetry).
+func ExploreWith(alg Algorithm, opts core.ExploreOptions) (*core.Graph[state], error) {
+	g, err := core.Explore[state](system{alg: alg}, opts)
 	if err != nil {
 		return nil, fmt.Errorf("sharedmem: exploring %s: %w", alg.Name(), err)
 	}
@@ -223,6 +237,12 @@ type CheckMutexOptions struct {
 	Exclusion int
 	// MaxStates bounds exploration (default core.DefaultMaxStates).
 	MaxStates int
+	// Parallelism is the exploration worker count (0 = GOMAXPROCS,
+	// 1 = sequential); the graph — and so the verdict — is identical
+	// either way.
+	Parallelism int
+	// Stats, when non-nil, receives the exploration telemetry.
+	Stats *engine.Stats
 }
 
 // CheckMutex model-checks the resource-allocation correctness conditions
@@ -233,7 +253,9 @@ func CheckMutex(alg Algorithm, opts CheckMutexOptions) (MutexReport, error) {
 		excl = 1
 	}
 	rep := MutexReport{Algorithm: alg.Name(), Exclusion: excl, LockoutVictim: -1}
-	g, err := Explore(alg, opts.MaxStates)
+	g, err := ExploreWith(alg, core.ExploreOptions{
+		MaxStates: opts.MaxStates, Parallelism: opts.Parallelism, Stats: opts.Stats,
+	})
 	if err != nil {
 		return rep, err
 	}
