@@ -369,6 +369,41 @@ func BenchmarkExploreParallelFLP(b *testing.B) {
 	benchExplore(b, flp.NewSystem(flp.NewWaitQuorum(4), nil, 1), true)
 }
 
+// Quotient counterparts of the two exploration benches above: same systems
+// under their symmetry canonicalizers. Comparing states and wall time
+// against the full-graph pair reads off the orbit reduction directly.
+
+func benchExploreQuotient(b *testing.B, sys core.System[string], canon func(string) string) {
+	b.Helper()
+	var st engine.Stats
+	for i := 0; i < b.N; i++ {
+		g, err := core.Explore[string](sys, core.ExploreOptions{Canon: canon, Stats: &st})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.Len() != st.States {
+			b.Fatalf("stats/graph state mismatch: %d vs %d", st.States, g.Len())
+		}
+	}
+	b.ReportMetric(float64(st.States)*float64(b.N)/b.Elapsed().Seconds(), "states/sec")
+	b.ReportMetric(float64(st.States), "states")
+	b.ReportMetric(st.ReductionFactor(), "orbit-reduction")
+}
+
+func BenchmarkExploreQuotientMutex(b *testing.B) {
+	alg := sharedmem.NewTicketLock(6)
+	benchExploreQuotient(b, sharedmem.NewSystem(alg), sharedmem.CanonFor(alg))
+}
+
+func BenchmarkExploreQuotientFLP(b *testing.B) {
+	p := flp.NewWaitQuorum(4)
+	canon, err := flp.PermutationCanon(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchExploreQuotient(b, flp.NewSystem(p, nil, 1), canon)
+}
+
 // --- Ablation benches (DESIGN.md) ---
 
 // chainSys is a plain linear system used to weigh exploration costs.

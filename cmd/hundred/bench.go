@@ -1,0 +1,234 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/flp"
+	"repro/internal/ring"
+	"repro/internal/rounds"
+	"repro/internal/sharedmem"
+	"repro/internal/synth"
+)
+
+// benchRecord is the machine-readable performance record emitted by
+// -bench-json (committed as BENCH_hundred.json): one exploration row per
+// symmetric system comparing the full graph against its orbit quotient,
+// and one synth row per exhaustive search comparing sequential and
+// multicore pair checking.
+type benchRecord struct {
+	GOOS         string             `json:"goos"`
+	GOARCH       string             `json:"goarch"`
+	GOMAXPROCS   int                `json:"gomaxprocs"`
+	Explorations []explorationBench `json:"explorations"`
+	Synth        []synthBench       `json:"synth"`
+}
+
+type explorationBench struct {
+	System string `json:"system"`
+	// Full-graph exploration.
+	FullStates       int     `json:"full_states"`
+	FullSeconds      float64 `json:"full_seconds"`
+	FullStatesPerSec float64 `json:"full_states_per_sec"`
+	// Quotient exploration under the system's symmetry canonicalizer.
+	QuotientStates       int     `json:"quotient_states"`
+	QuotientSeconds      float64 `json:"quotient_seconds"`
+	QuotientStatesPerSec float64 `json:"quotient_states_per_sec"`
+	RawStates            int     `json:"raw_states"`
+	ReductionFactor      float64 `json:"reduction_factor"`
+}
+
+type synthBench struct {
+	Search       string  `json:"search"`
+	PairsChecked uint64  `json:"pairs_checked"`
+	Passed       uint64  `json:"passed"`
+	SeqSeconds   float64 `json:"seq_seconds"`
+	ParSeconds   float64 `json:"par_seconds"`
+	ParWorkers   int     `json:"par_workers"`
+	Speedup      float64 `json:"speedup"`
+	PairsPerSec  float64 `json:"pairs_per_sec_parallel"`
+}
+
+// benchWorkload is one symmetric system: an explore function parameterized
+// only by whether the canonicalizer is installed.
+type benchWorkload struct {
+	name    string
+	explore func(canon bool) (states int, st engine.Stats, err error)
+}
+
+func benchWorkloads() ([]benchWorkload, error) {
+	var out []benchWorkload
+	shared := func(alg sharedmem.Algorithm) benchWorkload {
+		return benchWorkload{name: alg.Name(), explore: func(canon bool) (int, engine.Stats, error) {
+			var st engine.Stats
+			opts := core.ExploreOptions{Parallelism: parallelism, Stats: &st}
+			if canon {
+				opts.Canon = sharedmem.CanonFor(alg)
+			}
+			g, err := sharedmem.ExploreWith(alg, opts)
+			if err != nil {
+				return 0, st, err
+			}
+			return g.Len(), st, nil
+		}}
+	}
+	out = append(out,
+		shared(sharedmem.NewPeterson2()),
+		shared(sharedmem.NewTicketLock(4)),
+		shared(sharedmem.NewTournament4()),
+	)
+	for _, n := range []int{3, 4} {
+		p := flp.NewWaitQuorum(n)
+		canonFn, err := flp.PermutationCanon(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, benchWorkload{
+			name: fmt.Sprintf("%s(n=%d)", p.Name(), n),
+			explore: func(canon bool) (int, engine.Stats, error) {
+				var st engine.Stats
+				opts := core.ExploreOptions{Parallelism: parallelism, Stats: &st}
+				if canon {
+					opts.Canon = canonFn
+				}
+				g, err := core.Explore[string](flp.NewSystem(p, nil, 1), opts)
+				if err != nil {
+					return 0, st, err
+				}
+				return g.Len(), st, nil
+			},
+		})
+	}
+	crash := rounds.CrashSpace{Procs: 8, MaxFaults: 4, Rounds: 16}
+	crashSys, err := crash.System()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, benchWorkload{
+		name: "crash-space(n=8,t=4,r=16)",
+		explore: func(canon bool) (int, engine.Stats, error) {
+			var st engine.Stats
+			opts := core.ExploreOptions{Parallelism: parallelism, Stats: &st}
+			if canon {
+				opts.Canon = crash.Canon()
+			}
+			g, err := core.Explore[string](crashSys, opts)
+			if err != nil {
+				return 0, st, err
+			}
+			return g.Len(), st, nil
+		},
+	})
+	asyncLCR, err := ring.NewAsyncLCR(ring.DescendingIDs(7))
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, benchWorkload{
+		// No symmetry canonicalizer (distinct ids break the symmetry); the
+		// row still records full-graph throughput.
+		name: "async-lcr(n=7)",
+		explore: func(canon bool) (int, engine.Stats, error) {
+			var st engine.Stats
+			if canon {
+				return 0, st, nil
+			}
+			g, err := asyncLCR.CheckElection(core.ExploreOptions{Parallelism: parallelism, Stats: &st})
+			if err != nil {
+				return 0, st, err
+			}
+			return g.Len(), st, nil
+		},
+	})
+	return out, nil
+}
+
+// runBenchJSON executes the benchmark suite and writes the JSON record to
+// stdout.
+func runBenchJSON() error {
+	rec := benchRecord{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	workloads, err := benchWorkloads()
+	if err != nil {
+		return err
+	}
+	for _, w := range workloads {
+		full, fullStats, err := w.explore(false)
+		if err != nil {
+			return fmt.Errorf("%s full: %w", w.name, err)
+		}
+		row := explorationBench{
+			System:           w.name,
+			FullStates:       full,
+			FullSeconds:      fullStats.Elapsed.Seconds(),
+			FullStatesPerSec: fullStats.StatesPerSec,
+		}
+		quo, quoStats, err := w.explore(true)
+		if err != nil {
+			return fmt.Errorf("%s quotient: %w", w.name, err)
+		}
+		if quo > 0 {
+			row.QuotientStates = quo
+			row.QuotientSeconds = quoStats.Elapsed.Seconds()
+			row.QuotientStatesPerSec = quoStats.StatesPerSec
+			row.RawStates = quoStats.RawStates
+			// Report the end-to-end reduction (full vs quotient), not the
+			// engine's sampled lower bound.
+			row.ReductionFactor = float64(full) / float64(quo)
+		}
+		rec.Explorations = append(rec.Explorations, row)
+	}
+
+	searches := []struct {
+		name string
+		run  func(workers int) (synth.Result, error)
+	}{
+		{"tas-mutex(v=2,t=2,lockout-free)", func(w int) (synth.Result, error) {
+			return synth.SearchTASMutex(synth.TASSearchConfig{
+				Values: 2, TryStates: 2, RequireLockoutFree: true, Workers: w,
+			})
+		}},
+		{"rw-mutex(v=2,t=2)", func(w int) (synth.Result, error) {
+			return synth.SearchRWMutex(synth.RWSearchConfig{Values: 2, TryStates: 2, Workers: w})
+		}},
+	}
+	for _, s := range searches {
+		seqStart := time.Now()
+		seqRes, err := s.run(1)
+		if err != nil {
+			return fmt.Errorf("%s seq: %w", s.name, err)
+		}
+		seqSec := time.Since(seqStart).Seconds()
+		parStart := time.Now()
+		parRes, err := s.run(0)
+		if err != nil {
+			return fmt.Errorf("%s par: %w", s.name, err)
+		}
+		parSec := time.Since(parStart).Seconds()
+		if parRes.PairsChecked != seqRes.PairsChecked || parRes.Passed != seqRes.Passed {
+			return fmt.Errorf("%s: parallel search diverged from sequential (%d/%d pairs, %d/%d passed)",
+				s.name, parRes.PairsChecked, seqRes.PairsChecked, parRes.Passed, seqRes.Passed)
+		}
+		rec.Synth = append(rec.Synth, synthBench{
+			Search:       s.name,
+			PairsChecked: parRes.PairsChecked,
+			Passed:       parRes.Passed,
+			SeqSeconds:   seqSec,
+			ParSeconds:   parSec,
+			ParWorkers:   runtime.GOMAXPROCS(0),
+			Speedup:      seqSec / parSec,
+			PairsPerSec:  float64(parRes.PairsChecked) / parSec,
+		})
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
+}

@@ -63,10 +63,19 @@ func printStats(st *engine.Stats) {
 
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
+	benchJSON := flag.Bool("bench-json", false,
+		"run the performance suite (full vs quotient explorations, seq vs parallel synth) and emit a JSON record")
 	flag.IntVar(&parallelism, "parallel", 0,
 		"exploration worker count (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 	flag.BoolVar(&showStats, "stats", false, "print exploration engine telemetry for state-space experiments")
 	flag.Parse()
+	if *benchJSON {
+		if err := runBenchJSON(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	exps := experiments()
 	if *list {
 		for _, e := range exps {

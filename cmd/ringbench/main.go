@@ -2,11 +2,14 @@
 // landscape of the §2.4 leader election algorithms: LCR worst/best case,
 // Hirschberg–Sinclair, the variable-speeds counterexample algorithm, and
 // Itai–Rodeh randomized election on anonymous rings — the series behind
-// the Ω(n log n) lower bound discussion.
+// the Ω(n log n) lower bound discussion. It then exhaustively explores the
+// asynchronous LCR state space for small rings, verifying the election
+// invariant over every delivery schedule.
 //
 // Usage:
 //
 //	ringbench -max 256
+//	ringbench -parallel 4 -stats   # multicore exploration with telemetry
 package main
 
 import (
@@ -17,11 +20,18 @@ import (
 	"os"
 )
 
-import "repro/internal/ring"
+import (
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/ring"
+)
 
 func main() {
 	maxN := flag.Int("max", 128, "largest ring size (swept in powers of two from 8)")
 	seed := flag.Int64("seed", 42, "seed for randomized election")
+	parallelism := flag.Int("parallel", 0,
+		"exploration worker count (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
+	showStats := flag.Bool("stats", false, "print exploration engine telemetry for the async LCR sweep")
 	flag.Parse()
 
 	fmt.Printf("%-6s %12s %12s %12s %14s %10s %12s\n",
@@ -45,6 +55,24 @@ func main() {
 		fmt.Printf("%-6d %12d %12d %12d %14d %10.0f %12d\n",
 			n, worst.Messages, best.Messages, hs.Messages, vs.Messages,
 			float64(n)*math.Log2(float64(n)), ir.Messages)
+	}
+
+	fmt.Printf("\nasync LCR: every delivery schedule, worst-case ids\n")
+	fmt.Printf("%-6s %10s %10s\n", "n", "states", "schedules OK")
+	for n := 3; n <= 7; n++ {
+		a, err := ring.NewAsyncLCR(ring.DescendingIDs(n))
+		exitOn(err)
+		var st engine.Stats
+		opts := core.ExploreOptions{Parallelism: *parallelism}
+		if *showStats {
+			opts.Stats = &st
+		}
+		g, err := a.CheckElection(opts)
+		exitOn(err)
+		fmt.Printf("%-6d %10d %10s\n", n, g.Len(), "yes")
+		if *showStats {
+			fmt.Printf("       [engine] %s\n", st)
+		}
 	}
 }
 

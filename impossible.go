@@ -155,7 +155,14 @@ type (
 	FLPProtocol = flp.Protocol
 	// FLPReport is the bivalence analyzer's verdict.
 	FLPReport = flp.Report
+	// FLPAnalyzeOptions parameterizes AnalyzeFLP (parallelism, telemetry,
+	// symmetry quotient via Canon/VerifyCanon).
+	FLPAnalyzeOptions = flp.AnalyzeOptions
 )
+
+// FLPPermutationCanon builds the process-permutation canonicalizer for a
+// ProcessSymmetric protocol, for use as FLPAnalyzeOptions.Canon.
+var FLPPermutationCanon = flp.PermutationCanon
 
 // AnalyzeFLP runs the bivalence analysis on an asynchronous protocol.
 func AnalyzeFLP(p FLPProtocol, opts flp.AnalyzeOptions) (FLPReport, error) {

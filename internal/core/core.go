@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 
 	"repro/internal/engine"
 )
@@ -68,8 +69,12 @@ type edge = engine.Edge
 // and fair-cycle (livelock) detection.
 type Graph[S comparable] struct {
 	states []S
-	index  map[S]int
-	edges  [][]edge
+	// index is built eagerly by the sequential explorer and lazily (under
+	// indexOnce) on the first StateID call for engine-built graphs, so
+	// concurrent readers race neither on construction nor on lookup.
+	index     map[S]int
+	indexOnce sync.Once
+	edges     [][]edge
 	// parent[i] is the state that first reached state i during BFS, used
 	// to reconstruct shortest witness paths; -1 for initial states.
 	parent     []int
@@ -95,6 +100,18 @@ type ExploreOptions struct {
 	// Setting Stats routes exploration through the engine even when the
 	// resolved parallelism is 1.
 	Stats *engine.Stats
+	// Canon, when non-nil, must be an engine.Canonicalizer[S] (or plain
+	// func(S) S) over the system's state type: exploration then builds the
+	// symmetry-quotient graph, interning only orbit representatives. Setting
+	// Canon routes exploration through the engine at any parallelism. See
+	// engine.Canonicalizer for the soundness contract and for which
+	// predicates survive quotienting (orbit-invariant ones only).
+	Canon any
+	// VerifyCanon, when > 0, spot-checks Canon for idempotence and
+	// step-commutation on every raw state whose fingerprint is ≡ 0 mod
+	// VerifyCanon (1 = check everything); a violation fails the exploration
+	// with engine.ErrCanonUnsound.
+	VerifyCanon int
 }
 
 // DefaultMaxStates bounds exploration when ExploreOptions.MaxStates is zero.
@@ -114,8 +131,8 @@ func Explore[S comparable](sys System[S], opts ExploreOptions) (*Graph[S], error
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	if par > 1 || opts.Stats != nil {
-		return exploreEngine(sys, limit, par, opts.Stats)
+	if par > 1 || opts.Stats != nil || opts.Canon != nil {
+		return exploreEngine(sys, limit, par, opts)
 	}
 	return exploreSequential(sys, limit)
 }
@@ -123,12 +140,18 @@ func Explore[S comparable](sys System[S], opts ExploreOptions) (*Graph[S], error
 // exploreEngine delegates to the parallel exploration engine and adopts its
 // canonical result as a Graph (the engine's edge arrays are shared, not
 // copied; see the edge alias).
-func exploreEngine[S comparable](sys System[S], limit, par int, stats *engine.Stats) (*Graph[S], error) {
+func exploreEngine[S comparable](sys System[S], limit, par int, opts ExploreOptions) (*Graph[S], error) {
 	res, err := engine.Explore(sys.Init(), func(s S, emit engine.Emit[S]) {
 		for _, st := range sys.Steps(s) {
 			emit(st.To, st.Label, st.Actor)
 		}
-	}, engine.Options{MaxStates: limit, Parallelism: par, Stats: stats})
+	}, engine.Options{
+		MaxStates:   limit,
+		Parallelism: par,
+		Stats:       opts.Stats,
+		Canon:       opts.Canon,
+		VerifyCanon: opts.VerifyCanon,
+	})
 	if err != nil {
 		switch {
 		case errors.Is(err, engine.ErrNoInitialStates):
@@ -222,15 +245,21 @@ func (g *Graph[S]) NumEdges() int {
 func (g *Graph[S]) State(i int) S { return g.states[i] }
 
 // StateID returns the id of state s, if it is reachable. Graphs built by
-// the parallel engine materialize the state index on the first call (like
-// the rest of Graph, StateID is not safe for concurrent use).
+// the parallel engine materialize the state index on the first call, under
+// a sync.Once so that concurrent readers are safe: after exploration the
+// graph is immutable and StateID may be called from multiple goroutines.
 func (g *Graph[S]) StateID(s S) (int, bool) {
-	if g.index == nil {
-		g.index = make(map[S]int, len(g.states))
-		for i, st := range g.states {
-			g.index[st] = i
+	g.indexOnce.Do(func() {
+		if g.index != nil {
+			// Built eagerly by the sequential explorer.
+			return
 		}
-	}
+		idx := make(map[S]int, len(g.states))
+		for i, st := range g.states {
+			idx[st] = i
+		}
+		g.index = idx
+	})
 	id, ok := g.index[s]
 	return id, ok
 }

@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Canonicalizer maps a state to the canonical representative of its symmetry
+// orbit. When one is supplied via Options.Canon, the engine explores the
+// quotient graph: every generated state is canonicalized before it is
+// fingerprinted and interned, so an entire orbit of symmetric states
+// collapses to one representative — the classic model-checking rendering of
+// the paper's §2.4 symmetry arguments ("identical processes behave
+// identically").
+//
+// A canonicalizer is sound for quotient exploration iff it is
+//
+//   - idempotent:      Canon(Canon(s)) == Canon(s), and
+//   - step-commuting:  the multiset {Canon(u) : u ∈ succ(s)} equals
+//     {Canon(u) : u ∈ succ(Canon(s))} for every reachable s,
+//
+// which together say Canon picks one representative per orbit of a symmetry
+// of the transition relation. Under those two conditions (at every state of
+// the FULL space) the quotient graph reaches a representative of every
+// reachable orbit, preserves every orbit-invariant (symmetric) predicate,
+// and is still explored deterministically at any worker count. Predicates
+// that name a specific process (e.g. "process 0 is never locked out") are
+// NOT orbit-invariant and must not be checked on a quotient graph.
+//
+// Options.VerifyCanon spot-checks both conditions during exploration. The
+// check necessarily runs only on states the quotient exploration generates,
+// so it refutes a broken canonicalizer whenever a violation is visible
+// there — in practice almost any mis-specified permutation — but it is a
+// falsifier, not a proof: a canonicalizer whose violations live entirely on
+// orbit members the quotient never materializes can pass it while silently
+// dropping reachable orbits (internal/flp's ValueSwapCanon on the wait
+// protocols is the worked example, with the orbit loss demonstrated in its
+// tests). Establishing soundness outright remains a per-system argument
+// that the group generating Canon is an automorphism group.
+type Canonicalizer[S comparable] func(S) S
+
+// ErrCanonUnsound is wrapped by the error Explore returns when the
+// VerifyCanon safety check catches a canonicalizer violating idempotence or
+// step-commutation on a reachable state.
+var ErrCanonUnsound = errors.New("engine: canonicalizer failed soundness check")
+
+// canonFor resolves the dynamically-typed Options.Canon into a typed
+// canonicalizer for the explored state type. Both the named Canonicalizer[S]
+// and a plain func(S) S are accepted; anything else is an error (a silent
+// nil would quietly explore the full space).
+func canonFor[S comparable](v any) (Canonicalizer[S], error) {
+	switch c := v.(type) {
+	case nil:
+		return nil, nil
+	case Canonicalizer[S]:
+		return c, nil
+	case func(S) S:
+		return c, nil
+	default:
+		var zero S
+		return nil, fmt.Errorf("engine: Options.Canon has type %T, want func(%T) %T", v, zero, zero)
+	}
+}
+
+// canonSuccessors returns the canonicalized successor multiset of s, sorted
+// into a deterministic order via each state's fingerprint so two multisets
+// can be compared positionally. Used only by the safety check; the hot
+// exploration path never materializes successor slices.
+func (e *explorer[S]) canonSuccessors(s S) map[S]int {
+	out := make(map[S]int)
+	e.expand(s, func(to S, _ string, _ int) {
+		out[e.canon(to)]++
+	})
+	return out
+}
+
+// checkCanon verifies the two soundness conditions at one sampled raw state:
+// idempotence of canon at raw, and step-commutation between raw and its
+// representative. raw states already equal to their representative are
+// trivially sound (both conditions degenerate to identities), so callers
+// skip them.
+func (e *explorer[S]) checkCanon(raw S) error {
+	rep := e.canon(raw)
+	if again := e.canon(rep); again != rep {
+		return fmt.Errorf("%w: not idempotent at %v: Canon(s)=%v but Canon(Canon(s))=%v",
+			ErrCanonUnsound, raw, rep, again)
+	}
+	succRaw := e.canonSuccessors(raw)
+	succRep := e.canonSuccessors(rep)
+	if len(succRaw) != len(succRep) {
+		return fmt.Errorf("%w: not step-commuting at %v (rep %v): %d distinct canonical successors vs %d",
+			ErrCanonUnsound, raw, rep, len(succRaw), len(succRep))
+	}
+	for s, n := range succRaw {
+		if succRep[s] != n {
+			return fmt.Errorf("%w: not step-commuting at %v (rep %v): canonical successor %v occurs %d times vs %d",
+				ErrCanonUnsound, raw, rep, s, n, succRep[s])
+		}
+	}
+	return nil
+}
+
+// noteCanonErr records the first safety-check failure. The level barrier
+// turns it into Explore's return error, so the *occurrence* of a failure by
+// a given BFS depth is deterministic even though which offending state is
+// reported first may vary with scheduling.
+func (e *explorer[S]) noteCanonErr(err error) {
+	e.canonMu.Lock()
+	if e.canonErr == nil {
+		e.canonErr = err
+	}
+	e.canonMu.Unlock()
+}

@@ -71,6 +71,20 @@ type Options struct {
 	// Stats, when non-nil, receives a copy of the exploration telemetry
 	// (also available as Result.Stats).
 	Stats *Stats
+	// Canon, when non-nil, must be a Canonicalizer[S] (or plain func(S) S)
+	// for the explored state type: every generated state is mapped to its
+	// orbit representative before fingerprinting/interning, so the engine
+	// explores the symmetry quotient instead of the full space. See
+	// Canonicalizer for the soundness contract. A value of any other type is
+	// an error.
+	Canon any
+	// VerifyCanon enables the canonicalizer safety check: every raw
+	// (pre-canonicalization) state whose fingerprint is ≡ 0 mod VerifyCanon
+	// is checked for idempotence and step-commutation, and Explore fails
+	// with ErrCanonUnsound on a violation. 1 checks every state; 0 disables
+	// the check. Sampling is by state fingerprint, so which states are
+	// checked is independent of scheduling and worker count.
+	VerifyCanon int
 
 	// degradeFingerprint collapses the state fingerprint to two bits,
 	// forcing heavy shard collisions. Test-only: it exercises the
@@ -152,6 +166,13 @@ type worker[S comparable] struct {
 	steps uint64
 	// dedup counts successor generations that hit an already-known state.
 	dedup uint64
+	// rawSeen fingerprints the raw (pre-canonicalization) states this worker
+	// generated; the per-worker sets are unioned into Stats.RawStates. Nil
+	// unless a canonicalizer is installed.
+	rawSeen map[uint64]struct{}
+	// canonHits counts generated states the canonicalizer remapped to a
+	// different representative.
+	canonHits uint64
 }
 
 // explorer is the shared state of one Explore run.
@@ -161,6 +182,15 @@ type explorer[S comparable] struct {
 	mask    uint64
 	counter atomic.Int64
 	fp      func(*S) uint64
+
+	// canon, when non-nil, maps every generated state to its orbit
+	// representative before interning. verifyMod != 0 samples raw states
+	// (by fingerprint) for the soundness check; the first failure lands in
+	// canonErr and surfaces at the next level barrier.
+	canon     Canonicalizer[S]
+	verifyMod uint64
+	canonMu   sync.Mutex
+	canonErr  error
 
 	// states, spans and expanded are indexed by provisional id. They are
 	// only appended to between level barriers; during a level, workers
@@ -191,11 +221,35 @@ func (e *explorer[S]) intern(s S) (int32, bool) {
 	return id, true
 }
 
+// canonicalize maps raw to its orbit representative, recording the raw
+// fingerprint and remap count in ws and running the sampled soundness check.
+// Callers guard on e.canon != nil to keep the no-symmetry path branch-cheap.
+func (e *explorer[S]) canonicalize(raw S, ws *worker[S]) S {
+	h := e.fp(&raw)
+	ws.rawSeen[h] = struct{}{}
+	rep := e.canon(raw)
+	if rep == raw {
+		// Fixed points are trivially idempotent and step-commuting, so the
+		// soundness check has nothing to test here.
+		return raw
+	}
+	ws.canonHits++
+	if e.verifyMod != 0 && h%e.verifyMod == 0 {
+		if err := e.checkCanon(raw); err != nil {
+			e.noteCanonErr(err)
+		}
+	}
+	return rep
+}
+
 // expandRange expands provisional ids [lo, hi) claimed in chunks from
 // cursor, writing successors into worker w's arena.
 func (e *explorer[S]) expandRange(w int32, cursor *atomic.Int64, hi int, chunk int) {
 	ws := e.workers[w]
 	emit := Emit[S](func(to S, label string, actor int) {
+		if e.canon != nil {
+			to = e.canonicalize(to, ws)
+		}
 		tid, fresh := e.intern(to)
 		if fresh {
 			ws.news = append(ws.news, fpEntry[S]{state: to, id: tid})
@@ -256,6 +310,14 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 	if opts.degradeFingerprint {
 		e.fp = func(s *S) uint64 { return fingerprint(s) & 3 }
 	}
+	canon, err := canonFor[S](opts.Canon)
+	if err != nil {
+		return nil, err
+	}
+	e.canon = canon
+	if e.canon != nil && opts.VerifyCanon > 0 {
+		e.verifyMod = uint64(opts.VerifyCanon)
+	}
 	nShards := shardCount(nw)
 	e.mask = uint64(nShards - 1)
 	e.shards = make([]*shard[S], nShards)
@@ -265,6 +327,9 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 	e.workers = make([]*worker[S], nw)
 	for i := range e.workers {
 		e.workers[i] = &worker[S]{}
+		if e.canon != nil {
+			e.workers[i].rawSeen = make(map[uint64]struct{})
+		}
 	}
 
 	// Intern initial states sequentially: their provisional ids coincide
@@ -272,6 +337,9 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 	// sequential exploration.
 	var initIDs []int32
 	for _, s := range inits {
+		if e.canon != nil {
+			s = e.canonicalize(s, e.workers[0])
+		}
 		id, fresh := e.intern(s)
 		if fresh {
 			e.states = append(e.states, s)
@@ -280,6 +348,9 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 	}
 	if len(initIDs) == 0 {
 		return nil, ErrNoInitialStates
+	}
+	if e.canonErr != nil {
+		return nil, e.canonErr
 	}
 
 	// Parallel phase: expand whole BFS levels between barriers. The level
@@ -330,6 +401,18 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 			ws.news = ws.news[:0]
 		}
 		lo, hi = hi, total
+		if e.canon != nil {
+			// The barrier makes soundness-check failure deterministic: every
+			// raw state of the finished level has been sampled, so whether
+			// an error exists here depends only on the system and the
+			// canonicalizer, never on scheduling.
+			e.canonMu.Lock()
+			cerr := e.canonErr
+			e.canonMu.Unlock()
+			if cerr != nil {
+				return nil, cerr
+			}
+		}
 		if total > limit {
 			break
 		}
@@ -338,6 +421,17 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 		st.WorkerSteps = append(st.WorkerSteps, ws.steps)
 		st.Expansions += ws.steps
 		st.DedupHits += ws.dedup
+		st.CanonHits += ws.canonHits
+	}
+	if e.canon != nil {
+		st.CanonEnabled = true
+		rawAll := e.workers[0].rawSeen
+		for _, ws := range e.workers[1:] {
+			for h := range ws.rawSeen {
+				rawAll[h] = struct{}{}
+			}
+		}
+		st.RawStates = len(rawAll)
 	}
 
 	res, err := e.replay(initIDs, limit)

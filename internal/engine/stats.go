@@ -36,6 +36,18 @@ type Stats struct {
 	StatesPerSec float64
 	// Truncated reports that the state limit cut the exploration short.
 	Truncated bool
+	// CanonEnabled reports that a symmetry canonicalizer was installed and
+	// the run explored the quotient graph.
+	CanonEnabled bool
+	// RawStates is the number of distinct raw (pre-canonicalization) states
+	// generated while exploring the quotient, counted by fingerprint. It is
+	// a lower bound on the full state space: only successors of orbit
+	// representatives are ever generated, so orbits are sampled, not
+	// enumerated. Zero when CanonEnabled is false.
+	RawStates int
+	// CanonHits counts generated states the canonicalizer remapped to a
+	// different orbit representative.
+	CanonHits uint64
 }
 
 // DedupRate returns the fraction of generated successors that hit an
@@ -48,10 +60,24 @@ func (s Stats) DedupRate() float64 {
 	return float64(s.DedupHits) / float64(total)
 }
 
+// ReductionFactor is the observed orbit reduction RawStates / States: how
+// many raw states collapsed into each explored representative. It is ≥ 1 on
+// any quotient run and a lower bound on the full-space reduction (see
+// RawStates). Zero when no canonicalizer was installed.
+func (s Stats) ReductionFactor() float64 {
+	if !s.CanonEnabled || s.States == 0 {
+		return 0
+	}
+	return float64(s.RawStates) / float64(s.States)
+}
+
 // String renders the telemetry as a single report line.
 func (s Stats) String() string {
 	line := fmt.Sprintf("states=%d edges=%d depth=%d peak-frontier=%d dedup=%.1f%% workers=%d %s states/sec=%.0f",
 		s.States, s.Edges, s.Depth, s.PeakFrontier, 100*s.DedupRate(), s.Workers, s.Elapsed.Round(time.Microsecond), s.StatesPerSec)
+	if s.CanonEnabled {
+		line += fmt.Sprintf(" raw=%d reduction=%.2fx", s.RawStates, s.ReductionFactor())
+	}
 	if s.Truncated {
 		line += " (truncated)"
 	}

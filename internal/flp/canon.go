@@ -1,0 +1,194 @@
+package flp
+
+import (
+	"fmt"
+)
+
+// This file provides symmetry canonicalizers over encoded configurations,
+// for use with core.ExploreOptions.Canon / AnalyzeOptions.Canon. A
+// canonicalizer maps each configuration to the minimum of its orbit under a
+// relabeling group; engine.Canonicalizer documents the soundness contract
+// (idempotent, step-commuting), and Options.VerifyCanon checks it on the
+// fly. Relabeling a configuration is always well-defined — whether the
+// relabeling is a *symmetry of the protocol* is a separate question, which
+// is exactly what the engine's safety check answers (see ValueSwapCanon for
+// a deliberate non-example).
+
+// ProcessSymmetric is implemented by protocols whose processes run
+// identical, identity-blind code, so that relabeling the processes by any
+// permutation is a symmetry of the transition relation. PermuteState must
+// rewrite every process index embedded in a local state (index j becomes
+// perm[j]); PermutePayload must do the same for message payloads (returning
+// the payload unchanged when payloads carry no process ids).
+type ProcessSymmetric interface {
+	PermuteState(state string, perm []int) string
+	PermutePayload(payload string, perm []int) string
+}
+
+// ValueSymmetric is implemented by protocols over binary inputs whose state
+// and payload encodings support relabeling the values 0 <-> 1. As with
+// ProcessSymmetric, implementing the relabeling does not assert it is a
+// protocol symmetry: a protocol that breaks the tie between values (e.g. by
+// deciding the minimum) relabels perfectly well but does not commute, and
+// the engine's VerifyCanon rejects its value quotient.
+type ValueSymmetric interface {
+	SwapValuesState(state string) string
+	SwapValuesPayload(payload string) string
+}
+
+// PermutationCanon returns the process-permutation canonicalizer for p: the
+// representative of a configuration is the least encoding over all n!
+// relabelings of the processes (states, crash mask, and message endpoints
+// all permuted consistently). It errors when p does not declare
+// ProcessSymmetric.
+func PermutationCanon(p Protocol) (func(config) config, error) {
+	ps, ok := p.(ProcessSymmetric)
+	if !ok {
+		return nil, fmt.Errorf("flp: protocol %s does not implement ProcessSymmetric", p.Name())
+	}
+	n := p.NumProcs()
+	perms := permutations(n)
+	return func(c config) config {
+		crashed, states, flight := decodeConfig(c)
+		best := c
+		for _, pi := range perms[1:] { // perms[0] is the identity
+			newStates := make([]string, n)
+			newCrashed := 0
+			for q := 0; q < n; q++ {
+				newStates[pi[q]] = ps.PermuteState(states[q], pi)
+				if crashed&(1<<uint(q)) != 0 {
+					newCrashed |= 1 << uint(pi[q])
+				}
+			}
+			newFlight := make([]envelope, len(flight))
+			for i, env := range flight {
+				payload := env.payload
+				if payload != wakePayload {
+					payload = ps.PermutePayload(payload, pi)
+				}
+				newFlight[i] = envelope{from: pi[env.from], to: pi[env.to], payload: payload}
+			}
+			if enc := encodeConfig(newCrashed, newStates, newFlight); enc < best {
+				best = enc
+			}
+		}
+		return best
+	}, nil
+}
+
+// ValueSwapCanon returns the value-relabeling (0 <-> 1) canonicalizer for
+// p: the representative is the lesser of a configuration and its fully
+// value-swapped image. It errors when p does not declare ValueSymmetric.
+//
+// Value swapping is a genuine symmetry only of value-blind protocols
+// (AdoptSwap decides on a match, which is equivariant); the wait protocols
+// decide the *minimum* value seen, which relabeling does not commute with —
+// their value quotient is unsound and silently drops reachable orbits.
+// Instructively, VerifyCanon does NOT catch this one: the commutation
+// violations sit at configurations like "p0 decided 0 from values 10" whose
+// swapped images ("decided 1 from values 01") the protocol can never
+// produce, so the quotient never generates the offending orbit members for
+// the sampled check to examine. The package tests pin the unsoundness down
+// the direct way instead, by exhibiting a reachable orbit the quotient
+// misses. Keep this canonicalizer for protocols that are actually
+// value-blind — and treat a passing VerifyCanon as evidence, not proof.
+func ValueSwapCanon(p Protocol) (func(config) config, error) {
+	vs, ok := p.(ValueSymmetric)
+	if !ok {
+		return nil, fmt.Errorf("flp: protocol %s does not implement ValueSymmetric", p.Name())
+	}
+	n := p.NumProcs()
+	return func(c config) config {
+		crashed, states, flight := decodeConfig(c)
+		newStates := make([]string, n)
+		for q := 0; q < n; q++ {
+			newStates[q] = vs.SwapValuesState(states[q])
+		}
+		newFlight := make([]envelope, len(flight))
+		for i, env := range flight {
+			payload := env.payload
+			if payload != wakePayload {
+				payload = vs.SwapValuesPayload(payload)
+			}
+			newFlight[i] = envelope{from: env.from, to: env.to, payload: payload}
+		}
+		if enc := encodeConfig(crashed, newStates, newFlight); enc < c {
+			return enc
+		}
+		return c
+	}, nil
+}
+
+// permutations returns all permutations of [0, n) in a deterministic
+// order, identity first.
+func permutations(n int) [][]int {
+	cur := make([]int, n)
+	for i := range cur {
+		cur[i] = i
+	}
+	var out [][]int
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := k; i < n; i++ {
+			cur[k], cur[i] = cur[i], cur[k]
+			rec(k + 1)
+			cur[k], cur[i] = cur[i], cur[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// PermuteState implements ProcessSymmetric: the collected-values prefix is
+// indexed by process, so slot j moves to slot perm[j]; the decision suffix
+// is index-free.
+func (w *waitProto) PermuteState(state string, perm []int) string {
+	out := []byte(state)
+	for j := 0; j < w.n; j++ {
+		out[perm[j]] = state[j]
+	}
+	return string(out)
+}
+
+// PermutePayload implements ProcessSymmetric: payloads are bare value
+// characters.
+func (w *waitProto) PermutePayload(payload string, _ []int) string { return payload }
+
+// SwapValuesState implements ValueSymmetric (see ValueSwapCanon for why the
+// resulting quotient is nonetheless unsound for the wait protocols).
+func (w *waitProto) SwapValuesState(state string) string {
+	return swapBinaryChars(state)
+}
+
+// SwapValuesPayload implements ValueSymmetric.
+func (w *waitProto) SwapValuesPayload(payload string) string {
+	return swapBinaryChars(payload)
+}
+
+// SwapValuesState implements ValueSymmetric: value char + decision char,
+// both relabeled.
+func (a *adoptSwap) SwapValuesState(state string) string {
+	return swapBinaryChars(state)
+}
+
+// SwapValuesPayload implements ValueSymmetric.
+func (a *adoptSwap) SwapValuesPayload(payload string) string {
+	return swapBinaryChars(payload)
+}
+
+func swapBinaryChars(s string) string {
+	out := []byte(s)
+	for i, b := range out {
+		switch b {
+		case '0':
+			out[i] = '1'
+		case '1':
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}

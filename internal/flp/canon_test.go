@@ -1,0 +1,164 @@
+package flp
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+func TestPermutationCanonSoundOnWaitQuorum(t *testing.T) {
+	p := NewWaitQuorum(3)
+	canon, err := PermutationCanon(p)
+	if err != nil {
+		t.Fatalf("PermutationCanon: %v", err)
+	}
+	full, err := core.Explore[string](NewSystem(p, nil, 1), core.ExploreOptions{})
+	if err != nil {
+		t.Fatalf("full explore: %v", err)
+	}
+	var st engine.Stats
+	quo, err := core.Explore[string](NewSystem(p, nil, 1), core.ExploreOptions{
+		Canon: canon, VerifyCanon: 1, Stats: &st,
+	})
+	if err != nil {
+		t.Fatalf("quotient explore: %v", err)
+	}
+	if quo.Len() >= full.Len() {
+		t.Fatalf("quotient %d states, full %d: no reduction", quo.Len(), full.Len())
+	}
+	if quo.Len()*6 < full.Len() { // |S_3| = 6 bounds the reduction
+		t.Fatalf("quotient %d × 6 < full %d: impossible reduction", quo.Len(), full.Len())
+	}
+	for i := 0; i < quo.Len(); i++ {
+		if s := quo.State(i); canon(s) != s {
+			t.Fatalf("interned non-representative %q", s)
+		}
+	}
+	// Orbit completeness — the substance of soundness: every reachable
+	// configuration's representative is in the quotient, and nothing else.
+	seen := make(map[string]bool, full.Len())
+	for i := 0; i < full.Len(); i++ {
+		rep := canon(full.State(i))
+		seen[rep] = true
+		if _, ok := quo.StateID(rep); !ok {
+			t.Fatalf("quotient misses reachable orbit of %q", full.State(i))
+		}
+	}
+	if len(seen) != quo.Len() {
+		t.Fatalf("full graph spans %d orbits but quotient has %d states", len(seen), quo.Len())
+	}
+}
+
+func TestAnalyzeQuotientVerdictsMatch(t *testing.T) {
+	cases := []Protocol{NewWaitAll(3), NewWaitQuorum(3)}
+	for _, p := range cases {
+		t.Run(p.Name(), func(t *testing.T) {
+			canon, err := PermutationCanon(p)
+			if err != nil {
+				t.Fatalf("PermutationCanon: %v", err)
+			}
+			full, err := Analyze(p, AnalyzeOptions{})
+			if err != nil {
+				t.Fatalf("full Analyze: %v", err)
+			}
+			quo, err := Analyze(p, AnalyzeOptions{Canon: canon, VerifyCanon: 1})
+			if err != nil {
+				t.Fatalf("quotient Analyze: %v", err)
+			}
+			if quo.States >= full.States {
+				t.Fatalf("quotient explored %d states, full %d: no reduction", quo.States, full.States)
+			}
+			type verdicts struct {
+				bivalentInitial, agreement, validity, deadlock, lasso, decider, lively bool
+			}
+			vOf := func(r Report) verdicts {
+				return verdicts{
+					bivalentInitial: r.HasBivalentInitial,
+					agreement:       r.AgreementViolated,
+					validity:        r.ValidityViolated,
+					deadlock:        r.HasDeadlock,
+					lasso:           r.NondecidingLasso != nil,
+					decider:         r.DeciderFound,
+					lively:          r.Lively,
+				}
+			}
+			if vOf(full) != vOf(quo) {
+				t.Fatalf("verdicts differ:\nfull     %+v\nquotient %+v", vOf(full), vOf(quo))
+			}
+		})
+	}
+}
+
+// TestValueSwapCanonUnsoundOnWaitQuorum pins down the asymmetry the wait
+// protocols hide: they decide the minimum value seen, and min does not
+// commute with relabeling 0 <-> 1. The failure mode is instructive — the
+// violating orbit members (a process that decided the swapped value from
+// swapped evidence) are protocol-unreachable, so the sampled VerifyCanon
+// check cannot observe them and the exploration "succeeds"; the quotient is
+// nonetheless wrong, which this test demonstrates by exhibiting a reachable
+// orbit it lost. See ValueSwapCanon's doc comment.
+func TestValueSwapCanonUnsoundOnWaitQuorum(t *testing.T) {
+	p := NewWaitQuorum(3)
+	canon, err := ValueSwapCanon(p)
+	if err != nil {
+		t.Fatalf("ValueSwapCanon: %v", err)
+	}
+	full, err := core.Explore[string](NewSystem(p, nil, 1), core.ExploreOptions{})
+	if err != nil {
+		t.Fatalf("full explore: %v", err)
+	}
+	quo, err := core.Explore[string](NewSystem(p, nil, 1), core.ExploreOptions{
+		Canon: canon, VerifyCanon: 1,
+	})
+	if err != nil {
+		// The sampled check catching it outright would be fine too — but
+		// see above for why it structurally cannot here.
+		t.Fatalf("quotient explore: %v", err)
+	}
+	lost := 0
+	for i := 0; i < full.Len(); i++ {
+		if _, ok := quo.StateID(canon(full.State(i))); !ok {
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Fatalf("value-swap quotient covered every reachable orbit; expected it to lose some (min-decide is not value-equivariant)")
+	}
+}
+
+// TestValueSwapCanonSoundOnAdoptSwap: deciding on a match is equivariant
+// under value relabeling, so AdoptSwap's value quotient passes the same
+// check the wait protocol fails.
+func TestValueSwapCanonSoundOnAdoptSwap(t *testing.T) {
+	p := NewAdoptSwap(3)
+	canon, err := ValueSwapCanon(p)
+	if err != nil {
+		t.Fatalf("ValueSwapCanon: %v", err)
+	}
+	full, err := core.Explore[string](NewSystem(p, nil, 1), core.ExploreOptions{})
+	if err != nil {
+		t.Fatalf("full explore: %v", err)
+	}
+	quo, err := core.Explore[string](NewSystem(p, nil, 1), core.ExploreOptions{
+		Canon: canon, VerifyCanon: 1,
+	})
+	if err != nil {
+		t.Fatalf("quotient explore: %v", err)
+	}
+	if quo.Len() >= full.Len() || quo.Len()*2 < full.Len() {
+		t.Fatalf("quotient %d states vs full %d: outside (full/2, full)", quo.Len(), full.Len())
+	}
+	// Unlike the wait protocol, the value-blind quotient loses no orbits.
+	for i := 0; i < full.Len(); i++ {
+		if _, ok := quo.StateID(canon(full.State(i))); !ok {
+			t.Fatalf("quotient misses reachable orbit of %q", full.State(i))
+		}
+	}
+}
+
+func TestCanonConstructorsRejectUnsupportedProtocols(t *testing.T) {
+	if _, err := PermutationCanon(NewAdoptSwap(3)); err == nil {
+		t.Fatalf("PermutationCanon accepted the ring protocol (only rotations are symmetries)")
+	}
+}

@@ -245,6 +245,19 @@ type AnalyzeOptions struct {
 	// configuration-graph exploration (the uniform-vector validity
 	// explorations are not included).
 	Stats *engine.Stats
+	// Canon, when non-nil, quotients every exploration (main and validity)
+	// by the given configuration symmetry — see PermutationCanon. Only
+	// process-relabeling symmetries are admissible here: the analysis
+	// evaluates per-value predicates (validity pins the decided value), so
+	// a value-relabeling canon would corrupt the verdicts even where it is
+	// sound. Counts in the Report (States, Edges, BivalentConfigs) then
+	// describe the quotient graph; the boolean verdicts are unchanged.
+	Canon func(string) string
+	// VerifyCanon, when > 0, samples raw configurations (every one whose
+	// fingerprint is ≡ 0 mod VerifyCanon; 1 = all) and fails the analysis
+	// with engine.ErrCanonUnsound if Canon is not idempotent and
+	// step-commuting on them.
+	VerifyCanon int
 }
 
 // NewSystem exposes a protocol's configuration graph (canonical encoded
@@ -272,9 +285,14 @@ func Analyze(p Protocol, opts AnalyzeOptions) (Report, error) {
 		resilience = *opts.Resilience
 	}
 	sys := &system{p: p, inputVectors: vectors, resilience: resilience}
-	g, err := core.Explore[config](sys, core.ExploreOptions{
+	eopts := core.ExploreOptions{
 		MaxStates: opts.MaxStates, Parallelism: opts.Parallelism, Stats: opts.Stats,
-	})
+	}
+	if opts.Canon != nil {
+		eopts.Canon = opts.Canon
+		eopts.VerifyCanon = opts.VerifyCanon
+	}
+	g, err := core.Explore[config](sys, eopts)
 	if err != nil {
 		return Report{}, fmt.Errorf("flp: exploring %s: %w", p.Name(), err)
 	}
@@ -327,8 +345,15 @@ func Analyze(p Protocol, opts AnalyzeOptions) (Report, error) {
 		for i := range uniform {
 			uniform[i] = v
 		}
+		guOpts := core.ExploreOptions{MaxStates: opts.MaxStates, Parallelism: opts.Parallelism}
+		if opts.Canon != nil {
+			// Uniform-vector initials are fixed points of any process
+			// relabeling, so the quotient is sound here too.
+			guOpts.Canon = opts.Canon
+			guOpts.VerifyCanon = opts.VerifyCanon
+		}
 		gu, err := core.Explore[config](&system{p: p, inputVectors: [][]int{uniform}, resilience: resilience},
-			core.ExploreOptions{MaxStates: opts.MaxStates, Parallelism: opts.Parallelism})
+			guOpts)
 		if err != nil {
 			return rep, fmt.Errorf("flp: validity exploration of %s: %w", p.Name(), err)
 		}

@@ -1,0 +1,134 @@
+package ring
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// AsyncLCR is the LCR election recast as an asynchronous state space: every
+// process has launched its id clockwise, and the adversary (the scheduler)
+// picks which in-flight token to deliver next. Exploring the induced
+// core.System covers every interleaving at once — the exhaustive
+// counterpart to RunLCR's single synchronous schedule, and the workload
+// behind ringbench's -parallel/-stats exploration sweep.
+//
+// Each id is in flight at most once (a token is forwarded or swallowed, and
+// ids are unique), so a link's content is a subset of the id space and a
+// configuration packs into n+1 bytes: one in-flight bitmask per link plus
+// the elected leader's position (0xFF while the election is open).
+type AsyncLCR struct {
+	ids []int
+}
+
+// NewAsyncLCR validates ids (distinct, in [0, 8) so each link mask is one
+// byte) and returns the async election system factory.
+func NewAsyncLCR(ids []int) (*AsyncLCR, error) {
+	if err := validateIDs(ids); err != nil {
+		return nil, err
+	}
+	if len(ids) > 8 {
+		return nil, fmt.Errorf("ring: AsyncLCR supports at most 8 processes, got %d", len(ids))
+	}
+	for _, id := range ids {
+		if id >= 8 {
+			return nil, fmt.Errorf("ring: AsyncLCR needs ids < 8, got %d", id)
+		}
+	}
+	return &AsyncLCR{ids: append([]int(nil), ids...)}, nil
+}
+
+const noLeader = 0xFF
+
+// System returns the exploration system: states are the packed
+// configurations, steps deliver one pending token across one link.
+func (a *AsyncLCR) System() core.System[string] { return asyncLCRSystem{a} }
+
+// Leader decodes the elected position from a state, or -1 while open.
+func (a *AsyncLCR) Leader(s string) int {
+	if b := s[len(a.ids)]; b != noLeader {
+		return int(b)
+	}
+	return -1
+}
+
+// MaxIDPosition returns the position holding the largest id — the only
+// legal election outcome.
+func (a *AsyncLCR) MaxIDPosition() int {
+	best := 0
+	for i, id := range a.ids {
+		if id > a.ids[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+type asyncLCRSystem struct{ a *AsyncLCR }
+
+func (s asyncLCRSystem) Init() []string {
+	n := len(s.a.ids)
+	st := make([]byte, n+1)
+	for i, id := range s.a.ids {
+		st[i] = 1 << uint(id) // each process's own id is on its outgoing link
+	}
+	st[n] = noLeader
+	return []string{string(st)}
+}
+
+func (s asyncLCRSystem) Steps(st string) []core.Step[string] {
+	n := len(s.a.ids)
+	if st[n] != noLeader {
+		return nil // election decided; the space is a DAG to the leaders
+	}
+	var out []core.Step[string]
+	for link := 0; link < n; link++ {
+		mask := st[link]
+		for id := 0; id < 8; id++ {
+			if mask&(1<<uint(id)) == 0 {
+				continue
+			}
+			dst := (link + 1) % n
+			next := []byte(st)
+			next[link] &^= 1 << uint(id)
+			switch {
+			case id == s.a.ids[dst]:
+				next[n] = byte(dst) // token came home: dst wins
+			case id > s.a.ids[dst]:
+				next[dst] |= 1 << uint(id) // forward
+			}
+			// Smaller ids are swallowed: the token just disappears.
+			out = append(out, core.Step[string]{
+				To:    string(next),
+				Label: fmt.Sprintf("deliver id %d to p%d", id, dst),
+				Actor: dst,
+			})
+		}
+	}
+	return out
+}
+
+// CheckElection explores every delivery schedule and verifies the election
+// invariant: whenever a leader is declared it is the maximum-id position,
+// and some schedule does elect it. It returns the explored graph for
+// further inspection along with the number of states.
+func (a *AsyncLCR) CheckElection(opts core.ExploreOptions) (*core.Graph[string], error) {
+	g, err := core.Explore[string](a.System(), opts)
+	if err != nil {
+		return nil, err
+	}
+	want := a.MaxIDPosition()
+	elected := false
+	for i := 0; i < g.Len(); i++ {
+		switch l := a.Leader(g.State(i)); {
+		case l == want:
+			elected = true
+		case l >= 0:
+			return nil, fmt.Errorf("ring: some schedule elected position %d, want the max-id position %d", l, want)
+		}
+	}
+	if !elected {
+		return nil, ErrNoElection
+	}
+	return g, nil
+}

@@ -1,0 +1,63 @@
+package ring
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+func TestAsyncLCRValidates(t *testing.T) {
+	if _, err := NewAsyncLCR([]int{0}); err == nil {
+		t.Fatal("single process should be rejected")
+	}
+	if _, err := NewAsyncLCR([]int{0, 8}); err == nil {
+		t.Fatal("id 8 should be rejected (mask is one byte)")
+	}
+	if _, err := NewAsyncLCR([]int{0, 1, 2, 3, 4, 5, 6, 7, 0}); err == nil {
+		t.Fatal("9 processes should be rejected")
+	}
+}
+
+func TestAsyncLCRElectsOnlyMaximum(t *testing.T) {
+	for _, ids := range [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}} {
+		a, err := NewAsyncLCR(ids)
+		if err != nil {
+			t.Fatalf("NewAsyncLCR(%v): %v", ids, err)
+		}
+		g, err := a.CheckElection(core.ExploreOptions{})
+		if err != nil {
+			t.Fatalf("CheckElection(%v): %v", ids, err)
+		}
+		if g.Len() == 0 {
+			t.Fatalf("empty graph for %v", ids)
+		}
+	}
+}
+
+// TestAsyncLCRDeterministicParallel: the exploration workload behind
+// ringbench -parallel must be schedule-independent like every other system.
+func TestAsyncLCRDeterministicParallel(t *testing.T) {
+	a, err := NewAsyncLCR(DescendingIDs(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st1, st8 engine.Stats
+	g1, err := a.CheckElection(core.ExploreOptions{Parallelism: 1, Stats: &st1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g8, err := a.CheckElection(core.ExploreOptions{Parallelism: 8, Stats: &st8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Len() != g8.Len() || st1.States != st8.States || st1.Edges != st8.Edges {
+		t.Fatalf("parallel exploration diverged: %d/%d states, stats %+v vs %+v",
+			g1.Len(), g8.Len(), st1, st8)
+	}
+	for i := 0; i < g1.Len(); i++ {
+		if g1.State(i) != g8.State(i) {
+			t.Fatalf("state order diverged at %d", i)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package rounds
+
+import (
+	"math/bits"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+func TestCrashSpaceCounts(t *testing.T) {
+	c := CrashSpace{Procs: 5, MaxFaults: 2, Rounds: 3}
+	sys, err := c.System()
+	if err != nil {
+		t.Fatalf("System: %v", err)
+	}
+	full, err := core.Explore[string](sys, core.ExploreOptions{})
+	if err != nil {
+		t.Fatalf("full explore: %v", err)
+	}
+	// Each round replicates every crash set of cardinality <= t:
+	// (R+1) * (C(5,0)+C(5,1)+C(5,2)) = 4 * 16.
+	if want := 4 * 16; full.Len() != want {
+		t.Fatalf("full space has %d states, want %d", full.Len(), want)
+	}
+	var st engine.Stats
+	quo, err := core.Explore[string](sys, core.ExploreOptions{
+		Canon: c.Canon(), VerifyCanon: 1, Stats: &st,
+	})
+	if err != nil {
+		t.Fatalf("quotient explore: %v", err)
+	}
+	// Up to relabeling only the crash count matters: (R+1) * (t+1).
+	if want := 4 * 3; quo.Len() != want {
+		t.Fatalf("quotient has %d states, want %d", quo.Len(), want)
+	}
+	if !st.CanonEnabled || st.ReductionFactor() <= 1 {
+		t.Fatalf("missing orbit telemetry: %+v", st)
+	}
+
+	// Orbit completeness: every reachable crash pattern's representative is
+	// interned, and the quotient holds nothing but representatives.
+	canon := c.Canon()
+	orbits := make(map[string]bool, full.Len())
+	for i := 0; i < full.Len(); i++ {
+		rep := canon(full.State(i))
+		orbits[rep] = true
+		if _, ok := quo.StateID(rep); !ok {
+			t.Fatalf("quotient misses reachable orbit of %q", full.State(i))
+		}
+	}
+	if len(orbits) != quo.Len() {
+		t.Fatalf("full graph spans %d orbits but quotient has %d states", len(orbits), quo.Len())
+	}
+
+	// The fault bound — an orbit-invariant predicate — agrees on both graphs.
+	bound := func(s string) bool { return bits.OnesCount8(s[1]) <= c.MaxFaults }
+	if _, _, ok := full.CheckInvariant(bound); !ok {
+		t.Fatalf("fault bound violated on full graph")
+	}
+	if _, _, ok := quo.CheckInvariant(bound); !ok {
+		t.Fatalf("fault bound violated on quotient graph")
+	}
+}
+
+func TestCrashSpaceValidates(t *testing.T) {
+	for _, c := range []CrashSpace{
+		{Procs: 0, MaxFaults: 0, Rounds: 1},
+		{Procs: 9, MaxFaults: 1, Rounds: 1},
+		{Procs: 3, MaxFaults: 4, Rounds: 1},
+		{Procs: 3, MaxFaults: 1, Rounds: -1},
+	} {
+		if _, err := c.System(); err == nil {
+			t.Fatalf("System accepted invalid %+v", c)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package sharedmem
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/spec"
+)
+
+// exploreBoth explores alg's full graph and its symmetry quotient with the
+// engine's soundness check on every state, and returns both graphs with the
+// quotient telemetry.
+func exploreBoth(t *testing.T, alg Algorithm) (full, quo *core.Graph[string], st engine.Stats) {
+	t.Helper()
+	canon := CanonFor(alg)
+	if canon == nil {
+		t.Fatalf("CanonFor(%s) = nil", alg.Name())
+	}
+	full, err := Explore(alg, 0)
+	if err != nil {
+		t.Fatalf("full explore of %s: %v", alg.Name(), err)
+	}
+	quo, err = ExploreWith(alg, core.ExploreOptions{Canon: canon, VerifyCanon: 1, Stats: &st})
+	if err != nil {
+		t.Fatalf("quotient explore of %s: %v", alg.Name(), err)
+	}
+	return full, quo, st
+}
+
+func TestCanonSoundAndReducing(t *testing.T) {
+	cases := []struct {
+		alg Algorithm
+		// orbitMax bounds the reduction by the symmetry group order.
+		groupOrder int
+	}{
+		{NewTASLock(4), 24},
+		{NewTicketLock(3), 6},
+		{NewCountingSemaphore(4, 2), 24},
+		{NewPeterson2(), 2},
+		{NewTournament4(), 8},
+	}
+	for _, c := range cases {
+		t.Run(c.alg.Name(), func(t *testing.T) {
+			full, quo, st := exploreBoth(t, c.alg)
+			if quo.Len() >= full.Len() {
+				t.Fatalf("quotient %d states, full %d: no reduction", quo.Len(), full.Len())
+			}
+			// The quotient can never shrink the space below 1/|G|.
+			if quo.Len()*c.groupOrder < full.Len() {
+				t.Fatalf("quotient %d states × group order %d < full %d states: impossible reduction",
+					quo.Len(), c.groupOrder, full.Len())
+			}
+			if !st.CanonEnabled || st.ReductionFactor() <= 1 {
+				t.Fatalf("missing orbit telemetry: %+v", st)
+			}
+			// Exclusion — an orbit-invariant predicate — must agree.
+			fullOK := invariantHolds(c.alg, full)
+			quoOK := invariantHolds(c.alg, quo)
+			if fullOK != quoOK {
+				t.Fatalf("exclusion verdict differs: full %v, quotient %v", fullOK, quoOK)
+			}
+		})
+	}
+}
+
+func invariantHolds(alg Algorithm, g *core.Graph[string]) bool {
+	excl := 1
+	if cs, ok := alg.(countingSemaphore); ok {
+		excl = cs.k
+	}
+	_, _, ok := g.CheckInvariant(func(s string) bool {
+		return countRegion(regionsOf(alg, s), spec.Critical) <= excl
+	})
+	return ok
+}
+
+// TestCanonOrbitComplete checks the substance of quotient soundness
+// directly: the quotient contains exactly the representatives of the
+// reachable orbits — every full-graph state's representative is interned
+// (none lost), every interned state is its own representative (none extra).
+func TestCanonOrbitComplete(t *testing.T) {
+	for _, alg := range []Algorithm{NewTicketLock(3), NewPeterson2(), NewTournament4()} {
+		canon := CanonFor(alg)
+		full, err := Explore(alg, 0)
+		if err != nil {
+			t.Fatalf("full explore of %s: %v", alg.Name(), err)
+		}
+		quo, err := ExploreWith(alg, core.ExploreOptions{Canon: canon})
+		if err != nil {
+			t.Fatalf("quotient explore of %s: %v", alg.Name(), err)
+		}
+		for i := 0; i < quo.Len(); i++ {
+			if s := quo.State(i); canon(s) != s {
+				t.Fatalf("%s: interned state %q is not canonical (rep %q)", alg.Name(), s, canon(s))
+			}
+		}
+		orbits := make(map[string]bool, full.Len())
+		for i := 0; i < full.Len(); i++ {
+			rep := canon(full.State(i))
+			orbits[rep] = true
+			if _, ok := quo.StateID(rep); !ok {
+				t.Fatalf("%s: quotient misses reachable orbit of %q", alg.Name(), full.State(i))
+			}
+		}
+		if len(orbits) != quo.Len() {
+			t.Fatalf("%s: full graph spans %d orbits but quotient has %d states", alg.Name(), len(orbits), quo.Len())
+		}
+	}
+}

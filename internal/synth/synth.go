@@ -305,22 +305,38 @@ func checkBudget(perProc uint64, symmetric bool, values int, budget uint64) erro
 	return nil
 }
 
+// pairSearchChunk is how many table rows a worker claims from the shared
+// cursor at a time: large enough to amortize the atomic add, small enough
+// to balance the wildly uneven row costs (in the asymmetric search row i
+// covers len(tables)-i pairs).
+const pairSearchChunk = 16
+
 // runPairSearch drives the parallel pair-checking phase shared by the TAS
 // and RW searches. The specification is symmetric under process renaming,
-// so the asymmetric search only examines ordered pairs i <= j.
+// so the asymmetric search only examines ordered pairs i <= j. Workers
+// claim chunks of the row axis from an atomic cursor, and the result is
+// deterministic at any worker count: the counters are order-independent
+// sums, and Example is resolved by a CAS-min race over the packed (i, j)
+// index, so the witness with the smallest enumeration index always wins no
+// matter which worker found it first.
 func runPairSearch(sk tasSkeleton, tables [][][]sharedmem.Cell, symmetric, needLockout bool,
 	workers int, kind sharedmem.VarKind, exampleName string, res *Result) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	var pairs, passedME, passedProg, passed atomic.Uint64
-	var exampleMu sync.Mutex
 	var pis [][]int
 	if symmetric {
 		pis = involutions(sk.values)
 	}
 
-	record := func(t0, t1 [][]sharedmem.Cell) {
+	const noWitness = ^uint64(0)
+	var bestKey atomic.Uint64
+	bestKey.Store(noWitness)
+
+	// check examines one pair, keyed by its enumeration index (the pair
+	// index in asymmetric mode, the involution index in symmetric mode).
+	check := func(i, j int, t0, t1 [][]sharedmem.Cell) {
 		pairs.Add(1)
 		v := sk.checkPair(t0, t1, needLockout)
 		if !v.exclusion {
@@ -335,36 +351,54 @@ func runPairSearch(sk tasSkeleton, tables [][][]sharedmem.Cell, symmetric, needL
 			return
 		}
 		passed.Add(1)
-		exampleMu.Lock()
-		if res.Example == nil {
-			res.Example = sk.toAlgorithm(exampleName, kind, t0, t1)
+		key := uint64(i)<<32 | uint64(j)
+		for {
+			cur := bestKey.Load()
+			if key >= cur || bestKey.CompareAndSwap(cur, key) {
+				return
+			}
 		}
-		exampleMu.Unlock()
 	}
 
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
-			for i := w; i < len(tables); i += workers {
-				if symmetric {
-					for _, pi := range pis {
-						record(tables[i], permuteTable(tables[i], pi))
-					}
-					continue
+			for {
+				lo := int(cursor.Add(pairSearchChunk)) - pairSearchChunk
+				if lo >= len(tables) {
+					return
 				}
-				for j := i; j < len(tables); j++ {
-					record(tables[i], tables[j])
+				hi := min(lo+pairSearchChunk, len(tables))
+				for i := lo; i < hi; i++ {
+					if symmetric {
+						for pidx, pi := range pis {
+							check(i, pidx, tables[i], permuteTable(tables[i], pi))
+						}
+						continue
+					}
+					for j := i; j < len(tables); j++ {
+						check(i, j, tables[i], tables[j])
+					}
 				}
 			}
-		}(w)
+		}()
 	}
 	wg.Wait()
 	res.PairsChecked = pairs.Load()
 	res.PassedExclusion = passedME.Load()
 	res.PassedProgress = passedProg.Load()
 	res.Passed = passed.Load()
+	if key := bestKey.Load(); key != noWitness {
+		i, j := int(key>>32), int(key&0xffffffff)
+		t1 := tables[j]
+		if symmetric {
+			t1 = permuteTable(tables[i], pis[j])
+		}
+		res.Example = sk.toAlgorithm(exampleName, kind, tables[i], t1)
+	}
 }
 
 func zeros(n int) []int { return make([]int, n) }

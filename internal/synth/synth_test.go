@@ -2,6 +2,7 @@ package synth
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 
 	"repro/internal/sharedmem"
@@ -148,6 +149,75 @@ func TestPermuteTableRoundTrip(t *testing.T) {
 				t.Fatalf("permuteTable is not an involution at (%d,%d)", l, v)
 			}
 		}
+	}
+}
+
+// TestSearchDeterministicAcrossWorkerCounts: the chunked worker pool must
+// produce identical results — counts and the witness protocol — at any
+// parallelism. The witness is pinned by the CAS-min over enumeration
+// indices, so even Example survives the comparison byte for byte.
+func TestSearchDeterministicAcrossWorkerCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(workers int) (Result, error)
+	}{
+		{"tas-sym-found", func(w int) (Result, error) {
+			return SearchTASMutex(TASSearchConfig{Values: 2, TryStates: 1, Symmetric: true, Workers: w})
+		}},
+		{"tas-lockout-none", func(w int) (Result, error) {
+			return SearchTASMutex(TASSearchConfig{Values: 2, TryStates: 2, RequireLockoutFree: true, Workers: w})
+		}},
+		{"rw-none", func(w int) (Result, error) {
+			return SearchRWMutex(RWSearchConfig{Values: 2, TryStates: 2, Workers: w})
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			base, err := c.run(1)
+			if err != nil {
+				t.Fatalf("workers=1: %v", err)
+			}
+			for _, w := range []int{2, 8} {
+				got, err := c.run(w)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if !reflect.DeepEqual(got, base) {
+					t.Fatalf("workers=%d result differs from workers=1:\n%+v\nvs\n%+v", w, got, base)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSearchTASMutexSeq / Par measure the pair-checking fan-out at one
+// worker vs all cores on the E01 lockout-freedom search.
+func BenchmarkSearchTASMutexSeq(b *testing.B) { benchSearchTAS(b, 1) }
+func BenchmarkSearchTASMutexPar(b *testing.B) { benchSearchTAS(b, 0) }
+
+func benchSearchTAS(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		res, err := SearchTASMutex(TASSearchConfig{
+			Values: 2, TryStates: 2, RequireLockoutFree: true, Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.PairsChecked), "pairs")
+	}
+}
+
+// BenchmarkSearchRWMutexSeq / Par: same for the E03 register search.
+func BenchmarkSearchRWMutexSeq(b *testing.B) { benchSearchRW(b, 1) }
+func BenchmarkSearchRWMutexPar(b *testing.B) { benchSearchRW(b, 0) }
+
+func benchSearchRW(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		res, err := SearchRWMutex(RWSearchConfig{Values: 2, TryStates: 2, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.PairsChecked), "pairs")
 	}
 }
 
