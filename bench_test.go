@@ -404,6 +404,66 @@ func BenchmarkExploreQuotientFLP(b *testing.B) {
 	benchExploreQuotient(b, flp.NewSystem(p, nil, 1), canon)
 }
 
+// Partial-order-reduction counterparts over the crash-free wait-quorum n=4
+// space (the resilience-1 space is provably POR-irreducible, see
+// flp.DeliveryIndependence): full graph, ample-set reduction, and the
+// POR+quotient stack. Comparing states against the Full bench reads off
+// the reduction; por-branch is the engine's per-state branch factor saving.
+
+func benchExplorePOR(b *testing.B, sys core.System[string], opts core.ExploreOptions) {
+	b.Helper()
+	var st engine.Stats
+	opts.Stats = &st
+	for i := 0; i < b.N; i++ {
+		g, err := core.Explore[string](sys, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.Len() != st.States {
+			b.Fatalf("stats/graph state mismatch: %d vs %d", st.States, g.Len())
+		}
+	}
+	b.ReportMetric(float64(st.States)*float64(b.N)/b.Elapsed().Seconds(), "states/sec")
+	b.ReportMetric(float64(st.States), "states")
+	if st.POREnabled {
+		b.ReportMetric(st.PORReductionFactor(), "por-branch")
+	}
+}
+
+func BenchmarkExploreFullFLPCrashFree(b *testing.B) {
+	p := flp.NewWaitQuorum(4)
+	benchExplorePOR(b, flp.NewSystem(p, nil, 0), core.ExploreOptions{})
+}
+
+func BenchmarkExplorePORFLPCrashFree(b *testing.B) {
+	p := flp.NewWaitQuorum(4)
+	benchExplorePOR(b, flp.NewSystem(p, nil, 0), core.ExploreOptions{
+		Independent: flp.DeliveryIndependence(p),
+		Visible:     flp.DecisionVisibility(p),
+	})
+}
+
+func BenchmarkExplorePORQuotientFLPCrashFree(b *testing.B) {
+	p := flp.NewWaitQuorum(4)
+	canon, err := flp.PermutationCanon(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchExplorePOR(b, flp.NewSystem(p, nil, 0), core.ExploreOptions{
+		Canon:       canon,
+		Independent: flp.DeliveryIndependence(p),
+		Visible:     flp.DecisionVisibility(p),
+	})
+}
+
+func BenchmarkExplorePORAsyncLCR(b *testing.B) {
+	a, err := ring.NewAsyncLCR(ring.DescendingIDs(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchExplorePOR(b, a.System(), core.ExploreOptions{Independent: a.Independence()})
+}
+
 // --- Ablation benches (DESIGN.md) ---
 
 // chainSys is a plain linear system used to weigh exploration costs.

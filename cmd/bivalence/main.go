@@ -25,6 +25,8 @@ func main() {
 	resilience := flag.Int("resilience", 1, "number of crash events the adversary may inject")
 	parallel := flag.Int("parallel", 0, "exploration worker count (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 	stats := flag.Bool("stats", false, "print exploration engine telemetry")
+	usePOR := flag.Bool("por", false,
+		"analyze under ample-set partial-order reduction (delivery independence + decision visibility); verdicts are identical, configuration counts shrink")
 	flag.Parse()
 
 	var p flp.Protocol
@@ -43,7 +45,13 @@ func main() {
 	if *stats {
 		st = new(engine.Stats)
 	}
-	rep, err := flp.Analyze(p, flp.AnalyzeOptions{Resilience: resilience, Parallelism: *parallel, Stats: st})
+	opts := flp.AnalyzeOptions{Resilience: resilience, Parallelism: *parallel, Stats: st}
+	if *usePOR {
+		opts.Independent = flp.DeliveryIndependence(p)
+		opts.Visible = flp.DecisionVisibility(p)
+		opts.VerifyPOR = 16
+	}
+	rep, err := flp.Analyze(p, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
 		os.Exit(1)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/datalink"
 	"repro/internal/engine"
 	"repro/internal/flp"
 	"repro/internal/ring"
@@ -16,12 +17,28 @@ import (
 	"repro/internal/synth"
 )
 
-// benchRecord is the machine-readable performance record emitted by
-// -bench-json (committed as BENCH_hundred.json): one exploration row per
-// symmetric system comparing the full graph against its orbit quotient,
-// and one synth row per exhaustive search comparing sequential and
-// multicore pair checking.
+// benchSchemaVersion identifies the BENCH_hundred.json layout. Version 2
+// wraps the former single-record layout in {schema_version, runs: [...]},
+// appending one run per -bench-json invocation so regressions are visible
+// in the committed history, and adds partial-order-reduction rows next to
+// the quotient rows.
+const benchSchemaVersion = 2
+
+// benchHistoryCap bounds the committed run history: the newest runs win.
+const benchHistoryCap = 16
+
+// benchFile is the on-disk BENCH_hundred.json layout.
+type benchFile struct {
+	SchemaVersion int           `json:"schema_version"`
+	Runs          []benchRecord `json:"runs"`
+}
+
+// benchRecord is one -bench-json run: one exploration row per system
+// comparing the full graph against its orbit quotient and/or its ample-set
+// reduction, and one synth row per exhaustive search comparing sequential
+// and multicore pair checking.
 type benchRecord struct {
+	Timestamp    string             `json:"timestamp,omitempty"`
 	GOOS         string             `json:"goos"`
 	GOARCH       string             `json:"goarch"`
 	GOMAXPROCS   int                `json:"gomaxprocs"`
@@ -36,11 +53,18 @@ type explorationBench struct {
 	FullSeconds      float64 `json:"full_seconds"`
 	FullStatesPerSec float64 `json:"full_states_per_sec"`
 	// Quotient exploration under the system's symmetry canonicalizer.
-	QuotientStates       int     `json:"quotient_states"`
-	QuotientSeconds      float64 `json:"quotient_seconds"`
-	QuotientStatesPerSec float64 `json:"quotient_states_per_sec"`
-	RawStates            int     `json:"raw_states"`
-	ReductionFactor      float64 `json:"reduction_factor"`
+	QuotientStates       int     `json:"quotient_states,omitempty"`
+	QuotientSeconds      float64 `json:"quotient_seconds,omitempty"`
+	QuotientStatesPerSec float64 `json:"quotient_states_per_sec,omitempty"`
+	RawStates            int     `json:"raw_states,omitempty"`
+	ReductionFactor      float64 `json:"reduction_factor,omitempty"`
+	// Ample-set partial-order reduction under the system's independence
+	// relation, and the POR+quotient stack where both exist.
+	PORStates          int     `json:"por_states,omitempty"`
+	PORSeconds         float64 `json:"por_seconds,omitempty"`
+	PORStatesPerSec    float64 `json:"por_states_per_sec,omitempty"`
+	PORReductionFactor float64 `json:"por_reduction_factor,omitempty"`
+	PORQuotientStates  int     `json:"por_quotient_states,omitempty"`
 }
 
 type synthBench struct {
@@ -54,21 +78,34 @@ type synthBench struct {
 	PairsPerSec  float64 `json:"pairs_per_sec_parallel"`
 }
 
-// benchWorkload is one symmetric system: an explore function parameterized
-// only by whether the canonicalizer is installed.
+// exploreMode selects which reduction stack a workload runs under.
+type exploreMode int
+
+const (
+	modeFull exploreMode = iota
+	modeQuotient
+	modePOR
+	modePORQuotient
+)
+
+// benchWorkload is one system: an explore function parameterized by the
+// reduction mode. Unsupported modes return 0 states and are skipped.
 type benchWorkload struct {
 	name    string
-	explore func(canon bool) (states int, st engine.Stats, err error)
+	explore func(mode exploreMode) (states int, st engine.Stats, err error)
 }
 
 func benchWorkloads() ([]benchWorkload, error) {
 	var out []benchWorkload
 	shared := func(alg sharedmem.Algorithm) benchWorkload {
-		return benchWorkload{name: alg.Name(), explore: func(canon bool) (int, engine.Stats, error) {
+		return benchWorkload{name: alg.Name(), explore: func(mode exploreMode) (int, engine.Stats, error) {
 			var st engine.Stats
 			opts := core.ExploreOptions{Parallelism: parallelism, Stats: &st}
-			if canon {
+			switch mode {
+			case modeQuotient:
 				opts.Canon = sharedmem.CanonFor(alg)
+			case modePOR, modePORQuotient:
+				return 0, st, nil
 			}
 			g, err := sharedmem.ExploreWith(alg, opts)
 			if err != nil {
@@ -82,21 +119,37 @@ func benchWorkloads() ([]benchWorkload, error) {
 		shared(sharedmem.NewTicketLock(4)),
 		shared(sharedmem.NewTournament4()),
 	)
-	for _, n := range []int{3, 4} {
-		p := flp.NewWaitQuorum(n)
+	// FLP wait-quorum: the resilience-1 rows carry the quotient comparison
+	// (that space is provably POR-irreducible; see flp.DeliveryIndependence),
+	// the crash-free rows carry POR and the POR+quotient stack.
+	for _, cfg := range []struct {
+		n, resilience int
+	}{{3, 1}, {4, 1}, {3, 0}, {4, 0}} {
+		cfg := cfg
+		p := flp.NewWaitQuorum(cfg.n)
 		canonFn, err := flp.PermutationCanon(p)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, benchWorkload{
-			name: fmt.Sprintf("%s(n=%d)", p.Name(), n),
-			explore: func(canon bool) (int, engine.Stats, error) {
+			name: fmt.Sprintf("%s(n=%d,r=%d)", p.Name(), cfg.n, cfg.resilience),
+			explore: func(mode exploreMode) (int, engine.Stats, error) {
 				var st engine.Stats
 				opts := core.ExploreOptions{Parallelism: parallelism, Stats: &st}
-				if canon {
+				switch mode {
+				case modeQuotient:
 					opts.Canon = canonFn
+				case modePOR, modePORQuotient:
+					if cfg.resilience != 0 {
+						return 0, st, nil // irreducible; don't re-explore 563k states to show 1.00x
+					}
+					opts.Independent = flp.DeliveryIndependence(p)
+					opts.Visible = flp.DecisionVisibility(p)
+					if mode == modePORQuotient {
+						opts.Canon = canonFn
+					}
 				}
-				g, err := core.Explore[string](flp.NewSystem(p, nil, 1), opts)
+				g, err := core.Explore[string](flp.NewSystem(p, nil, cfg.resilience), opts)
 				if err != nil {
 					return 0, st, err
 				}
@@ -111,11 +164,14 @@ func benchWorkloads() ([]benchWorkload, error) {
 	}
 	out = append(out, benchWorkload{
 		name: "crash-space(n=8,t=4,r=16)",
-		explore: func(canon bool) (int, engine.Stats, error) {
+		explore: func(mode exploreMode) (int, engine.Stats, error) {
 			var st engine.Stats
 			opts := core.ExploreOptions{Parallelism: parallelism, Stats: &st}
-			if canon {
+			switch mode {
+			case modeQuotient:
 				opts.Canon = crash.Canon()
+			case modePOR, modePORQuotient:
+				return 0, st, nil
 			}
 			g, err := core.Explore[string](crashSys, opts)
 			if err != nil {
@@ -130,14 +186,42 @@ func benchWorkloads() ([]benchWorkload, error) {
 	}
 	out = append(out, benchWorkload{
 		// No symmetry canonicalizer (distinct ids break the symmetry); the
-		// row still records full-graph throughput.
+		// row records full-graph throughput and the disjoint-links POR.
 		name: "async-lcr(n=7)",
-		explore: func(canon bool) (int, engine.Stats, error) {
+		explore: func(mode exploreMode) (int, engine.Stats, error) {
 			var st engine.Stats
-			if canon {
+			opts := core.ExploreOptions{Parallelism: parallelism, Stats: &st}
+			switch mode {
+			case modeQuotient, modePORQuotient:
 				return 0, st, nil
+			case modePOR:
+				opts.Independent = asyncLCR.Independence()
 			}
-			g, err := asyncLCR.CheckElection(core.ExploreOptions{Parallelism: parallelism, Stats: &st})
+			g, err := asyncLCR.CheckElection(opts)
+			if err != nil {
+				return 0, st, err
+			}
+			return g.Len(), st, nil
+		},
+	})
+	asyncABP, err := datalink.NewAsyncABP(8)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, benchWorkload{
+		// The cyclic workload: retransmission loops exercise the C3 proviso.
+		name: "async-abp(m=8)",
+		explore: func(mode exploreMode) (int, engine.Stats, error) {
+			var st engine.Stats
+			opts := core.ExploreOptions{Parallelism: parallelism, Stats: &st}
+			switch mode {
+			case modeQuotient, modePORQuotient:
+				return 0, st, nil
+			case modePOR:
+				opts.Independent = asyncABP.Independence()
+				opts.Visible = asyncABP.ProgressVisibility()
+			}
+			g, err := asyncABP.CheckDelivery(opts)
 			if err != nil {
 				return 0, st, err
 			}
@@ -147,22 +231,22 @@ func benchWorkloads() ([]benchWorkload, error) {
 	return out, nil
 }
 
-// runBenchJSON executes the benchmark suite and writes the JSON record to
-// stdout.
-func runBenchJSON() error {
+// runBench executes the benchmark suite and returns the run record.
+func runBench() (benchRecord, error) {
 	rec := benchRecord{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	workloads, err := benchWorkloads()
 	if err != nil {
-		return err
+		return rec, err
 	}
 	for _, w := range workloads {
-		full, fullStats, err := w.explore(false)
+		full, fullStats, err := w.explore(modeFull)
 		if err != nil {
-			return fmt.Errorf("%s full: %w", w.name, err)
+			return rec, fmt.Errorf("%s full: %w", w.name, err)
 		}
 		row := explorationBench{
 			System:           w.name,
@@ -170,9 +254,9 @@ func runBenchJSON() error {
 			FullSeconds:      fullStats.Elapsed.Seconds(),
 			FullStatesPerSec: fullStats.StatesPerSec,
 		}
-		quo, quoStats, err := w.explore(true)
+		quo, quoStats, err := w.explore(modeQuotient)
 		if err != nil {
-			return fmt.Errorf("%s quotient: %w", w.name, err)
+			return rec, fmt.Errorf("%s quotient: %w", w.name, err)
 		}
 		if quo > 0 {
 			row.QuotientStates = quo
@@ -182,6 +266,23 @@ func runBenchJSON() error {
 			// Report the end-to-end reduction (full vs quotient), not the
 			// engine's sampled lower bound.
 			row.ReductionFactor = float64(full) / float64(quo)
+		}
+		por, porStats, err := w.explore(modePOR)
+		if err != nil {
+			return rec, fmt.Errorf("%s por: %w", w.name, err)
+		}
+		if por > 0 {
+			row.PORStates = por
+			row.PORSeconds = porStats.Elapsed.Seconds()
+			row.PORStatesPerSec = porStats.StatesPerSec
+			row.PORReductionFactor = float64(full) / float64(por)
+		}
+		both, _, err := w.explore(modePORQuotient)
+		if err != nil {
+			return rec, fmt.Errorf("%s por+quotient: %w", w.name, err)
+		}
+		if both > 0 {
+			row.PORQuotientStates = both
 		}
 		rec.Explorations = append(rec.Explorations, row)
 	}
@@ -203,17 +304,17 @@ func runBenchJSON() error {
 		seqStart := time.Now()
 		seqRes, err := s.run(1)
 		if err != nil {
-			return fmt.Errorf("%s seq: %w", s.name, err)
+			return rec, fmt.Errorf("%s seq: %w", s.name, err)
 		}
 		seqSec := time.Since(seqStart).Seconds()
 		parStart := time.Now()
 		parRes, err := s.run(0)
 		if err != nil {
-			return fmt.Errorf("%s par: %w", s.name, err)
+			return rec, fmt.Errorf("%s par: %w", s.name, err)
 		}
 		parSec := time.Since(parStart).Seconds()
 		if parRes.PairsChecked != seqRes.PairsChecked || parRes.Passed != seqRes.Passed {
-			return fmt.Errorf("%s: parallel search diverged from sequential (%d/%d pairs, %d/%d passed)",
+			return rec, fmt.Errorf("%s: parallel search diverged from sequential (%d/%d pairs, %d/%d passed)",
 				s.name, parRes.PairsChecked, seqRes.PairsChecked, parRes.Passed, seqRes.Passed)
 		}
 		rec.Synth = append(rec.Synth, synthBench{
@@ -227,8 +328,111 @@ func runBenchJSON() error {
 			PairsPerSec:  float64(parRes.PairsChecked) / parSec,
 		})
 	}
+	return rec, nil
+}
 
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rec)
+// loadBenchFile reads an existing bench record file, migrating the legacy
+// pre-versioned single-record layout into a one-run history. A missing
+// file yields an empty history; an unreadable one is an error (refuse to
+// clobber data we cannot parse).
+func loadBenchFile(path string) (benchFile, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return benchFile{SchemaVersion: benchSchemaVersion}, nil
+	}
+	if err != nil {
+		return benchFile{}, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err == nil && bf.SchemaVersion >= 2 {
+		return bf, nil
+	}
+	var legacy benchRecord
+	if err := json.Unmarshal(data, &legacy); err != nil || len(legacy.Explorations) == 0 {
+		return benchFile{}, fmt.Errorf("%s: unrecognized bench record layout", path)
+	}
+	return benchFile{SchemaVersion: benchSchemaVersion, Runs: []benchRecord{legacy}}, nil
+}
+
+// runBenchJSON executes the suite and records the results. With an output
+// path it appends the run to the file's history (migrating the legacy
+// layout, capping at benchHistoryCap runs) and prints a warn-only
+// comparison against the previous run; with an empty path it emits the
+// single-run record as JSON on stdout.
+func runBenchJSON(outPath string) error {
+	rec, err := runBench()
+	if err != nil {
+		return err
+	}
+	if outPath == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(benchFile{SchemaVersion: benchSchemaVersion, Runs: []benchRecord{rec}})
+	}
+	bf, err := loadBenchFile(outPath)
+	if err != nil {
+		return err
+	}
+	var prev *benchRecord
+	if len(bf.Runs) > 0 {
+		prev = &bf.Runs[len(bf.Runs)-1]
+	}
+	bf.Runs = append(bf.Runs, rec)
+	if excess := len(bf.Runs) - benchHistoryCap; excess > 0 {
+		bf.Runs = append([]benchRecord(nil), bf.Runs[excess:]...)
+	}
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("appended run %s to %s (%d runs in history)\n", rec.Timestamp, outPath, len(bf.Runs))
+	compareBenchRuns(prev, &rec)
+	return nil
+}
+
+// compareBenchRuns prints a benchstat-style smoke comparison of the new
+// run against the previous one. It only warns — state counts should never
+// move without a code change, and throughput on shared CI hardware is too
+// noisy to gate on — so it never fails the run.
+func compareBenchRuns(prev, cur *benchRecord) {
+	if prev == nil {
+		fmt.Println("no previous run to compare against")
+		return
+	}
+	prevRows := make(map[string]explorationBench, len(prev.Explorations))
+	for _, r := range prev.Explorations {
+		prevRows[r.System] = r
+	}
+	fmt.Printf("%-28s %14s %14s %8s\n", "system", "prev states/s", "cur states/s", "delta")
+	for _, r := range cur.Explorations {
+		p, ok := prevRows[r.System]
+		if !ok {
+			fmt.Printf("%-28s %14s %14.0f %8s\n", r.System, "-", r.FullStatesPerSec, "new")
+			continue
+		}
+		delta := 0.0
+		if p.FullStatesPerSec > 0 {
+			delta = (r.FullStatesPerSec - p.FullStatesPerSec) / p.FullStatesPerSec * 100
+		}
+		fmt.Printf("%-28s %14.0f %14.0f %+7.1f%%\n", r.System, p.FullStatesPerSec, r.FullStatesPerSec, delta)
+		for what, pair := range map[string][2]int{
+			"full":         {p.FullStates, r.FullStates},
+			"quotient":     {p.QuotientStates, r.QuotientStates},
+			"por":          {p.PORStates, r.PORStates},
+			"por+quotient": {p.PORQuotientStates, r.PORQuotientStates},
+		} {
+			// A zero on either side means the mode was added or removed,
+			// not that the count moved.
+			if pair[0] != pair[1] && pair[0] > 0 && pair[1] > 0 {
+				fmt.Printf("  WARN %s: %s state count moved %d -> %d (determinism contract: investigate)\n",
+					r.System, what, pair[0], pair[1])
+			}
+		}
+		if delta < -30 {
+			fmt.Printf("  WARN %s: full-graph throughput regressed %.1f%%\n", r.System, -delta)
+		}
+	}
 }

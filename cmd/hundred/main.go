@@ -3,9 +3,11 @@
 //
 // Usage:
 //
-//	hundred            # run every experiment
-//	hundred E05 E11    # run selected experiments
-//	hundred -list      # list experiment ids and titles
+//	hundred                    # run every experiment
+//	hundred E05 E11            # run selected experiments
+//	hundred -list              # list experiment ids and titles
+//	hundred -por E11 E21       # state-space experiments with ample-set POR
+//	hundred -cpuprofile cpu.pb # profile an experiment run
 package main
 
 import (
@@ -13,11 +15,14 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/async"
 	"repro/internal/clocks"
 	"repro/internal/consensus"
+	"repro/internal/core"
 	"repro/internal/datalink"
 	"repro/internal/engine"
 	"repro/internal/flp"
@@ -38,11 +43,13 @@ type experiment struct {
 	run   func() error
 }
 
-// parallelism and showStats are the exploration knobs shared by every
-// experiment that walks a state space (-parallel / -stats flags).
+// parallelism, showStats and usePOR are the exploration knobs shared by
+// every experiment that walks a state space (-parallel / -stats / -por
+// flags).
 var (
 	parallelism int
 	showStats   bool
+	usePOR      bool
 )
 
 // statsSink returns a fresh telemetry sink when -stats is set (which also
@@ -62,26 +69,65 @@ func printStats(st *engine.Stats) {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries main's body so that deferred profile writers execute before
+// the process exits with a status code.
+func run() int {
 	list := flag.Bool("list", false, "list experiments and exit")
 	benchJSON := flag.Bool("bench-json", false,
-		"run the performance suite (full vs quotient explorations, seq vs parallel synth) and emit a JSON record")
+		"run the performance suite (full vs quotient vs POR explorations, seq vs parallel synth) and record a JSON run")
+	benchOut := flag.String("bench-out", "BENCH_hundred.json",
+		"bench record file for -bench-json: the run is appended to its history; empty writes a single-run record to stdout")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	flag.IntVar(&parallelism, "parallel", 0,
 		"exploration worker count (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 	flag.BoolVar(&showStats, "stats", false, "print exploration engine telemetry for state-space experiments")
+	flag.BoolVar(&usePOR, "por", false,
+		"apply ample-set partial-order reduction to the state-space experiments that carry independence relations; verdicts are identical either way")
 	flag.Parse()
-	if *benchJSON {
-		if err := runBenchJSON(); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+	if *benchJSON {
+		if err := runBenchJSON(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
 	}
 	exps := experiments()
 	if *list {
 		for _, e := range exps {
 			fmt.Printf("%s  %s\n", e.id, e.title)
 		}
-		return
+		return 0
 	}
 	want := map[string]bool{}
 	for _, a := range flag.Args() {
@@ -100,8 +146,9 @@ func main() {
 		fmt.Println()
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func experiments() []experiment {
@@ -327,7 +374,13 @@ func e10() error {
 func e11() error {
 	for _, p := range []flp.Protocol{flp.NewWaitAll(3), flp.NewWaitQuorum(3), flp.NewAdoptSwap(2)} {
 		st := statsSink()
-		rep, err := flp.Analyze(p, flp.AnalyzeOptions{Parallelism: parallelism, Stats: st})
+		opts := flp.AnalyzeOptions{Parallelism: parallelism, Stats: st}
+		if usePOR {
+			opts.Independent = flp.DeliveryIndependence(p)
+			opts.Visible = flp.DecisionVisibility(p)
+			opts.VerifyPOR = 64
+		}
+		rep, err := flp.Analyze(p, opts)
 		if err != nil {
 			return err
 		}
@@ -530,5 +583,27 @@ func e21() error {
 		return err
 	}
 	fmt.Printf("  packet replay: delivered %v (phantom = impossibility witness)\n", steal.Delivered)
+	// The exhaustive counterpart: every loss/retransmission schedule at
+	// once, over the cyclic async ABP state space.
+	abp, err := datalink.NewAsyncABP(4)
+	if err != nil {
+		return err
+	}
+	st := statsSink()
+	opts := core.ExploreOptions{Parallelism: parallelism}
+	if st != nil {
+		opts.Stats = st
+	}
+	if usePOR {
+		opts.Independent = abp.Independence()
+		opts.Visible = abp.ProgressVisibility()
+		opts.VerifyPOR = 8
+	}
+	g, err := abp.CheckDelivery(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  async ABP m=4: %d states over every loss schedule, delivery exact-once in order\n", g.Len())
+	printStats(st)
 	return nil
 }

@@ -32,6 +32,8 @@ func main() {
 	parallelism := flag.Int("parallel", 0,
 		"exploration worker count (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 	showStats := flag.Bool("stats", false, "print exploration engine telemetry for the async LCR sweep")
+	usePOR := flag.Bool("por", false,
+		"explore the async LCR sweep under ample-set partial-order reduction (disjoint-links independence); the election verdict is identical either way")
 	flag.Parse()
 
 	fmt.Printf("%-6s %12s %12s %12s %14s %10s %12s\n",
@@ -66,6 +68,10 @@ func main() {
 		opts := core.ExploreOptions{Parallelism: *parallelism}
 		if *showStats {
 			opts.Stats = &st
+		}
+		if *usePOR {
+			opts.Independent = a.Independence()
+			opts.VerifyPOR = 16
 		}
 		g, err := a.CheckElection(opts)
 		exitOn(err)

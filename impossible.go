@@ -156,13 +156,24 @@ type (
 	// FLPReport is the bivalence analyzer's verdict.
 	FLPReport = flp.Report
 	// FLPAnalyzeOptions parameterizes AnalyzeFLP (parallelism, telemetry,
-	// symmetry quotient via Canon/VerifyCanon).
+	// symmetry quotient via Canon/VerifyCanon, partial-order reduction via
+	// Independent/Visible/VerifyPOR).
 	FLPAnalyzeOptions = flp.AnalyzeOptions
 )
 
 // FLPPermutationCanon builds the process-permutation canonicalizer for a
 // ProcessSymmetric protocol, for use as FLPAnalyzeOptions.Canon.
 var FLPPermutationCanon = flp.PermutationCanon
+
+// FLPDeliveryIndependence and FLPDecisionVisibility build the ample-set
+// independence relation and decision-visibility predicate for a protocol's
+// crash-free state space, for use as FLPAnalyzeOptions.Independent/Visible.
+// Resilience >= 1 spaces are POR-irreducible (the relation is sound but
+// saves nothing); see internal/flp/por.go for the contract.
+var (
+	FLPDeliveryIndependence = flp.DeliveryIndependence
+	FLPDecisionVisibility   = flp.DecisionVisibility
+)
 
 // AnalyzeFLP runs the bivalence analysis on an asynchronous protocol.
 func AnalyzeFLP(p FLPProtocol, opts flp.AnalyzeOptions) (FLPReport, error) {

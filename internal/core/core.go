@@ -112,6 +112,26 @@ type ExploreOptions struct {
 	// VerifyCanon (1 = check everything); a violation fails the exploration
 	// with engine.ErrCanonUnsound.
 	VerifyCanon int
+	// Independent, when non-nil, must be an engine.Independence[S] (or the
+	// equivalent plain func type) over the system's state type: exploration
+	// then applies ample-set partial-order reduction, expanding at each
+	// state only a dependence-closed subset of the enabled steps. Setting
+	// Independent routes exploration through the engine at any parallelism.
+	// See engine.Independence for the soundness contract; the reduced graph
+	// preserves terminal states and stutter-invariant verdicts, but is NOT
+	// the full interleaving graph — per-interleaving analyses (e.g. decider
+	// counting) must run without it. Composes with Canon.
+	Independent any
+	// Visible, when non-nil, must be an engine.Visibility[S] (or the
+	// equivalent plain func type) marking the steps whose ordering the
+	// downstream predicates can observe; such steps are never placed in a
+	// proper ample set. Only meaningful together with Independent.
+	Visible any
+	// VerifyPOR, when > 0, re-executes declared-independent action pairs in
+	// both orders at every expanded state whose fingerprint is ≡ 0 mod
+	// VerifyPOR (1 = check everything); a broken diamond fails the
+	// exploration with engine.ErrPORUnsound.
+	VerifyPOR int
 }
 
 // DefaultMaxStates bounds exploration when ExploreOptions.MaxStates is zero.
@@ -131,7 +151,7 @@ func Explore[S comparable](sys System[S], opts ExploreOptions) (*Graph[S], error
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	if par > 1 || opts.Stats != nil || opts.Canon != nil {
+	if par > 1 || opts.Stats != nil || opts.Canon != nil || opts.Independent != nil {
 		return exploreEngine(sys, limit, par, opts)
 	}
 	return exploreSequential(sys, limit)
@@ -151,6 +171,9 @@ func exploreEngine[S comparable](sys System[S], limit, par int, opts ExploreOpti
 		Stats:       opts.Stats,
 		Canon:       opts.Canon,
 		VerifyCanon: opts.VerifyCanon,
+		Independent: opts.Independent,
+		Visible:     opts.Visible,
+		VerifyPOR:   opts.VerifyPOR,
 	})
 	if err != nil {
 		switch {

@@ -100,14 +100,15 @@ func (e *explorer[S]) checkCanon(raw S) error {
 	return nil
 }
 
-// noteCanonErr records the first safety-check failure. The level barrier
-// turns it into Explore's return error, so the *occurrence* of a failure by
-// a given BFS depth is deterministic even though which offending state is
-// reported first may vary with scheduling.
-func (e *explorer[S]) noteCanonErr(err error) {
-	e.canonMu.Lock()
-	if e.canonErr == nil {
-		e.canonErr = err
+// noteVerifyErr records the first safety-check failure (canonicalizer or
+// independence relation). The level barrier turns it into Explore's return
+// error, so the *occurrence* of a failure by a given BFS depth is
+// deterministic even though which offending state is reported first may
+// vary with scheduling.
+func (e *explorer[S]) noteVerifyErr(err error) {
+	e.verifyMu.Lock()
+	if e.verifyErr == nil {
+		e.verifyErr = err
 	}
-	e.canonMu.Unlock()
+	e.verifyMu.Unlock()
 }

@@ -85,6 +85,29 @@ type Options struct {
 	// the check. Sampling is by state fingerprint, so which states are
 	// checked is independent of scheduling and worker count.
 	VerifyCanon int
+	// Independent, when non-nil, must be an Independence[S] (or the
+	// equivalent plain func type) for the explored state type: the engine
+	// then performs ample-set partial-order reduction, expanding at each
+	// state only a dependence-closed proper subset of the enabled actions
+	// when one exists and the cycle proviso permits it. See Independence for
+	// the soundness contract. A value of any other type is an error.
+	// Composes with Canon: the ample set is selected among the
+	// canonicalized successors of each orbit representative.
+	Independent any
+	// Visible, when non-nil, must be a Visibility[S] (or the equivalent
+	// plain func type): actions it marks visible are never placed in a
+	// proper ample set (they may still be deferred). Only meaningful
+	// together with Independent. See Visibility for the contract.
+	Visible any
+	// VerifyPOR enables the independence safety check: at every expanded
+	// state whose fingerprint is ≡ 0 mod VerifyPOR, each pair of enabled
+	// actions the relation declares independent is re-executed in both
+	// orders, and Explore fails with ErrPORUnsound if either order is
+	// disabled or the diamond lands in different states. 1 checks every
+	// state; 0 disables the check. Sampling is by state fingerprint, so
+	// which states are checked is independent of scheduling and worker
+	// count.
+	VerifyPOR int
 
 	// degradeFingerprint collapses the state fingerprint to two bits,
 	// forcing heavy shard collisions. Test-only: it exercises the
@@ -173,6 +196,15 @@ type worker[S comparable] struct {
 	// canonHits counts generated states the canonicalizer remapped to a
 	// different representative.
 	canonHits uint64
+	// acts and uf are scratch buffers for the POR path: the collected
+	// actions of the state being expanded and the union-find array over
+	// them.
+	acts []porAction[S]
+	uf   []int32
+	// ampleStates counts expansions where a proper ample subset was taken;
+	// deferred counts the enabled actions those expansions skipped.
+	ampleStates uint64
+	deferred    uint64
 }
 
 // explorer is the shared state of one Explore run.
@@ -185,12 +217,21 @@ type explorer[S comparable] struct {
 
 	// canon, when non-nil, maps every generated state to its orbit
 	// representative before interning. verifyMod != 0 samples raw states
-	// (by fingerprint) for the soundness check; the first failure lands in
-	// canonErr and surfaces at the next level barrier.
+	// (by fingerprint) for the soundness check.
 	canon     Canonicalizer[S]
 	verifyMod uint64
-	canonMu   sync.Mutex
-	canonErr  error
+
+	// indep, when non-nil, switches expansion to the partial-order-reduced
+	// path. porVerifyMod != 0 samples expanded states (by fingerprint) for
+	// the commuting-diamond check.
+	indep        Independence[S]
+	visible      Visibility[S]
+	porVerifyMod uint64
+
+	// The first canon/POR safety-check failure lands in verifyErr and
+	// surfaces deterministically at the next level barrier.
+	verifyMu  sync.Mutex
+	verifyErr error
 
 	// states, spans and expanded are indexed by provisional id. They are
 	// only appended to between level barriers; during a level, workers
@@ -236,7 +277,7 @@ func (e *explorer[S]) canonicalize(raw S, ws *worker[S]) S {
 	ws.canonHits++
 	if e.verifyMod != 0 && h%e.verifyMod == 0 {
 		if err := e.checkCanon(raw); err != nil {
-			e.noteCanonErr(err)
+			e.noteVerifyErr(err)
 		}
 	}
 	return rep
@@ -270,6 +311,75 @@ func (e *explorer[S]) expandRange(w int32, cursor *atomic.Int64, hi int, chunk i
 		for id := lo; id < end; id++ {
 			off := int32(len(ws.arena))
 			e.expand(e.states[id], emit)
+			e.spans[id] = span{worker: w, off: off, n: int32(len(ws.arena)) - off}
+			e.expanded[id] = true
+			ws.steps++
+		}
+	}
+}
+
+// expandRangePOR is expandRange's partial-order-reduced twin: instead of
+// interning successors as they are emitted, it first collects the full
+// enabled-action set of each state, asks ampleSet for a sufficient proper
+// subset, and interns only the selected actions (in emission order, so the
+// reduced graph is as deterministic as the full one). States where no
+// proper ample set exists — or where the cycle proviso vetoes every
+// candidate — are expanded fully.
+func (e *explorer[S]) expandRangePOR(w int32, cursor *atomic.Int64, hi int, chunk int) {
+	ws := e.workers[w]
+	for {
+		lo := int(cursor.Add(int64(chunk))) - chunk
+		if lo >= hi {
+			return
+		}
+		end := lo + chunk
+		if end > hi {
+			end = hi
+		}
+		for id := lo; id < end; id++ {
+			s := e.states[id]
+			acts := ws.acts[:0]
+			e.expand(s, func(to S, label string, actor int) {
+				pa := porAction[S]{act: Action[S]{To: to, Label: label, Actor: actor}, to: to}
+				if e.canon != nil {
+					pa.to = e.canonicalize(to, ws)
+				}
+				acts = append(acts, pa)
+			})
+			ws.acts = acts // keep the grown buffer
+			if e.porVerifyMod != 0 {
+				if h := e.fp(&s); h%e.porVerifyMod == 0 {
+					if err := e.checkPOR(s, acts); err != nil {
+						e.noteVerifyErr(err)
+					}
+				}
+			}
+			var ample []int32
+			if len(acts) > 1 {
+				ws.uf = growTo(ws.uf[:0], len(acts))
+				ample = e.ampleSet(s, acts, ws.uf, hi)
+			}
+			off := int32(len(ws.arena))
+			record := func(pa porAction[S]) {
+				tid, fresh := e.intern(pa.to)
+				if fresh {
+					ws.news = append(ws.news, fpEntry[S]{state: pa.to, id: tid})
+				} else {
+					ws.dedup++
+				}
+				ws.arena = append(ws.arena, rawEdge{to: tid, actor: int32(pa.act.Actor), label: pa.act.Label})
+			}
+			if ample != nil {
+				ws.ampleStates++
+				ws.deferred += uint64(len(acts) - len(ample))
+				for _, m := range ample {
+					record(acts[m])
+				}
+			} else {
+				for _, pa := range acts {
+					record(pa)
+				}
+			}
 			e.spans[id] = span{worker: w, off: off, n: int32(len(ws.arena)) - off}
 			e.expanded[id] = true
 			ws.steps++
@@ -318,6 +428,19 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 	if e.canon != nil && opts.VerifyCanon > 0 {
 		e.verifyMod = uint64(opts.VerifyCanon)
 	}
+	indep, err := indepFor[S](opts.Independent)
+	if err != nil {
+		return nil, err
+	}
+	e.indep = indep
+	if e.indep != nil && opts.VerifyPOR > 0 {
+		e.porVerifyMod = uint64(opts.VerifyPOR)
+	}
+	vis, err := visFor[S](opts.Visible)
+	if err != nil {
+		return nil, err
+	}
+	e.visible = vis
 	nShards := shardCount(nw)
 	e.mask = uint64(nShards - 1)
 	e.shards = make([]*shard[S], nShards)
@@ -349,8 +472,8 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 	if len(initIDs) == 0 {
 		return nil, ErrNoInitialStates
 	}
-	if e.canonErr != nil {
-		return nil, e.canonErr
+	if e.verifyErr != nil {
+		return nil, e.verifyErr
 	}
 
 	// Parallel phase: expand whole BFS levels between barriers. The level
@@ -360,6 +483,10 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 	// is at most one level of successors).
 	var st Stats
 	st.Workers = nw
+	expandLevel := e.expandRange
+	if e.indep != nil {
+		expandLevel = e.expandRangePOR
+	}
 	lo, hi := 0, len(e.states)
 	e.spans = growTo(e.spans, hi)
 	e.expanded = growTo(e.expanded, hi)
@@ -375,17 +502,17 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 		// Small frontiers are not worth a fan-out: per-level goroutine and
 		// barrier costs would dominate on deep, narrow graphs (chains).
 		if nw == 1 || frontier < nw*16 {
-			e.expandRange(0, &cursor, hi, chunk)
+			expandLevel(0, &cursor, hi, chunk)
 		} else {
 			var wg sync.WaitGroup
 			for w := 1; w < nw; w++ {
 				wg.Add(1)
 				go func(w int32) {
 					defer wg.Done()
-					e.expandRange(w, &cursor, hi, chunk)
+					expandLevel(w, &cursor, hi, chunk)
 				}(int32(w))
 			}
-			e.expandRange(0, &cursor, hi, chunk)
+			expandLevel(0, &cursor, hi, chunk)
 			wg.Wait()
 		}
 		// Level barrier: publish the states interned during this level so
@@ -401,16 +528,16 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 			ws.news = ws.news[:0]
 		}
 		lo, hi = hi, total
-		if e.canon != nil {
+		if e.canon != nil || e.indep != nil {
 			// The barrier makes soundness-check failure deterministic: every
-			// raw state of the finished level has been sampled, so whether
-			// an error exists here depends only on the system and the
-			// canonicalizer, never on scheduling.
-			e.canonMu.Lock()
-			cerr := e.canonErr
-			e.canonMu.Unlock()
-			if cerr != nil {
-				return nil, cerr
+			// sampled state of the finished level has been checked, so
+			// whether an error exists here depends only on the system and
+			// the installed hooks, never on scheduling.
+			e.verifyMu.Lock()
+			verr := e.verifyErr
+			e.verifyMu.Unlock()
+			if verr != nil {
+				return nil, verr
 			}
 		}
 		if total > limit {
@@ -422,7 +549,10 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 		st.Expansions += ws.steps
 		st.DedupHits += ws.dedup
 		st.CanonHits += ws.canonHits
+		st.AmpleStates += ws.ampleStates
+		st.DeferredActions += ws.deferred
 	}
+	st.POREnabled = e.indep != nil
 	if e.canon != nil {
 		st.CanonEnabled = true
 		rawAll := e.workers[0].rawSeen

@@ -48,6 +48,19 @@ type Stats struct {
 	// CanonHits counts generated states the canonicalizer remapped to a
 	// different orbit representative.
 	CanonHits uint64
+	// POREnabled reports that an independence relation was installed and
+	// the run used ample-set partial-order reduction.
+	POREnabled bool
+	// AmpleStates counts expanded states where a proper ample subset was
+	// selected (the remaining states were expanded fully, because no
+	// proper dependence component existed or the cycle proviso vetoed it).
+	AmpleStates uint64
+	// DeferredActions counts enabled actions skipped by ample-set
+	// selection across all expansions — the per-state branching the
+	// reduction removed. The end-to-end state savings compound beyond this
+	// count: every deferred action also prunes the subtree that
+	// interleaving order would have spawned.
+	DeferredActions uint64
 }
 
 // DedupRate returns the fraction of generated successors that hit an
@@ -71,12 +84,28 @@ func (s Stats) ReductionFactor() float64 {
 	return float64(s.RawStates) / float64(s.States)
 }
 
+// PORReductionFactor is the observed branching reduction
+// (Edges + DeferredActions) / Edges: how many enabled actions existed per
+// action actually explored. It is ≥ 1 on any POR run and a lower bound on
+// the full-space state reduction (deferred actions also prune their
+// interleaving subtrees, which this ratio cannot see). Zero when no
+// independence relation was installed.
+func (s Stats) PORReductionFactor() float64 {
+	if !s.POREnabled || s.Edges == 0 {
+		return 0
+	}
+	return float64(uint64(s.Edges)+s.DeferredActions) / float64(s.Edges)
+}
+
 // String renders the telemetry as a single report line.
 func (s Stats) String() string {
 	line := fmt.Sprintf("states=%d edges=%d depth=%d peak-frontier=%d dedup=%.1f%% workers=%d %s states/sec=%.0f",
 		s.States, s.Edges, s.Depth, s.PeakFrontier, 100*s.DedupRate(), s.Workers, s.Elapsed.Round(time.Microsecond), s.StatesPerSec)
 	if s.CanonEnabled {
 		line += fmt.Sprintf(" raw=%d reduction=%.2fx", s.RawStates, s.ReductionFactor())
+	}
+	if s.POREnabled {
+		line += fmt.Sprintf(" ample=%d deferred=%d por-branch=%.2fx", s.AmpleStates, s.DeferredActions, s.PORReductionFactor())
 	}
 	if s.Truncated {
 		line += " (truncated)"

@@ -258,6 +258,23 @@ type AnalyzeOptions struct {
 	// with engine.ErrCanonUnsound if Canon is not idempotent and
 	// step-commuting on them.
 	VerifyCanon int
+	// Independent, when non-nil, applies ample-set partial-order reduction
+	// to every exploration (main and validity) under the given independence
+	// relation — see DeliveryIndependence. The reduced graph preserves the
+	// boolean verdicts (bivalence, agreement, validity, deadlock, fair
+	// lasso) but not per-interleaving structure: States, Edges and
+	// BivalentConfigs then describe the reduced graph, and DeciderFound — a
+	// property of the full branching — is not meaningful under reduction.
+	Independent func(string, engine.Action[string], engine.Action[string]) bool
+	// Visible marks the deliveries whose ordering the analyzer's predicates
+	// observe, keeping them out of proper ample sets — see
+	// DecisionVisibility. Only meaningful together with Independent.
+	Visible func(string, engine.Action[string]) bool
+	// VerifyPOR, when > 0, samples expanded configurations (every one whose
+	// fingerprint is ≡ 0 mod VerifyPOR; 1 = all) and fails the analysis
+	// with engine.ErrPORUnsound if a declared-independent pair of events
+	// does not commute there.
+	VerifyPOR int
 }
 
 // NewSystem exposes a protocol's configuration graph (canonical encoded
@@ -291,6 +308,11 @@ func Analyze(p Protocol, opts AnalyzeOptions) (Report, error) {
 	if opts.Canon != nil {
 		eopts.Canon = opts.Canon
 		eopts.VerifyCanon = opts.VerifyCanon
+	}
+	if opts.Independent != nil {
+		eopts.Independent = opts.Independent
+		eopts.Visible = opts.Visible
+		eopts.VerifyPOR = opts.VerifyPOR
 	}
 	g, err := core.Explore[config](sys, eopts)
 	if err != nil {
@@ -351,6 +373,11 @@ func Analyze(p Protocol, opts AnalyzeOptions) (Report, error) {
 			// relabeling, so the quotient is sound here too.
 			guOpts.Canon = opts.Canon
 			guOpts.VerifyCanon = opts.VerifyCanon
+		}
+		if opts.Independent != nil {
+			guOpts.Independent = opts.Independent
+			guOpts.Visible = opts.Visible
+			guOpts.VerifyPOR = opts.VerifyPOR
 		}
 		gu, err := core.Explore[config](&system{p: p, inputVectors: [][]int{uniform}, resilience: resilience},
 			guOpts)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // AsyncLCR is the LCR election recast as an asynchronous state space: every
@@ -106,6 +107,25 @@ func (s asyncLCRSystem) Steps(st string) []core.Step[string] {
 		}
 	}
 	return out
+}
+
+// Independence returns the ample-set independence relation of the async
+// election space (engine.Independence, for core.ExploreOptions.Independent):
+// two deliveries commute when they ride disjoint links — different receivers
+// means each step touches only its own link byte and receiver byte, and
+// distinct ids occupy distinct mask bits even when one delivery forwards
+// onto the other's link. Deliveries that declare a leader are visible (they
+// decide the election and make the state terminal, disabling everything
+// else), so they are dependent on every other event, which forces full
+// expansion wherever an election could complete. Election reachability
+// survives the reduction because every ample set still delivers some token
+// and tokens make monotone progress toward the max-id home; CheckElection
+// pins that end to end.
+func (a *AsyncLCR) Independence() engine.Independence[string] {
+	n := len(a.ids)
+	return func(_ string, x, y engine.Action[string]) bool {
+		return x.Actor != y.Actor && x.To[n] == noLeader && y.To[n] == noLeader
+	}
 }
 
 // CheckElection explores every delivery schedule and verifies the election

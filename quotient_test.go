@@ -7,6 +7,7 @@ package impossible
 // quotient for the seed systems that carry canonicalizers.
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -63,6 +64,34 @@ func TestQuotientExplorationIsDeterministic(t *testing.T) {
 				requireIdenticalGraphs(t, fmt.Sprintf("%s quotient par=%d", w.name, par), ref, g)
 			}
 		})
+	}
+}
+
+// TestQuotientTruncationIsDeterministic pins the truncation contract for
+// quotient runs: hitting MaxStates mid-quotient returns the canonical
+// partial graph and the shared ErrStateLimit, byte-identically at every
+// worker count — exactly the full-graph guarantee of
+// TestParallelTruncationIsDeterministic, with a canonicalizer installed.
+func TestQuotientTruncationIsDeterministic(t *testing.T) {
+	wq := flp.NewWaitQuorum(3)
+	canon, err := flp.PermutationCanon(wq)
+	if err != nil {
+		t.Fatalf("PermutationCanon: %v", err)
+	}
+	sys := flp.NewSystem(wq, nil, 1)
+	ref, err := core.Explore[string](sys, core.ExploreOptions{Parallelism: 1, MaxStates: 300, Canon: canon})
+	if !errors.Is(err, core.ErrStateLimit) {
+		t.Fatalf("sequential: err = %v, want ErrStateLimit", err)
+	}
+	if ref.Len() != 301 {
+		t.Fatalf("sequential partial quotient has %d states, want 301", ref.Len())
+	}
+	for _, par := range []int{2, 8} {
+		g, err := core.Explore[string](sys, core.ExploreOptions{Parallelism: par, MaxStates: 300, Canon: canon})
+		if !errors.Is(err, core.ErrStateLimit) {
+			t.Fatalf("par=%d: err = %v, want ErrStateLimit", par, err)
+		}
+		requireIdenticalGraphs(t, fmt.Sprintf("truncated quotient par=%d", par), ref, g)
 	}
 }
 
