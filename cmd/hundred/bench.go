@@ -345,11 +345,15 @@ func loadBenchFile(path string) (benchFile, error) {
 	}
 	var bf benchFile
 	if err := json.Unmarshal(data, &bf); err == nil && bf.SchemaVersion >= 2 {
+		if bf.SchemaVersion > benchSchemaVersion {
+			return benchFile{}, fmt.Errorf("%s: schema_version %d is newer than this binary's %d; upgrade the binary or move the file aside (refusing to rewrite newer history)",
+				path, bf.SchemaVersion, benchSchemaVersion)
+		}
 		return bf, nil
 	}
 	var legacy benchRecord
 	if err := json.Unmarshal(data, &legacy); err != nil || len(legacy.Explorations) == 0 {
-		return benchFile{}, fmt.Errorf("%s: unrecognized bench record layout", path)
+		return benchFile{}, fmt.Errorf("%s: unrecognized bench record layout; fix the JSON or move/delete the file and re-run (refusing to overwrite bench history)", path)
 	}
 	return benchFile{SchemaVersion: benchSchemaVersion, Runs: []benchRecord{legacy}}, nil
 }
@@ -360,6 +364,15 @@ func loadBenchFile(path string) (benchFile, error) {
 // comparison against the previous run; with an empty path it emits the
 // single-run record as JSON on stdout.
 func runBenchJSON(outPath string) error {
+	// Validate the history file before spending minutes on the suite: a
+	// malformed file should fail fast, not after the benchmarks ran.
+	var bf benchFile
+	if outPath != "" {
+		var err error
+		if bf, err = loadBenchFile(outPath); err != nil {
+			return err
+		}
+	}
 	rec, err := runBench()
 	if err != nil {
 		return err
@@ -368,10 +381,6 @@ func runBenchJSON(outPath string) error {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(benchFile{SchemaVersion: benchSchemaVersion, Runs: []benchRecord{rec}})
-	}
-	bf, err := loadBenchFile(outPath)
-	if err != nil {
-		return err
 	}
 	var prev *benchRecord
 	if len(bf.Runs) > 0 {

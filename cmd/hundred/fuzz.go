@@ -1,0 +1,135 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/spacegen"
+)
+
+// runFuzz is the `hundred fuzz` subcommand: it drives the generative
+// differential oracle (internal/spacegen + engine.Differential) outside `go
+// test`, for budgeted smoke runs in CI and for replaying shrunk failures.
+//
+// Two modes:
+//
+//	hundred fuzz -budget 30s                 # sweep seeds 0,1,2,... for the budget
+//	hundred fuzz -seed 3 -families 1 ...     # replay exactly one configuration
+//
+// A sweep stops at the first divergence, shrinks it to a minimal
+// configuration, prints the replay line, and exits 1. With -poison the
+// sweep instead plants the named defect (canon | indep) in every space
+// where it is observable and fails if the engine's falsifier misses it.
+func runFuzz(args []string) int {
+	fs := flag.NewFlagSet("hundred fuzz", flag.ContinueOnError)
+	budget := fs.Duration("budget", 30*time.Second, "wall-clock budget for the seed sweep")
+	seed := fs.Int64("seed", -1, "replay exactly this generator seed and exit (disables the sweep)")
+	families := fs.Int("families", 2, "max component families per space")
+	states := fs.Int("states", 5, "max states per family")
+	mult := fs.Int("mult", 2, "max replicas per family")
+	extra := fs.Int("extra", 3, "max extra (non-tree) edges per family")
+	sinks := fs.Int("sinks", 2, "max planted sinks per family")
+	poison := fs.String("poison", "", "plant a known-unsound hook and require the falsifier to catch it: canon | indep")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *poison != "" && *poison != "canon" && *poison != "indep" {
+		fmt.Fprintf(fs.Output(), "unknown -poison %q (want canon or indep)\n", *poison)
+		return 2
+	}
+	base := spacegen.Config{
+		Families: *families, MaxStates: *states, MaxMult: *mult,
+		MaxExtra: *extra, MaxSinks: *sinks,
+	}
+
+	if *seed >= 0 {
+		cfg := base
+		cfg.Seed = uint64(*seed)
+		ok, msg := fuzzOne(cfg, *poison)
+		fmt.Println(msg)
+		if !ok {
+			return 1
+		}
+		return 0
+	}
+
+	deadline := time.Now().Add(*budget)
+	ran, skipped := 0, 0
+	for s := uint64(0); time.Now().Before(deadline); s++ {
+		cfg := base
+		cfg.Seed = s
+		ok, msg := fuzzOne(cfg, *poison)
+		if msg == "" {
+			skipped++
+			continue
+		}
+		if !ok {
+			shrunk := spacegen.Shrink(cfg, func(c spacegen.Config) bool {
+				bad, _ := fuzzOne(c, *poison)
+				return !bad
+			})
+			fmt.Println(msg)
+			fmt.Printf("shrunk: %s\n", spacegen.Generate(shrunk).Describe())
+			fmt.Printf("replay: %s\n", spacegen.ReplayLine(shrunk, *poison))
+			return 1
+		}
+		ran++
+	}
+	what := "differential oracle"
+	if *poison != "" {
+		what = "poisoned-" + *poison + " falsifier"
+	}
+	fmt.Printf("%s passed on %d generated spaces (%d skipped) in %s\n", what, ran, skipped, *budget)
+	return 0
+}
+
+// fuzzStateCap bounds one iteration's exploration (each space is explored
+// ~12 times across the mode/worker grid).
+const fuzzStateCap = 4_000
+
+// fuzzOne runs one configuration through the oracle (or its poisoned
+// variant). It returns ok plus a human-readable outcome; an empty message
+// means the iteration was skipped (space too large, or poison unobservable).
+func fuzzOne(cfg spacegen.Config, poison string) (bool, string) {
+	sp := spacegen.Generate(cfg)
+	if sp.Truth.States > fuzzStateCap {
+		return true, ""
+	}
+	spec := sp.Spec()
+	switch poison {
+	case "canon":
+		broken, ok := sp.PoisonedCanon()
+		if !ok {
+			return true, ""
+		}
+		spec.Canon = broken
+		spec.Truth = nil
+	case "indep":
+		broken, ok := sp.PoisonedIndependence()
+		if !ok {
+			return true, ""
+		}
+		spec.Independent = spacegen.AdaptIndependence(broken)
+		spec.Truth = nil
+	}
+	_, err := engine.Differential(spec)
+	switch poison {
+	case "canon":
+		if errors.Is(err, engine.ErrCanonUnsound) {
+			return true, fmt.Sprintf("caught poisoned canon on %s", sp.Describe())
+		}
+		return false, fmt.Sprintf("poisoned canon ESCAPED the falsifier on %s (err: %v)", sp.Describe(), err)
+	case "indep":
+		if errors.Is(err, engine.ErrPORUnsound) {
+			return true, fmt.Sprintf("caught poisoned independence on %s", sp.Describe())
+		}
+		return false, fmt.Sprintf("poisoned independence ESCAPED the falsifier on %s (err: %v)", sp.Describe(), err)
+	}
+	if err != nil {
+		return false, fmt.Sprintf("DIVERGENCE on %s:\n  %v", sp.Describe(), err)
+	}
+	return true, fmt.Sprintf("ok %s", sp.Describe())
+}

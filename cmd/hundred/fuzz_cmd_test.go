@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+// TestRunFuzzReplay drives the replay mode end to end: the shrunk
+// poisoned-canon configuration from the spacegen shrinker tests must be
+// caught (exit 0), and the same space run without poison must pass the
+// oracle.
+func TestRunFuzzReplay(t *testing.T) {
+	args := []string{"-seed", "3", "-families", "1", "-states", "2", "-mult", "2", "-extra", "0", "-sinks", "0"}
+	if code := runFuzz(append(args, "-poison", "canon")); code != 0 {
+		t.Fatalf("poisoned-canon replay exited %d, want 0 (falsifier catch)", code)
+	}
+	if code := runFuzz(args); code != 0 {
+		t.Fatalf("clean replay exited %d, want 0", code)
+	}
+}
+
+func TestRunFuzzRejectsUnknownPoison(t *testing.T) {
+	if code := runFuzz([]string{"-seed", "1", "-poison", "bogus"}); code != 2 {
+		t.Fatalf("unknown poison exited %d, want 2", code)
+	}
+}

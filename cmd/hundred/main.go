@@ -8,6 +8,8 @@
 //	hundred -list              # list experiment ids and titles
 //	hundred -por E11 E21       # state-space experiments with ample-set POR
 //	hundred -cpuprofile cpu.pb # profile an experiment run
+//	hundred fuzz -budget 30s   # budgeted generative differential-fuzz sweep
+//	hundred fuzz -seed 3 ...   # replay one generated space (see -help)
 package main
 
 import (
@@ -75,6 +77,11 @@ func main() {
 // run carries main's body so that deferred profile writers execute before
 // the process exits with a status code.
 func run() int {
+	// Subcommands dispatch before flag parsing so their flag sets stay
+	// independent of the experiment-runner flags.
+	if len(os.Args) > 1 && os.Args[1] == "fuzz" {
+		return runFuzz(os.Args[2:])
+	}
 	list := flag.Bool("list", false, "list experiments and exit")
 	benchJSON := flag.Bool("bench-json", false,
 		"run the performance suite (full vs quotient vs POR explorations, seq vs parallel synth) and record a JSON run")

@@ -1,0 +1,374 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+)
+
+// This file is the differential-testing oracle over the engine's mode
+// stack. Given one system plus optional reduction hooks and optional
+// planted ground truth (see internal/spacegen for the generator that
+// supplies both), Differential explores the system under every applicable
+// mode — full graph, symmetry quotient, ample-set POR, and the composed
+// stack — at several worker counts, and cross-checks everything the
+// determinism and soundness contracts promise:
+//
+//   - byte-identical Results and telemetry at every worker count per mode;
+//   - planted state/terminal/decided counts for the full graph and the
+//     quotient;
+//   - POR reduction soundness: the reduced graph is a subgraph of the full
+//     one and preserves the exact terminal state set (and, composed with
+//     the quotient, the quotient's terminal set);
+//   - Stats internal consistency (RawStates vs States vs full size,
+//     CanonHits vs generated states, AmpleStates vs Expansions,
+//     worker-step accounting).
+//
+// Any violation is reported as an error wrapping ErrDiverged (and the
+// underlying engine error, when there is one), carrying enough context to
+// replay: mode, worker count, and the spec name.
+
+// ErrDiverged is wrapped by every error Differential returns: some mode
+// disagreed with another mode, with the planted ground truth, or with the
+// Stats consistency contract.
+var ErrDiverged = errors.New("engine: differential oracle divergence")
+
+// DiffTruth is planted ground truth for a Differential run. All counts are
+// exact; quotient fields are only consulted when the spec carries a
+// canonicalizer.
+type DiffTruth struct {
+	// States, Terminals, Decided describe the full reachable graph.
+	States, Terminals, Decided int
+	// QuotientStates, QuotientTerminals, QuotientDecided describe the
+	// symmetry quotient under the spec's Canon.
+	QuotientStates, QuotientTerminals, QuotientDecided int
+}
+
+// DiffSpec is one system under differential test.
+type DiffSpec[S comparable] struct {
+	// Name tags divergence reports.
+	Name string
+	// Inits and Expand define the system, as for Explore.
+	Inits  []S
+	Expand ExpandFunc[S]
+	// Canon, when non-nil, enables the quotient modes. It must be sound
+	// (Differential runs it under VerifyCanon=1, so an unsound canon fails
+	// the run — by design: the oracle's planted hooks are correct by
+	// construction, and the falsifier tripping on them is a divergence).
+	Canon func(S) S
+	// Independent, when non-nil, enables the POR modes (run under
+	// VerifyPOR=1, same reasoning).
+	Independent func(S, Action[S], Action[S]) bool
+	// Decided, when non-nil, classifies terminal states for the decided
+	// counts.
+	Decided func(S) bool
+	// Truth, when non-nil, is checked against every mode's outcome.
+	Truth *DiffTruth
+	// Workers are the worker counts every mode runs at (default 1, 2, 8).
+	Workers []int
+	// MaxStates bounds each exploration (0 = DefaultMaxStates). Truncated
+	// runs still check determinism but skip the count assertions.
+	MaxStates int
+}
+
+// DiffMode is the outcome of one mode of a Differential run.
+type DiffMode struct {
+	// Mode is "full", "canon", "por" or "canon+por".
+	Mode string
+	// Stats is the telemetry of the mode's reference run (the first
+	// configured worker count).
+	Stats Stats
+}
+
+// DiffReport summarizes a passing Differential run.
+type DiffReport struct {
+	// Name echoes the spec name.
+	Name string
+	// Modes holds one entry per mode explored, in execution order.
+	Modes []DiffMode
+}
+
+// Differential runs spec under every applicable mode and worker count and
+// returns a report, or an error wrapping ErrDiverged on the first
+// violation.
+func Differential[S comparable](spec DiffSpec[S]) (*DiffReport, error) {
+	workers := spec.Workers
+	if len(workers) == 0 {
+		workers = []int{1, 2, 8}
+	}
+	rep := &DiffReport{Name: spec.Name}
+	fail := func(mode string, par int, format string, args ...any) error {
+		return fmt.Errorf("%w: %s [mode=%s workers=%d]: %s",
+			ErrDiverged, spec.Name, mode, par, fmt.Sprintf(format, args...))
+	}
+
+	run := func(mode string, opts Options) (*Result[S], error) {
+		ref, err := Explore(spec.Inits, spec.Expand, opts)
+		if err != nil && !errors.Is(err, ErrStateLimit) {
+			// ErrStateLimit still carries the canonical partial Result; the
+			// determinism checks below apply to it unchanged.
+			return nil, fmt.Errorf("%w: %s [mode=%s workers=%d]: %w",
+				ErrDiverged, spec.Name, mode, opts.Parallelism, err)
+		}
+		for _, par := range workers[1:] {
+			o := opts
+			o.Parallelism = par
+			got, err := Explore(spec.Inits, spec.Expand, o)
+			if err != nil && !errors.Is(err, ErrStateLimit) {
+				return nil, fmt.Errorf("%w: %s [mode=%s workers=%d]: %w",
+					ErrDiverged, spec.Name, mode, par, err)
+			}
+			if msg := diffResults(ref, got); msg != "" {
+				return nil, fail(mode, par, "diverged from workers=%d run: %s", workers[0], msg)
+			}
+			if msg := diffStats(ref.Stats, got.Stats); msg != "" {
+				return nil, fail(mode, par, "telemetry diverged from workers=%d run: %s", workers[0], msg)
+			}
+		}
+		if msg := statsConsistency(ref); msg != "" {
+			return nil, fail(mode, workers[0], "inconsistent telemetry: %s", msg)
+		}
+		rep.Modes = append(rep.Modes, DiffMode{Mode: mode, Stats: ref.Stats})
+		return ref, nil
+	}
+
+	base := Options{MaxStates: spec.MaxStates, Parallelism: workers[0]}
+
+	full, err := run("full", base)
+	if err != nil {
+		return nil, err
+	}
+	fullTerm := terminalSet(full)
+	if spec.Truth != nil && !full.Truncated {
+		if got := len(full.States); got != spec.Truth.States {
+			return nil, fail("full", workers[0], "states = %d, planted truth %d", got, spec.Truth.States)
+		}
+		if got := len(fullTerm); got != spec.Truth.Terminals {
+			return nil, fail("full", workers[0], "terminals = %d, planted truth %d", got, spec.Truth.Terminals)
+		}
+		if spec.Decided != nil {
+			if got := countDecided(fullTerm, spec.Decided); got != spec.Truth.Decided {
+				return nil, fail("full", workers[0], "decided terminals = %d, planted truth %d", got, spec.Truth.Decided)
+			}
+		}
+	}
+
+	var quo *Result[S]
+	if spec.Canon != nil {
+		opts := base
+		opts.Canon = spec.Canon
+		opts.VerifyCanon = 1
+		if quo, err = run("canon", opts); err != nil {
+			return nil, err
+		}
+		st := quo.Stats
+		if !quo.Truncated {
+			if st.RawStates < len(quo.States) {
+				return nil, fail("canon", workers[0], "RawStates %d < quotient states %d", st.RawStates, len(quo.States))
+			}
+			if !full.Truncated && st.RawStates > len(full.States) {
+				return nil, fail("canon", workers[0], "RawStates %d > full states %d", st.RawStates, len(full.States))
+			}
+			if maxGen := st.DedupHits + uint64(len(quo.States)) + uint64(len(spec.Inits)); st.CanonHits > maxGen {
+				return nil, fail("canon", workers[0], "CanonHits %d > generated states %d", st.CanonHits, maxGen)
+			}
+			if spec.Truth != nil {
+				qt := terminalSet(quo)
+				if got := len(quo.States); got != spec.Truth.QuotientStates {
+					return nil, fail("canon", workers[0], "quotient states = %d, planted truth %d", got, spec.Truth.QuotientStates)
+				}
+				if got := len(qt); got != spec.Truth.QuotientTerminals {
+					return nil, fail("canon", workers[0], "quotient terminals = %d, planted truth %d", got, spec.Truth.QuotientTerminals)
+				}
+				if spec.Decided != nil {
+					if got := countDecided(qt, spec.Decided); got != spec.Truth.QuotientDecided {
+						return nil, fail("canon", workers[0], "quotient decided = %d, planted truth %d", got, spec.Truth.QuotientDecided)
+					}
+				}
+			}
+		}
+	}
+
+	if spec.Independent != nil {
+		opts := base
+		opts.Independent = spec.Independent
+		opts.VerifyPOR = 1
+		por, err := run("por", opts)
+		if err != nil {
+			return nil, err
+		}
+		if !por.Truncated && !full.Truncated {
+			if msg := porSoundVsFull(por, full, fullTerm); msg != "" {
+				return nil, fail("por", workers[0], "%s", msg)
+			}
+		}
+
+		if spec.Canon != nil {
+			opts.Canon = spec.Canon
+			opts.VerifyCanon = 1
+			both, err := run("canon+por", opts)
+			if err != nil {
+				return nil, err
+			}
+			if !both.Truncated && quo != nil && !quo.Truncated {
+				if msg := porSoundVsFull(both, quo, terminalSet(quo)); msg != "" {
+					return nil, fail("canon+por", workers[0], "vs quotient: %s", msg)
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// diffResults compares two Results field by field and describes the first
+// difference ("" when byte-identical). It is mustEqualResults in error
+// form, shared by the oracle so divergences carry a message instead of a
+// test failure.
+func diffResults[S comparable](a, b *Result[S]) string {
+	switch {
+	case !reflect.DeepEqual(a.States, b.States):
+		return fmt.Sprintf("state orderings differ (%d vs %d states)", len(a.States), len(b.States))
+	case !reflect.DeepEqual(a.Inits, b.Inits):
+		return fmt.Sprintf("initial ids differ: %v vs %v", a.Inits, b.Inits)
+	case !reflect.DeepEqual(a.Edges, b.Edges):
+		return "edge lists differ"
+	case !reflect.DeepEqual(a.Parents, b.Parents):
+		return "parent trees differ"
+	case !reflect.DeepEqual(a.ParentEdges, b.ParentEdges):
+		return "parent edges differ"
+	case a.Truncated != b.Truncated:
+		return fmt.Sprintf("truncation flags differ: %v vs %v", a.Truncated, b.Truncated)
+	}
+	return ""
+}
+
+// diffStats compares the worker-count-invariant telemetry fields.
+func diffStats(a, b Stats) string {
+	type inv struct {
+		name string
+		a, b uint64
+	}
+	for _, f := range []inv{
+		{"States", uint64(a.States), uint64(b.States)},
+		{"Edges", uint64(a.Edges), uint64(b.Edges)},
+		{"Depth", uint64(a.Depth), uint64(b.Depth)},
+		{"PeakFrontier", uint64(a.PeakFrontier), uint64(b.PeakFrontier)},
+		{"Expansions", a.Expansions, b.Expansions},
+		{"DedupHits", a.DedupHits, b.DedupHits},
+		{"RawStates", uint64(a.RawStates), uint64(b.RawStates)},
+		{"CanonHits", a.CanonHits, b.CanonHits},
+		{"AmpleStates", a.AmpleStates, b.AmpleStates},
+		{"DeferredActions", a.DeferredActions, b.DeferredActions},
+	} {
+		if f.a != f.b {
+			return fmt.Sprintf("%s = %d vs %d", f.name, f.a, f.b)
+		}
+	}
+	return ""
+}
+
+// statsConsistency checks one run's telemetry against its Result and the
+// engine's internal accounting invariants.
+func statsConsistency[S comparable](res *Result[S]) string {
+	st := res.Stats
+	if st.States != len(res.States) {
+		return fmt.Sprintf("Stats.States %d != len(States) %d", st.States, len(res.States))
+	}
+	edges := 0
+	for _, es := range res.Edges {
+		edges += len(es)
+	}
+	if st.Edges != edges {
+		return fmt.Sprintf("Stats.Edges %d != recorded edges %d", st.Edges, edges)
+	}
+	if len(st.WorkerSteps) != st.Workers {
+		return fmt.Sprintf("len(WorkerSteps) %d != Workers %d", len(st.WorkerSteps), st.Workers)
+	}
+	var steps uint64
+	for _, s := range st.WorkerSteps {
+		steps += s
+	}
+	if steps != st.Expansions {
+		return fmt.Sprintf("sum(WorkerSteps) %d != Expansions %d", steps, st.Expansions)
+	}
+	if !st.Truncated && st.Expansions != uint64(st.States) {
+		return fmt.Sprintf("Expansions %d != States %d on a complete run", st.Expansions, st.States)
+	}
+	if st.Truncated != res.Truncated {
+		return fmt.Sprintf("Stats.Truncated %v != Result.Truncated %v", st.Truncated, res.Truncated)
+	}
+	if st.AmpleStates > st.Expansions {
+		return fmt.Sprintf("AmpleStates %d > Expansions %d", st.AmpleStates, st.Expansions)
+	}
+	if st.AmpleStates == 0 && st.DeferredActions != 0 {
+		return fmt.Sprintf("DeferredActions %d with zero AmpleStates", st.DeferredActions)
+	}
+	if st.AmpleStates > 0 && st.DeferredActions < st.AmpleStates {
+		return fmt.Sprintf("DeferredActions %d < AmpleStates %d (every ample expansion defers at least one action)",
+			st.DeferredActions, st.AmpleStates)
+	}
+	if !st.CanonEnabled && (st.RawStates != 0 || st.CanonHits != 0) {
+		return "canon telemetry nonzero without a canonicalizer"
+	}
+	if !st.POREnabled && (st.AmpleStates != 0 || st.DeferredActions != 0) {
+		return "POR telemetry nonzero without an independence relation"
+	}
+	return ""
+}
+
+// porSoundVsFull checks the reduced graph against its unreduced
+// counterpart: a subgraph (state- and edge-wise) that preserves the exact
+// terminal state set.
+func porSoundVsFull[S comparable](por, full *Result[S], fullTerm map[S]bool) string {
+	if len(por.States) > len(full.States) {
+		return fmt.Sprintf("reduced states %d > unreduced %d", len(por.States), len(full.States))
+	}
+	if st := por.Stats; st.Edges > full.Stats.Edges {
+		return fmt.Sprintf("reduced edges %d > unreduced %d", st.Edges, full.Stats.Edges)
+	}
+	unreduced := make(map[S]bool, len(full.States))
+	for _, s := range full.States {
+		unreduced[s] = true
+	}
+	for _, s := range por.States {
+		if !unreduced[s] {
+			return fmt.Sprintf("reduced graph reaches state %v absent from the unreduced graph", s)
+		}
+	}
+	porTerm := terminalSet(por)
+	if len(porTerm) != len(fullTerm) {
+		return fmt.Sprintf("reduced graph has %d terminals, unreduced %d (deadlock preservation violated)",
+			len(porTerm), len(fullTerm))
+	}
+	for s := range porTerm {
+		if !fullTerm[s] {
+			return fmt.Sprintf("reduced terminal %v is not terminal in the unreduced graph", s)
+		}
+	}
+	return ""
+}
+
+// terminalSet collects the terminal states of a Result.
+func terminalSet[S comparable](res *Result[S]) map[S]bool {
+	out := make(map[S]bool)
+	for i, es := range res.Edges {
+		if es == nil {
+			continue // truncated result: expansion cut off, not terminal
+		}
+		if len(es) == 0 {
+			out[res.States[i]] = true
+		}
+	}
+	return out
+}
+
+// countDecided counts the states in set satisfying pred.
+func countDecided[S comparable](set map[S]bool, pred func(S) bool) int {
+	n := 0
+	for s := range set {
+		if pred(s) {
+			n++
+		}
+	}
+	return n
+}

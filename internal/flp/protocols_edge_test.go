@@ -1,0 +1,116 @@
+package flp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWaitQuorumTwoProcs pins the n=2 degenerate quorum: need = n-1 = 1 is
+// satisfied by a process's own input, so everyone decides at initialization
+// and mixed inputs disagree immediately.
+func TestWaitQuorumTwoProcs(t *testing.T) {
+	p := NewWaitQuorum(2)
+	if got := p.Init(0, 1); got != "1-:1" {
+		t.Fatalf("Init(0,1) = %q, want immediate decision %q", got, "1-:1")
+	}
+	if v, ok := p.Decide(0, "1-:1"); !ok || v != 1 {
+		t.Fatalf("Decide = (%d,%v), want (1,true)", v, ok)
+	}
+	rep, err := Analyze(p, AnalyzeOptions{Resilience: intPtr(1)})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if !rep.AgreementViolated {
+		t.Error("wait-quorum(2) must disagree on mixed inputs")
+	}
+	if rep.Lively {
+		t.Error("an agreement violation is not lively")
+	}
+}
+
+// TestWaitAllTwoProcsDeadlocks pins the n=2, r=n-1=1 corner of the
+// deadlock horn: crash either process before its wake-up and the survivor
+// waits forever.
+func TestWaitAllTwoProcsDeadlocks(t *testing.T) {
+	rep, err := Analyze(NewWaitAll(2), AnalyzeOptions{Resilience: intPtr(1)})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if !rep.HasDeadlock {
+		t.Error("wait-all(2) must deadlock under one crash")
+	}
+	if rep.AgreementViolated || rep.ValidityViolated {
+		t.Error("wait-all is safe; only liveness may fail")
+	}
+	if len(rep.UndecidedDeadlock) == 0 {
+		t.Error("deadlock verdict must carry a witness trace")
+	}
+}
+
+// TestWaitProtoStepEdges drives the Step branches no exploration reaches
+// deliberately: junk payloads and already-decided states.
+func TestWaitProtoStepEdges(t *testing.T) {
+	w := NewWaitAll(2).(*waitProto)
+	// Junk payload: the value table must not change.
+	if got, sends := w.Step(0, "0-:-", 1, "junk"); got != "0-:-" || sends != nil {
+		t.Errorf("junk payload: Step = (%q, %v)", got, sends)
+	}
+	// Already decided: maybeDecide must return early even as values arrive.
+	if got, _ := w.Step(0, "0-:0", 1, "1"); got != "01:0" {
+		t.Errorf("decided state: Step = %q, want value recorded but decision kept", got)
+	}
+	// Threshold crossing decides the minimum of the received values.
+	if got, _ := w.Step(0, "1-:-", 1, "0"); got != "10:0" {
+		t.Errorf("threshold: Step = %q, want decision on min value", got)
+	}
+}
+
+// TestAdoptSwapStepEdges drives adopt-swap's absorb branches.
+func TestAdoptSwapStepEdges(t *testing.T) {
+	a := NewAdoptSwap(2).(*adoptSwap)
+	// Decided processes absorb everything.
+	if got, sends := a.Step(0, "00", 1, "1"); got != "00" || sends != nil {
+		t.Errorf("decided absorb: Step = (%q, %v)", got, sends)
+	}
+	// Junk payloads are absorbed undecided.
+	if got, sends := a.Step(0, "0-", 1, "x"); got != "0-" || sends != nil {
+		t.Errorf("junk absorb: Step = (%q, %v)", got, sends)
+	}
+	// A match decides; no forwarding.
+	if got, sends := a.Step(0, "1-", 1, "1"); got != "11" || sends != nil {
+		t.Errorf("match: Step = (%q, %v)", got, sends)
+	}
+	// A mismatch adopts and forwards to the ring successor.
+	got, sends := a.Step(0, "0-", 1, "1")
+	if got != "1-" || len(sends) != 1 || sends[0].To != 1 || sends[0].Payload != "1" {
+		t.Errorf("mismatch: Step = (%q, %v)", got, sends)
+	}
+}
+
+// TestDescribeHornAllBranches exercises every horn clause and their
+// combination.
+func TestDescribeHornAllBranches(t *testing.T) {
+	if got := DescribeHorn(Report{Protocol: "v", ValidityViolated: true}); got != "v: validity violation" {
+		t.Errorf("validity horn = %q", got)
+	}
+	if got := DescribeHorn(Report{Protocol: "d", HasDeadlock: true}); got != "d: undecided deadlock after a crash" {
+		t.Errorf("deadlock horn = %q", got)
+	}
+	rep, err := Analyze(NewAdoptSwap(2), AnalyzeOptions{Resilience: intPtr(0)})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if rep.NondecidingLasso == nil {
+		t.Fatal("adopt-swap(2) must have a fair non-deciding execution")
+	}
+	if got := DescribeHorn(rep); !strings.Contains(got, "fair non-deciding execution") {
+		t.Errorf("lasso horn missing from %q", got)
+	}
+	multi := Report{Protocol: "m", AgreementViolated: true, ValidityViolated: true, HasDeadlock: true}
+	if got := DescribeHorn(multi); !strings.Contains(got, "; ") ||
+		!strings.Contains(got, "agreement violation") ||
+		!strings.Contains(got, "validity violation") ||
+		!strings.Contains(got, "undecided deadlock") {
+		t.Errorf("combined horns = %q", got)
+	}
+}

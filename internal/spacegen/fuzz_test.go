@@ -1,0 +1,126 @@
+package spacegen
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// The fuzz targets drive the differential oracle from raw fuzzer inputs:
+// a seed plus the five shape knobs, each one byte (normalized() maps any
+// value onto a generable config, so there are no rejected inputs). Replay a
+// crash outside the fuzzer with the printed `hundred fuzz -seed ...` line.
+//
+// Seed corpora live under testdata/fuzz/<FuzzName>/; run with e.g.
+//
+//	go test ./internal/spacegen -fuzz FuzzDifferential -fuzztime 30s
+
+// fuzzConfig maps raw fuzzer bytes onto a generator config. The caps keep a
+// single iteration fast: the knobs are maxima, and normalized() clamps the
+// floors.
+func fuzzConfig(seed uint64, families, states, mult, extra, sinks byte) Config {
+	return Config{
+		Seed:      seed,
+		Families:  int(families%4) + 1,
+		MaxStates: int(states%8) + 2,
+		MaxMult:   int(mult%3) + 1,
+		MaxExtra:  int(extra % 5),
+		MaxSinks:  int(sinks % 4),
+	}
+}
+
+// fuzzStateCap bounds the spaces a single fuzz iteration explores; larger
+// draws are skipped, not failed. Each iteration explores the space ~12
+// times (4 modes x 3 worker counts), so the cap trades per-space depth for
+// fuzzer throughput.
+const fuzzStateCap = 4_000
+
+// FuzzDifferential fuzzes the positive contract: every generated space must
+// pass the full cross-mode oracle against its planted truth.
+func FuzzDifferential(f *testing.F) {
+	f.Add(uint64(0), byte(1), byte(3), byte(1), byte(2), byte(1))
+	f.Add(uint64(42), byte(2), byte(4), byte(2), byte(3), byte(2))
+	f.Add(uint64(1234), byte(3), byte(5), byte(1), byte(0), byte(0))
+	f.Fuzz(func(t *testing.T, seed uint64, families, states, mult, extra, sinks byte) {
+		cfg := fuzzConfig(seed, families, states, mult, extra, sinks)
+		sp := Generate(cfg)
+		if sp.Truth.States > fuzzStateCap {
+			t.Skip("space too large for one fuzz iteration")
+		}
+		if _, err := engine.Differential(sp.Spec()); err != nil {
+			shrunk := Shrink(cfg, func(c Config) bool {
+				s := Generate(c)
+				if s.Truth.States > fuzzStateCap {
+					return false
+				}
+				_, e := engine.Differential(s.Spec())
+				return e != nil
+			})
+			t.Fatalf("oracle divergence on %s:\n  %v\n  replay: %s",
+				sp.Describe(), err, ReplayLine(shrunk, ""))
+		}
+	})
+}
+
+// FuzzPoisonedCanon fuzzes the negative contract for the canonicalizer: on
+// every space where the rotation poison is observable, the engine's canon
+// falsifier must reject it with ErrCanonUnsound.
+func FuzzPoisonedCanon(f *testing.F) {
+	f.Add(uint64(3), byte(2), byte(3), byte(2), byte(1), byte(0))
+	f.Add(uint64(17), byte(1), byte(2), byte(2), byte(0), byte(0))
+	f.Fuzz(func(t *testing.T, seed uint64, families, states, mult, extra, sinks byte) {
+		cfg := fuzzConfig(seed, families, states, mult, extra, sinks)
+		sp := Generate(cfg)
+		if sp.Truth.States > fuzzStateCap {
+			t.Skip("space too large for one fuzz iteration")
+		}
+		poisoned, ok := sp.PoisonedCanon()
+		if !ok {
+			t.Skip("no multi-replica family; poison unobservable")
+		}
+		spec := sp.Spec()
+		spec.Canon = poisoned
+		spec.Truth = nil
+		_, err := engine.Differential(spec)
+		if err == nil {
+			t.Fatalf("poisoned canon escaped the falsifier on %s\n  replay: %s",
+				sp.Describe(), ReplayLine(cfg, "canon"))
+		}
+		if !errors.Is(err, engine.ErrCanonUnsound) {
+			t.Fatalf("poisoned canon surfaced as %v, want ErrCanonUnsound\n  replay: %s",
+				err, ReplayLine(cfg, "canon"))
+		}
+	})
+}
+
+// FuzzPoisonedIndependence fuzzes the negative contract for POR: on every
+// space where the everything-commutes poison is observable, the POR
+// falsifier must reject it with ErrPORUnsound.
+func FuzzPoisonedIndependence(f *testing.F) {
+	f.Add(uint64(1), byte(2), byte(4), byte(1), byte(3), byte(0))
+	f.Add(uint64(11), byte(1), byte(3), byte(1), byte(4), byte(0))
+	f.Fuzz(func(t *testing.T, seed uint64, families, states, mult, extra, sinks byte) {
+		cfg := fuzzConfig(seed, families, states, mult, extra, sinks)
+		sp := Generate(cfg)
+		if sp.Truth.States > fuzzStateCap {
+			t.Skip("space too large for one fuzz iteration")
+		}
+		poisoned, ok := sp.PoisonedIndependence()
+		if !ok {
+			t.Skip("no root branching; poison unobservable")
+		}
+		spec := sp.Spec()
+		spec.Independent = AdaptIndependence(poisoned)
+		spec.Truth = nil
+		_, err := engine.Differential(spec)
+		if err == nil {
+			t.Fatalf("poisoned independence escaped the falsifier on %s\n  replay: %s",
+				sp.Describe(), ReplayLine(cfg, "indep"))
+		}
+		if !errors.Is(err, engine.ErrPORUnsound) {
+			t.Fatalf("poisoned independence surfaced as %v, want ErrPORUnsound\n  replay: %s",
+				err, ReplayLine(cfg, "indep"))
+		}
+	})
+}

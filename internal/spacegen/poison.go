@@ -1,0 +1,80 @@
+package spacegen
+
+// This file plants known-bad reduction hooks: a canonicalizer violating
+// idempotence and an independence relation declaring conflicting actions
+// independent. They are the negative half of the generator's ground truth —
+// the engine's VerifyCanon / VerifyPOR falsifiers MUST reject them, and the
+// fuzz targets assert exactly that. Each poison also reports (via the ok
+// return of the constructor) whether the generated space can expose it at
+// all, so callers skip spaces where the poison is vacuously sound.
+
+// PoisonedCanon returns a canonicalizer that rotates (instead of sorting)
+// every multi-replica family block one position left whenever the block is
+// not constant. Rotation of a non-constant block is an automorphism image —
+// so the mapped state is a legitimate orbit member — but it is not
+// idempotent: rotating twice differs from rotating once (for block length
+// >= 2 with at least two distinct values... every non-constant block of
+// length 2, and almost all longer ones). The engine's VerifyCanon=1 check
+// must therefore fail with ErrCanonUnsound as soon as any non-constant
+// block is generated.
+//
+// ok is false when no family has Mult >= 2 or every multi-replica family
+// has a single state: then every block is forever constant, the poisoned
+// canon degenerates to the identity, and there is nothing to catch.
+func (sp *Space) PoisonedCanon() (canon func(string) string, ok bool) {
+	type block struct{ lo, hi int }
+	var blocks []block
+	for f, fam := range sp.Families {
+		if fam.Mult > 1 {
+			blocks = append(blocks, block{sp.blockStart[f], sp.blockStart[f] + fam.Mult})
+			if fam.States > 1 {
+				ok = true
+			}
+		}
+	}
+	return func(s string) string {
+		b := []byte(s)
+		for _, bl := range blocks {
+			seg := b[bl.lo:bl.hi]
+			constant := true
+			for _, c := range seg[1:] {
+				if c != seg[0] {
+					constant = false
+					break
+				}
+			}
+			if constant {
+				continue
+			}
+			first := seg[0]
+			copy(seg, seg[1:])
+			seg[len(seg)-1] = first
+		}
+		return string(b)
+	}, ok
+}
+
+// PoisonedIndependence returns an independence relation that additionally
+// declares two actions of the SAME component independent — a conflict by
+// construction: both rewrite the same byte, so taking one either disables
+// the other's edge or lands the diamond in different states. The engine's
+// VerifyPOR=1 check must fail with ErrPORUnsound at the first expanded
+// state where some component has two or more enabled actions.
+//
+// ok is true when some family root (state 0) has out-degree >= 2. The
+// conflicting pair is then enabled at the INITIAL composite state, which
+// every exploration expands first — so the catch cannot be dodged by the
+// (poison-distorted) reduction pruning the branching states away. Any root
+// pair genuinely conflicts: the spanning tree gives the root a non-self-loop
+// edge, and edge labels are unique per family, so after either non-loop
+// action the other's event no longer exists at the new state. Spaces whose
+// roots are all straight-line starts cannot expose the poison at the init
+// and are skipped by callers.
+func (sp *Space) PoisonedIndependence() (indep func(s string, aActor, bActor int) bool, ok bool) {
+	for _, fam := range sp.Families {
+		if len(fam.Edges[0]) >= 2 {
+			ok = true
+		}
+	}
+	return func(string, int, int) bool { return true }, ok
+}

@@ -1,0 +1,72 @@
+package spacegen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Shrink minimizes a failing configuration: it greedily lowers every knob
+// toward its floor, keeping a candidate only while fails still reports the
+// failure, and repeats to a fixpoint. The move order is fixed and the
+// predicate is required to be deterministic, so the minimum is reproducible
+// from the starting config alone — the returned Config is the replayable
+// artifact to report (see ReplayLine).
+//
+// The knobs are maxima, so lowering them can only remove structure; the
+// Seed is never touched (changing it would reproduce a different failure,
+// not a smaller one). MaxSteps bounds the predicate evaluations; the greedy
+// descent needs far fewer on any realistic config.
+func Shrink(cfg Config, fails func(Config) bool) Config {
+	cfg = cfg.normalized()
+	const maxSteps = 10_000
+	steps := 0
+	try := func(cand Config) bool {
+		if steps >= maxSteps {
+			return false
+		}
+		steps++
+		return fails(cand.normalized())
+	}
+	// Each move proposes a smaller config; halving moves first so huge
+	// knobs collapse in O(log) probes, single decrements mop up.
+	moves := []func(c Config) Config{
+		func(c Config) Config { c.Families /= 2; return c },
+		func(c Config) Config { c.MaxStates /= 2; return c },
+		func(c Config) Config { c.MaxMult /= 2; return c },
+		func(c Config) Config { c.MaxExtra /= 2; return c },
+		func(c Config) Config { c.MaxSinks /= 2; return c },
+		func(c Config) Config { c.Families--; return c },
+		func(c Config) Config { c.MaxStates--; return c },
+		func(c Config) Config { c.MaxMult--; return c },
+		func(c Config) Config { c.MaxExtra--; return c },
+		func(c Config) Config { c.MaxSinks--; return c },
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, mv := range moves {
+			for {
+				cand := mv(cfg).normalized()
+				if cand == cfg || !try(cand) {
+					break
+				}
+				cfg = cand
+				changed = true
+			}
+		}
+	}
+	return cfg
+}
+
+// ReplayLine renders the cmd/hundred invocation that regenerates exactly
+// this configuration (poison names the planted defect, or "" for a plain
+// differential run).
+func ReplayLine(cfg Config, poison string) string {
+	cfg = cfg.normalized()
+	var b strings.Builder
+	fmt.Fprintf(&b, "hundred fuzz -seed %d -families %d -states %d -mult %d -extra %d -sinks %d",
+		cfg.Seed, cfg.Families, cfg.MaxStates, cfg.MaxMult, cfg.MaxExtra, cfg.MaxSinks)
+	if poison != "" {
+		fmt.Fprintf(&b, " -poison %s", poison)
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package spacegen
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// failsWithPoisonedCanon is the deterministic shrink predicate: does the
+// engine's canon falsifier still reject the rotating canon on the space
+// cfg generates?
+func failsWithPoisonedCanon(cfg Config) bool {
+	sp := Generate(cfg)
+	poisoned, ok := sp.PoisonedCanon()
+	if !ok {
+		return false
+	}
+	spec := sp.Spec()
+	spec.Canon = poisoned
+	spec.Truth = nil
+	_, err := engine.Differential(spec)
+	return errors.Is(err, engine.ErrCanonUnsound)
+}
+
+// TestShrinkPoisonedCanonFailure is the acceptance test for the shrinker: a
+// seeded poisoned-canon failure must minimize to a tiny space (<= 8 full
+// states), the minimum must still reproduce, and the replay line must carry
+// every knob.
+func TestShrinkPoisonedCanonFailure(t *testing.T) {
+	start := Config{Seed: 3, Families: 3, MaxStates: 8, MaxMult: 3, MaxExtra: 4, MaxSinks: 2}
+	if !failsWithPoisonedCanon(start) {
+		t.Fatalf("starting config does not fail; pick another seed: %s", Generate(start).Describe())
+	}
+	shrunk := Shrink(start, failsWithPoisonedCanon)
+	if !failsWithPoisonedCanon(shrunk) {
+		t.Fatalf("shrunk config no longer fails: %+v", shrunk)
+	}
+	sp := Generate(shrunk)
+	if sp.Truth.States > 8 {
+		t.Fatalf("shrunk space still has %d states, want <= 8: %s", sp.Truth.States, sp.Describe())
+	}
+	if shrunk.Seed != start.Seed {
+		t.Fatalf("shrinker changed the seed: %d -> %d", start.Seed, shrunk.Seed)
+	}
+	line := ReplayLine(shrunk, "canon")
+	for _, want := range []string{"hundred fuzz", "-seed 3", "-families ", "-states ", "-mult ", "-extra ", "-sinks ", "-poison canon"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("replay line %q missing %q", line, want)
+		}
+	}
+	t.Logf("shrunk to %s\n  %s", sp.Describe(), line)
+}
+
+// TestShrinkDeterministic pins that equal inputs shrink to equal minima.
+func TestShrinkDeterministic(t *testing.T) {
+	start := Config{Seed: 3, Families: 3, MaxStates: 8, MaxMult: 3, MaxExtra: 4, MaxSinks: 2}
+	a := Shrink(start, failsWithPoisonedCanon)
+	b := Shrink(start, failsWithPoisonedCanon)
+	if a != b {
+		t.Fatalf("nondeterministic shrink: %+v vs %+v", a, b)
+	}
+}
+
+// TestShrinkNeverPassingPredicate pins the degenerate case: a predicate that
+// never fails leaves the (normalized) config unchanged.
+func TestShrinkNeverPassingPredicate(t *testing.T) {
+	start := Config{Seed: 9, Families: 2, MaxStates: 5, MaxMult: 2, MaxExtra: 1, MaxSinks: 1}
+	got := Shrink(start, func(Config) bool { return false })
+	if got != start.normalized() {
+		t.Fatalf("shrink moved a non-failing config: %+v -> %+v", start, got)
+	}
+}

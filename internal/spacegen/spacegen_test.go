@@ -1,0 +1,150 @@
+package spacegen
+
+import (
+	"sort"
+	"testing"
+)
+
+// bruteForce explores a space by plain BFS — a from-scratch implementation
+// sharing no code with the engine — and measures what the generator claims
+// to have planted.
+type bruteForce struct {
+	states    int
+	terminals int
+	decided   int
+	// quotient counts, measured by canonicalizing every reachable state.
+	qstates, qterminals, qdecided int
+	seen                          map[string]bool
+}
+
+func brute(sp *Space) bruteForce {
+	canon := sp.Canon()
+	bf := bruteForce{seen: map[string]bool{}}
+	quo := map[string]bool{}
+	queue := []string{sp.Init()}
+	bf.seen[sp.Init()] = true
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		bf.states++
+		quo[canon(s)] = true
+		deg := 0
+		sp.Expand(s, func(to, _ string, _ int) {
+			deg++
+			if !bf.seen[to] {
+				bf.seen[to] = true
+				queue = append(queue, to)
+			}
+		})
+		if deg == 0 {
+			bf.terminals++
+			if sp.DecidedState(s) {
+				bf.decided++
+			}
+		}
+	}
+	bf.qstates = len(quo)
+	for s := range quo {
+		deg := 0
+		sp.Expand(s, func(string, string, int) { deg++ })
+		if deg == 0 {
+			bf.qterminals++
+			if sp.DecidedState(s) {
+				bf.qdecided++
+			}
+		}
+	}
+	return bf
+}
+
+// TestPlantedTruthMatchesBruteForce is the generator's own ground-truth
+// audit: for a spread of seeds and knob mixes, the closed-form planted
+// counts must equal what an independent BFS measures.
+func TestPlantedTruthMatchesBruteForce(t *testing.T) {
+	configs := []Config{
+		{Families: 1, MaxStates: 4, MaxMult: 1, MaxExtra: 0, MaxSinks: 0},
+		{Families: 1, MaxStates: 5, MaxMult: 3, MaxExtra: 2, MaxSinks: 2},
+		{Families: 2, MaxStates: 4, MaxMult: 2, MaxExtra: 3, MaxSinks: 3},
+		{Families: 3, MaxStates: 3, MaxMult: 2, MaxExtra: 1, MaxSinks: 1},
+	}
+	for _, base := range configs {
+		for seed := uint64(0); seed < 25; seed++ {
+			cfg := base
+			cfg.Seed = seed
+			sp := Generate(cfg)
+			if sp.Truth.States > 100_000 {
+				continue // keep the audit fast; the differential tests cover scale
+			}
+			bf := brute(sp)
+			got := Truth{
+				States: bf.states, Terminals: bf.terminals, Decided: bf.decided,
+				QuotientStates: bf.qstates, QuotientTerminals: bf.qterminals, QuotientDecided: bf.qdecided,
+			}
+			if got != sp.Truth {
+				t.Fatalf("%s:\nplanted  %+v\nmeasured %+v", sp.Describe(), sp.Truth, got)
+			}
+		}
+	}
+}
+
+// TestGenerateDeterministic pins the seed contract: equal configs generate
+// equal spaces.
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, Families: 2, MaxStates: 6, MaxMult: 2, MaxExtra: 3, MaxSinks: 2}
+	a, b := Generate(cfg), Generate(cfg)
+	if a.Describe() != b.Describe() {
+		t.Fatalf("same config, different spaces:\n%s\n%s", a.Describe(), b.Describe())
+	}
+	edges := func(sp *Space) []string {
+		var out []string
+		for _, fam := range sp.Families {
+			for u, es := range fam.Edges {
+				for _, e := range es {
+					out = append(out, string(rune('0'+u))+e.Label+string(rune('0'+e.To)))
+				}
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+	ea, eb := edges(a), edges(b)
+	if len(ea) != len(eb) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %s vs %s", i, ea[i], eb[i])
+		}
+	}
+}
+
+// TestCanonSoundByConstruction spot-checks the canonicalizer contract the
+// quotient truth rests on: idempotence everywhere, and invariance of the
+// planted predicates on representatives.
+func TestCanonSoundByConstruction(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		sp := Generate(Config{Seed: seed, Families: 2, MaxStates: 4, MaxMult: 3, MaxExtra: 2, MaxSinks: 2})
+		canon := sp.Canon()
+		for s := range brute(sp).seen {
+			rep := canon(s)
+			if canon(rep) != rep {
+				t.Fatalf("seed %d: canon not idempotent at %q -> %q -> %q", seed, s, rep, canon(rep))
+			}
+			if sp.Terminal(s) != sp.Terminal(rep) || sp.DecidedState(s) != sp.DecidedState(rep) {
+				t.Fatalf("seed %d: predicates not orbit-invariant at %q vs %q", seed, s, rep)
+			}
+		}
+	}
+}
+
+// TestNormalizedClamps pins the fuzz-facing clamping: any knob values map
+// onto a generable config.
+func TestNormalizedClamps(t *testing.T) {
+	sp := Generate(Config{Seed: 1, Families: -3, MaxStates: 1000, MaxMult: 0, MaxExtra: -1, MaxSinks: -5})
+	if got := sp.Cfg; got.Families != 1 || got.MaxStates != MaxFamilyStates || got.MaxMult != 1 || got.MaxExtra != 0 || got.MaxSinks != 0 {
+		t.Fatalf("normalized config = %+v", got)
+	}
+	if sp.Truth.States < 2 {
+		t.Fatalf("degenerate space: %s", sp.Describe())
+	}
+}
