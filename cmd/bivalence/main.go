@@ -8,18 +8,27 @@
 //	bivalence -proto wait-all -n 3
 //	bivalence -proto wait-quorum -n 3 -resilience 1
 //	bivalence -proto adopt-swap -n 2 -resilience 0
+//	bivalence -proto wait-quorum -n 4 -resilience 0 -progress -trace t.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"repro/internal/engine"
 	"repro/internal/flp"
+	"repro/internal/obs"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries main's body so the deferred telemetry cleanup (trace flush,
+// metrics-server shutdown) executes before the process exits.
+func run() int {
 	proto := flag.String("proto", "adopt-swap", "protocol: wait-all | wait-quorum | adopt-swap")
 	n := flag.Int("n", 2, "number of processes")
 	resilience := flag.Int("resilience", 1, "number of crash events the adversary may inject")
@@ -27,6 +36,11 @@ func main() {
 	stats := flag.Bool("stats", false, "print exploration engine telemetry")
 	usePOR := flag.Bool("por", false,
 		"analyze under ample-set partial-order reduction (delivery independence + decision visibility); verdicts are identical, configuration counts shrink")
+	progress := flag.Bool("progress", false, "stream live exploration progress lines to stderr")
+	tracePath := flag.String("trace", "", "write a JSONL run trace of the main exploration to this file (\"-\" for stdout); validate with `hundred trace-lint`")
+	serveAddr := flag.String("serve", "", "serve live /metrics and /debug/pprof on this address (e.g. :8080) for the life of the run")
+	snapshotEvery := flag.Duration("snapshot-every", 0,
+		"timer-driven snapshot period for -progress/-trace/-serve (0 = 1s default, negative = barrier events only)")
 	flag.Parse()
 
 	var p flp.Protocol
@@ -39,13 +53,31 @@ func main() {
 		p = flp.NewAdoptSwap(*n)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *proto)
-		os.Exit(2)
+		return 2
 	}
+	sink, obsCleanup, err := obs.SetupCLI(obs.CLIConfig{
+		Tool: "bivalence", Progress: *progress, TracePath: *tracePath, ServeAddr: *serveAddr,
+		Options: map[string]string{
+			"proto":      *proto,
+			"n":          strconv.Itoa(*n),
+			"resilience": strconv.Itoa(*resilience),
+			"parallel":   strconv.Itoa(*parallel),
+			"por":        strconv.FormatBool(*usePOR),
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer obsCleanup()
 	var st *engine.Stats
 	if *stats {
 		st = new(engine.Stats)
 	}
-	opts := flp.AnalyzeOptions{Resilience: resilience, Parallelism: *parallel, Stats: st}
+	opts := flp.AnalyzeOptions{
+		Resilience: resilience, Parallelism: *parallel, Stats: st,
+		Sink: sink, SnapshotEvery: *snapshotEvery,
+	}
 	if *usePOR {
 		opts.Independent = flp.DeliveryIndependence(p)
 		opts.Visible = flp.DecisionVisibility(p)
@@ -54,7 +86,7 @@ func main() {
 	rep, err := flp.Analyze(p, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("protocol:            %s (n=%d, resilience=%d)\n", rep.Protocol, *n, *resilience)
 	if st != nil {
@@ -74,4 +106,5 @@ func main() {
 		fmt.Printf("\nnon-deciding fair execution: prefix %d steps, then repeat forever:\n%s\n",
 			len(rep.NondecidingLasso.Prefix), rep.NondecidingLasso.Cycle)
 	}
+	return 0
 }

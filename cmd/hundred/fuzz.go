@@ -4,6 +4,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/engine"
@@ -48,8 +49,9 @@ func runFuzz(args []string) int {
 	if *seed >= 0 {
 		cfg := base
 		cfg.Seed = uint64(*seed)
-		ok, msg := fuzzOne(cfg, *poison)
-		fmt.Println(msg)
+		t0 := time.Now()
+		ok, msg, rep := fuzzOne(cfg, *poison)
+		fmt.Printf("%s%s\n", msg, fuzzSummary(rep, time.Since(t0)))
 		if !ok {
 			return 1
 		}
@@ -61,14 +63,15 @@ func runFuzz(args []string) int {
 	for s := uint64(0); time.Now().Before(deadline); s++ {
 		cfg := base
 		cfg.Seed = s
-		ok, msg := fuzzOne(cfg, *poison)
+		t0 := time.Now()
+		ok, msg, rep := fuzzOne(cfg, *poison)
 		if msg == "" {
 			skipped++
 			continue
 		}
 		if !ok {
 			shrunk := spacegen.Shrink(cfg, func(c spacegen.Config) bool {
-				bad, _ := fuzzOne(c, *poison)
+				bad, _, _ := fuzzOne(c, *poison)
 				return !bad
 			})
 			fmt.Println(msg)
@@ -76,6 +79,7 @@ func runFuzz(args []string) int {
 			fmt.Printf("replay: %s\n", spacegen.ReplayLine(shrunk, *poison))
 			return 1
 		}
+		fmt.Printf("%s%s\n", msg, fuzzSummary(rep, time.Since(t0)))
 		ran++
 	}
 	what := "differential oracle"
@@ -90,46 +94,64 @@ func runFuzz(args []string) int {
 // ~12 times across the mode/worker grid).
 const fuzzStateCap = 4_000
 
+// fuzzSummary renders the per-seed one-line telemetry suffix from a
+// passing oracle report: the reference run's final snapshot totals, the
+// modes exercised, and the iteration's wall time. Empty when the oracle
+// failed before producing a report (divergence, or a caught poison).
+func fuzzSummary(rep *engine.DiffReport, elapsed time.Duration) string {
+	if rep == nil || len(rep.Modes) == 0 {
+		return fmt.Sprintf(" [%s]", elapsed.Round(time.Millisecond))
+	}
+	snap := rep.Modes[0].Stats.Snapshot()
+	modes := make([]string, len(rep.Modes))
+	for i, m := range rep.Modes {
+		modes[i] = m.Mode
+	}
+	return fmt.Sprintf(" [states=%d edges=%d depth=%d modes=%s %s]",
+		snap.States, snap.Edges, snap.Depth, strings.Join(modes, ","), elapsed.Round(time.Millisecond))
+}
+
 // fuzzOne runs one configuration through the oracle (or its poisoned
-// variant). It returns ok plus a human-readable outcome; an empty message
-// means the iteration was skipped (space too large, or poison unobservable).
-func fuzzOne(cfg spacegen.Config, poison string) (bool, string) {
+// variant). It returns ok, a human-readable outcome, and the oracle report
+// when one was produced; an empty message means the iteration was skipped
+// (space too large, or poison unobservable).
+func fuzzOne(cfg spacegen.Config, poison string) (bool, string, *engine.DiffReport) {
 	sp := spacegen.Generate(cfg)
 	if sp.Truth.States > fuzzStateCap {
-		return true, ""
+		return true, "", nil
 	}
 	spec := sp.Spec()
 	switch poison {
 	case "canon":
 		broken, ok := sp.PoisonedCanon()
 		if !ok {
-			return true, ""
+			return true, "", nil
 		}
 		spec.Canon = broken
 		spec.Truth = nil
 	case "indep":
 		broken, ok := sp.PoisonedIndependence()
 		if !ok {
-			return true, ""
+			return true, "", nil
 		}
 		spec.Independent = spacegen.AdaptIndependence(broken)
 		spec.Truth = nil
 	}
-	_, err := engine.Differential(spec)
+	rep, err := engine.Differential(spec)
 	switch poison {
 	case "canon":
 		if errors.Is(err, engine.ErrCanonUnsound) {
-			return true, fmt.Sprintf("caught poisoned canon on %s", sp.Describe())
+			return true, fmt.Sprintf("caught poisoned canon on %s", sp.Describe()), rep
 		}
-		return false, fmt.Sprintf("poisoned canon ESCAPED the falsifier on %s (err: %v)", sp.Describe(), err)
+		return false, fmt.Sprintf("poisoned canon ESCAPED the falsifier on %s (err: %v)", sp.Describe(), err), rep
 	case "indep":
 		if errors.Is(err, engine.ErrPORUnsound) {
-			return true, fmt.Sprintf("caught poisoned independence on %s", sp.Describe())
+			return true, fmt.Sprintf("caught poisoned independence on %s", sp.Describe()), rep
 		}
-		return false, fmt.Sprintf("poisoned independence ESCAPED the falsifier on %s (err: %v)", sp.Describe(), err)
+		return false, fmt.Sprintf("poisoned independence ESCAPED the falsifier on %s (err: %v)", sp.Describe(), err), rep
 	}
 	if err != nil {
-		return false, fmt.Sprintf("DIVERGENCE on %s:\n  %v", sp.Describe(), err)
+		return false, fmt.Sprintf("DIVERGENCE on %s:\n  %v", sp.Describe(), err), rep
 	}
-	return true, fmt.Sprintf("ok %s", sp.Describe())
+	return true, fmt.Sprintf("ok %s", sp.Describe()), rep
 }

@@ -8,8 +8,12 @@
 //	hundred -list              # list experiment ids and titles
 //	hundred -por E11 E21       # state-space experiments with ample-set POR
 //	hundred -cpuprofile cpu.pb # profile an experiment run
+//	hundred -progress E11      # live telemetry on stderr
+//	hundred -trace t.jsonl E11 # JSONL run trace (validate with trace-lint)
+//	hundred -serve :8080 E11   # /metrics + /debug/pprof while running
 //	hundred fuzz -budget 30s   # budgeted generative differential-fuzz sweep
 //	hundred fuzz -seed 3 ...   # replay one generated space (see -help)
+//	hundred trace-lint t.jsonl # validate a JSONL run trace
 package main
 
 import (
@@ -19,7 +23,9 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/async"
 	"repro/internal/clocks"
@@ -29,6 +35,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/flp"
 	"repro/internal/knowledge"
+	"repro/internal/obs"
 	"repro/internal/registers"
 	"repro/internal/ring"
 	"repro/internal/rounds"
@@ -47,11 +54,15 @@ type experiment struct {
 
 // parallelism, showStats and usePOR are the exploration knobs shared by
 // every experiment that walks a state space (-parallel / -stats / -por
-// flags).
+// flags); obsSink and snapshotEvery carry the streaming telemetry stack
+// (-progress / -trace / -serve / -snapshot-every) into the same
+// explorations.
 var (
-	parallelism int
-	showStats   bool
-	usePOR      bool
+	parallelism   int
+	showStats     bool
+	usePOR        bool
+	obsSink       obs.Sink
+	snapshotEvery time.Duration
 )
 
 // statsSink returns a fresh telemetry sink when -stats is set (which also
@@ -82,6 +93,9 @@ func run() int {
 	if len(os.Args) > 1 && os.Args[1] == "fuzz" {
 		return runFuzz(os.Args[2:])
 	}
+	if len(os.Args) > 1 && os.Args[1] == "trace-lint" {
+		return runTraceLint(os.Args[2:])
+	}
 	list := flag.Bool("list", false, "list experiments and exit")
 	benchJSON := flag.Bool("bench-json", false,
 		"run the performance suite (full vs quotient vs POR explorations, seq vs parallel synth) and record a JSON run")
@@ -94,7 +108,26 @@ func run() int {
 	flag.BoolVar(&showStats, "stats", false, "print exploration engine telemetry for state-space experiments")
 	flag.BoolVar(&usePOR, "por", false,
 		"apply ample-set partial-order reduction to the state-space experiments that carry independence relations; verdicts are identical either way")
+	progress := flag.Bool("progress", false, "stream live exploration progress lines to stderr")
+	tracePath := flag.String("trace", "", "write a JSONL run trace of every exploration to this file (\"-\" for stdout)")
+	serveAddr := flag.String("serve", "", "serve live /metrics and /debug/pprof on this address (e.g. :8080) for the life of the run")
+	flag.DurationVar(&snapshotEvery, "snapshot-every", 0,
+		"timer-driven snapshot period for -progress/-trace/-serve (0 = 1s default, negative = barrier events only)")
 	flag.Parse()
+	sink, obsCleanup, err := obs.SetupCLI(obs.CLIConfig{
+		Tool: "hundred", Progress: *progress, TracePath: *tracePath, ServeAddr: *serveAddr,
+		Options: map[string]string{
+			"parallel": strconv.Itoa(parallelism),
+			"por":      strconv.FormatBool(usePOR),
+			"args":     strings.Join(flag.Args(), " "),
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	obsSink = sink
+	defer obsCleanup()
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -210,7 +243,9 @@ func e02() error {
 	fmt.Printf("  %-26s %8s %9s %12s %7s\n", "algorithm", "values", "progress", "lockout-free", "states")
 	for _, a := range algs {
 		st := statsSink()
-		rep, err := sharedmem.CheckMutex(a, sharedmem.CheckMutexOptions{Parallelism: parallelism, Stats: st})
+		rep, err := sharedmem.CheckMutex(a, sharedmem.CheckMutexOptions{
+			Parallelism: parallelism, Stats: st, Sink: obsSink, SnapshotEvery: snapshotEvery,
+		})
 		if err != nil {
 			return err
 		}
@@ -240,7 +275,9 @@ func e04() error {
 	fmt.Printf("  %-4s %18s %12s\n", "n", "combined values", "(n+1)^2")
 	for _, n := range []int{2, 3, 4, 5} {
 		st := statsSink()
-		rep, err := sharedmem.CheckMutex(sharedmem.NewTicketLock(n), sharedmem.CheckMutexOptions{Parallelism: parallelism, Stats: st})
+		rep, err := sharedmem.CheckMutex(sharedmem.NewTicketLock(n), sharedmem.CheckMutexOptions{
+			Parallelism: parallelism, Stats: st, Sink: obsSink, SnapshotEvery: snapshotEvery,
+		})
 		if err != nil {
 			return err
 		}
@@ -381,7 +418,9 @@ func e10() error {
 func e11() error {
 	for _, p := range []flp.Protocol{flp.NewWaitAll(3), flp.NewWaitQuorum(3), flp.NewAdoptSwap(2)} {
 		st := statsSink()
-		opts := flp.AnalyzeOptions{Parallelism: parallelism, Stats: st}
+		opts := flp.AnalyzeOptions{
+			Parallelism: parallelism, Stats: st, Sink: obsSink, SnapshotEvery: snapshotEvery,
+		}
 		if usePOR {
 			opts.Independent = flp.DeliveryIndependence(p)
 			opts.Visible = flp.DecisionVisibility(p)
@@ -597,7 +636,9 @@ func e21() error {
 		return err
 	}
 	st := statsSink()
-	opts := core.ExploreOptions{Parallelism: parallelism}
+	opts := core.ExploreOptions{
+		Parallelism: parallelism, Sink: obsSink, SnapshotEvery: snapshotEvery,
+	}
 	if st != nil {
 		opts.Stats = st
 	}

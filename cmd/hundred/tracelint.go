@@ -1,0 +1,54 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// runTraceLint is the `hundred trace-lint` subcommand: it validates JSONL
+// run traces written by -trace against the schema (manifest first, known
+// event kinds, strictly increasing sequence numbers, correctly nested runs
+// with internally consistent snapshots) and reports each file's summary
+// and recomputed deterministic-event digest. Any invalid file fails the
+// command, which is how CI keeps the trace schema honest.
+func runTraceLint(args []string) int {
+	fs := flag.NewFlagSet("hundred trace-lint", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: hundred trace-lint FILE...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	bad := 0
+	for _, path := range fs.Args() {
+		sum, err := lintOne(path)
+		if err != nil {
+			fmt.Printf("%s: INVALID: %v\n", path, err)
+			bad++
+			continue
+		}
+		fmt.Printf("%s: ok schema=%d tool=%s runs=%d events=%d levels=%d snapshots=%d digest=%s\n",
+			path, sum.SchemaVersion, sum.Tool, sum.Runs, sum.Events, sum.Levels, sum.Snapshots, sum.Digest)
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+func lintOne(path string) (*obs.TraceSummary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return obs.ValidateTrace(f)
+}

@@ -10,6 +10,7 @@
 //
 //	ringbench -max 256
 //	ringbench -parallel 4 -stats   # multicore exploration with telemetry
+//	ringbench -trace t.jsonl       # JSONL run trace of the async sweep
 package main
 
 import (
@@ -18,15 +19,23 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"strconv"
 )
 
 import (
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/ring"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries main's body so the deferred telemetry cleanup (trace flush,
+// metrics-server shutdown) executes before the process exits.
+func run() int {
 	maxN := flag.Int("max", 128, "largest ring size (swept in powers of two from 8)")
 	seed := flag.Int64("seed", 42, "seed for randomized election")
 	parallelism := flag.Int("parallel", 0,
@@ -34,7 +43,26 @@ func main() {
 	showStats := flag.Bool("stats", false, "print exploration engine telemetry for the async LCR sweep")
 	usePOR := flag.Bool("por", false,
 		"explore the async LCR sweep under ample-set partial-order reduction (disjoint-links independence); the election verdict is identical either way")
+	progress := flag.Bool("progress", false, "stream live exploration progress lines to stderr")
+	tracePath := flag.String("trace", "", "write a JSONL run trace of the async LCR sweep to this file (\"-\" for stdout); validate with `hundred trace-lint`")
+	serveAddr := flag.String("serve", "", "serve live /metrics and /debug/pprof on this address (e.g. :8080) for the life of the run")
+	snapshotEvery := flag.Duration("snapshot-every", 0,
+		"timer-driven snapshot period for -progress/-trace/-serve (0 = 1s default, negative = barrier events only)")
 	flag.Parse()
+	sink, obsCleanup, err := obs.SetupCLI(obs.CLIConfig{
+		Tool: "ringbench", Progress: *progress, TracePath: *tracePath, ServeAddr: *serveAddr,
+		Seed: *seed,
+		Options: map[string]string{
+			"max":      strconv.Itoa(*maxN),
+			"parallel": strconv.Itoa(*parallelism),
+			"por":      strconv.FormatBool(*usePOR),
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer obsCleanup()
 
 	fmt.Printf("%-6s %12s %12s %12s %14s %10s %12s\n",
 		"n", "LCR worst", "LCR best", "HS", "var-speeds", "n log n", "Itai-Rodeh")
@@ -65,7 +93,9 @@ func main() {
 		a, err := ring.NewAsyncLCR(ring.DescendingIDs(n))
 		exitOn(err)
 		var st engine.Stats
-		opts := core.ExploreOptions{Parallelism: *parallelism}
+		opts := core.ExploreOptions{
+			Parallelism: *parallelism, Sink: sink, SnapshotEvery: *snapshotEvery,
+		}
 		if *showStats {
 			opts.Stats = &st
 		}
@@ -80,6 +110,7 @@ func main() {
 			fmt.Printf("       [engine] %s\n", st)
 		}
 	}
+	return 0
 }
 
 func exitOn(err error) {

@@ -44,6 +44,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/flp"
 	"repro/internal/knowledge"
+	"repro/internal/obs"
 	"repro/internal/registers"
 	"repro/internal/ring"
 	"repro/internal/rounds"
@@ -62,6 +63,41 @@ type (
 	// the parallel engine; the resulting graph is identical at any worker
 	// count.
 	EngineStats = engine.Stats
+
+	// ObsSink receives streaming exploration telemetry (run boundaries,
+	// per-level barrier events, timer snapshots). Observation is passive:
+	// attaching a sink cannot change the explored graph. Accepted by the
+	// checkers' options types alongside EngineStats.
+	ObsSink = obs.Sink
+	// ObsEvent is one telemetry event delivered to an ObsSink.
+	ObsEvent = obs.Event
+	// ObsSnapshot is a point-in-time progress snapshot (states/sec,
+	// frontier depth, per-worker utilization, ETA against the state cap).
+	ObsSnapshot = obs.ProgressSnapshot
+	// ObsMultiSink fans one event stream out to several sinks.
+	ObsMultiSink = obs.MultiSink
+	// TraceWriter streams events as a versioned JSONL run trace.
+	TraceWriter = obs.TraceWriter
+	// TraceManifest is the trace's first line (schema version, tool,
+	// seed, options, VCS revision).
+	TraceManifest = obs.Manifest
+	// TraceSummary is ValidateTrace's per-trace report.
+	TraceSummary = obs.TraceSummary
+)
+
+// Streaming telemetry constructors (see internal/obs).
+var (
+	// NewTraceWriter opens a JSONL run-trace stream over w.
+	NewTraceWriter = obs.NewTraceWriter
+	// NewTraceManifest builds a manifest stamped with the tool name,
+	// schema version and VCS revision.
+	NewTraceManifest = obs.NewManifest
+	// NewProgressLogger returns a sink that renders events as human
+	// log lines with windowed rates.
+	NewProgressLogger = obs.NewLogger
+	// ValidateTrace schema-checks a JSONL run trace and recomputes its
+	// deterministic digest (the `hundred trace-lint` engine).
+	ValidateTrace = obs.ValidateTrace
 )
 
 // Shared-memory resource allocation (§2.1).

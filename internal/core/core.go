@@ -20,8 +20,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // EnvironmentActor is the Actor value used for steps taken by the
@@ -132,6 +134,16 @@ type ExploreOptions struct {
 	// VerifyPOR (1 = check everything); a broken diamond fails the
 	// exploration with engine.ErrPORUnsound.
 	VerifyPOR int
+	// Sink, when non-nil, streams the exploration's telemetry (run_start,
+	// per-level barrier events, timer-driven progress snapshots, run_end)
+	// to the observability layer. Setting Sink routes exploration through
+	// the engine at any parallelism. Observation is passive: the Graph is
+	// byte-identical with and without a sink. See obs.Sink.
+	Sink obs.Sink
+	// SnapshotEvery is the timer-driven snapshot period (only meaningful
+	// with Sink; zero = engine.DefaultSnapshotEvery, negative = barrier
+	// events only).
+	SnapshotEvery time.Duration
 }
 
 // DefaultMaxStates bounds exploration when ExploreOptions.MaxStates is zero.
@@ -151,7 +163,7 @@ func Explore[S comparable](sys System[S], opts ExploreOptions) (*Graph[S], error
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	if par > 1 || opts.Stats != nil || opts.Canon != nil || opts.Independent != nil {
+	if par > 1 || opts.Stats != nil || opts.Canon != nil || opts.Independent != nil || opts.Sink != nil {
 		return exploreEngine(sys, limit, par, opts)
 	}
 	return exploreSequential(sys, limit)
@@ -171,9 +183,11 @@ func exploreEngine[S comparable](sys System[S], limit, par int, opts ExploreOpti
 		Stats:       opts.Stats,
 		Canon:       opts.Canon,
 		VerifyCanon: opts.VerifyCanon,
-		Independent: opts.Independent,
-		Visible:     opts.Visible,
-		VerifyPOR:   opts.VerifyPOR,
+		Independent:   opts.Independent,
+		Visible:       opts.Visible,
+		VerifyPOR:     opts.VerifyPOR,
+		Sink:          opts.Sink,
+		SnapshotEvery: opts.SnapshotEvery,
 	})
 	if err != nil {
 		switch {

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+
+	"repro/internal/obs"
 )
 
 // This file is the differential-testing oracle over the engine's mode
@@ -24,9 +26,15 @@ import (
 //     CanonHits vs generated states, AmpleStates vs Expansions,
 //     worker-step accounting).
 //
+//   - trace-digest equality across worker counts per mode: the
+//     deterministic telemetry skeleton (obs.Digest over level and run_end
+//     events) is part of the determinism contract.
+//
 // Any violation is reported as an error wrapping ErrDiverged (and the
 // underlying engine error, when there is one), carrying enough context to
-// replay: mode, worker count, and the spec name.
+// replay: mode, worker count, the spec name — and, where results diverge,
+// the trace digests of both runs, so the corresponding JSONL traces can
+// be re-recorded with -trace and diffed.
 
 // ErrDiverged is wrapped by every error Differential returns: some mode
 // disagreed with another mode, with the planted ground truth, or with the
@@ -78,6 +86,14 @@ type DiffMode struct {
 	// Stats is the telemetry of the mode's reference run (the first
 	// configured worker count).
 	Stats Stats
+	// TraceDigest is the deterministic-event digest (obs.Digest) of the
+	// mode's reference run: the fingerprint a JSONL trace of the same
+	// system under the same mode must reproduce at any worker count. Two
+	// modes that agree on the Result can still digest differently (levels
+	// fill in a different order under reduction); within one mode the
+	// digest is part of the determinism contract and is checked across
+	// worker counts.
+	TraceDigest string
 }
 
 // DiffReport summarizes a passing Differential run.
@@ -103,7 +119,14 @@ func Differential[S comparable](spec DiffSpec[S]) (*DiffReport, error) {
 	}
 
 	run := func(mode string, opts Options) (*Result[S], error) {
-		ref, err := Explore(spec.Inits, spec.Expand, opts)
+		// Every exploration runs with a trace-digest sink attached: the
+		// deterministic event skeleton (level barriers, final totals) must
+		// be worker-count invariant too, and a divergence report names the
+		// digests so the corresponding -trace JSONL files can be diffed.
+		refDig := obs.NewDigest()
+		o := opts
+		o.Sink, o.SnapshotEvery = refDig, -1
+		ref, err := Explore(spec.Inits, spec.Expand, o)
 		if err != nil && !errors.Is(err, ErrStateLimit) {
 			// ErrStateLimit still carries the canonical partial Result; the
 			// determinism checks below apply to it unchanged.
@@ -111,24 +134,32 @@ func Differential[S comparable](spec DiffSpec[S]) (*DiffReport, error) {
 				ErrDiverged, spec.Name, mode, opts.Parallelism, err)
 		}
 		for _, par := range workers[1:] {
+			gotDig := obs.NewDigest()
 			o := opts
 			o.Parallelism = par
+			o.Sink, o.SnapshotEvery = gotDig, -1
 			got, err := Explore(spec.Inits, spec.Expand, o)
 			if err != nil && !errors.Is(err, ErrStateLimit) {
 				return nil, fmt.Errorf("%w: %s [mode=%s workers=%d]: %w",
 					ErrDiverged, spec.Name, mode, par, err)
 			}
 			if msg := diffResults(ref, got); msg != "" {
-				return nil, fail(mode, par, "diverged from workers=%d run: %s", workers[0], msg)
+				return nil, fail(mode, par, "diverged from workers=%d run: %s (trace digests %s vs %s)",
+					workers[0], msg, refDig.Sum(), gotDig.Sum())
 			}
 			if msg := diffStats(ref.Stats, got.Stats); msg != "" {
-				return nil, fail(mode, par, "telemetry diverged from workers=%d run: %s", workers[0], msg)
+				return nil, fail(mode, par, "telemetry diverged from workers=%d run: %s (trace digests %s vs %s)",
+					workers[0], msg, refDig.Sum(), gotDig.Sum())
+			}
+			if refDig.Sum() != gotDig.Sum() {
+				return nil, fail(mode, par, "trace digest diverged from workers=%d run: %s vs %s",
+					workers[0], refDig.Sum(), gotDig.Sum())
 			}
 		}
 		if msg := statsConsistency(ref); msg != "" {
 			return nil, fail(mode, workers[0], "inconsistent telemetry: %s", msg)
 		}
-		rep.Modes = append(rep.Modes, DiffMode{Mode: mode, Stats: ref.Stats})
+		rep.Modes = append(rep.Modes, DiffMode{Mode: mode, Stats: ref.Stats, TraceDigest: refDig.Sum()})
 		return ref, nil
 	}
 

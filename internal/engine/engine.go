@@ -34,6 +34,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrStateLimit is returned by Explore when the reachable state space
@@ -108,6 +110,21 @@ type Options struct {
 	// which states are checked is independent of scheduling and worker
 	// count.
 	VerifyPOR int
+	// Sink, when non-nil, receives the run's streaming telemetry: a
+	// run_start event, one level event per BFS barrier, timer-driven
+	// progress snapshots, a truncated event when the state limit trips,
+	// and a run_end event whose final snapshot totals equal the returned
+	// Stats. Observation is passive — the Result is byte-identical with
+	// and without a sink, at any worker count — and a nil Sink costs one
+	// branch (no telemetry code runs at all). Publish is called from the
+	// coordinator and from one monitor goroutine; see obs.Sink for the
+	// concurrency contract.
+	Sink obs.Sink
+	// SnapshotEvery is the period of the timer-driven snapshots (only
+	// meaningful with a Sink). Zero selects DefaultSnapshotEvery;
+	// negative disables periodic snapshots, leaving the deterministic
+	// barrier events.
+	SnapshotEvery time.Duration
 
 	// degradeFingerprint collapses the state fingerprint to two bits,
 	// forcing heavy shard collisions. Test-only: it exercises the
@@ -185,8 +202,10 @@ type worker[S comparable] struct {
 	arena []rawEdge
 	// news are the states this worker interned during the current level.
 	news []fpEntry[S]
-	// steps counts states expanded by this worker over the whole run.
-	steps uint64
+	// steps counts states expanded by this worker over the whole run. It
+	// is atomic — single-writer (the owner), read live by the telemetry
+	// monitor goroutine for per-worker utilization snapshots.
+	steps atomic.Uint64
 	// dedup counts successor generations that hit an already-known state.
 	dedup uint64
 	// rawSeen fingerprints the raw (pre-canonicalization) states this worker
@@ -227,6 +246,11 @@ type explorer[S comparable] struct {
 	indep        Independence[S]
 	visible      Visibility[S]
 	porVerifyMod uint64
+
+	// tel, when non-nil, is the run's streaming-telemetry state (see
+	// telemetry.go). Every use is nil-guarded: with no sink installed the
+	// engine pays one branch per barrier and nothing per state.
+	tel *telemetry
 
 	// The first canon/POR safety-check failure lands in verifyErr and
 	// surfaces deterministically at the next level barrier.
@@ -313,7 +337,7 @@ func (e *explorer[S]) expandRange(w int32, cursor *atomic.Int64, hi int, chunk i
 			e.expand(e.states[id], emit)
 			e.spans[id] = span{worker: w, off: off, n: int32(len(ws.arena)) - off}
 			e.expanded[id] = true
-			ws.steps++
+			ws.steps.Add(1)
 		}
 	}
 }
@@ -382,7 +406,7 @@ func (e *explorer[S]) expandRangePOR(w int32, cursor *atomic.Int64, hi int, chun
 			}
 			e.spans[id] = span{worker: w, off: off, n: int32(len(ws.arena)) - off}
 			e.expanded[id] = true
-			ws.steps++
+			ws.steps.Add(1)
 		}
 	}
 }
@@ -476,6 +500,28 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 		return nil, e.verifyErr
 	}
 
+	if opts.Sink != nil {
+		e.tel = newTelemetry(opts.Sink, start, limit, nw, len(initIDs),
+			e.canon != nil, e.indep != nil,
+			func() int { return int(e.counter.Load()) },
+			func() []uint64 {
+				steps := make([]uint64, len(e.workers))
+				for i, ws := range e.workers {
+					steps[i] = ws.steps.Load()
+				}
+				return steps
+			})
+		every := opts.SnapshotEvery
+		if every == 0 {
+			every = DefaultSnapshotEvery
+		}
+		e.tel.startMonitor(every)
+		// The deferred stop covers the error returns below; the success
+		// path stops the monitor again (idempotently) inside runEnd, so
+		// that no timer event can trail the final run_end.
+		defer e.tel.stopMonitor()
+	}
+
 	// Parallel phase: expand whole BFS levels between barriers. The level
 	// granularity is what keeps truncation canonical — if the state count
 	// crosses the limit, every state the sequential explorer would have
@@ -540,13 +586,22 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 				return nil, verr
 			}
 		}
+		if e.tel != nil {
+			// The workers are quiescent between barriers, so the level
+			// event's counters are exact — and worker-count-invariant, per
+			// the determinism contract (the trace digest relies on this).
+			publishLevel(e.tel, e, total, st.Depth, hi-lo, st.PeakFrontier)
+		}
 		if total > limit {
+			if e.tel != nil {
+				e.tel.truncated(total, st.Depth, st.PeakFrontier)
+			}
 			break
 		}
 	}
 	for _, ws := range e.workers {
-		st.WorkerSteps = append(st.WorkerSteps, ws.steps)
-		st.Expansions += ws.steps
+		st.WorkerSteps = append(st.WorkerSteps, ws.steps.Load())
+		st.Expansions += ws.steps.Load()
 		st.DedupHits += ws.dedup
 		st.CanonHits += ws.canonHits
 		st.AmpleStates += ws.ampleStates
@@ -577,6 +632,9 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 	res.Stats = st
 	if opts.Stats != nil {
 		*opts.Stats = st
+	}
+	if e.tel != nil {
+		e.tel.runEnd(st)
 	}
 	return res, err
 }

@@ -3,6 +3,8 @@ package engine
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Stats is the exploration telemetry of one Explore run: the observability
@@ -95,6 +97,29 @@ func (s Stats) PORReductionFactor() float64 {
 		return 0
 	}
 	return float64(uint64(s.Edges)+s.DeferredActions) / float64(s.Edges)
+}
+
+// Snapshot converts the end-of-run telemetry into the observability
+// layer's final progress snapshot. It is the single source of the run_end
+// event's payload, so "the trace's final snapshot totals equal the
+// returned Stats" holds by construction.
+func (s Stats) Snapshot() obs.ProgressSnapshot {
+	return obs.ProgressSnapshot{
+		Elapsed:         s.Elapsed,
+		States:          s.States,
+		Edges:           s.Edges,
+		Depth:           s.Depth,
+		PeakFrontier:    s.PeakFrontier,
+		Expansions:      s.Expansions,
+		DedupHits:       s.DedupHits,
+		CanonHits:       s.CanonHits,
+		RawStates:       s.RawStates,
+		AmpleStates:     s.AmpleStates,
+		DeferredActions: s.DeferredActions,
+		WorkerSteps:     append([]uint64(nil), s.WorkerSteps...),
+		Truncated:       s.Truncated,
+		Final:           true,
+	}
 }
 
 // String renders the telemetry as a single report line.

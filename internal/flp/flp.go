@@ -16,9 +16,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // Send is a message emitted by a protocol step.
@@ -275,6 +277,15 @@ type AnalyzeOptions struct {
 	// with engine.ErrPORUnsound if a declared-independent pair of events
 	// does not commute there.
 	VerifyPOR int
+	// Sink, when non-nil, streams the telemetry of the main
+	// configuration-graph exploration (like Stats, the uniform-vector
+	// validity explorations are excluded, so a trace carries exactly one
+	// run whose final snapshot equals the exploration's Stats).
+	Sink obs.Sink
+	// SnapshotEvery is the timer-driven snapshot period (only meaningful
+	// with Sink; zero = engine.DefaultSnapshotEvery, negative = barrier
+	// events only).
+	SnapshotEvery time.Duration
 }
 
 // NewSystem exposes a protocol's configuration graph (canonical encoded
@@ -304,6 +315,7 @@ func Analyze(p Protocol, opts AnalyzeOptions) (Report, error) {
 	sys := &system{p: p, inputVectors: vectors, resilience: resilience}
 	eopts := core.ExploreOptions{
 		MaxStates: opts.MaxStates, Parallelism: opts.Parallelism, Stats: opts.Stats,
+		Sink: opts.Sink, SnapshotEvery: opts.SnapshotEvery,
 	}
 	if opts.Canon != nil {
 		eopts.Canon = opts.Canon

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultBusBuffer is the Bus channel capacity when NewBus is given a
+// non-positive buffer size.
+const DefaultBusBuffer = 1024
+
+// Bus is the bounded-buffer fan-out at the center of the layer: producers
+// Publish without blocking (events beyond the buffer are dropped and
+// counted, never queued unboundedly), and a single drain goroutine
+// delivers buffered events to every subscribed sink in publication order.
+//
+// The asymmetry is deliberate: the exploration engine must never stall on
+// a slow consumer (a wedged trace file, a disconnected metrics scraper),
+// so backpressure turns into counted drops on the producer side while
+// consumers see a strictly ordered, possibly gappy stream. Level and
+// run_end events carry cumulative counters, so a gap loses resolution, not
+// accounting.
+type Bus struct {
+	// mu guards the closed flag against the channel close: Publish holds
+	// it shared for the duration of its non-blocking send, so Close can
+	// never close the channel out from under an in-flight send.
+	mu      sync.RWMutex
+	closed  bool
+	ch      chan Event
+	sinks   []Sink
+	dropped atomic.Uint64
+	done    chan struct{}
+	once    sync.Once
+}
+
+// NewBus starts a bus draining into sinks. buffer <= 0 selects
+// DefaultBusBuffer. Close the bus to flush and stop the drain goroutine.
+func NewBus(buffer int, sinks ...Sink) *Bus {
+	if buffer <= 0 {
+		buffer = DefaultBusBuffer
+	}
+	b := &Bus{
+		ch:    make(chan Event, buffer),
+		sinks: sinks,
+		done:  make(chan struct{}),
+	}
+	go b.drain()
+	return b
+}
+
+func (b *Bus) drain() {
+	defer close(b.done)
+	for ev := range b.ch {
+		for _, s := range b.sinks {
+			s.Publish(ev)
+		}
+	}
+}
+
+// Publish implements Sink: it enqueues ev if the buffer has room and
+// otherwise drops it, incrementing the drop counter. Events published
+// after Close are dropped, never delivered.
+func (b *Bus) Publish(ev Event) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		b.dropped.Add(1)
+		return
+	}
+	select {
+	case b.ch <- ev:
+	default:
+		b.dropped.Add(1)
+	}
+}
+
+// Dropped reports how many events were discarded because the buffer was
+// full (or the bus closed).
+func (b *Bus) Dropped() uint64 { return b.dropped.Load() }
+
+// Close delivers every already-buffered event to the sinks, then stops
+// the drain goroutine. Safe to call more than once, and safe against
+// concurrent Publish calls (which turn into counted drops).
+func (b *Bus) Close() {
+	b.once.Do(func() {
+		b.mu.Lock()
+		b.closed = true
+		close(b.ch)
+		b.mu.Unlock()
+		<-b.done
+	})
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// recordSink appends every event under a lock, optionally blocking on gate
+// to simulate a slow consumer.
+type recordSink struct {
+	mu   sync.Mutex
+	evs  []Event
+	gate chan struct{}
+}
+
+func (r *recordSink) Publish(ev Event) {
+	if r.gate != nil {
+		<-r.gate
+	}
+	r.mu.Lock()
+	r.evs = append(r.evs, ev)
+	r.mu.Unlock()
+}
+
+func (r *recordSink) events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.evs...)
+}
+
+func TestBusDeliversInOrder(t *testing.T) {
+	rec := &recordSink{}
+	bus := NewBus(64, rec)
+	for i := 1; i <= 10; i++ {
+		bus.Publish(Event{Kind: KindSnapshot, Seq: uint64(i)})
+	}
+	bus.Close()
+	evs := rec.events()
+	if len(evs) != 10 {
+		t.Fatalf("delivered %d events, want 10", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d (order broken)", i, ev.Seq, i+1)
+		}
+	}
+	if bus.Dropped() != 0 {
+		t.Fatalf("dropped %d events on an uncontended bus, want 0", bus.Dropped())
+	}
+}
+
+// TestBusBackpressureDropsAndCounts wedges the consumer, overflows the
+// buffer, and checks the accounting: publishes never block, the overflow
+// is counted, and everything that was buffered still arrives in order.
+func TestBusBackpressureDropsAndCounts(t *testing.T) {
+	gate := make(chan struct{})
+	rec := &recordSink{gate: gate}
+	const buffer = 8
+	bus := NewBus(buffer, rec)
+
+	// With the consumer wedged, the drain goroutine takes at most one
+	// event out of the buffer; everything beyond buffer+1 must drop.
+	const published = 50
+	for i := 1; i <= published; i++ {
+		bus.Publish(Event{Kind: KindSnapshot, Seq: uint64(i)})
+	}
+	dropped := bus.Dropped()
+	if dropped < published-buffer-1 {
+		t.Fatalf("dropped %d events, want >= %d (buffer %d)", dropped, published-buffer-1, buffer)
+	}
+
+	close(gate) // unwedge the consumer
+	bus.Close()
+	evs := rec.events()
+	if uint64(len(evs))+dropped != published {
+		t.Fatalf("delivered %d + dropped %d != published %d", len(evs), dropped, published)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("delivery order broken: seq %d after %d", evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+}
+
+func TestBusPublishAfterCloseDrops(t *testing.T) {
+	rec := &recordSink{}
+	bus := NewBus(4, rec)
+	bus.Publish(Event{Kind: KindSnapshot})
+	bus.Close()
+	bus.Publish(Event{Kind: KindSnapshot})
+	bus.Publish(Event{Kind: KindSnapshot})
+	if got := bus.Dropped(); got != 2 {
+		t.Fatalf("dropped %d events after close, want 2", got)
+	}
+	if got := len(rec.events()); got != 1 {
+		t.Fatalf("delivered %d events, want 1 (pre-close only)", got)
+	}
+	bus.Close() // idempotent
+}
+
+// TestBusConcurrentPublishClose races many publishers against Close; under
+// -race this pins the send-on-closed-channel guard.
+func TestBusConcurrentPublishClose(t *testing.T) {
+	rec := &recordSink{}
+	bus := NewBus(16, rec)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				bus.Publish(Event{Kind: KindSnapshot})
+			}
+		}()
+	}
+	bus.Close()
+	wg.Wait()
+}

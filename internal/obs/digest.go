@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"sync"
+)
+
+// Digest folds the deterministic skeleton of an event stream — level
+// events, truncation, and final run_end totals — into a short hex
+// fingerprint. Two runs of the same system under the same mode produce
+// the same digest at any worker count and any snapshot period: the hashed
+// fields are exactly the worker-count-invariant counters the engine's
+// determinism contract covers, and timer-driven snapshot events (plus
+// timing fields like Elapsed and WorkerSteps) are excluded.
+//
+// That makes digests replay-comparable across machines: when two modes of
+// engine.Differential diverge, their digests name which JSONL traces to
+// diff, and a digest mismatch across worker counts within one mode is
+// itself a determinism violation.
+type Digest struct {
+	mu sync.Mutex
+	h  hash.Hash
+	n  int
+}
+
+// NewDigest returns an empty digest; it implements Sink and can be
+// attached directly to an exploration or subscribed to a Bus.
+func NewDigest() *Digest {
+	return &Digest{h: sha256.New()}
+}
+
+// Publish implements Sink, folding in the deterministic events.
+func (d *Digest) Publish(ev Event) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch ev.Kind {
+	case KindRunStart:
+		// Workers is scheduling, not structure; hash only the mode shape.
+		if c := ev.Config; c != nil {
+			fmt.Fprintf(d.h, "start mode=%s max=%d inits=%d\n", c.Mode(), c.MaxStates, c.Inits)
+			d.n++
+		}
+	case KindLevel, KindTruncated, KindRunEnd:
+		if s := ev.Snapshot; s != nil {
+			fmt.Fprintf(d.h, "%s states=%d edges=%d depth=%d frontier=%d peak=%d exp=%d dedup=%d canon=%d raw=%d ample=%d defer=%d trunc=%v\n",
+				ev.Kind, s.States, s.Edges, s.Depth, s.Frontier, s.PeakFrontier,
+				s.Expansions, s.DedupHits, s.CanonHits, s.RawStates,
+				s.AmpleStates, s.DeferredActions, s.Truncated)
+			d.n++
+		}
+	}
+}
+
+// Events reports how many events have been folded in.
+func (d *Digest) Events() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.n
+}
+
+// Sum returns the 16-hex-digit digest of the events folded in so far.
+func (d *Digest) Sum() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sum := d.h.Sum(nil)
+	return hex.EncodeToString(sum[:8])
+}

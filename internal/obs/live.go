@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Live is a Sink that retains the latest state of the event stream for
+// the -serve debug endpoint: the current run's config, the most recent
+// snapshot, and expvar-style event counters. It is the read model behind
+// /metrics; Publish only swaps pointers under a short lock, so it is safe
+// to subscribe directly (no Bus needed) even on hot runs.
+type Live struct {
+	mu        sync.RWMutex
+	manifest  *Manifest
+	config    *RunConfig
+	last      *ProgressSnapshot
+	final     *ProgressSnapshot
+	runs      int
+	events    uint64
+	snapshots uint64
+	started   time.Time
+}
+
+// NewLive returns a Live sink, optionally carrying the producer's
+// manifest (shown by /metrics for provenance).
+func NewLive(m *Manifest) *Live {
+	return &Live{manifest: m, started: time.Now()}
+}
+
+// Publish implements Sink.
+func (l *Live) Publish(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events++
+	switch ev.Kind {
+	case KindRunStart:
+		l.runs++
+		l.config = ev.Config
+		l.last, l.final = nil, nil
+	case KindSnapshot:
+		l.snapshots++
+		l.last = ev.Snapshot
+	case KindLevel, KindTruncated:
+		l.last = ev.Snapshot
+	case KindRunEnd:
+		l.last, l.final = ev.Snapshot, ev.Snapshot
+	}
+}
+
+// liveMetrics is the /metrics JSON document.
+type liveMetrics struct {
+	SchemaVersion int               `json:"schema_version"`
+	Manifest      *Manifest         `json:"manifest,omitempty"`
+	UptimeSec     float64           `json:"uptime_sec"`
+	Runs          int               `json:"runs"`
+	Events        uint64            `json:"events"`
+	Snapshots     uint64            `json:"snapshots"`
+	Config        *RunConfig        `json:"config,omitempty"`
+	Snapshot      *ProgressSnapshot `json:"snapshot,omitempty"`
+	Final         *ProgressSnapshot `json:"final,omitempty"`
+	StatesPerSec  float64           `json:"states_per_sec,omitempty"`
+	Utilization   float64           `json:"utilization,omitempty"`
+}
+
+// ServeHTTP implements http.Handler: the latest counters as JSON.
+func (l *Live) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	l.mu.RLock()
+	m := liveMetrics{
+		SchemaVersion: SchemaVersion,
+		Manifest:      l.manifest,
+		UptimeSec:     time.Since(l.started).Seconds(),
+		Runs:          l.runs,
+		Events:        l.events,
+		Snapshots:     l.snapshots,
+		Config:        l.config,
+		Snapshot:      l.last,
+		Final:         l.final,
+	}
+	l.mu.RUnlock()
+	if m.Snapshot != nil {
+		m.StatesPerSec = m.Snapshot.StatesPerSec()
+		m.Utilization = m.Snapshot.Utilization()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(m) //nolint:errcheck // best-effort debug endpoint
+}
+
+// Handler returns the -serve debug mux: /metrics (the Live JSON document)
+// plus the standard pprof profile endpoints under /debug/pprof/.
+func Handler(l *Live) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", l)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "exploration telemetry\n  /metrics      live counters (JSON)\n  /debug/pprof/ profiles\n")
+	})
+	return mux
+}
+
+// Serve listens on addr (e.g. ":6060", or ":0" for an ephemeral port) and
+// serves Handler(l) in a background goroutine. It returns the bound
+// address and a shutdown function.
+func Serve(addr string, l *Live) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(l)}
+	go srv.Serve(ln) //nolint:errcheck // closed by shutdown below
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

@@ -1,0 +1,295 @@
+// Package obs is the streaming observability layer of the exploration
+// engine: typed telemetry events, a lock-light bounded fan-out bus, JSONL
+// run traces with a versioned schema, live progress snapshots, and an
+// opt-in HTTP metrics endpoint.
+//
+// The engine (internal/engine) is the producer: with a Sink installed in
+// its Options it publishes a run_start event, one level event per BFS
+// barrier, timer-driven snapshot events from a monitor goroutine, a
+// truncated event when the state limit trips, and a run_end event whose
+// final snapshot totals equal the returned Stats. With no Sink installed
+// the engine skips every telemetry branch — the disabled path costs one
+// nil check and zero allocations (see Publish).
+//
+// The cardinal rule is that observing a run never changes it: sinks only
+// read, events are published outside the worker hot loops (at level
+// barriers and from the monitor goroutine), and the exploration Result is
+// byte-identical with and without sinks attached, at any worker count.
+// The engine's tests assert exactly that.
+//
+// Everything in this package is engine-agnostic: it imports no other
+// internal package, so the engine, core, and the CLIs can all depend on it
+// without cycles.
+package obs
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// SchemaVersion identifies the trace event layout. Policy: additive
+// changes (new event kinds, new optional snapshot fields) do not bump the
+// version — consumers must ignore unknown fields and kinds; renaming,
+// removing, or changing the meaning of an existing field does. Validators
+// reject traces written by a newer schema than they understand.
+const SchemaVersion = 1
+
+// EventKind discriminates trace events.
+type EventKind string
+
+const (
+	// KindManifest tags the first line of a JSONL trace (a Manifest, not
+	// an Event; listed here so validators can name it).
+	KindManifest EventKind = "manifest"
+	// KindRunStart opens one exploration run and carries its RunConfig.
+	KindRunStart EventKind = "run_start"
+	// KindLevel is published at every BFS level barrier with a
+	// point-in-time snapshot. Its counter fields are worker-count
+	// invariant (the engine's determinism contract extends to them), so
+	// level events are the replay-comparable skeleton of a trace.
+	KindLevel EventKind = "level"
+	// KindSnapshot is a timer-driven live snapshot (worker utilization,
+	// throughput). Timing-dependent: excluded from digests.
+	KindSnapshot EventKind = "snapshot"
+	// KindTruncated reports that the state limit cut the run short.
+	KindTruncated EventKind = "truncated"
+	// KindRunEnd closes a run; its snapshot is final (totals equal the
+	// run's Stats).
+	KindRunEnd EventKind = "run_end"
+)
+
+// Event is one telemetry record. Exactly one payload field is set,
+// according to Kind. Run and Seq are stamped by TraceWriter, not by the
+// producer.
+type Event struct {
+	Kind EventKind `json:"kind"`
+	// Run numbers the exploration run within a trace file (1-based),
+	// stamped by TraceWriter.
+	Run int `json:"run,omitempty"`
+	// Seq orders events within a trace file (1-based, strictly
+	// increasing), stamped by TraceWriter.
+	Seq uint64 `json:"seq,omitempty"`
+	// Config accompanies run_start.
+	Config *RunConfig `json:"config,omitempty"`
+	// Snapshot accompanies level, snapshot, truncated and run_end.
+	Snapshot *ProgressSnapshot `json:"snapshot,omitempty"`
+}
+
+// RunConfig describes one exploration run, published with run_start.
+type RunConfig struct {
+	// Workers is the resolved worker count.
+	Workers int `json:"workers"`
+	// MaxStates is the resolved state limit.
+	MaxStates int `json:"max_states"`
+	// Inits is the number of deduplicated initial states.
+	Inits int `json:"inits"`
+	// Canon reports that a symmetry canonicalizer is installed.
+	Canon bool `json:"canon,omitempty"`
+	// POR reports that an independence relation is installed.
+	POR bool `json:"por,omitempty"`
+}
+
+// Mode names the reduction stack of a run: "full", "canon", "por" or
+// "canon+por" — the same vocabulary engine.Differential uses.
+func (c RunConfig) Mode() string {
+	switch {
+	case c.Canon && c.POR:
+		return "canon+por"
+	case c.Canon:
+		return "canon"
+	case c.POR:
+		return "por"
+	}
+	return "full"
+}
+
+// ProgressSnapshot is a point-in-time view of one exploration run. Level
+// and run_end snapshots carry barrier-accurate (worker-count-invariant)
+// counters; timer-driven snapshots carry live values that may be mid-level.
+type ProgressSnapshot struct {
+	// Elapsed is the time since the run started. Serialized in
+	// nanoseconds (Go's time.Duration JSON form).
+	Elapsed time.Duration `json:"elapsed"`
+	// States is the number of distinct states interned so far.
+	States int `json:"states"`
+	// Edges is the number of recorded transitions (final snapshots only;
+	// zero mid-run — edge arenas are per-worker until replay).
+	Edges int `json:"edges,omitempty"`
+	// Depth is the number of BFS levels completed.
+	Depth int `json:"depth"`
+	// Frontier is the size of the level currently being expanded (zero on
+	// final snapshots: the frontier is empty when the run ends).
+	Frontier int `json:"frontier,omitempty"`
+	// PeakFrontier is the largest level seen so far.
+	PeakFrontier int `json:"peak_frontier,omitempty"`
+	// Expansions counts ExpandFunc calls so far.
+	Expansions uint64 `json:"expansions"`
+	// DedupHits counts generated successors that were already known.
+	DedupHits uint64 `json:"dedup_hits"`
+	// CanonHits counts states remapped to a different orbit
+	// representative (canonicalizer runs only).
+	CanonHits uint64 `json:"canon_hits,omitempty"`
+	// RawStates is the distinct raw pre-canonicalization state count
+	// (final snapshots of canonicalizer runs only; unioning the
+	// per-worker sets mid-run would not be lock-light).
+	RawStates int `json:"raw_states,omitempty"`
+	// AmpleStates and DeferredActions are the POR counters.
+	AmpleStates     uint64 `json:"ample_states,omitempty"`
+	DeferredActions uint64 `json:"deferred_actions,omitempty"`
+	// WorkerSteps[i] is the number of states worker i has expanded.
+	WorkerSteps []uint64 `json:"worker_steps,omitempty"`
+	// MaxStates echoes the run's state limit, for ETA arithmetic.
+	MaxStates int `json:"max_states,omitempty"`
+	// Truncated reports that the state limit cut the run short.
+	Truncated bool `json:"truncated,omitempty"`
+	// Final marks the run_end snapshot: totals equal the run's Stats.
+	Final bool `json:"final,omitempty"`
+}
+
+// StatesPerSec is the run-average throughput, States / Elapsed.
+func (p ProgressSnapshot) StatesPerSec() float64 {
+	if secs := p.Elapsed.Seconds(); secs > 0 {
+		return float64(p.States) / secs
+	}
+	return 0
+}
+
+// Rate is the windowed throughput between prev and p: Δstates / Δelapsed.
+// It is the instantaneous figure a live display wants (a stuck frontier
+// shows up here long before it dents the run average). Zero when the
+// snapshots are not ordered or coincide.
+func (p ProgressSnapshot) Rate(prev ProgressSnapshot) float64 {
+	dt := (p.Elapsed - prev.Elapsed).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return float64(p.States-prev.States) / dt
+}
+
+// Utilization is the worker-balance figure mean(WorkerSteps)/max(WorkerSteps),
+// in (0, 1]: 1.0 means the frontier sharded perfectly evenly, lower values
+// mean some workers idled. Zero when no worker has stepped yet.
+func (p ProgressSnapshot) Utilization() float64 {
+	var max, sum uint64
+	for _, s := range p.WorkerSteps {
+		sum += s
+		if s > max {
+			max = s
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	return float64(sum) / float64(len(p.WorkerSteps)) / float64(max)
+}
+
+// ReductionFactor is the live orbit reduction RawStates / States (zero
+// unless RawStates is populated — final snapshots of canonicalizer runs).
+func (p ProgressSnapshot) ReductionFactor() float64 {
+	if p.RawStates == 0 || p.States == 0 {
+		return 0
+	}
+	return float64(p.RawStates) / float64(p.States)
+}
+
+// ETA extrapolates the time remaining until the run hits MaxStates at the
+// run-average rate — an upper bound on the time to completion, since most
+// runs exhaust their space below the limit. Zero when MaxStates is unset,
+// already reached, or no rate is measurable yet.
+func (p ProgressSnapshot) ETA() time.Duration {
+	rate := p.StatesPerSec()
+	if p.MaxStates <= 0 || p.States >= p.MaxStates || rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(p.MaxStates-p.States) / rate * float64(time.Second))
+}
+
+// String renders the snapshot as one log line.
+func (p ProgressSnapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "states=%d depth=%d", p.States, p.Depth)
+	if p.Frontier > 0 {
+		fmt.Fprintf(&b, " frontier=%d", p.Frontier)
+	}
+	fmt.Fprintf(&b, " %s states/sec=%.0f", p.Elapsed.Round(time.Millisecond), p.StatesPerSec())
+	if len(p.WorkerSteps) > 1 {
+		fmt.Fprintf(&b, " util=%.0f%%", 100*p.Utilization())
+	}
+	if p.RawStates > 0 {
+		fmt.Fprintf(&b, " raw=%d reduction=%.2fx", p.RawStates, p.ReductionFactor())
+	}
+	if p.DeferredActions > 0 {
+		fmt.Fprintf(&b, " deferred=%d", p.DeferredActions)
+	}
+	if eta := p.ETA(); eta > 0 && !p.Final {
+		fmt.Fprintf(&b, " eta(max)=%s", eta.Round(time.Second))
+	}
+	if p.Truncated {
+		b.WriteString(" (truncated)")
+	}
+	if p.Final {
+		b.WriteString(" (final)")
+	}
+	return b.String()
+}
+
+// Sink consumes telemetry events. Publish must be safe for concurrent
+// calls (the engine publishes from the coordinator and from a monitor
+// goroutine) and must not block the caller for long: sinks that fan out to
+// slow consumers should buffer and drop (see Bus), never stall the
+// exploration.
+type Sink interface {
+	Publish(ev Event)
+}
+
+// Publish forwards ev to sink, tolerating a nil sink. The nil branch is
+// the engine's disabled-telemetry fast path: one comparison, zero
+// allocations (asserted by TestNilSinkZeroAllocs).
+func Publish(sink Sink, ev Event) {
+	if sink != nil {
+		sink.Publish(ev)
+	}
+}
+
+// MultiSink fans every event out to each member, synchronously and in
+// order.
+type MultiSink []Sink
+
+// Publish implements Sink.
+func (m MultiSink) Publish(ev Event) {
+	for _, s := range m {
+		s.Publish(ev)
+	}
+}
+
+// VCSVersion reports the build's VCS revision ("git describe"-grade
+// provenance for run manifests): the short commit hash, "+dirty" when the
+// working tree was modified, or "unknown" for builds without VCS stamping
+// (go run from a non-repo, test binaries).
+func VCSVersion() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Snapshot arithmetic is pure (the clock is an injected Elapsed value), so
+// every figure is checked against hand-computed constants.
+
+func TestSnapshotStatesPerSec(t *testing.T) {
+	p := ProgressSnapshot{States: 500, Elapsed: 2 * time.Second}
+	if got := p.StatesPerSec(); got != 250 {
+		t.Fatalf("StatesPerSec = %v, want 250", got)
+	}
+	if got := (ProgressSnapshot{States: 500}).StatesPerSec(); got != 0 {
+		t.Fatalf("StatesPerSec with zero elapsed = %v, want 0", got)
+	}
+}
+
+func TestSnapshotRate(t *testing.T) {
+	prev := ProgressSnapshot{States: 100, Elapsed: 1 * time.Second}
+	cur := ProgressSnapshot{States: 400, Elapsed: 3 * time.Second}
+	if got := cur.Rate(prev); got != 150 {
+		t.Fatalf("Rate = %v, want 150 (Δ300 states over Δ2s)", got)
+	}
+	if got := prev.Rate(cur); got != 0 {
+		t.Fatalf("Rate with reversed order = %v, want 0", got)
+	}
+	if got := cur.Rate(cur); got != 0 {
+		t.Fatalf("Rate against itself = %v, want 0", got)
+	}
+}
+
+func TestSnapshotUtilization(t *testing.T) {
+	even := ProgressSnapshot{WorkerSteps: []uint64{50, 50, 50, 50}}
+	if got := even.Utilization(); got != 1.0 {
+		t.Fatalf("even Utilization = %v, want 1.0", got)
+	}
+	// mean(100, 50, 30, 20) = 50; max = 100; utilization = 0.5.
+	skewed := ProgressSnapshot{WorkerSteps: []uint64{100, 50, 30, 20}}
+	if got := skewed.Utilization(); got != 0.5 {
+		t.Fatalf("skewed Utilization = %v, want 0.5", got)
+	}
+	if got := (ProgressSnapshot{}).Utilization(); got != 0 {
+		t.Fatalf("empty Utilization = %v, want 0", got)
+	}
+	if got := (ProgressSnapshot{WorkerSteps: []uint64{0, 0}}).Utilization(); got != 0 {
+		t.Fatalf("all-idle Utilization = %v, want 0", got)
+	}
+}
+
+func TestSnapshotReductionFactor(t *testing.T) {
+	p := ProgressSnapshot{RawStates: 120, States: 30}
+	if got := p.ReductionFactor(); got != 4 {
+		t.Fatalf("ReductionFactor = %v, want 4", got)
+	}
+	if got := (ProgressSnapshot{States: 30}).ReductionFactor(); got != 0 {
+		t.Fatalf("ReductionFactor without raw states = %v, want 0", got)
+	}
+}
+
+func TestSnapshotETA(t *testing.T) {
+	// 1000 states in 2s = 500/s; 4000 remaining → 8s.
+	p := ProgressSnapshot{States: 1000, Elapsed: 2 * time.Second, MaxStates: 5000}
+	if got := p.ETA(); got != 8*time.Second {
+		t.Fatalf("ETA = %v, want 8s", got)
+	}
+	done := ProgressSnapshot{States: 5000, Elapsed: time.Second, MaxStates: 5000}
+	if got := done.ETA(); got != 0 {
+		t.Fatalf("ETA at the limit = %v, want 0", got)
+	}
+	if got := (ProgressSnapshot{States: 10, Elapsed: time.Second}).ETA(); got != 0 {
+		t.Fatalf("ETA without MaxStates = %v, want 0", got)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	p := ProgressSnapshot{
+		States: 1000, Depth: 4, Frontier: 200, Elapsed: 2 * time.Second,
+		WorkerSteps: []uint64{300, 300, 200, 200}, RawStates: 3000,
+	}
+	s := p.String()
+	// mean(300, 300, 200, 200) = 250; max = 300; utilization ≈ 83%.
+	for _, want := range []string{"states=1000", "depth=4", "frontier=200", "states/sec=500", "util=83%", "reduction=3.00x"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+	final := ProgressSnapshot{States: 10, Elapsed: time.Second, Final: true, Truncated: true}
+	s = final.String()
+	if !strings.Contains(s, "(final)") || !strings.Contains(s, "(truncated)") {
+		t.Fatalf("final String() = %q, missing final/truncated markers", s)
+	}
+}
+
+func TestRunConfigMode(t *testing.T) {
+	cases := []struct {
+		canon, por bool
+		want       string
+	}{
+		{false, false, "full"},
+		{true, false, "canon"},
+		{false, true, "por"},
+		{true, true, "canon+por"},
+	}
+	for _, c := range cases {
+		if got := (RunConfig{Canon: c.canon, POR: c.por}).Mode(); got != c.want {
+			t.Fatalf("Mode(canon=%v, por=%v) = %q, want %q", c.canon, c.por, got, c.want)
+		}
+	}
+}
+
+// TestNilSinkZeroAllocs pins the disabled-telemetry fast path: publishing
+// to a nil sink must not allocate (the engine calls this on hot paths
+// guarded only by the nil check).
+func TestNilSinkZeroAllocs(t *testing.T) {
+	snap := ProgressSnapshot{States: 1}
+	ev := Event{Kind: KindLevel, Snapshot: &snap}
+	allocs := testing.AllocsPerRun(1000, func() {
+		Publish(nil, ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("Publish(nil, ev) allocates %v per op, want 0", allocs)
+	}
+}
+
+func BenchmarkNilSinkPublish(b *testing.B) {
+	snap := ProgressSnapshot{States: 1}
+	ev := Event{Kind: KindLevel, Snapshot: &snap}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Publish(nil, ev)
+	}
+}
+
+type countSink struct{ n int }
+
+func (c *countSink) Publish(Event) { c.n++ }
+
+func TestMultiSinkFansOut(t *testing.T) {
+	a, b := &countSink{}, &countSink{}
+	m := MultiSink{a, b}
+	for i := 0; i < 3; i++ {
+		m.Publish(Event{Kind: KindSnapshot})
+	}
+	if a.n != 3 || b.n != 3 {
+		t.Fatalf("MultiSink delivered %d/%d events, want 3/3", a.n, b.n)
+	}
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Logger is a Sink that renders the event stream as human-oriented
+// progress lines — the -progress flag of the CLIs. It prints run_start,
+// timer-driven snapshots (with the windowed rate between consecutive
+// snapshots, which surfaces a stuck frontier immediately), truncation,
+// and the final run_end totals. Level events are skipped by default
+// (deep graphs emit thousands); set Levels for barrier-by-barrier output.
+type Logger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	prefix string
+	prev   *ProgressSnapshot
+	// Levels enables a line per BFS level barrier.
+	Levels bool
+}
+
+// NewLogger writes progress lines to w, each prefixed with prefix.
+func NewLogger(w io.Writer, prefix string) *Logger {
+	return &Logger{w: w, prefix: prefix}
+}
+
+// Publish implements Sink.
+func (l *Logger) Publish(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch ev.Kind {
+	case KindRunStart:
+		if c := ev.Config; c != nil {
+			fmt.Fprintf(l.w, "%srun start: mode=%s workers=%d max-states=%d inits=%d\n",
+				l.prefix, c.Mode(), c.Workers, c.MaxStates, c.Inits)
+		}
+		l.prev = nil
+	case KindSnapshot:
+		if s := ev.Snapshot; s != nil {
+			line := s.String()
+			if l.prev != nil {
+				line += fmt.Sprintf(" now=%.0f/s", s.Rate(*l.prev))
+			}
+			fmt.Fprintf(l.w, "%s%s\n", l.prefix, line)
+			cp := *s
+			l.prev = &cp
+		}
+	case KindLevel:
+		if l.Levels && ev.Snapshot != nil {
+			fmt.Fprintf(l.w, "%slevel %s\n", l.prefix, ev.Snapshot)
+		}
+	case KindTruncated:
+		if s := ev.Snapshot; s != nil {
+			fmt.Fprintf(l.w, "%sstate limit hit: %s\n", l.prefix, s)
+		}
+	case KindRunEnd:
+		if s := ev.Snapshot; s != nil {
+			fmt.Fprintf(l.w, "%srun end: %s\n", l.prefix, s)
+		}
+		l.prev = nil
+	}
+}

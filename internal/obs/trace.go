@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Manifest is the first line of every JSONL trace: the provenance record
+// that makes two traces comparable. Same Tool + Seed + Options + schema
+// means the deterministic skeleton of the traces (level events, final
+// totals — see Digest) must match; Git pins the code that produced it.
+type Manifest struct {
+	// Kind is always "manifest".
+	Kind EventKind `json:"kind"`
+	// SchemaVersion is the trace schema the file was written under.
+	SchemaVersion int `json:"schema_version"`
+	// Tool names the producer (e.g. "bivalence", "hundred").
+	Tool string `json:"tool"`
+	// Seed is the deterministic seed of the run, when one exists.
+	Seed int64 `json:"seed,omitempty"`
+	// Git is the producing build's VCS revision (see VCSVersion).
+	Git string `json:"git,omitempty"`
+	// Options records the producer's relevant flag/option settings.
+	Options map[string]string `json:"options,omitempty"`
+	// Started is the wall-clock start time, RFC3339. Events carry only
+	// monotonic elapsed durations; this is the single wall anchor.
+	Started string `json:"started,omitempty"`
+}
+
+// NewManifest builds a manifest for tool with the current schema version,
+// build revision, and start time.
+func NewManifest(tool string) Manifest {
+	return Manifest{
+		Kind:          KindManifest,
+		SchemaVersion: SchemaVersion,
+		Tool:          tool,
+		Git:           VCSVersion(),
+		Started:       time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// TraceWriter is a Sink that renders events as JSON Lines: the manifest
+// first, then one event object per line, stamped with a file-global
+// sequence number and a 1-based run number (incremented at every
+// run_start). It simultaneously folds the deterministic events into a
+// Digest, so a trace's replay-comparable fingerprint is available without
+// re-reading the file.
+//
+// Writes are serialized under a mutex; the first write error sticks and
+// suppresses further output (check Err or Close).
+type TraceWriter struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	closer io.Closer
+	seq    uint64
+	run    int
+	digest *Digest
+	err    error
+}
+
+// NewTraceWriter writes the manifest line to w and returns the writer. If
+// w is an io.Closer, Close closes it after flushing.
+func NewTraceWriter(w io.Writer, m Manifest) (*TraceWriter, error) {
+	m.Kind = KindManifest
+	if m.SchemaVersion == 0 {
+		m.SchemaVersion = SchemaVersion
+	}
+	t := &TraceWriter{bw: bufio.NewWriter(w), digest: NewDigest()}
+	if c, ok := w.(io.Closer); ok {
+		t.closer = c
+	}
+	line, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("obs: marshal manifest: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := t.bw.Write(line); err != nil {
+		return nil, fmt.Errorf("obs: write manifest: %w", err)
+	}
+	return t, nil
+}
+
+// Publish implements Sink.
+func (t *TraceWriter) Publish(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.seq++
+	ev.Seq = t.seq
+	if ev.Kind == KindRunStart {
+		t.run++
+	}
+	ev.Run = t.run
+	t.digest.Publish(ev)
+	line, err := json.Marshal(ev)
+	if err != nil {
+		t.err = fmt.Errorf("obs: marshal event: %w", err)
+		return
+	}
+	line = append(line, '\n')
+	if _, err := t.bw.Write(line); err != nil {
+		t.err = fmt.Errorf("obs: write event: %w", err)
+	}
+}
+
+// Digest returns the trace's deterministic-event digest so far.
+func (t *TraceWriter) Digest() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.digest.Sum()
+}
+
+// Err returns the first write error, if any.
+func (t *TraceWriter) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Close flushes buffered lines and closes the underlying writer when it
+// is closable, returning the first error encountered over the writer's
+// lifetime.
+func (t *TraceWriter) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.bw.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	if t.closer != nil {
+		if err := t.closer.Close(); err != nil && t.err == nil {
+			t.err = err
+		}
+		t.closer = nil
+	}
+	return t.err
+}

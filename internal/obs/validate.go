@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceSummary is ValidateTrace's account of a well-formed trace.
+type TraceSummary struct {
+	// SchemaVersion and Tool echo the manifest.
+	SchemaVersion int
+	Tool          string
+	// Events counts event lines (the manifest excluded).
+	Events int
+	// Runs counts run_start/run_end pairs.
+	Runs int
+	// Levels counts per-barrier level events (the deterministic progress
+	// record; present however fast the run was).
+	Levels int
+	// Snapshots counts timer-driven snapshot events.
+	Snapshots int
+	// FinalStates[i] is run i's final state count (from its run_end).
+	FinalStates []int
+	// Digest is the deterministic-event digest recomputed from the file;
+	// it equals the producing TraceWriter's Digest.
+	Digest string
+}
+
+// ValidateTrace checks a JSONL trace against the schema: a current-version
+// manifest first; then events with known kinds, strictly increasing
+// sequence numbers, and correctly nested runs (run_start opens, run_end
+// with a final snapshot closes, nothing outside a run); snapshot-carrying
+// events must have a snapshot payload whose counters are internally
+// consistent (Expansions equals the worker-step sum when worker steps are
+// present, monotone non-decreasing States/Depth within a run). It returns
+// a summary, or the first violation with its line number.
+func ValidateTrace(r io.Reader) (*TraceSummary, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	fail := func(line int, format string, args ...any) error {
+		return fmt.Errorf("trace line %d: %s", line, fmt.Sprintf(format, args...))
+	}
+
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trace is empty (no manifest line)")
+	}
+	var m Manifest
+	if err := json.Unmarshal(sc.Bytes(), &m); err != nil || m.Kind != KindManifest {
+		return nil, fail(1, "first line is not a manifest: %s", firstOf(err, "kind %q", m.Kind))
+	}
+	if m.SchemaVersion <= 0 {
+		return nil, fail(1, "manifest has no schema_version")
+	}
+	if m.SchemaVersion > SchemaVersion {
+		return nil, fail(1, "schema_version %d is newer than this binary's %d; upgrade the binary",
+			m.SchemaVersion, SchemaVersion)
+	}
+
+	sum := &TraceSummary{SchemaVersion: m.SchemaVersion, Tool: m.Tool}
+	digest := NewDigest()
+	var (
+		lastSeq            uint64
+		inRun              bool
+		runStates, runDepth int
+	)
+	line := 1
+	for sc.Scan() {
+		line++
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fail(line, "not a JSON event: %v", err)
+		}
+		sum.Events++
+		if ev.Seq <= lastSeq {
+			return nil, fail(line, "seq %d is not strictly increasing (previous %d)", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+
+		switch ev.Kind {
+		case KindRunStart:
+			if inRun {
+				return nil, fail(line, "run_start inside an open run")
+			}
+			if ev.Config == nil {
+				return nil, fail(line, "run_start without a config payload")
+			}
+			if ev.Config.Workers <= 0 || ev.Config.MaxStates <= 0 || ev.Config.Inits <= 0 {
+				return nil, fail(line, "run_start config has non-positive workers/max_states/inits: %+v", *ev.Config)
+			}
+			inRun, runStates, runDepth = true, 0, 0
+		case KindLevel, KindSnapshot, KindTruncated, KindRunEnd:
+			if !inRun {
+				return nil, fail(line, "%s event outside a run", ev.Kind)
+			}
+			s := ev.Snapshot
+			if s == nil {
+				return nil, fail(line, "%s event without a snapshot payload", ev.Kind)
+			}
+			if s.States < 0 || s.Depth < 0 || s.Frontier < 0 {
+				return nil, fail(line, "snapshot has negative counters: %+v", *s)
+			}
+			if len(s.WorkerSteps) > 0 {
+				var steps uint64
+				for _, w := range s.WorkerSteps {
+					steps += w
+				}
+				if steps != s.Expansions {
+					return nil, fail(line, "snapshot expansions %d != worker-step sum %d", s.Expansions, steps)
+				}
+			}
+			// Timer-driven snapshots may race one barrier behind the live
+			// state counter; monotonicity is only promised barrier-to-barrier.
+			if ev.Kind != KindSnapshot {
+				if s.States < runStates {
+					return nil, fail(line, "states regressed %d -> %d within a run", runStates, s.States)
+				}
+				if s.Depth < runDepth {
+					return nil, fail(line, "depth regressed %d -> %d within a run", runDepth, s.Depth)
+				}
+				runStates, runDepth = s.States, s.Depth
+			}
+			switch ev.Kind {
+			case KindLevel:
+				sum.Levels++
+			case KindSnapshot:
+				sum.Snapshots++
+			case KindRunEnd:
+				if !s.Final {
+					return nil, fail(line, "run_end snapshot is not marked final")
+				}
+				sum.Runs++
+				sum.FinalStates = append(sum.FinalStates, s.States)
+				inRun = false
+			}
+		default:
+			return nil, fail(line, "unknown event kind %q", ev.Kind)
+		}
+		digest.Publish(ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if inRun {
+		return nil, fmt.Errorf("trace ends inside an open run (missing run_end)")
+	}
+	if sum.Runs == 0 {
+		return nil, fmt.Errorf("trace contains no completed runs")
+	}
+	sum.Digest = digest.Sum()
+	return sum, nil
+}
+
+// firstOf renders err when non-nil, else the fallback format.
+func firstOf(err error, format string, args ...any) string {
+	if err != nil {
+		return err.Error()
+	}
+	return fmt.Sprintf(format, args...)
+}

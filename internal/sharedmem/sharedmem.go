@@ -10,9 +10,11 @@ package sharedmem
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/spec"
 )
 
@@ -243,6 +245,13 @@ type CheckMutexOptions struct {
 	Parallelism int
 	// Stats, when non-nil, receives the exploration telemetry.
 	Stats *engine.Stats
+	// Sink, when non-nil, streams the exploration's telemetry events —
+	// see obs.Sink.
+	Sink obs.Sink
+	// SnapshotEvery is the timer-driven snapshot period (only meaningful
+	// with Sink; zero = engine.DefaultSnapshotEvery, negative = barrier
+	// events only).
+	SnapshotEvery time.Duration
 }
 
 // CheckMutex model-checks the resource-allocation correctness conditions
@@ -255,6 +264,7 @@ func CheckMutex(alg Algorithm, opts CheckMutexOptions) (MutexReport, error) {
 	rep := MutexReport{Algorithm: alg.Name(), Exclusion: excl, LockoutVictim: -1}
 	g, err := ExploreWith(alg, core.ExploreOptions{
 		MaxStates: opts.MaxStates, Parallelism: opts.Parallelism, Stats: opts.Stats,
+		Sink: opts.Sink, SnapshotEvery: opts.SnapshotEvery,
 	})
 	if err != nil {
 		return rep, err
