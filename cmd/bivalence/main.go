@@ -20,6 +20,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/flp"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 func main() {
@@ -41,7 +42,17 @@ func run() int {
 	serveAddr := flag.String("serve", "", "serve live /metrics and /debug/pprof on this address (e.g. :8080) for the life of the run")
 	snapshotEvery := flag.Duration("snapshot-every", 0,
 		"timer-driven snapshot period for -progress/-trace/-serve (0 = 1s default, negative = barrier events only)")
+	storeKind := flag.String("store", "mem",
+		"visited-set backend: mem | spill | bitstate (bitstate is lossy: verdicts downgrade to \"no violation found\")")
+	maxStoreBytes := flag.Int64("max-store-bytes", 0,
+		"spill backend's resident-payload budget in bytes (0 = 256 MiB default)")
 	flag.Parse()
+
+	storeCfg, err := store.ParseFlags(*storeKind, *maxStoreBytes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 
 	var p flp.Protocol
 	switch *proto {
@@ -63,6 +74,7 @@ func run() int {
 			"resilience": strconv.Itoa(*resilience),
 			"parallel":   strconv.Itoa(*parallel),
 			"por":        strconv.FormatBool(*usePOR),
+			"store":      string(storeCfg.ResolvedKind()),
 		},
 	})
 	if err != nil {
@@ -71,12 +83,12 @@ func run() int {
 	}
 	defer obsCleanup()
 	var st *engine.Stats
-	if *stats {
+	if *stats || storeCfg.ResolvedKind() != store.Mem {
 		st = new(engine.Stats)
 	}
 	opts := flp.AnalyzeOptions{
 		Resilience: resilience, Parallelism: *parallel, Stats: st,
-		Sink: sink, SnapshotEvery: *snapshotEvery,
+		Sink: sink, SnapshotEvery: *snapshotEvery, Store: storeCfg,
 	}
 	if *usePOR {
 		opts.Independent = flp.DeliveryIndependence(p)
@@ -89,8 +101,13 @@ func run() int {
 		return 1
 	}
 	fmt.Printf("protocol:            %s (n=%d, resilience=%d)\n", rep.Protocol, *n, *resilience)
-	if st != nil {
+	if st != nil && *stats {
 		fmt.Printf("exploration:         %s\n", st)
+	}
+	if st != nil {
+		if line := st.StoreString(); line != "" {
+			fmt.Printf("state store:         %s\n", line)
+		}
 	}
 	fmt.Printf("configurations:      %d (%d transitions)\n", rep.States, rep.Edges)
 	fmt.Printf("bivalent configs:    %d (bivalent initial: %v)\n", rep.BivalentConfigs, rep.HasBivalentInitial)

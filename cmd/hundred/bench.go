@@ -21,8 +21,12 @@ import (
 // wraps the former single-record layout in {schema_version, runs: [...]},
 // appending one run per -bench-json invocation so regressions are visible
 // in the committed history, and adds partial-order-reduction rows next to
-// the quotient rows.
-const benchSchemaVersion = 2
+// the quotient rows. Version 3 adds the memory axis: per-row store-backend
+// figures (kind, budget, spilled bytes, segments) and peak process RSS,
+// so budget-bounded big-instance runs are comparable across history. The
+// additions are all omitempty, so v2 readers' fields are unchanged and v2
+// histories load as-is.
+const benchSchemaVersion = 3
 
 // benchHistoryCap bounds the committed run history: the newest runs win.
 const benchHistoryCap = 16
@@ -65,6 +69,16 @@ type explorationBench struct {
 	PORStatesPerSec    float64 `json:"por_states_per_sec,omitempty"`
 	PORReductionFactor float64 `json:"por_reduction_factor,omitempty"`
 	PORQuotientStates  int     `json:"por_quotient_states,omitempty"`
+	// Store-backend figures of the full-mode exploration (schema v3; zero
+	// for the default mem backend on pre-v3 rows).
+	StoreKind         string `json:"store,omitempty"`
+	MaxStoreBytes     int64  `json:"max_store_bytes,omitempty"`
+	StoreBytesSpilled int64  `json:"store_bytes_spilled,omitempty"`
+	StoreSegments     int    `json:"store_segments,omitempty"`
+	// PeakRSSBytes is the process's peak resident set after the full-mode
+	// exploration (process-wide and monotone: rows later in a run inherit
+	// at least the peaks of earlier rows).
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
 }
 
 type synthBench struct {
@@ -100,7 +114,7 @@ func benchWorkloads() ([]benchWorkload, error) {
 	shared := func(alg sharedmem.Algorithm) benchWorkload {
 		return benchWorkload{name: alg.Name(), explore: func(mode exploreMode) (int, engine.Stats, error) {
 			var st engine.Stats
-			opts := core.ExploreOptions{Parallelism: parallelism, Stats: &st}
+			opts := core.ExploreOptions{Parallelism: parallelism, Stats: &st, Store: storeCfg}
 			switch mode {
 			case modeQuotient:
 				opts.Canon = sharedmem.CanonFor(alg)
@@ -135,7 +149,7 @@ func benchWorkloads() ([]benchWorkload, error) {
 			name: fmt.Sprintf("%s(n=%d,r=%d)", p.Name(), cfg.n, cfg.resilience),
 			explore: func(mode exploreMode) (int, engine.Stats, error) {
 				var st engine.Stats
-				opts := core.ExploreOptions{Parallelism: parallelism, Stats: &st}
+				opts := core.ExploreOptions{Parallelism: parallelism, Stats: &st, Store: storeCfg}
 				switch mode {
 				case modeQuotient:
 					opts.Canon = canonFn
@@ -166,7 +180,7 @@ func benchWorkloads() ([]benchWorkload, error) {
 		name: "crash-space(n=8,t=4,r=16)",
 		explore: func(mode exploreMode) (int, engine.Stats, error) {
 			var st engine.Stats
-			opts := core.ExploreOptions{Parallelism: parallelism, Stats: &st}
+			opts := core.ExploreOptions{Parallelism: parallelism, Stats: &st, Store: storeCfg}
 			switch mode {
 			case modeQuotient:
 				opts.Canon = crash.Canon()
@@ -190,7 +204,7 @@ func benchWorkloads() ([]benchWorkload, error) {
 		name: "async-lcr(n=7)",
 		explore: func(mode exploreMode) (int, engine.Stats, error) {
 			var st engine.Stats
-			opts := core.ExploreOptions{Parallelism: parallelism, Stats: &st}
+			opts := core.ExploreOptions{Parallelism: parallelism, Stats: &st, Store: storeCfg}
 			switch mode {
 			case modeQuotient, modePORQuotient:
 				return 0, st, nil
@@ -208,12 +222,55 @@ func benchWorkloads() ([]benchWorkload, error) {
 	if err != nil {
 		return nil, err
 	}
+	if benchBig {
+		// The budget-bounded big instances (-bench-big): the next n of the
+		// suite's two scaling series, sized past the old all-in-RAM design
+		// point. Full mode only — the point of these rows is the memory
+		// axis (spill figures + peak RSS), not the reduction comparison.
+		bigLCR, err := ring.NewAsyncLCR(ring.DescendingIDs(8))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, benchWorkload{
+			name: "async-lcr(n=8)",
+			explore: func(mode exploreMode) (int, engine.Stats, error) {
+				var st engine.Stats
+				if mode != modeFull {
+					return 0, st, nil
+				}
+				g, err := bigLCR.CheckElection(core.ExploreOptions{
+					Parallelism: parallelism, Stats: &st, Store: storeCfg, MaxStates: 200_000_000,
+				})
+				if err != nil {
+					return 0, st, err
+				}
+				return g.Len(), st, nil
+			},
+		})
+		p5 := flp.NewWaitQuorum(5)
+		out = append(out, benchWorkload{
+			name: "wait-quorum(n=5,r=0)",
+			explore: func(mode exploreMode) (int, engine.Stats, error) {
+				var st engine.Stats
+				if mode != modeFull {
+					return 0, st, nil
+				}
+				g, err := core.Explore[string](flp.NewSystem(p5, nil, 0), core.ExploreOptions{
+					Parallelism: parallelism, Stats: &st, Store: storeCfg, MaxStates: 200_000_000,
+				})
+				if err != nil {
+					return 0, st, err
+				}
+				return g.Len(), st, nil
+			},
+		})
+	}
 	out = append(out, benchWorkload{
 		// The cyclic workload: retransmission loops exercise the C3 proviso.
 		name: "async-abp(m=8)",
 		explore: func(mode exploreMode) (int, engine.Stats, error) {
 			var st engine.Stats
-			opts := core.ExploreOptions{Parallelism: parallelism, Stats: &st}
+			opts := core.ExploreOptions{Parallelism: parallelism, Stats: &st, Store: storeCfg}
 			switch mode {
 			case modeQuotient, modePORQuotient:
 				return 0, st, nil
@@ -253,6 +310,12 @@ func runBench() (benchRecord, error) {
 			FullStates:       full,
 			FullSeconds:      fullStats.Elapsed.Seconds(),
 			FullStatesPerSec: fullStats.StatesPerSec,
+
+			StoreKind:         string(fullStats.Store.Kind),
+			MaxStoreBytes:     fullStats.Store.MaxBytes,
+			StoreBytesSpilled: fullStats.Store.BytesSpilled,
+			StoreSegments:     fullStats.Store.Segments,
+			PeakRSSBytes:      fullStats.PeakRSSBytes,
 		}
 		quo, quoStats, err := w.explore(modeQuotient)
 		if err != nil {

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+)
+
+// benchCompareThreshold is the full-mode states/sec regression (fractional)
+// past which bench-compare fails. 30% is far above same-machine run-to-run
+// noise for these workloads but well below a real algorithmic regression.
+const benchCompareThreshold = 0.30
+
+// runBenchCompare is the `hundred bench-compare` subcommand: it diffs the
+// last two runs recorded in a BENCH_hundred.json history and exits nonzero
+// when any system present in both runs regressed its full-mode throughput
+// by more than the threshold, or moved a deterministic state count. This is
+// the hard CI gate the warn-only comparison inside -bench-json cannot be
+// (that one runs before the new record is committed; this one compares two
+// committed records on the same hardware).
+func runBenchCompare(args []string) int {
+	fs := flag.NewFlagSet("hundred bench-compare", flag.ContinueOnError)
+	file := fs.String("file", "BENCH_hundred.json", "bench history file to compare")
+	threshold := fs.Float64("threshold", benchCompareThreshold,
+		"fractional full-mode states/sec regression that fails the gate")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: hundred bench-compare [-file BENCH_hundred.json] [-threshold 0.30]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	bf, err := loadBenchFile(*file)
+	if err != nil {
+		fmt.Println(err)
+		return 2
+	}
+	if len(bf.Runs) < 2 {
+		fmt.Printf("%s: %d run(s) in history; nothing to compare\n", *file, len(bf.Runs))
+		return 0
+	}
+	prev, cur := &bf.Runs[len(bf.Runs)-2], &bf.Runs[len(bf.Runs)-1]
+	bad, compared := diffBenchRecords(prev, cur, *threshold)
+	if compared == 0 {
+		fmt.Println("no system appears in both runs; nothing to compare")
+		return 0
+	}
+	if len(bad) > 0 {
+		for _, msg := range bad {
+			fmt.Printf("FAIL %s\n", msg)
+		}
+		return 1
+	}
+	fmt.Printf("ok: %d systems within %.0f%% of the previous run (%s vs %s)\n",
+		compared, *threshold*100, prev.Timestamp, cur.Timestamp)
+	return 0
+}
+
+// diffBenchRecords compares the systems present in both runs and returns
+// one message per gate violation: a full-mode throughput regression past
+// threshold, or any moved deterministic state count. Systems present in
+// only one run (added or retired workloads) are skipped — the gate must not
+// force every workload change to rewrite history. Throughput is only gated
+// when both runs carry the same goos/goarch/gomaxprocs fingerprint: a CI
+// runner comparing against a record committed from different hardware can
+// legitimately be 30% slower, but it can never legitimately count a
+// different number of states.
+func diffBenchRecords(prev, cur *benchRecord, threshold float64) (bad []string, compared int) {
+	sameHW := prev.GOOS == cur.GOOS && prev.GOARCH == cur.GOARCH && prev.GOMAXPROCS == cur.GOMAXPROCS
+	prevRows := make(map[string]explorationBench, len(prev.Explorations))
+	for _, r := range prev.Explorations {
+		prevRows[r.System] = r
+	}
+	for _, r := range cur.Explorations {
+		p, ok := prevRows[r.System]
+		if !ok {
+			continue
+		}
+		compared++
+		if sameHW && p.FullStatesPerSec > 0 && r.FullStatesPerSec < p.FullStatesPerSec*(1-threshold) {
+			bad = append(bad, fmt.Sprintf("%s: full-mode throughput regressed %.1f%% (%.0f -> %.0f states/sec)",
+				r.System, (1-r.FullStatesPerSec/p.FullStatesPerSec)*100, p.FullStatesPerSec, r.FullStatesPerSec))
+		}
+		for _, c := range []struct {
+			what      string
+			prev, cur int
+		}{
+			{"full", p.FullStates, r.FullStates},
+			{"quotient", p.QuotientStates, r.QuotientStates},
+			{"por", p.PORStates, r.PORStates},
+			{"por+quotient", p.PORQuotientStates, r.PORQuotientStates},
+		} {
+			// A zero on either side means the mode (or instance) was added or
+			// removed, not that a deterministic count moved.
+			if c.prev != c.cur && c.prev > 0 && c.cur > 0 {
+				bad = append(bad, fmt.Sprintf("%s: %s state count moved %d -> %d (determinism contract)",
+					r.System, c.what, c.prev, c.cur))
+			}
+		}
+	}
+	return bad, compared
+}

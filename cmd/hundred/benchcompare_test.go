@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func benchFixture(t *testing.T, runs ...benchRecord) string {
+	t.Helper()
+	data, err := json.Marshal(benchFile{SchemaVersion: benchSchemaVersion, Runs: runs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return writeTemp(t, "bench.json", string(data))
+}
+
+func TestBenchCompareOK(t *testing.T) {
+	path := benchFixture(t,
+		benchRecord{Timestamp: "a", Explorations: []explorationBench{
+			{System: "grid", FullStates: 100, FullStatesPerSec: 1000},
+			{System: "retired", FullStates: 5, FullStatesPerSec: 50},
+		}},
+		benchRecord{Timestamp: "b", Explorations: []explorationBench{
+			{System: "grid", FullStates: 100, FullStatesPerSec: 800}, // -20%: within gate
+			{System: "brand-new", FullStates: 7, FullStatesPerSec: 70},
+		}},
+	)
+	if code := runBenchCompare([]string{"-file", path}); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+}
+
+func TestBenchCompareThroughputRegression(t *testing.T) {
+	path := benchFixture(t,
+		benchRecord{Explorations: []explorationBench{{System: "grid", FullStates: 100, FullStatesPerSec: 1000}}},
+		benchRecord{Explorations: []explorationBench{{System: "grid", FullStates: 100, FullStatesPerSec: 500}}},
+	)
+	if code := runBenchCompare([]string{"-file", path}); code != 1 {
+		t.Fatalf("50%% regression: exit = %d, want 1", code)
+	}
+	// A looser threshold lets the same file pass.
+	if code := runBenchCompare([]string{"-file", path, "-threshold", "0.6"}); code != 0 {
+		t.Fatalf("60%% threshold: exit = %d, want 0", code)
+	}
+}
+
+func TestBenchCompareStateCountDrift(t *testing.T) {
+	prev := benchRecord{Explorations: []explorationBench{
+		{System: "grid", FullStates: 100, FullStatesPerSec: 1000, QuotientStates: 30}}}
+	cur := benchRecord{Explorations: []explorationBench{
+		{System: "grid", FullStates: 101, FullStatesPerSec: 1000, QuotientStates: 30}}}
+	bad, compared := diffBenchRecords(&prev, &cur, 0.30)
+	if compared != 1 || len(bad) != 1 || !strings.Contains(bad[0], "determinism contract") {
+		t.Fatalf("bad = %v, compared = %d", bad, compared)
+	}
+	// A mode disappearing (count going to zero) is a workload change, not drift.
+	cur.Explorations[0].FullStates = 100
+	cur.Explorations[0].QuotientStates = 0
+	bad, _ = diffBenchRecords(&prev, &cur, 0.30)
+	if len(bad) != 0 {
+		t.Fatalf("removed mode flagged as drift: %v", bad)
+	}
+}
+
+func TestBenchCompareCrossHardwareSkipsThroughput(t *testing.T) {
+	prev := benchRecord{GOARCH: "arm64", GOMAXPROCS: 8, Explorations: []explorationBench{
+		{System: "grid", FullStates: 100, FullStatesPerSec: 1000}}}
+	cur := benchRecord{GOARCH: "amd64", GOMAXPROCS: 2, Explorations: []explorationBench{
+		{System: "grid", FullStates: 100, FullStatesPerSec: 100}}}
+	bad, compared := diffBenchRecords(&prev, &cur, 0.30)
+	if compared != 1 || len(bad) != 0 {
+		t.Fatalf("cross-hardware throughput gated: bad = %v, compared = %d", bad, compared)
+	}
+	// State counts still gate across hardware.
+	cur.Explorations[0].FullStates = 99
+	bad, _ = diffBenchRecords(&prev, &cur, 0.30)
+	if len(bad) != 1 {
+		t.Fatalf("cross-hardware state drift not gated: %v", bad)
+	}
+}
+
+func TestBenchCompareTooFewRuns(t *testing.T) {
+	path := benchFixture(t, benchRecord{Explorations: []explorationBench{{System: "grid", FullStates: 1}}})
+	if code := runBenchCompare([]string{"-file", path}); code != 0 {
+		t.Fatalf("single run: exit = %d, want 0", code)
+	}
+}
+
+func TestBenchCompareBadFile(t *testing.T) {
+	path := writeTemp(t, "corrupt.json", `{"schema_version": 2, "runs": [{`)
+	if code := runBenchCompare([]string{"-file", path}); code != 2 {
+		t.Fatalf("corrupt history: exit = %d, want 2", code)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/spacegen"
+	"repro/internal/store"
 )
 
 // runFuzz is the `hundred fuzz` subcommand: it drives the generative
@@ -121,6 +122,13 @@ func fuzzOne(cfg spacegen.Config, poison string) (bool, string, *engine.DiffRepo
 		return true, "", nil
 	}
 	spec := sp.Spec()
+	if poison == "" {
+		// Sound-path sweeps also cross-check the spill store against mem at
+		// a deliberately tiny budget (small pages so even these spaces cross
+		// the spill threshold); poisoned sweeps skip it — the falsifier under
+		// test fires before the store arm runs.
+		spec.Stores = []store.Config{{Kind: store.Spill, MaxBytes: 1 << 9, PageBits: 4}}
+	}
 	switch poison {
 	case "canon":
 		broken, ok := sp.PoisonedCanon()

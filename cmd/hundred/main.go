@@ -43,6 +43,7 @@ import (
 	"repro/internal/sessions"
 	"repro/internal/sharedmem"
 	"repro/internal/spec"
+	"repro/internal/store"
 	"repro/internal/synth"
 )
 
@@ -63,21 +64,32 @@ var (
 	usePOR        bool
 	obsSink       obs.Sink
 	snapshotEvery time.Duration
+	storeCfg      store.Config
+	benchBig      bool
 )
 
 // statsSink returns a fresh telemetry sink when -stats is set (which also
-// routes exploration through the engine even at parallelism 1), else nil.
+// routes exploration through the engine even at parallelism 1) or when a
+// non-default store backend is selected (its figures are worth a line even
+// without -stats), else nil.
 func statsSink() *engine.Stats {
-	if !showStats {
+	if !showStats && storeCfg.ResolvedKind() == store.Mem {
 		return nil
 	}
 	return new(engine.Stats)
 }
 
-// printStats reports an exploration's telemetry when -stats is set.
+// printStats reports an exploration's telemetry when -stats is set, plus
+// the store backend's figures whenever a non-default backend ran.
 func printStats(st *engine.Stats) {
-	if st != nil {
+	if st == nil {
+		return
+	}
+	if showStats {
 		fmt.Printf("    [engine] %s\n", st)
+	}
+	if line := st.StoreString(); line != "" {
+		fmt.Printf("    [store]  %s\n", line)
 	}
 }
 
@@ -96,11 +108,16 @@ func run() int {
 	if len(os.Args) > 1 && os.Args[1] == "trace-lint" {
 		return runTraceLint(os.Args[2:])
 	}
+	if len(os.Args) > 1 && os.Args[1] == "bench-compare" {
+		return runBenchCompare(os.Args[2:])
+	}
 	list := flag.Bool("list", false, "list experiments and exit")
 	benchJSON := flag.Bool("bench-json", false,
 		"run the performance suite (full vs quotient vs POR explorations, seq vs parallel synth) and record a JSON run")
 	benchOut := flag.String("bench-out", "BENCH_hundred.json",
 		"bench record file for -bench-json: the run is appended to its history; empty writes a single-run record to stdout")
+	flag.BoolVar(&benchBig, "bench-big", false,
+		"with -bench-json: also run the budget-bounded big instances (wait-quorum n=5, async-lcr n=8) — minutes of runtime; pair with -store spill -max-store-bytes")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	flag.IntVar(&parallelism, "parallel", 0,
@@ -113,12 +130,22 @@ func run() int {
 	serveAddr := flag.String("serve", "", "serve live /metrics and /debug/pprof on this address (e.g. :8080) for the life of the run")
 	flag.DurationVar(&snapshotEvery, "snapshot-every", 0,
 		"timer-driven snapshot period for -progress/-trace/-serve (0 = 1s default, negative = barrier events only)")
+	storeKind := flag.String("store", "mem",
+		"visited-set backend for state-space experiments: mem | spill | bitstate (bitstate is lossy: verdicts downgrade to \"no violation found\")")
+	maxStoreBytes := flag.Int64("max-store-bytes", 0,
+		"spill backend's resident-payload budget in bytes (0 = 256 MiB default)")
 	flag.Parse()
+	var err error
+	if storeCfg, err = store.ParseFlags(*storeKind, *maxStoreBytes); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 	sink, obsCleanup, err := obs.SetupCLI(obs.CLIConfig{
 		Tool: "hundred", Progress: *progress, TracePath: *tracePath, ServeAddr: *serveAddr,
 		Options: map[string]string{
 			"parallel": strconv.Itoa(parallelism),
 			"por":      strconv.FormatBool(usePOR),
+			"store":    string(storeCfg.ResolvedKind()),
 			"args":     strings.Join(flag.Args(), " "),
 		},
 	})
@@ -245,6 +272,7 @@ func e02() error {
 		st := statsSink()
 		rep, err := sharedmem.CheckMutex(a, sharedmem.CheckMutexOptions{
 			Parallelism: parallelism, Stats: st, Sink: obsSink, SnapshotEvery: snapshotEvery,
+			Store: storeCfg,
 		})
 		if err != nil {
 			return err
@@ -277,6 +305,7 @@ func e04() error {
 		st := statsSink()
 		rep, err := sharedmem.CheckMutex(sharedmem.NewTicketLock(n), sharedmem.CheckMutexOptions{
 			Parallelism: parallelism, Stats: st, Sink: obsSink, SnapshotEvery: snapshotEvery,
+			Store: storeCfg,
 		})
 		if err != nil {
 			return err
@@ -420,6 +449,7 @@ func e11() error {
 		st := statsSink()
 		opts := flp.AnalyzeOptions{
 			Parallelism: parallelism, Stats: st, Sink: obsSink, SnapshotEvery: snapshotEvery,
+			Store: storeCfg,
 		}
 		if usePOR {
 			opts.Independent = flp.DeliveryIndependence(p)
@@ -638,6 +668,7 @@ func e21() error {
 	st := statsSink()
 	opts := core.ExploreOptions{
 		Parallelism: parallelism, Sink: obsSink, SnapshotEvery: snapshotEvery,
+		Store: storeCfg,
 	}
 	if st != nil {
 		opts.Stats = st

@@ -27,6 +27,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/ring"
+	"repro/internal/store"
 )
 
 func main() {
@@ -48,7 +49,16 @@ func run() int {
 	serveAddr := flag.String("serve", "", "serve live /metrics and /debug/pprof on this address (e.g. :8080) for the life of the run")
 	snapshotEvery := flag.Duration("snapshot-every", 0,
 		"timer-driven snapshot period for -progress/-trace/-serve (0 = 1s default, negative = barrier events only)")
+	storeKind := flag.String("store", "mem",
+		"visited-set backend for the async LCR sweep: mem | spill | bitstate (bitstate is lossy: the schedule check becomes \"no violation found\")")
+	maxStoreBytes := flag.Int64("max-store-bytes", 0,
+		"spill backend's resident-payload budget in bytes (0 = 256 MiB default)")
 	flag.Parse()
+	storeCfg, err := store.ParseFlags(*storeKind, *maxStoreBytes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 	sink, obsCleanup, err := obs.SetupCLI(obs.CLIConfig{
 		Tool: "ringbench", Progress: *progress, TracePath: *tracePath, ServeAddr: *serveAddr,
 		Seed: *seed,
@@ -56,6 +66,7 @@ func run() int {
 			"max":      strconv.Itoa(*maxN),
 			"parallel": strconv.Itoa(*parallelism),
 			"por":      strconv.FormatBool(*usePOR),
+			"store":    string(storeCfg.ResolvedKind()),
 		},
 	})
 	if err != nil {
@@ -95,8 +106,9 @@ func run() int {
 		var st engine.Stats
 		opts := core.ExploreOptions{
 			Parallelism: *parallelism, Sink: sink, SnapshotEvery: *snapshotEvery,
+			Store: storeCfg,
 		}
-		if *showStats {
+		if *showStats || storeCfg.ResolvedKind() != store.Mem {
 			opts.Stats = &st
 		}
 		if *usePOR {
@@ -105,9 +117,16 @@ func run() int {
 		}
 		g, err := a.CheckElection(opts)
 		exitOn(err)
-		fmt.Printf("%-6d %10d %10s\n", n, g.Len(), "yes")
+		verdict := "yes"
+		if st.Lossy {
+			verdict = "none found (lossy)"
+		}
+		fmt.Printf("%-6d %10d %18s\n", n, g.Len(), verdict)
 		if *showStats {
 			fmt.Printf("       [engine] %s\n", st)
+		}
+		if line := st.StoreString(); line != "" {
+			fmt.Printf("       [store]  %s\n", line)
 		}
 	}
 	return 0

@@ -52,6 +52,7 @@ import (
 	"repro/internal/sessions"
 	"repro/internal/sharedmem"
 	"repro/internal/spec"
+	"repro/internal/store"
 	"repro/internal/synth"
 )
 
@@ -200,6 +201,25 @@ type (
 // FLPPermutationCanon builds the process-permutation canonicalizer for a
 // ProcessSymmetric protocol, for use as FLPAnalyzeOptions.Canon.
 var FLPPermutationCanon = flp.PermutationCanon
+
+// Visited-set store backends (FLPAnalyzeOptions.Store / MutexOptions.Store):
+// the knob that decides how large an instance the exhaustive checkers can
+// certify. StoreMem is the RAM default; StoreSpill bounds resident payload
+// bytes by spilling to compressed segment files (graphs stay byte-identical
+// to mem); StoreBitstate is a fingerprint-only lossy sweep that taints
+// verdicts (Report.Lossy) — absence of a violation is then not evidence.
+type (
+	// StoreConfig selects and budgets a visited-set backend.
+	StoreConfig = store.Config
+	// StoreKind names a backend: StoreMem, StoreSpill or StoreBitstate.
+	StoreKind = store.Kind
+)
+
+const (
+	StoreMem      = store.Mem
+	StoreSpill    = store.Spill
+	StoreBitstate = store.Bitstate
+)
 
 // FLPDeliveryIndependence and FLPDecisionVisibility build the ample-set
 // independence relation and decision-visibility predicate for a protocol's

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // EnvironmentActor is the Actor value used for steps taken by the
@@ -144,6 +145,13 @@ type ExploreOptions struct {
 	// with Sink; zero = engine.DefaultSnapshotEvery, negative = barrier
 	// events only).
 	SnapshotEvery time.Duration
+	// Store selects the visited-set backend (zero value = the RAM-resident
+	// mem store). Setting a non-empty Kind routes exploration through the
+	// engine at any parallelism. A lossy backend (bitstate) taints the
+	// exploration: the Graph may undercount the reachable set, so callers
+	// must downgrade universally-quantified verdicts — check Stats.Lossy.
+	// See store.Config.
+	Store store.Config
 }
 
 // DefaultMaxStates bounds exploration when ExploreOptions.MaxStates is zero.
@@ -163,7 +171,7 @@ func Explore[S comparable](sys System[S], opts ExploreOptions) (*Graph[S], error
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	if par > 1 || opts.Stats != nil || opts.Canon != nil || opts.Independent != nil || opts.Sink != nil {
+	if par > 1 || opts.Stats != nil || opts.Canon != nil || opts.Independent != nil || opts.Sink != nil || opts.Store.Kind != "" {
 		return exploreEngine(sys, limit, par, opts)
 	}
 	return exploreSequential(sys, limit)
@@ -178,16 +186,17 @@ func exploreEngine[S comparable](sys System[S], limit, par int, opts ExploreOpti
 			emit(st.To, st.Label, st.Actor)
 		}
 	}, engine.Options{
-		MaxStates:   limit,
-		Parallelism: par,
-		Stats:       opts.Stats,
-		Canon:       opts.Canon,
-		VerifyCanon: opts.VerifyCanon,
+		MaxStates:     limit,
+		Parallelism:   par,
+		Stats:         opts.Stats,
+		Canon:         opts.Canon,
+		VerifyCanon:   opts.VerifyCanon,
 		Independent:   opts.Independent,
 		Visible:       opts.Visible,
 		VerifyPOR:     opts.VerifyPOR,
 		Sink:          opts.Sink,
 		SnapshotEvery: opts.SnapshotEvery,
+		Store:         opts.Store,
 	})
 	if err != nil {
 		switch {

@@ -6,6 +6,7 @@ import (
 	"reflect"
 
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // This file is the differential-testing oracle over the engine's mode
@@ -40,6 +41,12 @@ import (
 // disagreed with another mode, with the planted ground truth, or with the
 // Stats consistency contract.
 var ErrDiverged = errors.New("engine: differential oracle divergence")
+
+// ErrLossyStore is returned (wrapping ErrDiverged) when DiffSpec.Stores
+// names a lossy backend without AllowLossy: a store that can merge
+// distinct states has no byte-identical graph to promise, so admitting it
+// into the oracle must be an explicit opt-in, never a default.
+var ErrLossyStore = errors.New("engine: lossy store backend in differential spec (set AllowLossy to accept undercounting)")
 
 // DiffTruth is planted ground truth for a Differential run. All counts are
 // exact; quotient fields are only consulted when the spec carries a
@@ -77,6 +84,18 @@ type DiffSpec[S comparable] struct {
 	// MaxStates bounds each exploration (0 = DefaultMaxStates). Truncated
 	// runs still check determinism but skip the count assertions.
 	MaxStates int
+	// Stores re-runs the full mode under each listed visited-set backend
+	// and cross-checks it against the default in-memory run. Exact
+	// backends (spill) must reproduce the mem run bit for bit — Result,
+	// invariant telemetry and trace digest — at every worker count. Lossy
+	// backends (bitstate) are rejected with ErrLossyStore unless
+	// AllowLossy is set; with it, the lossy run must flag itself Lossy and
+	// may only ever undercount (never exceed the exact state count, nor
+	// the planted truth when present).
+	Stores []store.Config
+	// AllowLossy admits lossy backends listed in Stores, downgrading
+	// their check from byte equality to the undercount bound.
+	AllowLossy bool
 }
 
 // DiffMode is the outcome of one mode of a Differential run.
@@ -169,6 +188,7 @@ func Differential[S comparable](spec DiffSpec[S]) (*DiffReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	fullDigest := rep.Modes[len(rep.Modes)-1].TraceDigest
 	fullTerm := terminalSet(full)
 	if spec.Truth != nil && !full.Truncated {
 		if got := len(full.States); got != spec.Truth.States {
@@ -181,6 +201,59 @@ func Differential[S comparable](spec DiffSpec[S]) (*DiffReport, error) {
 			if got := countDecided(fullTerm, spec.Decided); got != spec.Truth.Decided {
 				return nil, fail("full", workers[0], "decided terminals = %d, planted truth %d", got, spec.Truth.Decided)
 			}
+		}
+	}
+
+	// Cross-backend comparison: the store is an implementation detail of
+	// the visited set, so under an exact backend everything the
+	// determinism contract covers — including the trace digest, which
+	// hashes no store field — must come out bit-identical to the mem run.
+	for _, sc := range spec.Stores {
+		mode := "full+" + string(sc.ResolvedKind())
+		if sc.Lossy() && !spec.AllowLossy {
+			return nil, fmt.Errorf("%w: %s [mode=%s]: %w", ErrDiverged, spec.Name, mode, ErrLossyStore)
+		}
+		opts := base
+		opts.Store = sc
+		if sc.Lossy() {
+			// One configuration only: under forced collisions (small
+			// FingerprintBits) which payload survives a merge is
+			// first-intern-wins, i.e. scheduling-dependent, so there is no
+			// cross-worker-count promise to check — only the undercount
+			// bound and the taint flag.
+			dig := obs.NewDigest()
+			opts.Sink, opts.SnapshotEvery = dig, -1
+			res, err := Explore(spec.Inits, spec.Expand, opts)
+			if err != nil && !errors.Is(err, ErrStateLimit) {
+				return nil, fmt.Errorf("%w: %s [mode=%s]: %w", ErrDiverged, spec.Name, mode, err)
+			}
+			if !res.Stats.Lossy || !res.Stats.Store.Lossy {
+				return nil, fail(mode, workers[0], "bitstate run not flagged lossy: %+v", res.Stats.Store)
+			}
+			if len(res.States) > len(full.States) {
+				return nil, fail(mode, workers[0], "lossy backend overcounted: %d states > exact %d",
+					len(res.States), len(full.States))
+			}
+			if spec.Truth != nil && len(res.States) > spec.Truth.States {
+				return nil, fail(mode, workers[0], "lossy backend overcounted: %d states > planted truth %d",
+					len(res.States), spec.Truth.States)
+			}
+			rep.Modes = append(rep.Modes, DiffMode{Mode: mode, Stats: res.Stats, TraceDigest: dig.Sum()})
+			continue
+		}
+		alt, err := run(mode, opts)
+		if err != nil {
+			return nil, err
+		}
+		if msg := diffResults(full, alt); msg != "" {
+			return nil, fail(mode, workers[0], "diverged from mem backend: %s", msg)
+		}
+		if msg := diffStats(full.Stats, alt.Stats); msg != "" {
+			return nil, fail(mode, workers[0], "telemetry diverged from mem backend: %s", msg)
+		}
+		if altDigest := rep.Modes[len(rep.Modes)-1].TraceDigest; altDigest != fullDigest {
+			return nil, fail(mode, workers[0], "trace digest diverged from mem backend: %s vs %s",
+				altDigest, fullDigest)
 		}
 	}
 
@@ -340,6 +413,18 @@ func statsConsistency[S comparable](res *Result[S]) string {
 	}
 	if !st.CanonEnabled && (st.RawStates != 0 || st.CanonHits != 0) {
 		return "canon telemetry nonzero without a canonicalizer"
+	}
+	// The store interns every state the run discovers: on a complete run
+	// the counts coincide; a truncated run's store holds the overshoot the
+	// replay cut off.
+	if !st.Truncated && st.Store.States != st.States {
+		return fmt.Sprintf("Store.States %d != States %d on a complete run", st.Store.States, st.States)
+	}
+	if st.Truncated && st.Store.States < st.States {
+		return fmt.Sprintf("Store.States %d < replayed States %d", st.Store.States, st.States)
+	}
+	if st.Lossy != st.Store.Lossy {
+		return fmt.Sprintf("Stats.Lossy %v != Store.Lossy %v", st.Lossy, st.Store.Lossy)
 	}
 	if !st.POREnabled && (st.AmpleStates != 0 || st.DeferredActions != 0) {
 		return "POR telemetry nonzero without an independence relation"

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // ErrStateLimit is returned by Explore when the reachable state space
@@ -125,6 +126,12 @@ type Options struct {
 	// negative disables periodic snapshots, leaving the deterministic
 	// barrier events.
 	SnapshotEvery time.Duration
+	// Store selects and parameterizes the visited-set backend (the zero
+	// value is the RAM-resident sharded map the engine always had). The
+	// mem and spill backends preserve the determinism contract bit for
+	// bit; the bitstate backend is lossy and taints the run's Stats with
+	// Lossy=true. See internal/store.
+	Store store.Config
 
 	// degradeFingerprint collapses the state fingerprint to two bits,
 	// forcing heavy shard collisions. Test-only: it exercises the
@@ -179,29 +186,13 @@ type span struct {
 	n      int32
 }
 
-// fpEntry is one occupant of a visited-set shard: the full state is kept so
-// that a fingerprint hit is always confirmed against the real state, ruling
-// out 64-bit collisions.
-type fpEntry[S comparable] struct {
-	state S
-	id    int32
-}
-
-// shard is one stripe of the visited set, keyed by state fingerprint.
-type shard[S comparable] struct {
-	mu sync.Mutex
-	m  map[uint64][]fpEntry[S]
-}
-
-// worker holds one worker's private exploration storage. news and arena are
-// only ever touched by their owner during a level and by the coordinator
-// between levels, so none of it needs locking.
+// worker holds one worker's private exploration storage. arena is only
+// ever touched by its owner during a level and by the coordinator between
+// levels, so none of it needs locking.
 type worker[S comparable] struct {
 	// arena accumulates rawEdges; spans index into it by offset, so append
 	// growth is safe.
 	arena []rawEdge
-	// news are the states this worker interned during the current level.
-	news []fpEntry[S]
 	// steps counts states expanded by this worker over the whole run. It
 	// is atomic — single-writer (the owner), read live by the telemetry
 	// monitor goroutine for per-worker utilization snapshots.
@@ -228,11 +219,14 @@ type worker[S comparable] struct {
 
 // explorer is the shared state of one Explore run.
 type explorer[S comparable] struct {
-	expand  ExpandFunc[S]
-	shards  []*shard[S]
-	mask    uint64
-	counter atomic.Int64
-	fp      func(*S) uint64
+	expand ExpandFunc[S]
+	// store is the visited set: the fingerprint-sharded id assignment and
+	// the id -> payload table, behind the pluggable-backend interface
+	// (RAM-resident map, disk-spilling, or lossy bitstate sweep). fp is
+	// the fingerprint the store shards by, kept here too for the sampled
+	// soundness checks.
+	store store.StateStore[S]
+	fp    func(*S) uint64
 
 	// canon, when non-nil, maps every generated state to its orbit
 	// representative before interning. verifyMod != 0 samples raw states
@@ -257,33 +251,14 @@ type explorer[S comparable] struct {
 	verifyMu  sync.Mutex
 	verifyErr error
 
-	// states, spans and expanded are indexed by provisional id. They are
-	// only appended to between level barriers; during a level, workers
-	// write spans/expanded at the distinct indices they own.
-	states   []S
+	// spans and expanded are indexed by provisional id. They are only
+	// appended to between level barriers; during a level, workers write
+	// spans/expanded at the distinct indices they own. (The id -> state
+	// payloads live in the store.)
 	spans    []span
 	expanded []bool
 
 	workers []*worker[S]
-}
-
-// intern returns the provisional id of s, assigning a fresh one on first
-// sight. Fresh states must be recorded by the caller (the id -> state
-// mapping is merged into e.states at the next level barrier).
-func (e *explorer[S]) intern(s S) (int32, bool) {
-	h := e.fp(&s)
-	sh := e.shards[h&e.mask]
-	sh.mu.Lock()
-	for _, en := range sh.m[h] {
-		if en.state == s {
-			sh.mu.Unlock()
-			return en.id, false
-		}
-	}
-	id := int32(e.counter.Add(1) - 1)
-	sh.m[h] = append(sh.m[h], fpEntry[S]{state: s, id: id})
-	sh.mu.Unlock()
-	return id, true
 }
 
 // canonicalize maps raw to its orbit representative, recording the raw
@@ -315,10 +290,8 @@ func (e *explorer[S]) expandRange(w int32, cursor *atomic.Int64, hi int, chunk i
 		if e.canon != nil {
 			to = e.canonicalize(to, ws)
 		}
-		tid, fresh := e.intern(to)
-		if fresh {
-			ws.news = append(ws.news, fpEntry[S]{state: to, id: tid})
-		} else {
+		tid, fresh := e.store.Intern(to)
+		if !fresh {
 			ws.dedup++
 		}
 		ws.arena = append(ws.arena, rawEdge{to: tid, actor: int32(actor), label: label})
@@ -334,7 +307,7 @@ func (e *explorer[S]) expandRange(w int32, cursor *atomic.Int64, hi int, chunk i
 		}
 		for id := lo; id < end; id++ {
 			off := int32(len(ws.arena))
-			e.expand(e.states[id], emit)
+			e.expand(e.store.State(int32(id)), emit)
 			e.spans[id] = span{worker: w, off: off, n: int32(len(ws.arena)) - off}
 			e.expanded[id] = true
 			ws.steps.Add(1)
@@ -361,7 +334,7 @@ func (e *explorer[S]) expandRangePOR(w int32, cursor *atomic.Int64, hi int, chun
 			end = hi
 		}
 		for id := lo; id < end; id++ {
-			s := e.states[id]
+			s := e.store.State(int32(id))
 			acts := ws.acts[:0]
 			e.expand(s, func(to S, label string, actor int) {
 				pa := porAction[S]{act: Action[S]{To: to, Label: label, Actor: actor}, to: to}
@@ -385,10 +358,8 @@ func (e *explorer[S]) expandRangePOR(w int32, cursor *atomic.Int64, hi int, chun
 			}
 			off := int32(len(ws.arena))
 			record := func(pa porAction[S]) {
-				tid, fresh := e.intern(pa.to)
-				if fresh {
-					ws.news = append(ws.news, fpEntry[S]{state: pa.to, id: tid})
-				} else {
+				tid, fresh := e.store.Intern(pa.to)
+				if !fresh {
 					ws.dedup++
 				}
 				ws.arena = append(ws.arena, rawEdge{to: tid, actor: int32(pa.act.Actor), label: pa.act.Label})
@@ -465,12 +436,11 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 		return nil, err
 	}
 	e.visible = vis
-	nShards := shardCount(nw)
-	e.mask = uint64(nShards - 1)
-	e.shards = make([]*shard[S], nShards)
-	for i := range e.shards {
-		e.shards[i] = &shard[S]{m: make(map[uint64][]fpEntry[S])}
+	e.store, err = store.New[S](opts.Store, shardCount(nw), e.fp)
+	if err != nil {
+		return nil, err
 	}
+	defer e.store.Close()
 	e.workers = make([]*worker[S], nw)
 	for i := range e.workers {
 		e.workers[i] = &worker[S]{}
@@ -487,9 +457,7 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 		if e.canon != nil {
 			s = e.canonicalize(s, e.workers[0])
 		}
-		id, fresh := e.intern(s)
-		if fresh {
-			e.states = append(e.states, s)
+		if id, fresh := e.store.Intern(s); fresh {
 			initIDs = append(initIDs, id)
 		}
 	}
@@ -502,15 +470,16 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 
 	if opts.Sink != nil {
 		e.tel = newTelemetry(opts.Sink, start, limit, nw, len(initIDs),
-			e.canon != nil, e.indep != nil,
-			func() int { return int(e.counter.Load()) },
+			e.canon != nil, e.indep != nil, opts.Store,
+			func() int { return e.store.Len() },
 			func() []uint64 {
 				steps := make([]uint64, len(e.workers))
 				for i, ws := range e.workers {
 					steps[i] = ws.steps.Load()
 				}
 				return steps
-			})
+			},
+			e.store.Stats)
 		every := opts.SnapshotEvery
 		if every == 0 {
 			every = DefaultSnapshotEvery
@@ -533,7 +502,7 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 	if e.indep != nil {
 		expandLevel = e.expandRangePOR
 	}
-	lo, hi := 0, len(e.states)
+	lo, hi := 0, e.store.Len()
 	e.spans = growTo(e.spans, hi)
 	e.expanded = growTo(e.expanded, hi)
 	for lo < hi {
@@ -561,19 +530,20 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 			expandLevel(0, &cursor, hi, chunk)
 			wg.Wait()
 		}
-		// Level barrier: publish the states interned during this level so
-		// the next level's workers can read them by id.
-		total := int(e.counter.Load())
-		e.states = growTo(e.states, total)
+		// Level barrier: the store already holds every state interned
+		// during this level (the barrier's happens-before makes the
+		// payloads readable by id from any worker next level).
+		total := e.store.Len()
 		e.spans = growTo(e.spans, total)
 		e.expanded = growTo(e.expanded, total)
-		for _, ws := range e.workers {
-			for _, en := range ws.news {
-				e.states[en.id] = en.state
-			}
-			ws.news = ws.news[:0]
-		}
 		lo, hi = hi, total
+		// Budget maintenance runs at the barrier, while the workers are
+		// quiescent: the store may spill payloads below the next frontier
+		// (ids < lo) and must surface any sticky I/O error here, so the
+		// failure is deterministic per level, never mid-expansion.
+		if err := e.store.Maintain(int32(lo)); err != nil {
+			return nil, fmt.Errorf("engine: state store: %w", err)
+		}
 		if e.canon != nil || e.indep != nil {
 			// The barrier makes soundness-check failure deterministic: every
 			// sampled state of the finished level has been checked, so
@@ -620,11 +590,21 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 	}
 
 	res, err := e.replay(initIDs, limit)
+	if err == nil || errors.Is(err, ErrStateLimit) {
+		// Replay reads spilled payloads back; surface a read failure as
+		// the run's error rather than a silently wrong graph.
+		if serr := e.store.Err(); serr != nil {
+			return nil, fmt.Errorf("engine: state store: %w", serr)
+		}
+	}
 	st.States = len(res.States)
 	for _, es := range res.Edges {
 		st.Edges += len(es)
 	}
 	st.Truncated = res.Truncated
+	st.Store = e.store.Stats()
+	st.Lossy = st.Store.Lossy
+	st.PeakRSSBytes = obs.PeakRSS()
 	st.Elapsed = time.Since(start)
 	if secs := st.Elapsed.Seconds(); secs > 0 {
 		st.StatesPerSec = float64(st.States) / secs
@@ -646,7 +626,7 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 // single-threaded exploration, and its truncated output is byte-identical
 // to a truncated single-threaded exploration.
 func (e *explorer[S]) replay(initIDs []int32, limit int) (*Result[S], error) {
-	n := int(e.counter.Load())
+	n := e.store.Len()
 	canon := make([]int32, n)
 	for i := range canon {
 		canon[i] = -1
@@ -658,7 +638,7 @@ func (e *explorer[S]) replay(initIDs []int32, limit int) (*Result[S], error) {
 		}
 		c := len(res.States)
 		canon[pid] = int32(c)
-		res.States = append(res.States, e.states[pid])
+		res.States = append(res.States, e.store.State(pid))
 		res.Edges = append(res.Edges, nil)
 		res.Parents = append(res.Parents, -1)
 		res.ParentEdges = append(res.ParentEdges, Edge{})

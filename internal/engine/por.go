@@ -228,16 +228,8 @@ func (e *explorer[S]) ampleSet(s S, acts []porAction[S], uf []int32, hi int) []i
 // the current level always receive ids ≥ hi, so the answer is independent of
 // how this level's work is scheduled across workers.
 func (e *explorer[S]) probeOld(s S, hi int) bool {
-	h := e.fp(&s)
-	sh := e.shards[h&e.mask]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	for _, en := range sh.m[h] {
-		if en.state == s {
-			return en.id < int32(hi)
-		}
-	}
-	return false
+	id, ok := e.store.Probe(s)
+	return ok && id < int32(hi)
 }
 
 // checkPOR verifies the commuting-diamond half of the independence contract

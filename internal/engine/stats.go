@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // Stats is the exploration telemetry of one Explore run: the observability
@@ -63,6 +64,19 @@ type Stats struct {
 	// count: every deferred action also prunes the subtree that
 	// interleaving order would have spawned.
 	DeferredActions uint64
+	// Store is the visited-set backend's end-of-run telemetry: resident
+	// and spilled bytes, segment traffic, lossiness. Its spill counters
+	// depend on page layout and therefore on scheduling — they are NOT
+	// part of the worker-count-invariant set diffStats compares.
+	Store store.Stats
+	// Lossy mirrors Store.Lossy at the top level: a true value taints the
+	// whole run — distinct states may have been merged, so the explored
+	// counts are lower bounds and any "no violation" outcome means "none
+	// found", never "none exists". Checkers must downgrade their verdicts.
+	Lossy bool
+	// PeakRSSBytes is the process's peak resident set size at run end
+	// (process-wide and monotone across runs; 0 if unmeasurable).
+	PeakRSSBytes int64
 }
 
 // DedupRate returns the fraction of generated successors that hit an
@@ -119,6 +133,14 @@ func (s Stats) Snapshot() obs.ProgressSnapshot {
 		WorkerSteps:     append([]uint64(nil), s.WorkerSteps...),
 		Truncated:       s.Truncated,
 		Final:           true,
+
+		StoreBytesInRAM:        s.Store.BytesInRAM,
+		StoreBytesSpilled:      s.Store.BytesSpilled,
+		StoreSegments:          s.Store.Segments,
+		StoreSegmentReads:      s.Store.SegmentReads,
+		StoreCollisionConfirms: s.Store.CollisionConfirms,
+		StoreLossy:             s.Lossy,
+		PeakRSSBytes:           s.PeakRSSBytes,
 	}
 }
 
@@ -135,5 +157,41 @@ func (s Stats) String() string {
 	if s.Truncated {
 		line += " (truncated)"
 	}
+	if s.Lossy {
+		line += " (LOSSY: bitstate sweep, counts are lower bounds)"
+	}
 	return line
+}
+
+// StoreString renders the store telemetry as one report line ("" for the
+// default mem backend, which has nothing actionable to report).
+func (s Stats) StoreString() string {
+	ss := s.Store
+	switch ss.Kind {
+	case store.Spill:
+		return fmt.Sprintf("store=spill budget=%s ram=%s spilled=%d states (%s raw, %s on disk) segments=%d seg-reads=%d confirms=%d",
+			byteCount(ss.MaxBytes), byteCount(ss.BytesInRAM), ss.SpilledStates,
+			byteCount(ss.BytesSpilled), byteCount(ss.CompressedBytes), ss.Segments, ss.SegmentReads, ss.CollisionConfirms)
+	case store.Bitstate:
+		bits := ss.FingerprintBits
+		if bits == 0 {
+			bits = 64
+		}
+		return fmt.Sprintf("store=bitstate fp-bits=%d ram=%s (lossy)", bits, byteCount(ss.BytesInRAM))
+	}
+	return ""
+}
+
+// byteCount renders n in binary units with one decimal.
+func byteCount(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%dB", n)
+	}
+	div, exp := int64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%ciB", float64(n)/float64(div), "KMGTPE"[exp])
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // DefaultSnapshotEvery is the period of timer-driven progress snapshots
@@ -28,9 +29,11 @@ type telemetry struct {
 	maxStates int
 	workers   int
 
-	// states and workerSteps read the explorer's live atomic counters.
+	// states and workerSteps read the explorer's live atomic counters;
+	// storeStats snapshots the visited-set backend (also concurrency-safe).
 	states      func() int
 	workerSteps func() []uint64
+	storeStats  func() store.Stats
 
 	// Barrier-published live values: written by the coordinator between
 	// levels, read by the monitor goroutine.
@@ -49,7 +52,8 @@ type telemetry struct {
 // newTelemetry wires a telemetry for one Explore run and publishes its
 // run_start event.
 func newTelemetry(sink obs.Sink, start time.Time, maxStates, workers, inits int,
-	canonOn, porOn bool, states func() int, workerSteps func() []uint64) *telemetry {
+	canonOn, porOn bool, storeCfg store.Config,
+	states func() int, workerSteps func() []uint64, storeStats func() store.Stats) *telemetry {
 	t := &telemetry{
 		sink:        sink,
 		start:       start,
@@ -57,14 +61,23 @@ func newTelemetry(sink obs.Sink, start time.Time, maxStates, workers, inits int,
 		workers:     workers,
 		states:      states,
 		workerSteps: workerSteps,
+		storeStats:  storeStats,
 	}
-	sink.Publish(obs.Event{Kind: obs.KindRunStart, Config: &obs.RunConfig{
+	cfg := &obs.RunConfig{
 		Workers:   workers,
 		MaxStates: maxStates,
 		Inits:     inits,
 		Canon:     canonOn,
 		POR:       porOn,
-	}})
+		Store:     string(storeCfg.ResolvedKind()),
+	}
+	if storeCfg.ResolvedKind() == store.Spill {
+		cfg.MaxStoreBytes = storeCfg.MaxBytes
+		if cfg.MaxStoreBytes == 0 {
+			cfg.MaxStoreBytes = store.DefaultMaxBytes
+		}
+	}
+	sink.Publish(obs.Event{Kind: obs.KindRunStart, Config: cfg})
 	return t
 }
 
@@ -107,15 +120,15 @@ func (t *telemetry) stopMonitor() {
 }
 
 // liveSnapshot assembles a timer-driven snapshot from atomics only. The
-// per-edge counters (dedup, canon, POR) are barrier-fresh; States and
-// WorkerSteps are live.
+// per-edge counters (dedup, canon, POR) are barrier-fresh; States,
+// WorkerSteps and the store figures are live.
 func (t *telemetry) liveSnapshot() obs.ProgressSnapshot {
 	steps := t.workerSteps()
 	var exp uint64
 	for _, s := range steps {
 		exp += s
 	}
-	return obs.ProgressSnapshot{
+	snap := obs.ProgressSnapshot{
 		Elapsed:         time.Since(t.start),
 		States:          t.states(),
 		Depth:           int(t.depth.Load()),
@@ -129,6 +142,22 @@ func (t *telemetry) liveSnapshot() obs.ProgressSnapshot {
 		WorkerSteps:     steps,
 		MaxStates:       t.maxStates,
 	}
+	t.stampStore(&snap)
+	return snap
+}
+
+// stampStore adds the store and peak-RSS figures to a snapshot. These are
+// observability-only: scheduling-dependent (page layout, process RSS) and
+// therefore excluded from trace digests, like Elapsed and WorkerSteps.
+func (t *telemetry) stampStore(snap *obs.ProgressSnapshot) {
+	ss := t.storeStats()
+	snap.StoreBytesInRAM = ss.BytesInRAM
+	snap.StoreBytesSpilled = ss.BytesSpilled
+	snap.StoreSegments = ss.Segments
+	snap.StoreSegmentReads = ss.SegmentReads
+	snap.StoreCollisionConfirms = ss.CollisionConfirms
+	snap.StoreLossy = ss.Lossy
+	snap.PeakRSSBytes = obs.PeakRSS()
 }
 
 // barrierSnapshot assembles a barrier-accurate snapshot after a level
@@ -140,7 +169,7 @@ func (t *telemetry) barrierSnapshot(states, depth, frontier, peak int) obs.Progr
 	for _, s := range steps {
 		exp += s
 	}
-	return obs.ProgressSnapshot{
+	snap := obs.ProgressSnapshot{
 		Elapsed:         time.Since(t.start),
 		States:          states,
 		Depth:           depth,
@@ -154,6 +183,8 @@ func (t *telemetry) barrierSnapshot(states, depth, frontier, peak int) obs.Progr
 		WorkerSteps:     steps,
 		MaxStates:       t.maxStates,
 	}
+	t.stampStore(&snap)
+	return snap
 }
 
 // level is the coordinator's barrier hook: it refreshes the

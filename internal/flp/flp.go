@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // Send is a message emitted by a protocol step.
@@ -227,6 +228,12 @@ type Report struct {
 	// the FLP theorem says cannot happen for a nontrivial 1-resilient
 	// protocol.
 	Lively bool
+	// Lossy reports that the exploration ran on a lossy visited-set backend
+	// (bitstate): the configuration graph may undercount the reachable set,
+	// so every universally-quantified verdict above is only "no violation
+	// found among the states kept" — never evidence that the protocol is
+	// lively. DescribeHorn renders the downgrade.
+	Lossy bool
 }
 
 // AnalyzeOptions configures Analyze.
@@ -286,6 +293,10 @@ type AnalyzeOptions struct {
 	// with Sink; zero = engine.DefaultSnapshotEvery, negative = barrier
 	// events only).
 	SnapshotEvery time.Duration
+	// Store selects the visited-set backend for every exploration (main and
+	// validity). A lossy backend sets Report.Lossy and downgrades the
+	// verdicts — see Report.Lossy. See store.Config.
+	Store store.Config
 }
 
 // NewSystem exposes a protocol's configuration graph (canonical encoded
@@ -315,7 +326,7 @@ func Analyze(p Protocol, opts AnalyzeOptions) (Report, error) {
 	sys := &system{p: p, inputVectors: vectors, resilience: resilience}
 	eopts := core.ExploreOptions{
 		MaxStates: opts.MaxStates, Parallelism: opts.Parallelism, Stats: opts.Stats,
-		Sink: opts.Sink, SnapshotEvery: opts.SnapshotEvery,
+		Sink: opts.Sink, SnapshotEvery: opts.SnapshotEvery, Store: opts.Store,
 	}
 	if opts.Canon != nil {
 		eopts.Canon = opts.Canon
@@ -330,7 +341,7 @@ func Analyze(p Protocol, opts AnalyzeOptions) (Report, error) {
 	if err != nil {
 		return Report{}, fmt.Errorf("flp: exploring %s: %w", p.Name(), err)
 	}
-	rep := Report{Protocol: p.Name(), States: g.Len(), Edges: g.NumEdges()}
+	rep := Report{Protocol: p.Name(), States: g.Len(), Edges: g.NumEdges(), Lossy: opts.Store.Lossy()}
 
 	decideConfig := func(c config) (int, bool) {
 		_, states, _ := decodeConfig(c)
@@ -379,7 +390,7 @@ func Analyze(p Protocol, opts AnalyzeOptions) (Report, error) {
 		for i := range uniform {
 			uniform[i] = v
 		}
-		guOpts := core.ExploreOptions{MaxStates: opts.MaxStates, Parallelism: opts.Parallelism}
+		guOpts := core.ExploreOptions{MaxStates: opts.MaxStates, Parallelism: opts.Parallelism, Store: opts.Store}
 		if opts.Canon != nil {
 			// Uniform-vector initials are fixed points of any process
 			// relabeling, so the quotient is sound here too.

@@ -168,6 +168,11 @@ func DescribeHorn(rep Report) string {
 		horns = append(horns, "fair non-deciding execution")
 	}
 	if len(horns) == 0 {
+		if rep.Lossy {
+			// A lossy sweep can miss the horn along with the states it merged
+			// away: absence of evidence only.
+			return rep.Protocol + ": no horn found in the states kept (LOSSY sweep — not evidence of liveness)"
+		}
 		return rep.Protocol + ": no horn found (contradicts FLP for a 1-resilient protocol)"
 	}
 	return rep.Protocol + ": " + strings.Join(horns, "; ")

@@ -89,6 +89,11 @@ type RunConfig struct {
 	Canon bool `json:"canon,omitempty"`
 	// POR reports that an independence relation is installed.
 	POR bool `json:"por,omitempty"`
+	// Store names the state-store backend ("mem", "spill", "bitstate").
+	// Empty in traces from before the pluggable store (reads as "mem").
+	Store string `json:"store,omitempty"`
+	// MaxStoreBytes is the spill backend's resident-payload budget.
+	MaxStoreBytes int64 `json:"max_store_bytes,omitempty"`
 }
 
 // Mode names the reduction stack of a run: "full", "canon", "por" or
@@ -146,6 +151,30 @@ type ProgressSnapshot struct {
 	Truncated bool `json:"truncated,omitempty"`
 	// Final marks the run_end snapshot: totals equal the run's Stats.
 	Final bool `json:"final,omitempty"`
+
+	// State-store telemetry (absent in traces from before the pluggable
+	// store). Spill byte/segment counters depend on page layout, which
+	// depends on scheduling: like WorkerSteps and Elapsed they are NOT
+	// worker-count invariant and are excluded from trace digests.
+
+	// StoreBytesInRAM is the store's resident footprint estimate.
+	StoreBytesInRAM int64 `json:"store_bytes_in_ram,omitempty"`
+	// StoreBytesSpilled is the raw payload bytes written to segment files.
+	StoreBytesSpilled int64 `json:"store_bytes_spilled,omitempty"`
+	// StoreSegments is the number of segment files written.
+	StoreSegments int `json:"store_segments,omitempty"`
+	// StoreSegmentReads counts page fetches served from disk.
+	StoreSegmentReads uint64 `json:"store_segment_reads,omitempty"`
+	// StoreCollisionConfirms counts fingerprint hits confirmed against a
+	// spilled payload.
+	StoreCollisionConfirms uint64 `json:"store_collision_confirms,omitempty"`
+	// StoreLossy flags a lossy (bitstate) store: state counts are lower
+	// bounds and any verdict is "no violation found", never impossibility.
+	StoreLossy bool `json:"store_lossy,omitempty"`
+	// PeakRSSBytes is the process's peak resident set size, sampled at
+	// publish time. Process-wide and monotone, so it bounds every run in a
+	// multi-run trace from above; zero on platforms without rusage.
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
 }
 
 // StatesPerSec is the run-average throughput, States / Elapsed.

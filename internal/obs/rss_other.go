@@ -1,0 +1,7 @@
+//go:build !unix
+
+package obs
+
+// PeakRSS reports 0 on platforms without getrusage: peak-RSS telemetry is
+// best-effort, and consumers treat 0 as "not measured".
+func PeakRSS() int64 { return 0 }

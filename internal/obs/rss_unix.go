@@ -1,0 +1,18 @@
+//go:build unix
+
+package obs
+
+import "syscall"
+
+// PeakRSS returns the process's peak resident set size in bytes, from
+// getrusage(2). Linux reports ru_maxrss in KiB; the Darwin kernel reports
+// bytes, which this deliberately does not special-case — the repository's
+// benchmarks and CI are Linux, and an over-reported peak on a developer
+// laptop is harmless telemetry. Returns 0 if the syscall fails.
+func PeakRSS() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return int64(ru.Maxrss) * 1024
+}

@@ -34,8 +34,12 @@ type TraceSummary struct {
 // with a final snapshot closes, nothing outside a run); snapshot-carrying
 // events must have a snapshot payload whose counters are internally
 // consistent (Expansions equals the worker-step sum when worker steps are
-// present, monotone non-decreasing States/Depth within a run). It returns
-// a summary, or the first violation with its line number.
+// present, monotone non-decreasing States/Depth within a run). Store
+// telemetry, when present, must cohere with the run's configured backend:
+// spill counters only under a spill store, the lossy flag exactly under a
+// bitstate store. Traces from before the store fields existed carry all
+// zeros there and lint clean. It returns a summary, or the first violation
+// with its line number.
 func ValidateTrace(r io.Reader) (*TraceSummary, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
@@ -64,9 +68,10 @@ func ValidateTrace(r io.Reader) (*TraceSummary, error) {
 	sum := &TraceSummary{SchemaVersion: m.SchemaVersion, Tool: m.Tool}
 	digest := NewDigest()
 	var (
-		lastSeq            uint64
-		inRun              bool
+		lastSeq             uint64
+		inRun               bool
 		runStates, runDepth int
+		runCfg              RunConfig
 	)
 	line := 1
 	for sc.Scan() {
@@ -92,7 +97,15 @@ func ValidateTrace(r io.Reader) (*TraceSummary, error) {
 			if ev.Config.Workers <= 0 || ev.Config.MaxStates <= 0 || ev.Config.Inits <= 0 {
 				return nil, fail(line, "run_start config has non-positive workers/max_states/inits: %+v", *ev.Config)
 			}
-			inRun, runStates, runDepth = true, 0, 0
+			switch ev.Config.Store {
+			case "", "mem", "spill", "bitstate":
+			default:
+				return nil, fail(line, "run_start config names unknown store backend %q", ev.Config.Store)
+			}
+			if ev.Config.MaxStoreBytes < 0 {
+				return nil, fail(line, "run_start config has negative max_store_bytes %d", ev.Config.MaxStoreBytes)
+			}
+			inRun, runStates, runDepth, runCfg = true, 0, 0, *ev.Config
 		case KindLevel, KindSnapshot, KindTruncated, KindRunEnd:
 			if !inRun {
 				return nil, fail(line, "%s event outside a run", ev.Kind)
@@ -103,6 +116,19 @@ func ValidateTrace(r io.Reader) (*TraceSummary, error) {
 			}
 			if s.States < 0 || s.Depth < 0 || s.Frontier < 0 {
 				return nil, fail(line, "snapshot has negative counters: %+v", *s)
+			}
+			if s.StoreBytesInRAM < 0 || s.StoreBytesSpilled < 0 || s.StoreSegments < 0 || s.PeakRSSBytes < 0 {
+				return nil, fail(line, "snapshot has negative store/RSS counters: %+v", *s)
+			}
+			if (s.StoreBytesSpilled > 0) != (s.StoreSegments > 0) {
+				return nil, fail(line, "spill accounting disagrees: %d bytes across %d segments",
+					s.StoreBytesSpilled, s.StoreSegments)
+			}
+			if s.StoreSegments > 0 && runCfg.Store != "spill" {
+				return nil, fail(line, "segments written under store backend %q", runCfg.Store)
+			}
+			if s.StoreLossy != (runCfg.Store == "bitstate") && ev.Kind == KindRunEnd {
+				return nil, fail(line, "run_end lossy flag %v under store backend %q", s.StoreLossy, runCfg.Store)
 			}
 			if len(s.WorkerSteps) > 0 {
 				var steps uint64

@@ -16,6 +16,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/spec"
+	"repro/internal/store"
 )
 
 // VarKind distinguishes read/write registers from general test-and-set
@@ -252,6 +253,11 @@ type CheckMutexOptions struct {
 	// with Sink; zero = engine.DefaultSnapshotEvery, negative = barrier
 	// events only).
 	SnapshotEvery time.Duration
+	// Store selects the visited-set backend — see store.Config. A lossy
+	// backend (bitstate) undercounts reachable states, so the report's
+	// universally-quantified verdicts become "no violation found"; check
+	// Stats.Lossy.
+	Store store.Config
 }
 
 // CheckMutex model-checks the resource-allocation correctness conditions
@@ -264,7 +270,7 @@ func CheckMutex(alg Algorithm, opts CheckMutexOptions) (MutexReport, error) {
 	rep := MutexReport{Algorithm: alg.Name(), Exclusion: excl, LockoutVictim: -1}
 	g, err := ExploreWith(alg, core.ExploreOptions{
 		MaxStates: opts.MaxStates, Parallelism: opts.Parallelism, Stats: opts.Stats,
-		Sink: opts.Sink, SnapshotEvery: opts.SnapshotEvery,
+		Sink: opts.Sink, SnapshotEvery: opts.SnapshotEvery, Store: opts.Store,
 	})
 	if err != nil {
 		return rep, err

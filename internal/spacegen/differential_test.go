@@ -5,13 +5,18 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/store"
 )
 
 // TestDifferentialOracle is the tentpole acceptance test: 200+ generated
 // spaces, each run through every mode combination (sequential, parallel x2
 // and x8, symmetry quotient, ample-set POR, quotient+POR) with fingerprint,
 // verdict and Stats-invariant equality asserted by engine.Differential
-// against the planted truth.
+// against the planted truth. Every space also re-runs full mode under the
+// spill store at a deliberately tiny budget (small pages so even these
+// spaces cross the spill threshold), which must come out byte-identical to
+// the mem backend; Dir is left empty so each run gets — and cleans up — its
+// own segment directory.
 func TestDifferentialOracle(t *testing.T) {
 	shapes := []Config{
 		{Families: 1, MaxStates: 6, MaxMult: 2, MaxExtra: 3, MaxSinks: 2},
@@ -31,6 +36,7 @@ func TestDifferentialOracle(t *testing.T) {
 				continue
 			}
 			spec := sp.Spec()
+			spec.Stores = []store.Config{{Kind: store.Spill, MaxBytes: 1 << 9, PageBits: 4}}
 			if _, err := engine.Differential(spec); err != nil {
 				t.Fatalf("divergence on %s:\n  %v\n  replay: %s",
 					sp.Describe(), err, ReplayLine(cfg, ""))

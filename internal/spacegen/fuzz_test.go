@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/store"
 )
 
 // The fuzz targets drive the differential oracle from raw fuzzer inputs:
@@ -59,6 +60,44 @@ func FuzzDifferential(f *testing.F) {
 			})
 			t.Fatalf("oracle divergence on %s:\n  %v\n  replay: %s",
 				sp.Describe(), err, ReplayLine(shrunk, ""))
+		}
+	})
+}
+
+// FuzzStoreBackends fuzzes the store-backend contract: on every generated
+// space, full mode under the spill backend (tiny budget, tiny pages, so
+// even small spaces cross the spill threshold) must be byte-identical to
+// the mem backend at every worker count, and a bitstate sweep under forced
+// fingerprint collisions must flag itself lossy and never intern more
+// states than the planted reachable count.
+func FuzzStoreBackends(f *testing.F) {
+	f.Add(uint64(0), byte(1), byte(3), byte(1), byte(2), byte(1))
+	f.Add(uint64(7), byte(2), byte(4), byte(2), byte(1), byte(0))
+	f.Add(uint64(99), byte(3), byte(5), byte(1), byte(3), byte(2))
+	f.Fuzz(func(t *testing.T, seed uint64, families, states, mult, extra, sinks byte) {
+		cfg := fuzzConfig(seed, families, states, mult, extra, sinks)
+		sp := Generate(cfg)
+		if sp.Truth.States > fuzzStateCap {
+			t.Skip("space too large for one fuzz iteration")
+		}
+		spec := sp.Spec()
+		spec.Stores = []store.Config{{Kind: store.Spill, MaxBytes: 1 << 9, PageBits: 4}}
+		if _, err := engine.Differential(spec); err != nil {
+			t.Fatalf("mem vs spill diverged on %s:\n  %v\n  replay: %s",
+				sp.Describe(), err, ReplayLine(cfg, ""))
+		}
+		res, err := engine.Explore(spec.Inits, spec.Expand, engine.Options{
+			Store: store.Config{Kind: store.Bitstate, FingerprintBits: 10},
+		})
+		if err != nil {
+			t.Fatalf("bitstate sweep failed on %s: %v", sp.Describe(), err)
+		}
+		if !res.Stats.Lossy {
+			t.Fatalf("bitstate sweep not flagged lossy on %s", sp.Describe())
+		}
+		if len(res.States) > sp.Truth.States {
+			t.Fatalf("bitstate overcounted on %s: %d states > planted truth %d\n  replay: %s",
+				sp.Describe(), len(res.States), sp.Truth.States, ReplayLine(cfg, ""))
 		}
 	})
 }

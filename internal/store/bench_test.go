@@ -1,0 +1,55 @@
+package store
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// BenchmarkPageEncode is the satellite-fix evidence: the spill write path
+// encodes a whole page of states into one reused scratch buffer
+// (encodePage), replacing the naive per-state allocation a first cut would
+// make. The "naive" variant below is that first cut, kept as the
+// before/after baseline quoted in EXPERIMENTS.md.
+func BenchmarkPageEncode(b *testing.B) {
+	st, err := newSpillStore[string](Config{Dir: b.TempDir()}, 1, stringFP)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	pageSize := st.pages.size
+	pg := &page[string]{slots: testStates(pageSize)}
+
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var raw []byte
+			raw = binary.LittleEndian.AppendUint32(raw, uint32(pageSize))
+			offs := make([]uint32, 0, pageSize+1)
+			offs = append(offs, 0)
+			var payload []byte
+			for j := range pg.slots {
+				enc := make([]byte, 0, len(pg.slots[j]))
+				enc = st.codec.enc(enc, &pg.slots[j])
+				payload = append(payload, enc...)
+				offs = append(offs, uint32(len(payload)))
+			}
+			for _, o := range offs {
+				raw = binary.LittleEndian.AppendUint32(raw, o)
+			}
+			raw = append(raw, payload...)
+			if len(raw) == 0 {
+				b.Fatal("empty page image")
+			}
+		}
+	})
+
+	b.Run("scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			raw, _ := st.encodePage(pg, pageSize)
+			if len(raw) == 0 {
+				b.Fatal("empty page image")
+			}
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package store
+
+import "encoding/binary"
+
+// codec serializes state payloads for segment files. enc appends the
+// encoding of s to dst and returns the grown slice — the append form is
+// what lets the spill path reuse one scratch buffer per page instead of
+// allocating per state. dec must tolerate b aliasing a larger buffer.
+type codec[S comparable] struct {
+	enc func(dst []byte, s *S) []byte
+	dec func(b []byte) S
+}
+
+// codecFor resolves the payload codec for S: strings encode as their raw
+// bytes, integers as 8-byte little-endian. Every canonical state type in
+// this repository (encoded protocol strings, small-int toy systems) is
+// covered; exotic comparable types return nil and make the spill backend
+// fail with ErrNoCodec rather than silently mis-serialize.
+func codecFor[S comparable]() *codec[S] {
+	var zero S
+	switch any(zero).(type) {
+	case string:
+		return &codec[S]{
+			enc: func(dst []byte, s *S) []byte { return append(dst, *any(s).(*string)...) },
+			dec: func(b []byte) S {
+				var s S
+				*any(&s).(*string) = string(b)
+				return s
+			},
+		}
+	case int:
+		return intCodec(func(s *S) uint64 { return uint64(*any(s).(*int)) },
+			func(v uint64, s *S) { *any(s).(*int) = int(v) })
+	case int8:
+		return intCodec(func(s *S) uint64 { return uint64(*any(s).(*int8)) },
+			func(v uint64, s *S) { *any(s).(*int8) = int8(v) })
+	case int16:
+		return intCodec(func(s *S) uint64 { return uint64(*any(s).(*int16)) },
+			func(v uint64, s *S) { *any(s).(*int16) = int16(v) })
+	case int32:
+		return intCodec(func(s *S) uint64 { return uint64(*any(s).(*int32)) },
+			func(v uint64, s *S) { *any(s).(*int32) = int32(v) })
+	case int64:
+		return intCodec(func(s *S) uint64 { return uint64(*any(s).(*int64)) },
+			func(v uint64, s *S) { *any(s).(*int64) = int64(v) })
+	case uint:
+		return intCodec(func(s *S) uint64 { return uint64(*any(s).(*uint)) },
+			func(v uint64, s *S) { *any(s).(*uint) = uint(v) })
+	case uint8:
+		return intCodec(func(s *S) uint64 { return uint64(*any(s).(*uint8)) },
+			func(v uint64, s *S) { *any(s).(*uint8) = uint8(v) })
+	case uint16:
+		return intCodec(func(s *S) uint64 { return uint64(*any(s).(*uint16)) },
+			func(v uint64, s *S) { *any(s).(*uint16) = uint16(v) })
+	case uint32:
+		return intCodec(func(s *S) uint64 { return uint64(*any(s).(*uint32)) },
+			func(v uint64, s *S) { *any(s).(*uint32) = uint32(v) })
+	case uint64:
+		return intCodec(func(s *S) uint64 { return *any(s).(*uint64) },
+			func(v uint64, s *S) { *any(s).(*uint64) = v })
+	case uintptr:
+		return intCodec(func(s *S) uint64 { return uint64(*any(s).(*uintptr)) },
+			func(v uint64, s *S) { *any(s).(*uintptr) = uintptr(v) })
+	default:
+		return nil
+	}
+}
+
+// intCodec builds a fixed-width codec from the raw-bits accessors of one
+// integer state type.
+func intCodec[S comparable](get func(*S) uint64, set func(uint64, *S)) *codec[S] {
+	return &codec[S]{
+		enc: func(dst []byte, s *S) []byte {
+			return binary.LittleEndian.AppendUint64(dst, get(s))
+		},
+		dec: func(b []byte) S {
+			var s S
+			set(binary.LittleEndian.Uint64(b), &s)
+			return s
+		},
+	}
+}
+
+// stringHeaderBytes approximates a string's fixed in-RAM overhead (header
+// plus allocator slack) for the byte accounting.
+const stringHeaderBytes = 16
+
+// fallbackStateBytes is the accounting estimate for state types without a
+// known layout. Only the mem and bitstate backends ever see such types
+// (spill refuses them), and there the estimate only shades the reported
+// BytesInRAM, never correctness.
+const fallbackStateBytes = 32
+
+// sizeOfFunc resolves the per-state resident-byte estimator for S.
+func sizeOfFunc[S comparable]() func(*S) int64 {
+	var zero S
+	switch any(zero).(type) {
+	case string:
+		return func(s *S) int64 { return int64(len(*any(s).(*string))) + stringHeaderBytes }
+	case int8, uint8:
+		return func(*S) int64 { return 1 }
+	case int16, uint16:
+		return func(*S) int64 { return 2 }
+	case int32, uint32:
+		return func(*S) int64 { return 4 }
+	case int, int64, uint, uint64, uintptr:
+		return func(*S) int64 { return 8 }
+	default:
+		return func(*S) int64 { return fallbackStateBytes }
+	}
+}

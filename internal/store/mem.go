@@ -1,0 +1,106 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// memEntryOverhead approximates the per-state index cost of a mem-backend
+// entry: the map bucket share, the bucket-slice header amortization and
+// the id. Accounting only — never correctness.
+const memEntryOverhead = 48
+
+// memEntry is one occupant of a mem-backend shard: the full state is kept
+// inline so a fingerprint hit is always confirmed against the real state,
+// ruling out 64-bit collisions.
+type memEntry[S comparable] struct {
+	state S
+	id    int32
+}
+
+// memShard is one stripe of the visited set, keyed by state fingerprint,
+// with resident-byte accounting.
+type memShard[S comparable] struct {
+	mu    sync.Mutex
+	m     map[uint64][]memEntry[S]
+	bytes int64
+}
+
+// memStore is the RAM-resident backend: the engine's original sharded map
+// plus per-shard byte accounting and the shared paged id -> payload table.
+type memStore[S comparable] struct {
+	shards  []*memShard[S]
+	mask    uint64
+	fp      func(*S) uint64
+	sizeOf  func(*S) int64
+	counter atomic.Int64
+	pages   pagetab[S]
+}
+
+func newMemStore[S comparable](shards int, fp func(*S) uint64) *memStore[S] {
+	st := &memStore[S]{
+		shards: make([]*memShard[S], shards),
+		mask:   uint64(shards - 1),
+		fp:     fp,
+		sizeOf: sizeOfFunc[S](),
+	}
+	st.pages.init(0)
+	for i := range st.shards {
+		st.shards[i] = &memShard[S]{m: make(map[uint64][]memEntry[S])}
+	}
+	return st
+}
+
+func (st *memStore[S]) Intern(s S) (int32, bool) {
+	h := st.fp(&s)
+	sh := st.shards[h&st.mask]
+	sh.mu.Lock()
+	for _, en := range sh.m[h] {
+		if en.state == s {
+			sh.mu.Unlock()
+			return en.id, false
+		}
+	}
+	id := int32(st.counter.Add(1) - 1)
+	sh.m[h] = append(sh.m[h], memEntry[S]{state: s, id: id})
+	sh.bytes += st.sizeOf(&s) + memEntryOverhead
+	st.pages.set(id, s)
+	sh.mu.Unlock()
+	return id, true
+}
+
+func (st *memStore[S]) State(id int32) S { return st.pages.get(id) }
+
+func (st *memStore[S]) Probe(s S) (int32, bool) {
+	h := st.fp(&s)
+	sh := st.shards[h&st.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, en := range sh.m[h] {
+		if en.state == s {
+			return en.id, true
+		}
+	}
+	return -1, false
+}
+
+func (st *memStore[S]) Len() int { return int(st.counter.Load()) }
+
+func (st *memStore[S]) Stats() Stats {
+	out := Stats{
+		Kind:       Mem,
+		States:     st.Len(),
+		ShardBytes: make([]int64, len(st.shards)),
+	}
+	for i, sh := range st.shards {
+		sh.mu.Lock()
+		out.ShardBytes[i] = sh.bytes
+		sh.mu.Unlock()
+		out.BytesInRAM += out.ShardBytes[i]
+	}
+	return out
+}
+
+func (st *memStore[S]) Maintain(int32) error { return nil }
+func (st *memStore[S]) Err() error           { return nil }
+func (st *memStore[S]) Close() error         { return nil }

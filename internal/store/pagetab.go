@@ -1,0 +1,115 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// pagetab is the id -> payload table shared by every backend: a two-level
+// paged array that grows without ever moving a published page, so readers
+// need no lock.
+//
+// Synchronization contract (matching StateStore's): the page spine and the
+// page pointers are atomic, so concurrent set calls may create pages
+// freely; a *slot* write is only visible to a reader ordered after it by
+// some external happens-before edge — the owning shard's mutex within a
+// level, or a level barrier across levels. Distinct slots may be written
+// concurrently. page and drop require quiescence (Maintain-time only).
+const (
+	// defaultPageBits sets the default page granularity: 2^10 states.
+	defaultPageBits = 10
+	chunkBits       = 6
+	chunkPages      = 1 << chunkBits
+)
+
+// page holds the payloads of one aligned block of consecutive ids.
+type page[S any] struct{ slots []S }
+
+// chunk is a fixed block of page pointers; chunks never move once
+// published, so a page pointer load needs no spine lock.
+type chunk[S any] struct {
+	pages [chunkPages]atomic.Pointer[page[S]]
+}
+
+type pagetab[S any] struct {
+	bits  uint
+	size  int
+	mask  int
+	mu    sync.Mutex // guards spine growth only
+	spine atomic.Pointer[[]*chunk[S]]
+}
+
+// init fixes the page granularity (0 selects defaultPageBits). Must be
+// called before any other method.
+func (t *pagetab[S]) init(bits int) {
+	if bits <= 0 {
+		bits = defaultPageBits
+	}
+	t.bits = uint(bits)
+	t.size = 1 << bits
+	t.mask = t.size - 1
+}
+
+// set records the payload of id. Safe concurrently with other set/get
+// calls on distinct ids (see the synchronization contract above).
+func (t *pagetab[S]) set(id int32, s S) {
+	pno := int(id) >> t.bits
+	ci, pi := pno>>chunkBits, pno&(chunkPages-1)
+	chunks := t.spine.Load()
+	if chunks == nil || ci >= len(*chunks) {
+		t.grow(ci)
+		chunks = t.spine.Load()
+	}
+	c := (*chunks)[ci]
+	pg := c.pages[pi].Load()
+	if pg == nil {
+		fresh := &page[S]{slots: make([]S, t.size)}
+		if c.pages[pi].CompareAndSwap(nil, fresh) {
+			pg = fresh
+		} else {
+			pg = c.pages[pi].Load()
+		}
+	}
+	pg.slots[int(id)&t.mask] = s
+}
+
+// get returns the payload of id. The page must be resident (not dropped).
+func (t *pagetab[S]) get(id int32) S {
+	pno := int(id) >> t.bits
+	chunks := *t.spine.Load()
+	return chunks[pno>>chunkBits].pages[pno&(chunkPages-1)].Load().slots[int(id)&t.mask]
+}
+
+// page returns the full page pno for bulk encoding (quiescent use).
+func (t *pagetab[S]) page(pno int) *page[S] {
+	chunks := *t.spine.Load()
+	return chunks[pno>>chunkBits].pages[pno&(chunkPages-1)].Load()
+}
+
+// drop releases page pno after its payloads were spilled (quiescent use).
+func (t *pagetab[S]) drop(pno int) {
+	chunks := *t.spine.Load()
+	chunks[pno>>chunkBits].pages[pno&(chunkPages-1)].Store(nil)
+}
+
+// grow extends the spine to cover chunk index ci.
+func (t *pagetab[S]) grow(ci int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.spine.Load()
+	n := 0
+	if cur != nil {
+		n = len(*cur)
+	}
+	if ci < n {
+		return
+	}
+	next := make([]*chunk[S], ci+1)
+	if cur != nil {
+		copy(next, *cur)
+	}
+	for i := n; i <= ci; i++ {
+		next[i] = new(chunk[S])
+	}
+	t.spine.Store(&next)
+}

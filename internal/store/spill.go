@@ -1,0 +1,413 @@
+package store
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// The spill backend keeps the fingerprint index in RAM — buckets hold ids
+// only — while state payloads live in the paged table until the resident
+// budget is exceeded, at which point Maintain moves whole pages of the
+// *oldest* payloads into flate-compressed, append-only segment files. Ids
+// are assigned in interning order, so "oldest" means the earliest BFS
+// levels: exactly the states the frontier's dedup hits target least, which
+// keeps the confirm-read rate low. A fingerprint hit on a spilled id is
+// confirmed by decompressing its page back (served through a small LRU
+// page cache), so the backend stays exact: no 64-bit collision is ever
+// trusted.
+//
+// Layout of one spilled page (before compression):
+//
+//	u32 count                      number of states in the page
+//	u32 off[count+1]               payload-section offsets, off[0] = 0
+//	payload bytes                  count encoded states, back to back
+//
+// Each page is an independent flate stream at a recorded (segment, offset,
+// length), so a single confirm decompresses one page, never a segment.
+// Crash safety is an explicit non-goal: segments hold no redundancy or
+// checksums and are deleted on Close; a store never outlives its run.
+
+// spillIndexOverhead approximates the per-state RAM cost of an index entry
+// (bucket share plus id).
+const spillIndexOverhead = 24
+
+// pageCacheSize is the capacity, in pages, of the decompressed-page LRU
+// cache serving confirm and replay reads.
+const pageCacheSize = 64
+
+// spillLowWater is the fraction of MaxBytes that Maintain spills down to
+// once the budget trips, so each spill round writes a batch of pages
+// instead of shaving single pages every barrier.
+const spillLowWater = 0.75
+
+type spillShard struct {
+	mu sync.Mutex
+	m  map[uint64][]int32
+}
+
+// pageMeta locates one spilled page inside the segment files.
+type pageMeta struct {
+	seg     int32
+	off     int64
+	compLen int32
+	rawLen  int32
+}
+
+type cacheEnt[S comparable] struct {
+	pg      *page[S]
+	lastUse uint64
+}
+
+type spillStore[S comparable] struct {
+	shards   []*spillShard
+	mask     uint64
+	fp       func(*S) uint64
+	sizeOf   func(*S) int64
+	codec    *codec[S]
+	maxBytes int64
+	counter  atomic.Int64
+	pages    pagetab[S]
+
+	// resident is the payload bytes currently in RAM; spilledTo (a page
+	// count) is the watermark: ids below spilledTo<<pages.bits live on disk.
+	resident  atomic.Int64
+	spilledTo atomic.Int32
+
+	dir    string
+	ownDir bool
+
+	// segMu guards everything below: segment files, page metadata, the
+	// decompressed-page cache and the sticky I/O error. Readers holding a
+	// shard lock may take segMu (never the reverse), so lock order is
+	// shard -> seg.
+	segMu     sync.Mutex
+	segs      []*os.File
+	meta      []pageMeta
+	cache     map[int32]*cacheEnt[S]
+	cacheTick uint64
+	ioErr     error
+
+	spilledStates int
+	bytesSpilled  int64
+	compBytes     int64
+	segReads      atomic.Uint64
+	confirms      atomic.Uint64
+
+	// encScratch and compScratch are the Maintain-only encode buffers: the
+	// raw page image and its compressed form, reused across pages and
+	// rounds so the spill write path allocates nothing per state.
+	encScratch  []byte
+	compScratch bytes.Buffer
+	flateW      *flate.Writer
+}
+
+func newSpillStore[S comparable](cfg Config, shards int, fp func(*S) uint64) (*spillStore[S], error) {
+	cdc := codecFor[S]()
+	if cdc == nil {
+		return nil, fmt.Errorf("%w: %T", ErrNoCodec, *new(S))
+	}
+	st := &spillStore[S]{
+		shards:   make([]*spillShard, shards),
+		mask:     uint64(shards - 1),
+		fp:       fp,
+		sizeOf:   sizeOfFunc[S](),
+		codec:    cdc,
+		maxBytes: cfg.MaxBytes,
+		cache:    make(map[int32]*cacheEnt[S], pageCacheSize),
+	}
+	st.pages.init(cfg.PageBits)
+	if st.maxBytes <= 0 {
+		st.maxBytes = DefaultMaxBytes
+	}
+	for i := range st.shards {
+		st.shards[i] = &spillShard{m: make(map[uint64][]int32)}
+	}
+	st.dir = cfg.Dir
+	if st.dir == "" {
+		dir, err := os.MkdirTemp("", "store-spill-*")
+		if err != nil {
+			return nil, fmt.Errorf("store: spill dir: %w", err)
+		}
+		st.dir, st.ownDir = dir, true
+	}
+	var err error
+	if st.flateW, err = flate.NewWriter(io.Discard, flate.BestSpeed); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (st *spillStore[S]) Intern(s S) (int32, bool) {
+	h := st.fp(&s)
+	sh := st.shards[h&st.mask]
+	sh.mu.Lock()
+	for _, id := range sh.m[h] {
+		if st.equals(id, s) {
+			sh.mu.Unlock()
+			return id, false
+		}
+	}
+	id := int32(st.counter.Add(1) - 1)
+	sh.m[h] = append(sh.m[h], id)
+	st.pages.set(id, s)
+	st.resident.Add(st.sizeOf(&s))
+	sh.mu.Unlock()
+	return id, true
+}
+
+// equals confirms a fingerprint hit against the real payload of id,
+// reading the segment back when the payload was spilled. Called with the
+// owning shard locked, which orders it after the payload write of any id
+// interned during the current level (same state, same fingerprint, same
+// shard); payloads from earlier levels are ordered by the level barrier.
+func (st *spillStore[S]) equals(id int32, s S) bool {
+	if int(id) < int(st.spilledTo.Load())<<st.pages.bits {
+		st.confirms.Add(1)
+		v, ok := st.spilledState(id)
+		return ok && v == s
+	}
+	return st.pages.get(id) == s
+}
+
+func (st *spillStore[S]) State(id int32) S {
+	if int(id) < int(st.spilledTo.Load())<<st.pages.bits {
+		v, _ := st.spilledState(id)
+		return v
+	}
+	return st.pages.get(id)
+}
+
+func (st *spillStore[S]) Probe(s S) (int32, bool) {
+	h := st.fp(&s)
+	sh := st.shards[h&st.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, id := range sh.m[h] {
+		if st.equals(id, s) {
+			return id, true
+		}
+	}
+	return -1, false
+}
+
+func (st *spillStore[S]) Len() int { return int(st.counter.Load()) }
+
+// spilledState fetches the payload of a spilled id through the page cache.
+// On I/O or decode failure it records the sticky error (surfaced at the
+// next barrier's Maintain, which aborts the run) and reports !ok, which
+// the confirm path treats as a mismatch — wrong only in runs that are
+// already doomed.
+func (st *spillStore[S]) spilledState(id int32) (S, bool) {
+	pno := int32(int(id) >> st.pages.bits)
+	st.segMu.Lock()
+	defer st.segMu.Unlock()
+	st.cacheTick++
+	if ent, ok := st.cache[pno]; ok {
+		ent.lastUse = st.cacheTick
+		return ent.pg.slots[int(id)&st.pages.mask], true
+	}
+	var zero S
+	if st.ioErr != nil {
+		return zero, false
+	}
+	pg, err := st.readPage(pno)
+	if err != nil {
+		st.ioErr = fmt.Errorf("store: spill read of page %d: %w", pno, err)
+		return zero, false
+	}
+	st.segReads.Add(1)
+	if len(st.cache) >= pageCacheSize {
+		var victim int32
+		oldest := uint64(1<<64 - 1)
+		for p, ent := range st.cache {
+			if ent.lastUse < oldest {
+				oldest, victim = ent.lastUse, p
+			}
+		}
+		delete(st.cache, victim)
+	}
+	st.cache[pno] = &cacheEnt[S]{pg: pg, lastUse: st.cacheTick}
+	return pg.slots[int(id)&st.pages.mask], true
+}
+
+// readPage decompresses and decodes one spilled page. Caller holds segMu.
+func (st *spillStore[S]) readPage(pno int32) (*page[S], error) {
+	m := st.meta[pno]
+	comp := make([]byte, m.compLen)
+	if _, err := st.segs[m.seg].ReadAt(comp, m.off); err != nil {
+		return nil, err
+	}
+	fr := flate.NewReader(bytes.NewReader(comp))
+	raw := make([]byte, m.rawLen)
+	if _, err := io.ReadFull(fr, raw); err != nil {
+		return nil, err
+	}
+	if len(raw) < 4 {
+		return nil, fmt.Errorf("short page image (%d bytes)", len(raw))
+	}
+	count := int(binary.LittleEndian.Uint32(raw))
+	if count < 1 || count > st.pages.size {
+		return nil, fmt.Errorf("corrupt page count %d", count)
+	}
+	offTab := raw[4 : 4+4*(count+1)]
+	payload := raw[4+4*(count+1):]
+	pg := &page[S]{slots: make([]S, st.pages.size)}
+	for i := 0; i < count; i++ {
+		lo := binary.LittleEndian.Uint32(offTab[4*i:])
+		hi := binary.LittleEndian.Uint32(offTab[4*i+4:])
+		if lo > hi || int(hi) > len(payload) {
+			return nil, fmt.Errorf("corrupt page offsets %d..%d", lo, hi)
+		}
+		pg.slots[i] = st.codec.dec(payload[lo:hi])
+	}
+	return pg, nil
+}
+
+// Maintain enforces the budget at a level barrier: while resident payload
+// bytes exceed MaxBytes it spills the oldest still-resident full pages
+// whose every id is below keepFrom (the next frontier stays in RAM), all
+// into one fresh segment file, then drops the pages. Quiescence required.
+func (st *spillStore[S]) Maintain(keepFrom int32) error {
+	st.segMu.Lock()
+	defer st.segMu.Unlock()
+	if st.ioErr != nil {
+		return st.ioErr
+	}
+	if st.resident.Load() <= st.maxBytes {
+		return nil
+	}
+	limit := int32(st.counter.Load())
+	if keepFrom < limit {
+		limit = keepFrom
+	}
+	spillable := int(limit) >> st.pages.bits // pages wholly below the keep line
+	from := int(st.spilledTo.Load())
+	if from >= spillable {
+		return nil // budget exceeded but nothing eligible; overshoot is bounded by the frontier
+	}
+	target := int64(float64(st.maxBytes) * spillLowWater)
+	if err := st.spillPages(from, spillable, target); err != nil {
+		st.ioErr = err
+		return err
+	}
+	return nil
+}
+
+// spillPages writes pages [from, upTo) — stopping early once resident
+// drops to target — into one new segment file. Caller holds segMu.
+func (st *spillStore[S]) spillPages(from, upTo int, target int64) error {
+	segNo := len(st.segs)
+	f, err := os.Create(filepath.Join(st.dir, fmt.Sprintf("seg-%05d.dat", segNo)))
+	if err != nil {
+		return fmt.Errorf("store: segment create: %w", err)
+	}
+	st.segs = append(st.segs, f)
+	var fileOff int64
+	p := from
+	for ; p < upTo && st.resident.Load() > target; p++ {
+		pg := st.pages.page(p)
+		count := st.pages.size
+		if end := int(st.counter.Load()) - p<<st.pages.bits; end < count {
+			count = end // only the last eligible page can be partial, and only on the final Maintain
+		}
+		raw, pageBytes := st.encodePage(pg, count)
+		st.compScratch.Reset()
+		st.flateW.Reset(&st.compScratch)
+		if _, err := st.flateW.Write(raw); err != nil {
+			return fmt.Errorf("store: page compress: %w", err)
+		}
+		if err := st.flateW.Close(); err != nil {
+			return fmt.Errorf("store: page compress: %w", err)
+		}
+		comp := st.compScratch.Bytes()
+		if _, err := f.WriteAt(comp, fileOff); err != nil {
+			return fmt.Errorf("store: segment write: %w", err)
+		}
+		st.meta = append(st.meta, pageMeta{
+			seg:     int32(segNo),
+			off:     fileOff,
+			compLen: int32(len(comp)),
+			rawLen:  int32(len(raw)),
+		})
+		fileOff += int64(len(comp))
+		st.bytesSpilled += int64(len(raw))
+		st.compBytes += int64(len(comp))
+		st.spilledStates += count
+		st.resident.Add(-pageBytes)
+		st.pages.drop(p)
+		st.spilledTo.Store(int32(p + 1))
+	}
+	return nil
+}
+
+// encodePage builds the raw page image in the reused scratch buffer and
+// returns it together with the resident payload bytes it replaces. The
+// buffer is owned by Maintain (quiescent), so zero per-state allocations
+// survive steady state — see BenchmarkPageEncode for the before/after.
+func (st *spillStore[S]) encodePage(pg *page[S], count int) ([]byte, int64) {
+	raw := st.encScratch[:0]
+	raw = binary.LittleEndian.AppendUint32(raw, uint32(count))
+	offPos := len(raw)
+	for i := 0; i <= count; i++ {
+		raw = binary.LittleEndian.AppendUint32(raw, 0)
+	}
+	var pageBytes int64
+	base := len(raw)
+	for i := 0; i < count; i++ {
+		raw = st.codec.enc(raw, &pg.slots[i])
+		binary.LittleEndian.PutUint32(raw[offPos+4*(i+1):], uint32(len(raw)-base))
+		pageBytes += st.sizeOf(&pg.slots[i])
+	}
+	st.encScratch = raw
+	return raw, pageBytes
+}
+
+func (st *spillStore[S]) Stats() Stats {
+	out := Stats{
+		Kind:              Spill,
+		States:            st.Len(),
+		MaxBytes:          st.maxBytes,
+		SegmentReads:      st.segReads.Load(),
+		CollisionConfirms: st.confirms.Load(),
+	}
+	out.BytesInRAM = st.resident.Load() + int64(out.States)*spillIndexOverhead
+	st.segMu.Lock()
+	out.SpilledStates = st.spilledStates
+	out.BytesSpilled = st.bytesSpilled
+	out.CompressedBytes = st.compBytes
+	out.Segments = len(st.segs)
+	st.segMu.Unlock()
+	return out
+}
+
+func (st *spillStore[S]) Err() error {
+	st.segMu.Lock()
+	defer st.segMu.Unlock()
+	return st.ioErr
+}
+
+func (st *spillStore[S]) Close() error {
+	st.segMu.Lock()
+	defer st.segMu.Unlock()
+	var first error
+	for _, f := range st.segs {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	st.segs = nil
+	if st.ownDir && st.dir != "" {
+		if err := os.RemoveAll(st.dir); err != nil && first == nil {
+			first = err
+		}
+		st.dir = ""
+	}
+	return first
+}

@@ -1,0 +1,205 @@
+// Package store is the pluggable visited-set subsystem underneath the
+// exploration engine: the fingerprint-sharded state store that bounds how
+// large an instance of each impossibility proof's finite model the library
+// can certify. It extracts the engine's original in-memory sharded map into
+// a StateStore interface with three backends:
+//
+//   - mem: the exact hash-sharded map the engine always had, now with
+//     per-shard byte accounting. Sound, RAM-resident, the default.
+//   - spill: memory-budgeted. The fingerprint index stays in RAM; full
+//     state payloads spill to compressed append-only segment files once a
+//     byte budget is exceeded, and fingerprint hits are confirmed by
+//     reading the segment back. Sound: no 64-bit collision is ever trusted.
+//   - bitstate: a fingerprint-only lossy sweep (SPIN's bitstate-hashing
+//     analogue). Colliding states are silently merged, so the explored
+//     graph may undercount the reachable set; Stats.Lossy flags every
+//     result so downstream verdicts are downgraded to "no violation
+//     found". Never an impossibility-proof witness.
+//
+// The package is a leaf: it imports no other internal package, so the
+// engine, core and the CLIs can all select backends without cycles. The
+// concurrency contract mirrors the engine's two-phase BFS: Intern/Probe/
+// State/Len/Stats may be called concurrently during a level; Maintain and
+// Close require quiescence (the engine calls them only at level barriers
+// and after replay).
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind names a backend.
+type Kind string
+
+const (
+	// Mem is the RAM-resident sharded map (the default; "" resolves to it).
+	Mem Kind = "mem"
+	// Spill keeps the fingerprint index in RAM and spills state payloads
+	// to compressed segment files under a byte budget.
+	Spill Kind = "spill"
+	// Bitstate is the lossy fingerprint-only sweep. Unsound by design.
+	Bitstate Kind = "bitstate"
+)
+
+// DefaultMaxBytes is the spill backend's payload budget when
+// Config.MaxBytes is zero: 256 MiB.
+const DefaultMaxBytes = 256 << 20
+
+// ErrUnknownKind is returned by New and ParseFlags for an unrecognized
+// backend name.
+var ErrUnknownKind = errors.New("store: unknown backend kind")
+
+// ErrNoCodec is returned by New when the spill backend is requested for a
+// state type it cannot serialize (see codecFor).
+var ErrNoCodec = errors.New("store: state type has no spill codec")
+
+// Config selects and parameterizes a backend.
+type Config struct {
+	// Kind picks the backend; "" means Mem.
+	Kind Kind
+	// MaxBytes is the spill backend's resident-payload budget in bytes
+	// (zero means DefaultMaxBytes). The fingerprint index and the engine's
+	// edge arenas are outside the budget by design: the index must stay in
+	// RAM for dedup to stay O(1), and the budget's job is to bound the
+	// dominant cost, the payload bytes.
+	MaxBytes int64
+	// Dir, when non-empty, is the directory for spill segment files. Empty
+	// selects a fresh temp directory, removed on Close.
+	Dir string
+	// FingerprintBits, for the bitstate backend, masks the 64-bit state
+	// fingerprint down to its low N bits (0 means all 64). Small values
+	// force collisions — the knob the lossiness tests turn.
+	FingerprintBits int
+	// PageBits sets the spill backend's page granularity to 2^PageBits
+	// states per page (0 means the default, 2^10). Pages are the spill
+	// unit: only whole pages move to disk, so small workloads need small
+	// pages to spill at all — the knob the spill tests turn. Production
+	// runs should leave it at the default.
+	PageBits int
+}
+
+// Lossy reports whether the configured backend can merge distinct states
+// (and so can only ever support "no violation found" verdicts).
+func (c Config) Lossy() bool { return c.Kind == Bitstate }
+
+// ResolvedKind is Kind with the empty default folded to Mem.
+func (c Config) ResolvedKind() Kind {
+	if c.Kind == "" {
+		return Mem
+	}
+	return c.Kind
+}
+
+// Stats is a backend's telemetry snapshot. Counter fields that depend on
+// scheduling (SegmentReads, CollisionConfirms, BytesSpilled — all functions
+// of which provisional ids landed on which pages) are NOT worker-count
+// invariant and are excluded from the engine's determinism comparisons and
+// from trace digests.
+type Stats struct {
+	// Kind is the resolved backend kind.
+	Kind Kind
+	// States is the number of states interned.
+	States int
+	// BytesInRAM is the resident footprint estimate: payload bytes still
+	// in memory plus index overhead.
+	BytesInRAM int64
+	// MaxBytes echoes the configured budget (spill only).
+	MaxBytes int64
+	// ShardBytes is the per-shard resident payload accounting (mem only).
+	ShardBytes []int64
+	// SpilledStates counts states whose payloads live on disk.
+	SpilledStates int
+	// BytesSpilled is the raw (uncompressed) payload bytes written to
+	// segment files.
+	BytesSpilled int64
+	// CompressedBytes is the on-disk size of those payloads.
+	CompressedBytes int64
+	// Segments is the number of segment files written.
+	Segments int
+	// SegmentReads counts page fetches served from disk (cache misses).
+	SegmentReads uint64
+	// CollisionConfirms counts fingerprint hits confirmed against a
+	// spilled payload.
+	CollisionConfirms uint64
+	// Lossy reports that the backend may have merged distinct states. A
+	// lossy run can never witness a violation's absence — only report that
+	// none was found in the states it kept.
+	Lossy bool
+	// FingerprintBits echoes the bitstate mask width (0 = full 64 bits).
+	FingerprintBits int
+}
+
+// StateStore is the visited set of one exploration run. Implementations
+// are safe for concurrent Intern/Probe/State/Len/Stats during a level;
+// Maintain and Close require all workers quiescent (the engine's level
+// barriers provide exactly that).
+type StateStore[S comparable] interface {
+	// Intern returns the provisional id of s, assigning a fresh dense id
+	// (in interning order, starting at 0) on first sight. Exact backends
+	// confirm every fingerprint hit against the stored payload; the
+	// bitstate backend trusts the fingerprint and may merge distinct
+	// states.
+	Intern(s S) (id int32, fresh bool)
+	// State returns the payload interned under id. The id must have been
+	// returned by Intern, and the read must be ordered after the write
+	// (same-shard mutual exclusion during a level, or a level barrier).
+	State(id int32) S
+	// Probe reports whether s is already interned, and under which id,
+	// without interning it.
+	Probe(s S) (id int32, ok bool)
+	// Len is the number of states interned so far (live, atomic).
+	Len() int
+	// Stats snapshots the backend telemetry (safe during a level).
+	Stats() Stats
+	// Maintain is the level-barrier hook: the backend may enforce its byte
+	// budget (spilling payloads with id < keepFrom — the ids below the
+	// frontier about to be expanded). It returns the first I/O error the
+	// backend has encountered, sticky.
+	Maintain(keepFrom int32) error
+	// Err returns the sticky I/O error, if any, without maintenance.
+	Err() error
+	// Close releases files and temp directories. Idempotent.
+	Close() error
+}
+
+// New builds the configured backend. shards is the stripe count (a power
+// of two, chosen by the caller from its worker count) and fp the state
+// fingerprint. The spill backend additionally needs a payload codec for S
+// and fails with ErrNoCodec when none exists.
+func New[S comparable](cfg Config, shards int, fp func(*S) uint64) (StateStore[S], error) {
+	if shards <= 0 || shards&(shards-1) != 0 {
+		return nil, fmt.Errorf("store: shard count %d is not a positive power of two", shards)
+	}
+	switch cfg.ResolvedKind() {
+	case Mem:
+		return newMemStore[S](shards, fp), nil
+	case Spill:
+		return newSpillStore[S](cfg, shards, fp)
+	case Bitstate:
+		return newBitStore[S](cfg, shards, fp), nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownKind, cfg.Kind)
+	}
+}
+
+// ParseFlags assembles a Config from the CLIs' shared flag values
+// (-store and -max-store-bytes), validating the backend name.
+func ParseFlags(kind string, maxBytes int64) (Config, error) {
+	var cfg Config
+	switch kind {
+	case "", "mem":
+		cfg.Kind = Mem
+	case "spill":
+		cfg.Kind = Spill
+	case "bitstate":
+		cfg.Kind = Bitstate
+	default:
+		return Config{}, fmt.Errorf("%w: %q (want mem, spill or bitstate)", ErrUnknownKind, kind)
+	}
+	if maxBytes < 0 {
+		return Config{}, fmt.Errorf("store: negative byte budget %d", maxBytes)
+	}
+	cfg.MaxBytes = maxBytes
+	return cfg, nil
+}

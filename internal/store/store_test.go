@@ -1,0 +1,346 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// stringFP mirrors the engine's string fingerprint shape: deterministic,
+// well spread. Tests that need collisions use the bitstate mask knob
+// instead of degrading this.
+func stringFP(s *string) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(*s); i++ {
+		h ^= uint64((*s)[i])
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	return h
+}
+
+// backendConfigs enumerates the conformance matrix: every backend, with
+// the spill backend additionally squeezed under a tiny budget so the
+// segment path is exercised, not just compiled.
+func backendConfigs(t *testing.T) map[string]Config {
+	t.Helper()
+	return map[string]Config{
+		"mem":          {Kind: Mem},
+		"spill":        {Kind: Spill, Dir: t.TempDir()},
+		"spill-tiny":   {Kind: Spill, MaxBytes: 1 << 10, Dir: t.TempDir()},
+		"spill-page32": {Kind: Spill, MaxBytes: 1 << 10, Dir: t.TempDir(), PageBits: 5},
+		"bitstate":     {Kind: Bitstate},
+		"default-kind": {},
+	}
+}
+
+func testStates(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("state-%06d-%s", i, string(rune('a'+i%26)))
+	}
+	return out
+}
+
+// TestConformanceInsertLookup drives the shared insert/lookup/confirm
+// semantics through every backend: dense ids in interning order, stable
+// re-interning, payload round-trips and Probe visibility — including
+// across Maintain-driven spilling.
+func TestConformanceInsertLookup(t *testing.T) {
+	const n = 4096 // > 1 page, so spill-tiny moves multiple pages to disk
+	states := testStates(n)
+	for name, cfg := range backendConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			st, err := New[string](cfg, 4, stringFP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			for i, s := range states {
+				id, fresh := st.Intern(s)
+				if !fresh || id != int32(i) {
+					t.Fatalf("Intern(%q) = (%d, %v), want (%d, true)", s, id, fresh, i)
+				}
+			}
+			if st.Len() != n {
+				t.Fatalf("Len = %d, want %d", st.Len(), n)
+			}
+			// Barrier-equivalent: enforce the budget, then re-check everything.
+			if err := st.Maintain(int32(n)); err != nil {
+				t.Fatal(err)
+			}
+			for i, s := range states {
+				if got := st.State(int32(i)); got != s {
+					t.Fatalf("State(%d) = %q, want %q", i, got, s)
+				}
+				id, fresh := st.Intern(s)
+				if fresh || id != int32(i) {
+					t.Fatalf("re-Intern(%q) = (%d, %v), want (%d, false)", s, id, fresh, i)
+				}
+				pid, ok := st.Probe(s)
+				if !ok || pid != int32(i) {
+					t.Fatalf("Probe(%q) = (%d, %v), want (%d, true)", s, pid, ok, i)
+				}
+			}
+			if _, ok := st.Probe("never-interned"); ok {
+				t.Fatal("Probe of an unknown state reported a hit")
+			}
+			if st.Len() != n {
+				t.Fatalf("Len after re-interning = %d, want %d", st.Len(), n)
+			}
+			ss := st.Stats()
+			if ss.States != n {
+				t.Fatalf("Stats.States = %d, want %d", ss.States, n)
+			}
+			if ss.Lossy != (cfg.Kind == Bitstate) {
+				t.Fatalf("Stats.Lossy = %v for kind %q", ss.Lossy, cfg.ResolvedKind())
+			}
+			if ss.Kind != cfg.ResolvedKind() {
+				t.Fatalf("Stats.Kind = %q, want %q", ss.Kind, cfg.ResolvedKind())
+			}
+		})
+	}
+}
+
+// TestConformanceConcurrent hammers Intern/Probe from several goroutines
+// with overlapping state sets and checks the end state agrees with a
+// sequential interning. Run under -race this is the synchronization
+// contract's unit-level check (the engine-level determinism checks are in
+// internal/engine).
+func TestConformanceConcurrent(t *testing.T) {
+	const n = 2000
+	states := testStates(n)
+	for name, cfg := range backendConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			st, err := New[string](cfg, 8, stringFP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := range states {
+						s := states[(i+g*531)%n]
+						id, _ := st.Intern(s)
+						if got := st.State(id); got != s {
+							panic(fmt.Sprintf("State(%d) = %q after Intern(%q)", id, got, s))
+						}
+						if pid, ok := st.Probe(s); !ok || pid != id {
+							panic(fmt.Sprintf("Probe(%q) = (%d, %v), want (%d, true)", s, pid, ok, id))
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if st.Len() != n {
+				t.Fatalf("Len = %d, want %d distinct states", st.Len(), n)
+			}
+			seen := make(map[int32]bool, n)
+			for _, s := range states {
+				id, fresh := st.Intern(s)
+				if fresh {
+					t.Fatalf("state %q lost after concurrent interning", s)
+				}
+				if seen[id] {
+					t.Fatalf("id %d assigned to two states", id)
+				}
+				seen[id] = true
+			}
+		})
+	}
+}
+
+// TestSpillBudget checks the budget mechanics: payloads spill oldest-first
+// once resident bytes exceed MaxBytes, ids at or above keepFrom stay
+// resident, and spilled payloads keep answering State/Intern/Probe
+// exactly (confirm-by-readback).
+func TestSpillBudget(t *testing.T) {
+	const n = 8192
+	states := testStates(n)
+	st, err := New[string](Config{Kind: Spill, MaxBytes: 4 << 10, Dir: t.TempDir()}, 4, stringFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, s := range states {
+		st.Intern(s)
+	}
+	before := st.Stats()
+	if before.Segments != 0 {
+		t.Fatalf("segments written before Maintain: %d", before.Segments)
+	}
+	// keepFrom in the middle: pages wholly below it may spill, the rest not.
+	keep := int32(3 << defaultPageBits)
+	if err := st.Maintain(keep); err != nil {
+		t.Fatal(err)
+	}
+	ss := st.Stats()
+	if ss.Segments == 0 || ss.SpilledStates == 0 {
+		t.Fatalf("nothing spilled under a %d-byte budget: %+v", 4<<10, ss)
+	}
+	if ss.SpilledStates > int(keep) {
+		t.Fatalf("spilled %d states past keepFrom %d", ss.SpilledStates, keep)
+	}
+	if ss.BytesSpilled <= 0 || ss.CompressedBytes <= 0 || ss.CompressedBytes >= ss.BytesSpilled {
+		t.Fatalf("suspicious spill accounting: raw=%d comp=%d", ss.BytesSpilled, ss.CompressedBytes)
+	}
+	for i, s := range states {
+		if got := st.State(int32(i)); got != s {
+			t.Fatalf("State(%d) = %q, want %q after spill", i, got, s)
+		}
+		if id, fresh := st.Intern(s); fresh || id != int32(i) {
+			t.Fatalf("re-Intern(%q) = (%d, %v) after spill", s, id, fresh)
+		}
+	}
+	after := st.Stats()
+	if after.CollisionConfirms == 0 {
+		t.Fatal("re-interning spilled states confirmed nothing from segments")
+	}
+	if after.SegmentReads == 0 {
+		t.Fatal("no segment reads recorded")
+	}
+	// A second Maintain with full keepFrom may spill the rest; everything
+	// must still round-trip.
+	if err := st.Maintain(int32(n)); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range states {
+		if got := st.State(int32(i)); got != s {
+			t.Fatalf("State(%d) = %q, want %q after second spill", i, got, s)
+		}
+	}
+}
+
+// TestSpillRefusesExoticTypes pins ErrNoCodec: the spill backend must
+// reject state types it cannot serialize instead of guessing.
+func TestSpillRefusesExoticTypes(t *testing.T) {
+	type odd struct{ A, B int }
+	if _, err := New[odd](Config{Kind: Spill}, 1, func(*odd) uint64 { return 0 }); !errors.Is(err, ErrNoCodec) {
+		t.Fatalf("New[odd](spill) = %v, want ErrNoCodec", err)
+	}
+	if _, err := New[odd](Config{Kind: Mem}, 1, func(*odd) uint64 { return 0 }); err != nil {
+		t.Fatalf("New[odd](mem) = %v, want nil (mem needs no codec)", err)
+	}
+}
+
+// TestBitstateLossiness pins the documented unsoundness: under a
+// truncated fingerprint, distinct states merge, Len undercounts, and the
+// Stats carry Lossy plus the mask width. Under the full 64-bit
+// fingerprint the backend behaves exactly on these inputs.
+func TestBitstateLossiness(t *testing.T) {
+	const n = 1000
+	states := testStates(n)
+
+	lossy, err := New[string](Config{Kind: Bitstate, FingerprintBits: 6}, 2, stringFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lossy.Close()
+	for _, s := range states {
+		lossy.Intern(s)
+	}
+	if lossy.Len() >= n {
+		t.Fatalf("6-bit fingerprints kept %d of %d states; expected merges", lossy.Len(), n)
+	}
+	if lossy.Len() > 1<<6 {
+		t.Fatalf("6-bit fingerprints admit at most 64 states, got %d", lossy.Len())
+	}
+	ss := lossy.Stats()
+	if !ss.Lossy || ss.FingerprintBits != 6 {
+		t.Fatalf("Stats = %+v, want Lossy=true FingerprintBits=6", ss)
+	}
+
+	exact, err := New[string](Config{Kind: Bitstate}, 2, stringFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exact.Close()
+	for i, s := range states {
+		if id, fresh := exact.Intern(s); !fresh || id != int32(i) {
+			t.Fatalf("full-width bitstate merged distinct state %q", s)
+		}
+	}
+	if !exact.Stats().Lossy {
+		t.Fatal("bitstate must report Lossy even when no collision occurred: the claim is about the mode, not the run")
+	}
+}
+
+// TestIntCodecRoundTrip drives the integer codecs through a spill
+// round-trip (ints are the engine's toy-system state type).
+func TestIntCodecRoundTrip(t *testing.T) {
+	st, err := New[int](Config{Kind: Spill, MaxBytes: 1, Dir: t.TempDir()},
+		1, func(v *int) uint64 { return uint64(*v) * 0x9e3779b97f4a7c15 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	const n = 3000
+	for i := 0; i < n; i++ {
+		st.Intern(i*7 - 1000)
+	}
+	if err := st.Maintain(n); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().SpilledStates == 0 {
+		t.Fatal("int payloads did not spill under a 1-byte budget")
+	}
+	for i := 0; i < n; i++ {
+		if got := st.State(int32(i)); got != i*7-1000 {
+			t.Fatalf("State(%d) = %d, want %d", i, got, i*7-1000)
+		}
+	}
+}
+
+// TestParseFlags pins the CLI flag surface.
+func TestParseFlags(t *testing.T) {
+	for _, tc := range []struct {
+		kind string
+		want Kind
+	}{{"", Mem}, {"mem", Mem}, {"spill", Spill}, {"bitstate", Bitstate}} {
+		cfg, err := ParseFlags(tc.kind, 0)
+		if err != nil || cfg.Kind != tc.want {
+			t.Fatalf("ParseFlags(%q) = (%+v, %v), want kind %q", tc.kind, cfg, err, tc.want)
+		}
+	}
+	if _, err := ParseFlags("disk", 0); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("ParseFlags(disk) = %v, want ErrUnknownKind", err)
+	}
+	if _, err := ParseFlags("spill", -1); err == nil {
+		t.Fatal("ParseFlags accepted a negative budget")
+	}
+}
+
+// TestStatsByteAccounting sanity-checks the mem backend's per-shard
+// accounting: shard totals are positive where populated and sum to
+// BytesInRAM.
+func TestStatsByteAccounting(t *testing.T) {
+	st, err := New[string](Config{Kind: Mem}, 4, stringFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, s := range testStates(500) {
+		st.Intern(s)
+	}
+	ss := st.Stats()
+	if len(ss.ShardBytes) != 4 {
+		t.Fatalf("ShardBytes has %d entries, want 4", len(ss.ShardBytes))
+	}
+	var sum int64
+	for i, b := range ss.ShardBytes {
+		if b <= 0 {
+			t.Fatalf("shard %d accounts %d bytes over 500 well-spread states", i, b)
+		}
+		sum += b
+	}
+	if sum != ss.BytesInRAM || sum < 500*memEntryOverhead {
+		t.Fatalf("BytesInRAM %d vs shard sum %d", ss.BytesInRAM, sum)
+	}
+}
