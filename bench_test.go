@@ -373,11 +373,11 @@ func BenchmarkExploreParallelFLP(b *testing.B) {
 // under their symmetry canonicalizers. Comparing states and wall time
 // against the full-graph pair reads off the orbit reduction directly.
 
-func benchExploreQuotient(b *testing.B, sys core.System[string], canon func(string) string) {
+func benchExploreQuotient(b *testing.B, sys core.System[string], canon func(string) string, canonBytes any) {
 	b.Helper()
 	var st engine.Stats
 	for i := 0; i < b.N; i++ {
-		g, err := core.Explore[string](sys, core.ExploreOptions{Canon: canon, Stats: &st})
+		g, err := core.Explore[string](sys, core.ExploreOptions{Canon: canon, CanonBytes: canonBytes, Stats: &st})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -392,7 +392,7 @@ func benchExploreQuotient(b *testing.B, sys core.System[string], canon func(stri
 
 func BenchmarkExploreQuotientMutex(b *testing.B) {
 	alg := sharedmem.NewTicketLock(6)
-	benchExploreQuotient(b, sharedmem.NewSystem(alg), sharedmem.CanonFor(alg))
+	benchExploreQuotient(b, sharedmem.NewSystem(alg), sharedmem.CanonFor(alg), nil)
 }
 
 func BenchmarkExploreQuotientFLP(b *testing.B) {
@@ -401,7 +401,11 @@ func BenchmarkExploreQuotientFLP(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	benchExploreQuotient(b, flp.NewSystem(p, nil, 1), canon)
+	canonB, err := flp.PermutationCanonBytes(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchExploreQuotient(b, flp.NewSystem(p, nil, 1), canon, canonB)
 }
 
 // Partial-order-reduction counterparts over the crash-free wait-quorum n=4

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 
 	"repro/internal/engine"
@@ -37,6 +39,10 @@ func run() int {
 	stats := flag.Bool("stats", false, "print exploration engine telemetry")
 	usePOR := flag.Bool("por", false,
 		"analyze under ample-set partial-order reduction (delivery independence + decision visibility); verdicts are identical, configuration counts shrink")
+	verifyAliasing := flag.Int("verify-aliasing", 0,
+		"debug falsifier: re-expand every Nth state over poisoned scratch buffers to catch expansions that retain emitted slices (0 = off)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	progress := flag.Bool("progress", false, "stream live exploration progress lines to stderr")
 	tracePath := flag.String("trace", "", "write a JSONL run trace of the main exploration to this file (\"-\" for stdout); validate with `hundred trace-lint`")
 	serveAddr := flag.String("serve", "", "serve live /metrics and /debug/pprof on this address (e.g. :8080) for the life of the run")
@@ -82,6 +88,33 @@ func run() int {
 		return 1
 	}
 	defer obsCleanup()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 	var st *engine.Stats
 	if *stats || storeCfg.ResolvedKind() != store.Mem {
 		st = new(engine.Stats)
@@ -89,6 +122,7 @@ func run() int {
 	opts := flp.AnalyzeOptions{
 		Resilience: resilience, Parallelism: *parallel, Stats: st,
 		Sink: sink, SnapshotEvery: *snapshotEvery, Store: storeCfg,
+		VerifyAliasing: *verifyAliasing,
 	}
 	if *usePOR {
 		opts.Independent = flp.DeliveryIndependence(p)

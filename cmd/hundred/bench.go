@@ -25,8 +25,13 @@ import (
 // figures (kind, budget, spilled bytes, segments) and peak process RSS,
 // so budget-bounded big-instance runs are comparable across history. The
 // additions are all omitempty, so v2 readers' fields are unchanged and v2
-// histories load as-is.
-const benchSchemaVersion = 3
+// histories load as-is. Version 4 adds the allocation axis: per-row
+// allocs_per_state and bytes_per_state measured as runtime.MemStats deltas
+// across the full-mode exploration, so the zero-alloc hot-path contract is
+// gated by `hundred bench-compare` alongside throughput and determinism.
+// Again omitempty: v3 histories load as-is with the alloc gate inactive on
+// pre-v4 rows.
+const benchSchemaVersion = 4
 
 // benchHistoryCap bounds the committed run history: the newest runs win.
 const benchHistoryCap = 16
@@ -79,6 +84,14 @@ type explorationBench struct {
 	// exploration (process-wide and monotone: rows later in a run inherit
 	// at least the peaks of earlier rows).
 	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
+	// AllocsPerState and BytesPerState are heap-allocation counts and bytes
+	// per discovered state across the full-mode exploration (schema v4),
+	// measured as runtime.MemStats deltas. They are process-wide, so they
+	// include the graph the exploration returns — the point is the trend:
+	// a hot path that starts allocating per successor moves these by an
+	// order of magnitude, which `hundred bench-compare` gates on.
+	AllocsPerState float64 `json:"allocs_per_state,omitempty"`
+	BytesPerState  float64 `json:"bytes_per_state,omitempty"`
 }
 
 type synthBench struct {
@@ -145,6 +158,10 @@ func benchWorkloads() ([]benchWorkload, error) {
 		if err != nil {
 			return nil, err
 		}
+		canonB, err := flp.PermutationCanonBytes(p)
+		if err != nil {
+			return nil, err
+		}
 		out = append(out, benchWorkload{
 			name: fmt.Sprintf("%s(n=%d,r=%d)", p.Name(), cfg.n, cfg.resilience),
 			explore: func(mode exploreMode) (int, engine.Stats, error) {
@@ -153,6 +170,7 @@ func benchWorkloads() ([]benchWorkload, error) {
 				switch mode {
 				case modeQuotient:
 					opts.Canon = canonFn
+					opts.CanonBytes = canonB
 				case modePOR, modePORQuotient:
 					if cfg.resilience != 0 {
 						return 0, st, nil // irreducible; don't re-explore 563k states to show 1.00x
@@ -161,6 +179,7 @@ func benchWorkloads() ([]benchWorkload, error) {
 					opts.Visible = flp.DecisionVisibility(p)
 					if mode == modePORQuotient {
 						opts.Canon = canonFn
+						opts.CanonBytes = canonB
 					}
 				}
 				g, err := core.Explore[string](flp.NewSystem(p, nil, cfg.resilience), opts)
@@ -301,10 +320,17 @@ func runBench() (benchRecord, error) {
 		return rec, err
 	}
 	for _, w := range workloads {
+		// Bracket the full-mode exploration with MemStats reads for the
+		// v4 allocation axis. GC first so the delta measures this
+		// workload's allocations, not a collection boundary.
+		runtime.GC()
+		var msBefore, msAfter runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		full, fullStats, err := w.explore(modeFull)
 		if err != nil {
 			return rec, fmt.Errorf("%s full: %w", w.name, err)
 		}
+		runtime.ReadMemStats(&msAfter)
 		row := explorationBench{
 			System:           w.name,
 			FullStates:       full,
@@ -316,6 +342,10 @@ func runBench() (benchRecord, error) {
 			StoreBytesSpilled: fullStats.Store.BytesSpilled,
 			StoreSegments:     fullStats.Store.Segments,
 			PeakRSSBytes:      fullStats.PeakRSSBytes,
+		}
+		if full > 0 {
+			row.AllocsPerState = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(full)
+			row.BytesPerState = float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(full)
 		}
 		quo, quoStats, err := w.explore(modeQuotient)
 		if err != nil {
@@ -450,6 +480,11 @@ func runBenchJSON(outPath string) error {
 		prev = &bf.Runs[len(bf.Runs)-1]
 	}
 	bf.Runs = append(bf.Runs, rec)
+	// The appended run carries current-schema fields, so the file is now a
+	// current-schema document — stamp it as such (previously the loaded
+	// version was written back unchanged, leaving v3+ fields in files still
+	// labeled v2).
+	bf.SchemaVersion = benchSchemaVersion
 	if excess := len(bf.Runs) - benchHistoryCap; excess > 0 {
 		bf.Runs = append([]benchRecord(nil), bf.Runs[excess:]...)
 	}
@@ -505,6 +540,10 @@ func compareBenchRuns(prev, cur *benchRecord) {
 		}
 		if delta < -30 {
 			fmt.Printf("  WARN %s: full-graph throughput regressed %.1f%%\n", r.System, -delta)
+		}
+		if p.AllocsPerState > 0 && r.AllocsPerState > p.AllocsPerState*(1+benchAllocThreshold) {
+			fmt.Printf("  WARN %s: allocs/state grew %.2f -> %.2f (zero-alloc hot-path contract)\n",
+				r.System, p.AllocsPerState, r.AllocsPerState)
 		}
 	}
 }

@@ -10,6 +10,13 @@ import (
 // noise for these workloads but well below a real algorithmic regression.
 const benchCompareThreshold = 0.30
 
+// benchAllocThreshold is the allocs-per-state growth (fractional) past
+// which bench-compare fails. Allocation counts are near-deterministic —
+// the slack only absorbs GC bookkeeping and map-growth timing — so the
+// gate is tighter than the throughput one: a hot path that regresses to
+// one allocation per successor moves this metric by orders of magnitude.
+const benchAllocThreshold = 0.50
+
 // runBenchCompare is the `hundred bench-compare` subcommand: it diffs the
 // last two runs recorded in a BENCH_hundred.json history and exits nonzero
 // when any system present in both runs regressed its full-mode throughput
@@ -22,8 +29,10 @@ func runBenchCompare(args []string) int {
 	file := fs.String("file", "BENCH_hundred.json", "bench history file to compare")
 	threshold := fs.Float64("threshold", benchCompareThreshold,
 		"fractional full-mode states/sec regression that fails the gate")
+	allocThreshold := fs.Float64("alloc-threshold", benchAllocThreshold,
+		"fractional full-mode allocs-per-state growth that fails the gate")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: hundred bench-compare [-file BENCH_hundred.json] [-threshold 0.30]")
+		fmt.Fprintln(fs.Output(), "usage: hundred bench-compare [-file BENCH_hundred.json] [-threshold 0.30] [-alloc-threshold 0.50]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -39,7 +48,7 @@ func runBenchCompare(args []string) int {
 		return 0
 	}
 	prev, cur := &bf.Runs[len(bf.Runs)-2], &bf.Runs[len(bf.Runs)-1]
-	bad, compared := diffBenchRecords(prev, cur, *threshold)
+	bad, compared := diffBenchRecords(prev, cur, *threshold, *allocThreshold)
 	if compared == 0 {
 		fmt.Println("no system appears in both runs; nothing to compare")
 		return 0
@@ -57,14 +66,17 @@ func runBenchCompare(args []string) int {
 
 // diffBenchRecords compares the systems present in both runs and returns
 // one message per gate violation: a full-mode throughput regression past
-// threshold, or any moved deterministic state count. Systems present in
-// only one run (added or retired workloads) are skipped — the gate must not
-// force every workload change to rewrite history. Throughput is only gated
-// when both runs carry the same goos/goarch/gomaxprocs fingerprint: a CI
-// runner comparing against a record committed from different hardware can
-// legitimately be 30% slower, but it can never legitimately count a
-// different number of states.
-func diffBenchRecords(prev, cur *benchRecord, threshold float64) (bad []string, compared int) {
+// threshold, an allocs-per-state growth past allocThreshold, or any moved
+// deterministic state count. Systems present in only one run (added or
+// retired workloads) are skipped — the gate must not force every workload
+// change to rewrite history. Throughput is only gated when both runs carry
+// the same goos/goarch/gomaxprocs fingerprint: a CI runner comparing
+// against a record committed from different hardware can legitimately be
+// 30% slower, but it can never legitimately count a different number of
+// states. The alloc gate also needs both runs to carry the v4 metric
+// (pre-v4 rows leave it zero) but ignores the hardware fingerprint:
+// allocation counts do not depend on machine speed.
+func diffBenchRecords(prev, cur *benchRecord, threshold, allocThreshold float64) (bad []string, compared int) {
 	sameHW := prev.GOOS == cur.GOOS && prev.GOARCH == cur.GOARCH && prev.GOMAXPROCS == cur.GOMAXPROCS
 	prevRows := make(map[string]explorationBench, len(prev.Explorations))
 	for _, r := range prev.Explorations {
@@ -79,6 +91,10 @@ func diffBenchRecords(prev, cur *benchRecord, threshold float64) (bad []string, 
 		if sameHW && p.FullStatesPerSec > 0 && r.FullStatesPerSec < p.FullStatesPerSec*(1-threshold) {
 			bad = append(bad, fmt.Sprintf("%s: full-mode throughput regressed %.1f%% (%.0f -> %.0f states/sec)",
 				r.System, (1-r.FullStatesPerSec/p.FullStatesPerSec)*100, p.FullStatesPerSec, r.FullStatesPerSec))
+		}
+		if p.AllocsPerState > 0 && r.AllocsPerState > p.AllocsPerState*(1+allocThreshold) {
+			bad = append(bad, fmt.Sprintf("%s: full-mode allocations grew %.1f%% (%.2f -> %.2f allocs/state; zero-alloc hot-path contract)",
+				r.System, (r.AllocsPerState/p.AllocsPerState-1)*100, p.AllocsPerState, r.AllocsPerState))
 		}
 		for _, c := range []struct {
 			what      string

@@ -50,14 +50,14 @@ func TestBenchCompareStateCountDrift(t *testing.T) {
 		{System: "grid", FullStates: 100, FullStatesPerSec: 1000, QuotientStates: 30}}}
 	cur := benchRecord{Explorations: []explorationBench{
 		{System: "grid", FullStates: 101, FullStatesPerSec: 1000, QuotientStates: 30}}}
-	bad, compared := diffBenchRecords(&prev, &cur, 0.30)
+	bad, compared := diffBenchRecords(&prev, &cur, 0.30, 0.50)
 	if compared != 1 || len(bad) != 1 || !strings.Contains(bad[0], "determinism contract") {
 		t.Fatalf("bad = %v, compared = %d", bad, compared)
 	}
 	// A mode disappearing (count going to zero) is a workload change, not drift.
 	cur.Explorations[0].FullStates = 100
 	cur.Explorations[0].QuotientStates = 0
-	bad, _ = diffBenchRecords(&prev, &cur, 0.30)
+	bad, _ = diffBenchRecords(&prev, &cur, 0.30, 0.50)
 	if len(bad) != 0 {
 		t.Fatalf("removed mode flagged as drift: %v", bad)
 	}
@@ -68,15 +68,45 @@ func TestBenchCompareCrossHardwareSkipsThroughput(t *testing.T) {
 		{System: "grid", FullStates: 100, FullStatesPerSec: 1000}}}
 	cur := benchRecord{GOARCH: "amd64", GOMAXPROCS: 2, Explorations: []explorationBench{
 		{System: "grid", FullStates: 100, FullStatesPerSec: 100}}}
-	bad, compared := diffBenchRecords(&prev, &cur, 0.30)
+	bad, compared := diffBenchRecords(&prev, &cur, 0.30, 0.50)
 	if compared != 1 || len(bad) != 0 {
 		t.Fatalf("cross-hardware throughput gated: bad = %v, compared = %d", bad, compared)
 	}
 	// State counts still gate across hardware.
 	cur.Explorations[0].FullStates = 99
-	bad, _ = diffBenchRecords(&prev, &cur, 0.30)
+	bad, _ = diffBenchRecords(&prev, &cur, 0.30, 0.50)
 	if len(bad) != 1 {
 		t.Fatalf("cross-hardware state drift not gated: %v", bad)
+	}
+}
+
+func TestBenchCompareAllocRegression(t *testing.T) {
+	prev := benchRecord{Explorations: []explorationBench{
+		{System: "grid", FullStates: 100, FullStatesPerSec: 1000, AllocsPerState: 2.0}}}
+	cur := benchRecord{Explorations: []explorationBench{
+		{System: "grid", FullStates: 100, FullStatesPerSec: 1000, AllocsPerState: 2.9}}}
+	// +45%: within the 50% gate.
+	bad, compared := diffBenchRecords(&prev, &cur, 0.30, 0.50)
+	if compared != 1 || len(bad) != 0 {
+		t.Fatalf("within-gate alloc growth flagged: bad = %v, compared = %d", bad, compared)
+	}
+	cur.Explorations[0].AllocsPerState = 20 // 10x: the hot path started allocating
+	bad, _ = diffBenchRecords(&prev, &cur, 0.30, 0.50)
+	if len(bad) != 1 || !strings.Contains(bad[0], "allocs/state") {
+		t.Fatalf("10x alloc growth not gated: %v", bad)
+	}
+	// Cross-hardware does not disable the alloc gate (allocation counts are
+	// machine-independent), and a pre-v4 row (zero metric) does.
+	cur.GOARCH = "amd64"
+	prev.GOARCH = "arm64"
+	bad, _ = diffBenchRecords(&prev, &cur, 0.30, 0.50)
+	if len(bad) != 1 {
+		t.Fatalf("cross-hardware alloc growth not gated: %v", bad)
+	}
+	prev.Explorations[0].AllocsPerState = 0
+	bad, _ = diffBenchRecords(&prev, &cur, 0.30, 0.50)
+	if len(bad) != 0 {
+		t.Fatalf("pre-v4 row tripped the alloc gate: %v", bad)
 	}
 }
 

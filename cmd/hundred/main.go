@@ -59,13 +59,14 @@ type experiment struct {
 // (-progress / -trace / -serve / -snapshot-every) into the same
 // explorations.
 var (
-	parallelism   int
-	showStats     bool
-	usePOR        bool
-	obsSink       obs.Sink
-	snapshotEvery time.Duration
-	storeCfg      store.Config
-	benchBig      bool
+	parallelism    int
+	showStats      bool
+	usePOR         bool
+	verifyAliasing int
+	obsSink        obs.Sink
+	snapshotEvery  time.Duration
+	storeCfg       store.Config
+	benchBig       bool
 )
 
 // statsSink returns a fresh telemetry sink when -stats is set (which also
@@ -125,6 +126,8 @@ func run() int {
 	flag.BoolVar(&showStats, "stats", false, "print exploration engine telemetry for state-space experiments")
 	flag.BoolVar(&usePOR, "por", false,
 		"apply ample-set partial-order reduction to the state-space experiments that carry independence relations; verdicts are identical either way")
+	flag.IntVar(&verifyAliasing, "verify-aliasing", 0,
+		"debug falsifier: re-expand every Nth state over poisoned scratch buffers to catch expansions that retain emitted slices (0 = off)")
 	progress := flag.Bool("progress", false, "stream live exploration progress lines to stderr")
 	tracePath := flag.String("trace", "", "write a JSONL run trace of every exploration to this file (\"-\" for stdout)")
 	serveAddr := flag.String("serve", "", "serve live /metrics and /debug/pprof on this address (e.g. :8080) for the life of the run")
@@ -449,7 +452,7 @@ func e11() error {
 		st := statsSink()
 		opts := flp.AnalyzeOptions{
 			Parallelism: parallelism, Stats: st, Sink: obsSink, SnapshotEvery: snapshotEvery,
-			Store: storeCfg,
+			Store: storeCfg, VerifyAliasing: verifyAliasing,
 		}
 		if usePOR {
 			opts.Independent = flp.DeliveryIndependence(p)
@@ -668,7 +671,7 @@ func e21() error {
 	st := statsSink()
 	opts := core.ExploreOptions{
 		Parallelism: parallelism, Sink: obsSink, SnapshotEvery: snapshotEvery,
-		Store: storeCfg,
+		Store: storeCfg, VerifyAliasing: verifyAliasing,
 	}
 	if st != nil {
 		opts.Stats = st

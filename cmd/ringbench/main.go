@@ -19,6 +19,8 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 )
 
@@ -44,6 +46,10 @@ func run() int {
 	showStats := flag.Bool("stats", false, "print exploration engine telemetry for the async LCR sweep")
 	usePOR := flag.Bool("por", false,
 		"explore the async LCR sweep under ample-set partial-order reduction (disjoint-links independence); the election verdict is identical either way")
+	verifyAliasing := flag.Int("verify-aliasing", 0,
+		"debug falsifier: re-expand every Nth state over poisoned scratch buffers to catch expansions that retain emitted slices (0 = off)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	progress := flag.Bool("progress", false, "stream live exploration progress lines to stderr")
 	tracePath := flag.String("trace", "", "write a JSONL run trace of the async LCR sweep to this file (\"-\" for stdout); validate with `hundred trace-lint`")
 	serveAddr := flag.String("serve", "", "serve live /metrics and /debug/pprof on this address (e.g. :8080) for the life of the run")
@@ -74,6 +80,33 @@ func run() int {
 		return 1
 	}
 	defer obsCleanup()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	fmt.Printf("%-6s %12s %12s %12s %14s %10s %12s\n",
 		"n", "LCR worst", "LCR best", "HS", "var-speeds", "n log n", "Itai-Rodeh")
@@ -106,7 +139,7 @@ func run() int {
 		var st engine.Stats
 		opts := core.ExploreOptions{
 			Parallelism: *parallelism, Sink: sink, SnapshotEvery: *snapshotEvery,
-			Store: storeCfg,
+			Store: storeCfg, VerifyAliasing: *verifyAliasing,
 		}
 		if *showStats || storeCfg.ResolvedKind() != store.Mem {
 			opts.Stats = &st

@@ -57,6 +57,25 @@ type System[S comparable] interface {
 	Steps(s S) []Step[S]
 }
 
+// ScratchSystem is the zero-allocation extension of System: a system that
+// can enumerate successors directly into the engine's expansion context —
+// reusing per-worker scratch buffers and emitting encoded states as raw
+// bytes — instead of materializing a fresh []Step per state. When a system
+// implements it, engine-routed exploration calls ExpandInto on the hot
+// path and never calls Steps (the sequential fallback still does).
+//
+// The contract: ExpandInto(s, x) must emit exactly the transitions
+// Steps(s) returns, in the same order, with byte-identical labels and
+// successor encodings — Steps stays the executable specification, and the
+// equivalence tests (plus engine.Differential and Options.VerifyAliasing)
+// hold implementations to it. Buffer ownership follows engine.Ctx: emitted
+// byte slices are consumed by the time the emit call returns and must not
+// be retained by the system across expansions.
+type ScratchSystem[S comparable] interface {
+	System[S]
+	ExpandInto(s S, x *engine.Ctx[S])
+}
+
 // ErrStateLimit is returned by Explore when the reachable state space
 // exceeds the configured bound before exploration completes.
 var ErrStateLimit = errors.New("core: state limit exceeded during exploration")
@@ -135,6 +154,17 @@ type ExploreOptions struct {
 	// VerifyPOR (1 = check everything); a broken diamond fails the
 	// exploration with engine.ErrPORUnsound.
 	VerifyPOR int
+	// CanonBytes, when non-nil, must be an engine.BytesCanonicalizer (or a
+	// func() engine.BytesCanonicalizer factory) matching Canon: it lets
+	// the engine canonicalize byte-emitted successors without
+	// materializing strings. Requires Canon. See engine.Options.
+	CanonBytes any
+	// VerifyAliasing, when > 0, re-expands every state whose fingerprint
+	// is ≡ 0 mod VerifyAliasing after poisoning the reusable scratch
+	// buffers (1 = check everything); an expansion that changes fails with
+	// engine.ErrAliasUnsound. The falsifier for the ScratchSystem buffer
+	// contract.
+	VerifyAliasing int
 	// Sink, when non-nil, streams the exploration's telemetry (run_start,
 	// per-level barrier events, timer-driven progress snapshots, run_end)
 	// to the observability layer. Setting Sink routes exploration through
@@ -171,7 +201,7 @@ func Explore[S comparable](sys System[S], opts ExploreOptions) (*Graph[S], error
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	if par > 1 || opts.Stats != nil || opts.Canon != nil || opts.Independent != nil || opts.Sink != nil || opts.Store.Kind != "" {
+	if par > 1 || opts.Stats != nil || opts.Canon != nil || opts.Independent != nil || opts.Sink != nil || opts.Store.Kind != "" || opts.VerifyAliasing > 0 {
 		return exploreEngine(sys, limit, par, opts)
 	}
 	return exploreSequential(sys, limit)
@@ -181,22 +211,30 @@ func Explore[S comparable](sys System[S], opts ExploreOptions) (*Graph[S], error
 // canonical result as a Graph (the engine's edge arrays are shared, not
 // copied; see the edge alias).
 func exploreEngine[S comparable](sys System[S], limit, par int, opts ExploreOptions) (*Graph[S], error) {
-	res, err := engine.Explore(sys.Init(), func(s S, emit engine.Emit[S]) {
-		for _, st := range sys.Steps(s) {
-			emit(st.To, st.Label, st.Actor)
+	var expand engine.ExpandFunc[S]
+	if ss, ok := sys.(ScratchSystem[S]); ok {
+		expand = ss.ExpandInto
+	} else {
+		expand = func(s S, x *engine.Ctx[S]) {
+			for _, st := range sys.Steps(s) {
+				x.Emit(st.To, st.Label, st.Actor)
+			}
 		}
-	}, engine.Options{
-		MaxStates:     limit,
-		Parallelism:   par,
-		Stats:         opts.Stats,
-		Canon:         opts.Canon,
-		VerifyCanon:   opts.VerifyCanon,
-		Independent:   opts.Independent,
-		Visible:       opts.Visible,
-		VerifyPOR:     opts.VerifyPOR,
-		Sink:          opts.Sink,
-		SnapshotEvery: opts.SnapshotEvery,
-		Store:         opts.Store,
+	}
+	res, err := engine.Explore(sys.Init(), expand, engine.Options{
+		MaxStates:      limit,
+		Parallelism:    par,
+		Stats:          opts.Stats,
+		Canon:          opts.Canon,
+		VerifyCanon:    opts.VerifyCanon,
+		Independent:    opts.Independent,
+		Visible:        opts.Visible,
+		VerifyPOR:      opts.VerifyPOR,
+		CanonBytes:     opts.CanonBytes,
+		VerifyAliasing: opts.VerifyAliasing,
+		Sink:           opts.Sink,
+		SnapshotEvery:  opts.SnapshotEvery,
+		Store:          opts.Store,
 	})
 	if err != nil {
 		switch {

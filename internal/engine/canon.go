@@ -44,6 +44,45 @@ type Canonicalizer[S comparable] func(S) S
 // step-commutation on a reachable state.
 var ErrCanonUnsound = errors.New("engine: canonicalizer failed soundness check")
 
+// BytesCanonicalizer is the byte-level form of Canonicalizer for
+// string-typed states: it writes the canonical representative's encoding
+// into dst[:0] and returns the grown slice, so the EmitBytes hot path can
+// canonicalize without materializing a string per generated state.
+//
+// Contract, in addition to the Canonicalizer soundness conditions:
+//
+//   - Agreement: string(f(nil, []byte(s))) == Canon(s) for every
+//     reachable s — the string canonicalizer defines the quotient, the
+//     byte form merely avoids the allocations. VerifyCanon cross-checks
+//     the two on sampled states.
+//   - The result must be backed by dst (never by src): callers compare it
+//     against src and then reuse src's buffer.
+//   - src must not be modified.
+//
+// Stateful implementations (scratch parsers) are per-worker: pass a
+// func() BytesCanonicalizer factory as Options.CanonBytes and the engine
+// instantiates one per worker.
+type BytesCanonicalizer func(dst, src []byte) []byte
+
+// canonBytesFor resolves the dynamically-typed Options.CanonBytes into a
+// per-worker factory. A bare BytesCanonicalizer (or its underlying func
+// type) must be stateless and is shared; a factory is called once per
+// worker.
+func canonBytesFor(v any) (func() BytesCanonicalizer, error) {
+	switch c := v.(type) {
+	case nil:
+		return nil, nil
+	case BytesCanonicalizer:
+		return func() BytesCanonicalizer { return c }, nil
+	case func(dst, src []byte) []byte:
+		return func() BytesCanonicalizer { return c }, nil
+	case func() BytesCanonicalizer:
+		return c, nil
+	default:
+		return nil, fmt.Errorf("engine: Options.CanonBytes has type %T, want BytesCanonicalizer or func() BytesCanonicalizer", v)
+	}
+}
+
 // canonFor resolves the dynamically-typed Options.Canon into a typed
 // canonicalizer for the explored state type. Both the named Canonicalizer[S]
 // and a plain func(S) S are accepted; anything else is an error (a silent
@@ -68,10 +107,27 @@ func canonFor[S comparable](v any) (Canonicalizer[S], error) {
 // exploration path never materializes successor slices.
 func (e *explorer[S]) canonSuccessors(s S) map[S]int {
 	out := make(map[S]int)
-	e.expand(s, func(to S, _ string, _ int) {
+	e.expand(s, e.collectCtx(func(to S, _ string, _ int) {
 		out[e.canon(to)]++
-	})
+	}))
 	return out
+}
+
+// checkCanonBytes is the sampled EmitBytes-path check: it materializes the
+// raw state and its byte-level representative, verifies the byte and
+// string canonicalizers agree, and then runs the regular soundness check
+// on the raw state. Errors land in verifyErr like every sampled check.
+func (e *explorer[S]) checkCanonBytes(src, rep []byte) {
+	raw := e.fromBytes(src)
+	bytesRep := e.fromBytes(rep)
+	if stringRep := e.canon(raw); stringRep != bytesRep {
+		e.noteVerifyErr(fmt.Errorf("%w: CanonBytes disagrees with Canon at %v: bytes form gives %v, string form gives %v",
+			ErrCanonUnsound, raw, bytesRep, stringRep))
+		return
+	}
+	if err := e.checkCanon(raw); err != nil {
+		e.noteVerifyErr(err)
+	}
 }
 
 // checkCanon verifies the two soundness conditions at one sampled raw state:

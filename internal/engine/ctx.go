@@ -1,0 +1,170 @@
+package engine
+
+import "bytes"
+
+// Ctx is the expansion context the engine hands to an ExpandFunc: the
+// revised expand API that makes the hot path allocation-free. A worker
+// owns one Ctx for the whole run and passes the same pointer to every
+// expansion it performs, so everything reachable from it — the scratch
+// buffer, the system's private scratch, the label interner — is reused
+// across states without synchronization.
+//
+// Buffer-ownership contract (the aliasing rules VerifyAliasing falsifies):
+//
+//   - Scratch and any system-owned buffers may be freely overwritten
+//     during an expansion, but their contents are garbage once ExpandFunc
+//     returns: the next expansion (of an arbitrary state, possibly after a
+//     level barrier) reuses them.
+//   - Bytes passed to EmitBytes are fully consumed before EmitBytes
+//     returns; the system may overwrite them immediately afterwards.
+//     Conversely the system must NOT retain them either — the engine may
+//     hand the same backing array back as Scratch later.
+//   - Strings passed to Emit/Label are immutable Go strings and may be
+//     retained by the engine indefinitely (they land in Result.Edges), so
+//     systems must not build them over reused backing arrays via unsafe.
+type Ctx[S comparable] struct {
+	// Scratch is a reusable byte buffer owned by the expanding worker.
+	// Systems may slice, grow and overwrite it freely during one expansion
+	// (writing the grown slice back so capacity accumulates); its contents
+	// do not survive across expansions, and under Options.VerifyAliasing
+	// they are actively poisoned in between.
+	Scratch []byte
+	// Sys is system-owned per-worker scratch storage: a system that needs
+	// typed buffers (parsed state, successor assembly, …) lazily installs
+	// its scratch struct here on first use and finds it again on every
+	// later expansion by the same worker. The engine never touches it.
+	Sys any
+
+	e *explorer[S]
+	w *worker[S]
+	// sink, when non-nil, switches the context to collect mode: Emit
+	// routes transitions to it instead of interning, and EmitBytes
+	// materializes. Used by the POR action-collection pass and the sampled
+	// soundness checks.
+	sink func(to S, label string, actor int)
+	// labels is the per-context label interner backing Label.
+	labels map[string]string
+}
+
+// Emit records one successor of the state being expanded. The label
+// string is retained by the engine (it appears in Result.Edges verbatim);
+// use Label to build it allocation-free from scratch bytes.
+func (x *Ctx[S]) Emit(to S, label string, actor int) {
+	if x.sink != nil {
+		x.sink(to, label, actor)
+		return
+	}
+	e, ws := x.e, x.w
+	if e.canon != nil {
+		to = e.canonicalize(to, ws)
+	}
+	tid, fresh := e.store.Intern(to)
+	if !fresh {
+		ws.dedup++
+	}
+	ws.arena = append(ws.arena, rawEdge{to: tid, actor: int32(actor), label: label})
+}
+
+// EmitBytes is Emit for string-typed states handed over as raw encoded
+// bytes: the successor state is string(to), but on the direct path the
+// engine fingerprints, canonicalizes and interns the bytes without ever
+// materializing that string — a dedup hit (the common case) allocates
+// nothing at all. The bytes are fully consumed before EmitBytes returns.
+//
+// The direct path requires a string state type, a backend supporting
+// store.BytesInterner, and — under a canonicalizer — Options.CanonBytes;
+// otherwise EmitBytes transparently falls back to materializing the
+// string and calling Emit, so systems can use it unconditionally.
+func (x *Ctx[S]) EmitBytes(to []byte, label string, actor int) {
+	e := x.e
+	if x.sink != nil || !e.bytesDirect {
+		if e.fromBytes == nil {
+			panic("engine: EmitBytes on a non-string state type")
+		}
+		x.Emit(e.fromBytes(to), label, actor)
+		return
+	}
+	ws := x.w
+	if e.canon != nil {
+		if ent, ok := ws.canonMemo[string(to)]; ok {
+			// Memo hit: this worker already canonicalized these exact raw
+			// bytes, so the id, the remap bit, and the rawSeen entry are all
+			// known — no hashing, no candidate renders. The successor is
+			// necessarily already interned, hence the unconditional dedup.
+			if ent.remapped {
+				ws.canonHits++
+			}
+			ws.dedup++
+			ws.arena = append(ws.arena, rawEdge{to: ent.id, actor: int32(actor), label: label})
+			return
+		}
+		h := e.hashB(to)
+		ws.rawSeen[h] = struct{}{}
+		rep := ws.canonB(ws.canonBuf[:0], to)
+		ws.canonBuf = rep
+		remapped := !bytes.Equal(rep, to)
+		rawKey := string(to) // the one allocation per distinct raw encoding
+		if remapped {
+			ws.canonHits++
+			if e.verifyMod != 0 && h%e.verifyMod == 0 {
+				e.checkCanonBytes(to, rep)
+			}
+			to = rep
+			h = e.hashB(rep)
+		}
+		// Fixed points are trivially idempotent and step-commuting, and a
+		// byte-identical representative is trivially in agreement with the
+		// string canonicalizer, so (mirroring canonicalize) the sampled
+		// check only runs on remapped states — and, with the memo, on each
+		// worker's first emission of a given raw encoding.
+		tid, fresh := e.bytesIntern.InternBytes(h, to)
+		if !fresh {
+			ws.dedup++
+		}
+		if len(ws.canonMemo) >= canonMemoCap || ws.canonMemo == nil {
+			ws.canonMemo = make(map[string]canonMemoEntry)
+		}
+		ws.canonMemo[rawKey] = canonMemoEntry{id: tid, remapped: remapped}
+		ws.arena = append(ws.arena, rawEdge{to: tid, actor: int32(actor), label: label})
+		return
+	}
+	h := e.hashB(to)
+	tid, fresh := e.bytesIntern.InternBytes(h, to)
+	if !fresh {
+		ws.dedup++
+	}
+	ws.arena = append(ws.arena, rawEdge{to: tid, actor: int32(actor), label: label})
+}
+
+// Label interns a label string built in a scratch buffer: the first
+// expansion to produce a given byte sequence pays one string allocation,
+// every later occurrence is an allocation-free map hit. State spaces have
+// a tiny label alphabet relative to their edge count, so the map stays
+// small while the hot path stops concatenating label strings per edge.
+func (x *Ctx[S]) Label(b []byte) string {
+	if s, ok := x.labels[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if x.labels == nil {
+		x.labels = make(map[string]string)
+	}
+	x.labels[s] = s
+	return s
+}
+
+// collectCtx builds a transient collect-mode context: Emit routes to sink,
+// EmitBytes materializes. Used by the sampled soundness checks — never on
+// the hot path, so the closure and map allocations here are irrelevant.
+func (e *explorer[S]) collectCtx(sink func(to S, label string, actor int)) *Ctx[S] {
+	return &Ctx[S]{e: e, sink: sink}
+}
+
+// CollectCtx builds a standalone collect-mode context outside any run:
+// Emit and EmitBytes route every transition to sink (EmitBytes by
+// materializing the state), and Scratch, Sys and Label behave as on a
+// real context. Intended for equivalence tests that compare a scratch
+// expansion's emissions against a reference — not for exploration.
+func CollectCtx[S comparable](sink func(to S, label string, actor int)) *Ctx[S] {
+	return &Ctx[S]{sink: sink, e: &explorer[S]{fromBytes: fromBytesFunc[S]()}}
+}

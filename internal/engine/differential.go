@@ -71,6 +71,15 @@ type DiffSpec[S comparable] struct {
 	// the run — by design: the oracle's planted hooks are correct by
 	// construction, and the falsifier tripping on them is a divergence).
 	Canon func(S) S
+	// CanonBytes, when non-nil, is threaded as Options.CanonBytes into
+	// every quotient arm, so the byte-level canonicalizer is held to the
+	// same cross-mode/cross-worker byte-identity bar (and to VerifyCanon's
+	// agreement check) as everything else.
+	CanonBytes any
+	// VerifyAliasing is threaded as Options.VerifyAliasing into every arm:
+	// 1 re-expands every state with poisoned scratch, so a system that
+	// retains emitted buffers fails the oracle loudly.
+	VerifyAliasing int
 	// Independent, when non-nil, enables the POR modes (run under
 	// VerifyPOR=1, same reasoning).
 	Independent func(S, Action[S], Action[S]) bool
@@ -182,7 +191,7 @@ func Differential[S comparable](spec DiffSpec[S]) (*DiffReport, error) {
 		return ref, nil
 	}
 
-	base := Options{MaxStates: spec.MaxStates, Parallelism: workers[0]}
+	base := Options{MaxStates: spec.MaxStates, Parallelism: workers[0], VerifyAliasing: spec.VerifyAliasing}
 
 	full, err := run("full", base)
 	if err != nil {
@@ -261,6 +270,7 @@ func Differential[S comparable](spec DiffSpec[S]) (*DiffReport, error) {
 	if spec.Canon != nil {
 		opts := base
 		opts.Canon = spec.Canon
+		opts.CanonBytes = spec.CanonBytes
 		opts.VerifyCanon = 1
 		if quo, err = run("canon", opts); err != nil {
 			return nil, err
@@ -309,6 +319,7 @@ func Differential[S comparable](spec DiffSpec[S]) (*DiffReport, error) {
 
 		if spec.Canon != nil {
 			opts.Canon = spec.Canon
+			opts.CanonBytes = spec.CanonBytes
 			opts.VerifyCanon = 1
 			both, err := run("canon+por", opts)
 			if err != nil {

@@ -51,16 +51,15 @@ var ErrNoInitialStates = errors.New("engine: system has no initial states")
 // DefaultMaxStates bounds exploration when Options.MaxStates is zero.
 const DefaultMaxStates = 2_000_000
 
-// Emit records one successor of the state being expanded. The engine calls
-// ExpandFunc with an Emit valid only for the duration of that call.
-type Emit[S comparable] func(to S, label string, actor int)
-
-// ExpandFunc enumerates the successors of s by calling emit once per
-// outgoing transition, in a deterministic order. It must be safe to call
-// concurrently from multiple goroutines and must be a pure function of s:
-// the determinism guarantee (and the visited-set dedup) are both built on
-// "same state in, same transitions out".
-type ExpandFunc[S comparable] func(s S, emit Emit[S])
+// ExpandFunc enumerates the successors of s by calling x.Emit (or
+// x.EmitBytes) once per outgoing transition, in a deterministic order. It
+// must be safe to call concurrently from multiple goroutines — each call
+// gets its worker's private Ctx — and must be a pure function of s: the
+// determinism guarantee (and the visited-set dedup) are both built on
+// "same state in, same transitions out". The Ctx (and its scratch
+// buffers) is valid only for the duration of the call; see Ctx for the
+// buffer-ownership contract.
+type ExpandFunc[S comparable] func(s S, x *Ctx[S])
 
 // Options configure an exploration.
 type Options struct {
@@ -111,6 +110,26 @@ type Options struct {
 	// which states are checked is independent of scheduling and worker
 	// count.
 	VerifyPOR int
+	// CanonBytes, when non-nil, is the byte-level twin of Canon for
+	// string-typed states: a BytesCanonicalizer (or a func()
+	// BytesCanonicalizer factory, called once per worker so stateful
+	// scratch canonicalizers stay single-threaded). With it installed, the
+	// EmitBytes hot path canonicalizes successors without materializing
+	// strings. It must agree with Canon exactly — see BytesCanonicalizer
+	// for the contract; VerifyCanon cross-checks the two on sampled
+	// states. Requires Canon; any other type is an error.
+	CanonBytes any
+	// VerifyAliasing enables the buffer-aliasing falsifier for the revised
+	// expand API: every expanded state whose fingerprint is ≡ 0 mod
+	// VerifyAliasing is re-expanded after the engine poisons the reusable
+	// scratch buffer with 0xDB bytes, and Explore fails with
+	// ErrAliasUnsound if the two emission sequences differ — which is what
+	// happens when a system illegally retains emitted slices or scratch
+	// contents across expansions (or is simply not a pure function of its
+	// state). 1 checks every state; 0 disables the check. Sampling is by
+	// state fingerprint, so it is independent of scheduling and worker
+	// count.
+	VerifyAliasing int
 	// Sink, when non-nil, receives the run's streaming telemetry: a
 	// run_start event, one level event per BFS barrier, timer-driven
 	// progress snapshots, a truncated event when the state limit trips,
@@ -215,7 +234,39 @@ type worker[S comparable] struct {
 	// deferred counts the enabled actions those expansions skipped.
 	ampleStates uint64
 	deferred    uint64
+	// ctx is the worker's reusable expansion context; the same pointer is
+	// handed to every ExpandFunc call this worker makes.
+	ctx Ctx[S]
+	// canonB and canonBuf are the worker's byte-level canonicalizer
+	// instance and its output buffer (EmitBytes path only).
+	canonB   BytesCanonicalizer
+	canonBuf []byte
+	// canonMemo caches, per distinct raw successor encoding, the interned
+	// id its canonicalization produced, plus whether it was remapped (so
+	// canonHits stays exact). Quotient exploration re-generates the same
+	// raw successors constantly — orbit factor × branch factor times each —
+	// and a hit replaces the full canonicalization (n! candidate renders
+	// for the permutation canon) with one map probe. The cache is exact:
+	// within a run, equal raw bytes canonicalize to equal bytes and
+	// re-interning returns the same id, so a hit is extensionally identical
+	// to re-running the pipeline. Per-worker, so no synchronization; capped
+	// at canonMemoCap entries and cleared when full.
+	canonMemo map[string]canonMemoEntry
+	// aliasBuf and aliasActs are the VerifyAliasing re-expansion buffers.
+	aliasBuf  []rawEdge
+	aliasActs []Action[S]
 }
+
+// canonMemoEntry is one canonMemo cache line.
+type canonMemoEntry struct {
+	id       int32
+	remapped bool
+}
+
+// canonMemoCap bounds each worker's canon memo (roughly 100 bytes/entry
+// for short encodings). Exceeding it drops the whole cache — correctness
+// is unaffected, the next occurrences just re-pay the canonicalization.
+const canonMemoCap = 1 << 18
 
 // explorer is the shared state of one Explore run.
 type explorer[S comparable] struct {
@@ -233,6 +284,22 @@ type explorer[S comparable] struct {
 	// (by fingerprint) for the soundness check.
 	canon     Canonicalizer[S]
 	verifyMod uint64
+
+	// The EmitBytes direct path: bytesIntern is the store's zero-copy
+	// extension (nil when absent or unsupported), hashB the byte-level
+	// fingerprint mirroring fp on string states, fromBytes the
+	// materializer for the fallback paths. bytesDirect gates the whole
+	// path: it additionally requires CanonBytes whenever a canonicalizer
+	// is installed, so the bytes and string paths can never disagree
+	// silently.
+	bytesIntern store.BytesInterner
+	bytesDirect bool
+	hashB       func([]byte) uint64
+	fromBytes   func([]byte) S
+
+	// aliasMod != 0 samples expanded states (by fingerprint) for the
+	// buffer-aliasing falsifier.
+	aliasMod uint64
 
 	// indep, when non-nil, switches expansion to the partial-order-reduced
 	// path. porVerifyMod != 0 samples expanded states (by fingerprint) for
@@ -286,16 +353,7 @@ func (e *explorer[S]) canonicalize(raw S, ws *worker[S]) S {
 // cursor, writing successors into worker w's arena.
 func (e *explorer[S]) expandRange(w int32, cursor *atomic.Int64, hi int, chunk int) {
 	ws := e.workers[w]
-	emit := Emit[S](func(to S, label string, actor int) {
-		if e.canon != nil {
-			to = e.canonicalize(to, ws)
-		}
-		tid, fresh := e.store.Intern(to)
-		if !fresh {
-			ws.dedup++
-		}
-		ws.arena = append(ws.arena, rawEdge{to: tid, actor: int32(actor), label: label})
-	})
+	x := &ws.ctx
 	for {
 		lo := int(cursor.Add(int64(chunk))) - chunk
 		if lo >= hi {
@@ -307,12 +365,30 @@ func (e *explorer[S]) expandRange(w int32, cursor *atomic.Int64, hi int, chunk i
 		}
 		for id := lo; id < end; id++ {
 			off := int32(len(ws.arena))
-			e.expand(e.store.State(int32(id)), emit)
-			e.spans[id] = span{worker: w, off: off, n: int32(len(ws.arena)) - off}
+			s := e.store.State(int32(id))
+			e.expand(s, x)
+			sp := span{worker: w, off: off, n: int32(len(ws.arena)) - off}
+			e.spans[id] = sp
 			e.expanded[id] = true
 			ws.steps.Add(1)
+			// fpOfID re-fetches the state off the hot path: fp(&s) inline
+			// would make escape analysis heap-box s on every iteration,
+			// falsifier enabled or not.
+			if e.aliasMod != 0 && e.fpOfID(int32(id))%e.aliasMod == 0 {
+				e.checkAliasing(s, ws, sp)
+			}
 		}
 	}
+}
+
+// fpOfID fingerprints the state behind id. Kept out of line so hot loops
+// never take the address of their loop-local state copy (which would force
+// it to escape); the extra State fetch only runs on sampled states.
+//
+//go:noinline
+func (e *explorer[S]) fpOfID(id int32) uint64 {
+	s := e.store.State(id)
+	return e.fp(&s)
 }
 
 // expandRangePOR is expandRange's partial-order-reduced twin: instead of
@@ -324,6 +400,14 @@ func (e *explorer[S]) expandRange(w int32, cursor *atomic.Int64, hi int, chunk i
 // candidate — are expanded fully.
 func (e *explorer[S]) expandRangePOR(w int32, cursor *atomic.Int64, hi int, chunk int) {
 	ws := e.workers[w]
+	x := &ws.ctx
+	collect := func(to S, label string, actor int) {
+		pa := porAction[S]{act: Action[S]{To: to, Label: label, Actor: actor}, to: to}
+		if e.canon != nil {
+			pa.to = e.canonicalize(to, ws)
+		}
+		ws.acts = append(ws.acts, pa)
+	}
 	for {
 		lo := int(cursor.Add(int64(chunk))) - chunk
 		if lo >= hi {
@@ -335,20 +419,18 @@ func (e *explorer[S]) expandRangePOR(w int32, cursor *atomic.Int64, hi int, chun
 		}
 		for id := lo; id < end; id++ {
 			s := e.store.State(int32(id))
-			acts := ws.acts[:0]
-			e.expand(s, func(to S, label string, actor int) {
-				pa := porAction[S]{act: Action[S]{To: to, Label: label, Actor: actor}, to: to}
-				if e.canon != nil {
-					pa.to = e.canonicalize(to, ws)
-				}
-				acts = append(acts, pa)
-			})
-			ws.acts = acts // keep the grown buffer
-			if e.porVerifyMod != 0 {
-				if h := e.fp(&s); h%e.porVerifyMod == 0 {
-					if err := e.checkPOR(s, acts); err != nil {
-						e.noteVerifyErr(err)
-					}
+			ws.acts = ws.acts[:0]
+			x.sink = collect
+			e.expand(s, x)
+			x.sink = nil
+			acts := ws.acts
+			// fpOfID instead of fp(&s): see expandRange.
+			if e.aliasMod != 0 && e.fpOfID(int32(id))%e.aliasMod == 0 {
+				e.checkAliasingPOR(s, ws)
+			}
+			if e.porVerifyMod != 0 && e.fpOfID(int32(id))%e.porVerifyMod == 0 {
+				if err := e.checkPOR(s, acts); err != nil {
+					e.noteVerifyErr(err)
 				}
 			}
 			var ample []int32
@@ -436,17 +518,49 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 		return nil, err
 	}
 	e.visible = vis
+	canonBFactory, err := canonBytesFor(opts.CanonBytes)
+	if err != nil {
+		return nil, err
+	}
+	if canonBFactory != nil && e.canon == nil {
+		return nil, errors.New("engine: Options.CanonBytes requires Options.Canon (the string canonicalizer defines the quotient)")
+	}
+	if opts.VerifyAliasing > 0 {
+		e.aliasMod = uint64(opts.VerifyAliasing)
+	}
 	e.store, err = store.New[S](opts.Store, shardCount(nw), e.fp)
 	if err != nil {
 		return nil, err
 	}
 	defer e.store.Close()
+
+	// Resolve the EmitBytes direct path: string states, a bytes-capable
+	// backend, and (under a canonicalizer) a byte-level canonicalizer.
+	// Every precondition failure degrades to the materializing fallback,
+	// never to wrong behavior.
+	e.fromBytes = fromBytesFunc[S]()
+	if e.fromBytes != nil {
+		e.hashB = hashBytes
+		if opts.degradeFingerprint {
+			e.hashB = func(b []byte) uint64 { return hashBytes(b) & 3 }
+		}
+		if bi, ok := e.store.(store.BytesInterner); ok && bi.BytesSupported() {
+			e.bytesIntern = bi
+			e.bytesDirect = e.canon == nil || canonBFactory != nil
+		}
+	}
+
 	e.workers = make([]*worker[S], nw)
 	for i := range e.workers {
-		e.workers[i] = &worker[S]{}
+		ws := &worker[S]{}
 		if e.canon != nil {
-			e.workers[i].rawSeen = make(map[uint64]struct{})
+			ws.rawSeen = make(map[uint64]struct{})
 		}
+		if e.bytesDirect && canonBFactory != nil {
+			ws.canonB = canonBFactory()
+		}
+		ws.ctx = Ctx[S]{e: e, w: ws}
+		e.workers[i] = ws
 	}
 
 	// Intern initial states sequentially: their provisional ids coincide
@@ -544,7 +658,7 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 		if err := e.store.Maintain(int32(lo)); err != nil {
 			return nil, fmt.Errorf("engine: state store: %w", err)
 		}
-		if e.canon != nil || e.indep != nil {
+		if e.canon != nil || e.indep != nil || e.aliasMod != 0 {
 			// The barrier makes soundness-check failure deterministic: every
 			// sampled state of the finished level has been checked, so
 			// whether an error exists here depends only on the system and
@@ -631,7 +745,21 @@ func (e *explorer[S]) replay(initIDs []int32, limit int) (*Result[S], error) {
 	for i := range canon {
 		canon[i] = -1
 	}
-	res := &Result[S]{}
+	res := &Result[S]{
+		States:      make([]S, 0, n),
+		Edges:       make([][]Edge, 0, n),
+		Parents:     make([]int, 0, n),
+		ParentEdges: make([]Edge, 0, n),
+	}
+	// One arena holds every canonical edge: the per-state Edges slices are
+	// carved out of it sequentially, replacing n per-state allocations with
+	// one. Its capacity is exact (each recorded rawEdge is replayed at most
+	// once), so append never reallocates and the carved views stay valid.
+	var rawTotal int
+	for _, ws := range e.workers {
+		rawTotal += len(ws.arena)
+	}
+	edgeArena := make([]Edge, 0, rawTotal)
 	intern := func(pid int32) (int, bool) {
 		if c := canon[pid]; c >= 0 {
 			return int(c), false
@@ -660,7 +788,7 @@ func (e *explorer[S]) replay(initIDs []int32, limit int) (*Result[S], error) {
 		}
 		sp := e.spans[pid]
 		raw := e.workers[sp.worker].arena[sp.off : sp.off+sp.n]
-		out := make([]Edge, 0, len(raw))
+		start := len(edgeArena)
 		for _, r := range raw {
 			tc, fresh := intern(r.to)
 			if fresh {
@@ -672,9 +800,9 @@ func (e *explorer[S]) replay(initIDs []int32, limit int) (*Result[S], error) {
 				res.ParentEdges[tc] = Edge{To: tc, Label: r.label, Actor: int(r.actor)}
 				queue = append(queue, r.to)
 			}
-			out = append(out, Edge{To: tc, Label: r.label, Actor: int(r.actor)})
+			edgeArena = append(edgeArena, Edge{To: tc, Label: r.label, Actor: int(r.actor)})
 		}
-		res.Edges[cid] = out
+		res.Edges[cid] = edgeArena[start:len(edgeArena):len(edgeArena)]
 	}
 	return res, nil
 }

@@ -10,9 +10,9 @@ import (
 
 // chainExpand is a linear system 0 -> 1 -> ... -> n.
 func chainExpand(n int) ExpandFunc[int] {
-	return func(s int, emit Emit[int]) {
+	return func(s int, x *Ctx[int]) {
 		if s < n {
-			emit(s+1, "inc", 0)
+			x.Emit(s+1, "inc", 0)
 		}
 	}
 }
@@ -21,14 +21,14 @@ func chainExpand(n int) ExpandFunc[int] {
 // 0 <= x,y < n: two successors per interior state, lots of diamond-shaped
 // dedup, frontier width up to n.
 func gridExpand(n int) ExpandFunc[string] {
-	return func(s string, emit Emit[string]) {
+	return func(s string, ex *Ctx[string]) {
 		var x, y int
 		fmt.Sscanf(s, "%d,%d", &x, &y)
 		if x+1 < n {
-			emit(fmt.Sprintf("%d,%d", x+1, y), "right", 0)
+			ex.Emit(fmt.Sprintf("%d,%d", x+1, y), "right", 0)
 		}
 		if y+1 < n {
-			emit(fmt.Sprintf("%d,%d", x, y+1), "up", 1)
+			ex.Emit(fmt.Sprintf("%d,%d", x, y+1), "up", 1)
 		}
 	}
 }
@@ -37,11 +37,11 @@ func gridExpand(n int) ExpandFunc[string] {
 // successor list is derived deterministically from the seed and the state,
 // so the expansion is pure while the shape is irregular.
 func randomExpand(seed int64, n int) ExpandFunc[int] {
-	return func(s int, emit Emit[int]) {
+	return func(s int, x *Ctx[int]) {
 		rng := rand.New(rand.NewSource(seed ^ int64(s)*0x9e3779b9))
 		deg := rng.Intn(4)
 		for i := 0; i < deg; i++ {
-			emit(rng.Intn(n), fmt.Sprintf("e%d", i), rng.Intn(3))
+			x.Emit(rng.Intn(n), fmt.Sprintf("e%d", i), rng.Intn(3))
 		}
 	}
 }
@@ -223,14 +223,14 @@ func TestStatsTelemetry(t *testing.T) {
 func TestSelfLoopsAndReconvergence(t *testing.T) {
 	// A state that emits itself and a shared sink: exercises dedup of the
 	// expanding state itself.
-	expand := func(s int, emit Emit[int]) {
+	expand := func(s int, x *Ctx[int]) {
 		switch s {
 		case 0:
-			emit(0, "self", 0)
-			emit(1, "a", 0)
-			emit(2, "b", 1)
+			x.Emit(0, "self", 0)
+			x.Emit(1, "a", 0)
+			x.Emit(2, "b", 1)
 		case 1, 2:
-			emit(3, "sink", 0)
+			x.Emit(3, "sink", 0)
 		}
 	}
 	ref, err := Explore([]int{0}, expand, Options{Parallelism: 1})

@@ -57,6 +57,36 @@ func hashString(s string) uint64 {
 	return mix64(h)
 }
 
+// hashBytes is hashString over raw bytes: hashBytes(b) == hashString(
+// string(b)) by construction, which is what lets the EmitBytes path
+// fingerprint a successor without materializing it.
+func hashBytes(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= prime64
+	}
+	return mix64(h)
+}
+
+// fromBytesFunc resolves the []byte -> S materializer for string state
+// types (nil for every other type; EmitBytes is a string-state API).
+func fromBytesFunc[S comparable]() func([]byte) S {
+	var zero S
+	if _, ok := any(zero).(string); !ok {
+		return nil
+	}
+	return func(b []byte) S {
+		var s S
+		*any(&s).(*string) = string(b)
+		return s
+	}
+}
+
 // mix64 is the splitmix64 finalizer: a cheap bijective scrambler that
 // spreads small integers (the typical encoded-state ids) across the full
 // 64-bit range.

@@ -258,12 +258,12 @@ func (e *explorer[S]) checkPOR(s S, acts []porAction[S]) error {
 	succ := func(i int) map[key][]S {
 		if cache[i] == nil {
 			m := make(map[key][]S)
-			e.expand(acts[i].act.To, func(to S, label string, actor int) {
+			e.expand(acts[i].act.To, e.collectCtx(func(to S, label string, actor int) {
 				if e.canon != nil {
 					to = e.canon(to)
 				}
 				m[key{label, actor}] = append(m[key{label, actor}], to)
-			})
+			}))
 			cache[i] = m
 		}
 		return cache[i]

@@ -87,12 +87,12 @@ func TestPORDeterminismAcrossWorkerCounts(t *testing.T) {
 // "step" around the ring forever and starve "set", never discovering the
 // flag=1 half of the space.
 func ringFlagExpand(m int) ExpandFunc[string] {
-	return func(s string, emit Emit[string]) {
+	return func(s string, x *Ctx[string]) {
 		var k, flag int
 		fmt.Sscanf(s, "%d,%d", &k, &flag)
-		emit(fmt.Sprintf("%d,%d", (k+1)%m, flag), "step", 0)
+		x.Emit(fmt.Sprintf("%d,%d", (k+1)%m, flag), "step", 0)
 		if flag == 0 {
-			emit(fmt.Sprintf("%d,1", k), "set", 1)
+			x.Emit(fmt.Sprintf("%d,1", k), "set", 1)
 		}
 	}
 }
@@ -140,27 +140,27 @@ func TestPORCycleProvisoPreventsStarvation(t *testing.T) {
 // brokenDiamondExpand declares a 5-state system where actions "a" and "b"
 // are both enabled at 0 but do not commute: 0 -a-> 1 -b-> 3 versus
 // 0 -b-> 2 -a-> 4.
-func brokenDiamondExpand(s int, emit Emit[int]) {
+func brokenDiamondExpand(s int, x *Ctx[int]) {
 	switch s {
 	case 0:
-		emit(1, "a", 0)
-		emit(2, "b", 1)
+		x.Emit(1, "a", 0)
+		x.Emit(2, "b", 1)
 	case 1:
-		emit(3, "b", 1)
+		x.Emit(3, "b", 1)
 	case 2:
-		emit(4, "a", 0)
+		x.Emit(4, "a", 0)
 	}
 }
 
 // disablingExpand declares a system where "b" is enabled at 0 but "a"
 // disables it: 0 -a-> 1 has no "b" successor.
-func disablingExpand(s int, emit Emit[int]) {
+func disablingExpand(s int, x *Ctx[int]) {
 	switch s {
 	case 0:
-		emit(1, "a", 0)
-		emit(2, "b", 1)
+		x.Emit(1, "a", 0)
+		x.Emit(2, "b", 1)
 	case 2:
-		emit(3, "a", 0)
+		x.Emit(3, "a", 0)
 	}
 }
 

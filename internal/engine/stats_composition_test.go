@@ -15,12 +15,12 @@ import "testing"
 // Every number must be identical at workers 1, 2 and 8 — the counters are
 // part of the deterministic Result, not best-effort diagnostics.
 
-func twoChainExpand(s string, emit Emit[string]) {
+func twoChainExpand(s string, x *Ctx[string]) {
 	for i := 0; i < len(s); i++ {
 		if s[i] == 'A' {
 			b := []byte(s)
 			b[i] = 'B'
-			emit(string(b), "s", i)
+			x.Emit(string(b), "s", i)
 		}
 	}
 }

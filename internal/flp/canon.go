@@ -1,7 +1,11 @@
 package flp
 
 import (
+	"bytes"
 	"fmt"
+	"strconv"
+
+	"repro/internal/engine"
 )
 
 // This file provides symmetry canonicalizers over encoded configurations,
@@ -74,6 +78,236 @@ func PermutationCanon(p Protocol) (func(config) config, error) {
 		}
 		return best
 	}, nil
+}
+
+// ProcessSymmetricAppend is the allocation-free extension of
+// ProcessSymmetric, for the engine's EmitBytes canonicalization path: the
+// Append forms must write exactly the bytes of the corresponding string
+// forms into dst and return the extended slice, reading state/payload from
+// the caller's buffers without retaining them.
+type ProcessSymmetricAppend interface {
+	ProcessSymmetric
+	AppendPermutedState(dst, state []byte, perm []int) []byte
+	AppendPermutedPayload(dst, payload []byte, perm []int) []byte
+}
+
+// PermutationCanonBytes returns a per-worker factory of byte-level
+// process-permutation canonicalizers agreeing exactly with
+// PermutationCanon (pass both to AnalyzeOptions / core.ExploreOptions:
+// Canon defines the quotient, CanonBytes keeps the hot path free of
+// string materialization). Each canonicalizer owns its scratch buffers, so
+// a factory instance must not be shared across goroutines — the engine
+// calls the factory once per worker. Configurations that violate
+// encodeConfig's invariants (non-canonical integer fields, unsorted or
+// malformed message section) are routed to the string canonicalizer, so
+// agreement is unconditional. It errors when p does not declare
+// ProcessSymmetricAppend.
+func PermutationCanonBytes(p Protocol) (func() engine.BytesCanonicalizer, error) {
+	ps, ok := p.(ProcessSymmetricAppend)
+	if !ok {
+		return nil, fmt.Errorf("flp: protocol %s does not implement ProcessSymmetricAppend", p.Name())
+	}
+	slow, err := PermutationCanon(p)
+	if err != nil {
+		return nil, err
+	}
+	n := p.NumProcs()
+	perms := permutations(n)
+	// invs[k][r] is the process whose state lands in slot r under perms[k].
+	invs := make([][]int, len(perms))
+	for k, pi := range perms {
+		inv := make([]int, n)
+		for q, r := range pi {
+			inv[r] = q
+		}
+		invs[k] = inv
+	}
+	wake := []byte(wakePayload)
+	return func() engine.BytesCanonicalizer {
+		var sc permCanonScratch
+		return func(dst, src []byte) []byte {
+			best := append(dst[:0], src...)
+			if !sc.parse(src, n) {
+				return append(dst[:0], slow(string(src))...)
+			}
+			for k, pi := range perms[1:] {
+				inv := invs[k+1]
+				newCrashed := 0
+				for q := 0; q < n; q++ {
+					if sc.crashed&(1<<uint(q)) != 0 {
+						newCrashed |= 1 << uint(pi[q])
+					}
+				}
+				cand := sc.cand[:0]
+				cand = strconv.AppendInt(cand, int64(newCrashed), 10)
+				cand = append(cand, '\x1d')
+				for r := 0; r < n; r++ {
+					if r > 0 {
+						cand = append(cand, '\x1e')
+					}
+					cand = ps.AppendPermutedState(cand, sc.states[inv[r]], pi)
+				}
+				cand = append(cand, '\x1d')
+				// Prefix gate: the crash mask and permuted states are cheap
+				// to render, the message section (per-envelope renders plus a
+				// sort) is not. Lexicographic comparison is positional, so if
+				// the prefix already exceeds best at some byte — or equals it
+				// with best exhausted, since any extension only grows cand —
+				// the candidate has lost and the message section is never
+				// rendered. Most of the n!-1 candidates die here.
+				m := len(cand)
+				if len(best) < m {
+					m = len(best)
+				}
+				if c := bytes.Compare(cand[:m], best[:m]); c > 0 || (c == 0 && len(best) <= len(cand)) {
+					sc.cand = cand
+					continue
+				}
+				sc.msgBuf = sc.msgBuf[:0]
+				sc.msgOff = sc.msgOff[:0]
+				for _, m := range sc.parsed {
+					start := len(sc.msgBuf)
+					sc.msgBuf = strconv.AppendInt(sc.msgBuf, int64(pi[m.from]), 10)
+					sc.msgBuf = append(sc.msgBuf, '>')
+					sc.msgBuf = strconv.AppendInt(sc.msgBuf, int64(pi[m.to]), 10)
+					sc.msgBuf = append(sc.msgBuf, ':')
+					if bytes.Equal(m.payload, wake) {
+						sc.msgBuf = append(sc.msgBuf, m.payload...)
+					} else {
+						sc.msgBuf = ps.AppendPermutedPayload(sc.msgBuf, m.payload, pi)
+					}
+					sc.msgOff = append(sc.msgOff, [2]int{start, len(sc.msgBuf)})
+				}
+				sortSpansBytes(sc.msgBuf, sc.msgOff)
+				for i, sp := range sc.msgOff {
+					if i > 0 {
+						cand = append(cand, '\x1f')
+					}
+					cand = append(cand, sc.msgBuf[sp[0]:sp[1]]...)
+				}
+				sc.cand = cand
+				if bytes.Compare(cand, best) < 0 {
+					best = append(best[:0], cand...)
+				}
+			}
+			return best
+		}
+	}, nil
+}
+
+// permMsg is one strictly parsed in-flight envelope; payload aliases the
+// source configuration.
+type permMsg struct {
+	from, to int
+	payload  []byte
+}
+
+// permCanonScratch is the reusable state of one byte-level permutation
+// canonicalizer.
+type permCanonScratch struct {
+	crashed int
+	states  [][]byte // subslices of src
+	parsed  []permMsg
+	msgBuf  []byte
+	msgOff  [][2]int
+	cand    []byte
+}
+
+// parse strictly decomposes src; false means fall back to the string
+// canonicalizer. It requires exactly n process states, canonical integer
+// fields, and msgs in sorted order (encodeConfig re-sorts, so an unsorted
+// input would not re-encode to itself).
+func (sc *permCanonScratch) parse(src []byte, n int) bool {
+	i1 := bytes.IndexByte(src, '\x1d')
+	if i1 < 0 {
+		return false
+	}
+	rest := src[i1+1:]
+	i2 := bytes.IndexByte(rest, '\x1d')
+	if i2 < 0 {
+		return false
+	}
+	crashed, ok := parseCanonInt(src[:i1])
+	if !ok {
+		return false
+	}
+	sc.crashed = crashed
+	sc.states = sc.states[:0]
+	statesSec := rest[:i2]
+	for {
+		j := bytes.IndexByte(statesSec, '\x1e')
+		if j < 0 {
+			sc.states = append(sc.states, statesSec)
+			break
+		}
+		sc.states = append(sc.states, statesSec[:j])
+		statesSec = statesSec[j+1:]
+	}
+	if len(sc.states) != n {
+		return false
+	}
+	sc.parsed = sc.parsed[:0]
+	msgsSec := rest[i2+1:]
+	if len(msgsSec) == 0 {
+		return true
+	}
+	var prev []byte
+	for {
+		j := bytes.IndexByte(msgsSec, '\x1f')
+		m := msgsSec
+		if j >= 0 {
+			m = msgsSec[:j]
+		}
+		if prev != nil && bytes.Compare(m, prev) < 0 {
+			return false
+		}
+		prev = m
+		gt := bytes.IndexByte(m, '>')
+		if gt <= 0 {
+			return false
+		}
+		colon := bytes.IndexByte(m[gt+1:], ':')
+		if colon < 0 {
+			return false
+		}
+		colon += gt + 1
+		from, okF := parseCanonInt(m[:gt])
+		to, okT := parseCanonInt(m[gt+1 : colon])
+		if !okF || !okT || from >= n || to >= n {
+			return false
+		}
+		sc.parsed = append(sc.parsed, permMsg{from: from, to: to, payload: m[colon+1:]})
+		if j < 0 {
+			return true
+		}
+		msgsSec = msgsSec[j+1:]
+	}
+}
+
+// sortSpansBytes is sortSpans for a bytes-only call site (kept separate so
+// canon.go does not depend on expand.go's string-comparison helper).
+func sortSpansBytes(buf []byte, offs [][2]int) {
+	for i := 1; i < len(offs); i++ {
+		for j := i; j > 0 && bytes.Compare(buf[offs[j][0]:offs[j][1]], buf[offs[j-1][0]:offs[j-1][1]]) < 0; j-- {
+			offs[j], offs[j-1] = offs[j-1], offs[j]
+		}
+	}
+}
+
+// AppendPermutedState implements ProcessSymmetricAppend; see PermuteState.
+func (w *waitProto) AppendPermutedState(dst, state []byte, perm []int) []byte {
+	off := len(dst)
+	dst = append(dst, state...)
+	for j := 0; j < w.n; j++ {
+		dst[off+perm[j]] = state[j]
+	}
+	return dst
+}
+
+// AppendPermutedPayload implements ProcessSymmetricAppend; payloads are
+// bare value characters.
+func (w *waitProto) AppendPermutedPayload(dst, payload []byte, _ []int) []byte {
+	return append(dst, payload...)
 }
 
 // ValueSwapCanon returns the value-relabeling (0 <-> 1) canonicalizer for

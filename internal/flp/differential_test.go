@@ -1,0 +1,42 @@
+package flp
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/store"
+)
+
+// TestDifferentialWaitQuorum holds the real FLP system — scratch
+// expansion, byte-level permutation canon, aliasing falsifier — to the
+// engine's full cross-mode oracle: full/quotient graphs byte-identical at
+// workers 1, 2 and 8, under the default store and a tightly-budgeted spill
+// backend, with VerifyCanon and VerifyAliasing checking every state.
+func TestDifferentialWaitQuorum(t *testing.T) {
+	p := NewWaitQuorum(3)
+	s := &system{p: p, inputVectors: allBinaryVectors(3), resilience: 1}
+	canon, err := PermutationCanon(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonB, err := PermutationCanonBytes(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := engine.DiffSpec[config]{
+		Name:  "flp-wait-quorum-n3",
+		Inits: s.Init(),
+		Expand: func(c config, x *engine.Ctx[config]) {
+			s.ExpandInto(c, x)
+		},
+		Canon:          canon,
+		CanonBytes:     canonB,
+		VerifyAliasing: 1,
+		Stores: []store.Config{
+			{Kind: store.Spill, MaxBytes: 8 << 10, Dir: t.TempDir(), PageBits: 6},
+		},
+	}
+	if _, err := engine.Differential(spec); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -267,6 +267,17 @@ type AnalyzeOptions struct {
 	// with engine.ErrCanonUnsound if Canon is not idempotent and
 	// step-commuting on them.
 	VerifyCanon int
+	// CanonBytes, when non-nil, is the byte-level twin of Canon for the
+	// engine's zero-allocation expansion path — see PermutationCanonBytes
+	// and engine.Options.CanonBytes. Requires Canon; VerifyCanon
+	// additionally cross-checks the two on sampled configurations.
+	CanonBytes any
+	// VerifyAliasing, when > 0, enables the engine's buffer-aliasing
+	// falsifier on every exploration (every configuration whose
+	// fingerprint is ≡ 0 mod VerifyAliasing is re-expanded over poisoned
+	// scratch; 1 = all) and fails the analysis with
+	// engine.ErrAliasUnsound on divergence — see engine.Options.
+	VerifyAliasing int
 	// Independent, when non-nil, applies ample-set partial-order reduction
 	// to every exploration (main and validity) under the given independence
 	// relation — see DeliveryIndependence. The reduced graph preserves the
@@ -327,10 +338,12 @@ func Analyze(p Protocol, opts AnalyzeOptions) (Report, error) {
 	eopts := core.ExploreOptions{
 		MaxStates: opts.MaxStates, Parallelism: opts.Parallelism, Stats: opts.Stats,
 		Sink: opts.Sink, SnapshotEvery: opts.SnapshotEvery, Store: opts.Store,
+		VerifyAliasing: opts.VerifyAliasing,
 	}
 	if opts.Canon != nil {
 		eopts.Canon = opts.Canon
 		eopts.VerifyCanon = opts.VerifyCanon
+		eopts.CanonBytes = opts.CanonBytes
 	}
 	if opts.Independent != nil {
 		eopts.Independent = opts.Independent
@@ -390,12 +403,16 @@ func Analyze(p Protocol, opts AnalyzeOptions) (Report, error) {
 		for i := range uniform {
 			uniform[i] = v
 		}
-		guOpts := core.ExploreOptions{MaxStates: opts.MaxStates, Parallelism: opts.Parallelism, Store: opts.Store}
+		guOpts := core.ExploreOptions{
+			MaxStates: opts.MaxStates, Parallelism: opts.Parallelism, Store: opts.Store,
+			VerifyAliasing: opts.VerifyAliasing,
+		}
 		if opts.Canon != nil {
 			// Uniform-vector initials are fixed points of any process
 			// relabeling, so the quotient is sound here too.
 			guOpts.Canon = opts.Canon
 			guOpts.VerifyCanon = opts.VerifyCanon
+			guOpts.CanonBytes = opts.CanonBytes
 		}
 		if opts.Independent != nil {
 			guOpts.Independent = opts.Independent

@@ -31,7 +31,7 @@ func NewWaitAll(n int) Protocol { return &waitProto{n: n, need: n, name: "wait-a
 // NewWaitQuorum returns the wait-for-(n-1) protocol.
 func NewWaitQuorum(n int) Protocol { return &waitProto{n: n, need: n - 1, name: "wait-quorum"} }
 
-var _ Protocol = (*waitProto)(nil)
+var _ ScratchProtocol = (*waitProto)(nil)
 
 // Name implements Protocol.
 func (w *waitProto) Name() string { return w.name }
@@ -62,13 +62,78 @@ func (w *waitProto) InitialSends(p int, state string) []Send {
 	return out
 }
 
-// Step implements Protocol.
+// Step implements Protocol. The two early returns are allocation-free
+// fast paths for deliveries that cannot change the state: every reachable
+// state is a fixed point of maybeDecide (Init and Step both apply it
+// before returning), so an unchanged value vector means an unchanged
+// state.
 func (w *waitProto) Step(_ int, state string, from int, payload string) (string, []Send) {
-	vals := []byte(state[:w.n])
-	if payload == "0" || payload == "1" {
-		vals[from] = payload[0]
+	if payload != "0" && payload != "1" {
+		return state, nil // junk payload: absorbed without recording
 	}
+	if state[from] == payload[0] {
+		return state, nil // redelivery of an already-recorded value
+	}
+	vals := []byte(state[:w.n])
+	vals[from] = payload[0]
 	return w.maybeDecide(string(vals) + state[w.n:]), nil
+}
+
+// AppendStep implements ScratchProtocol: Step with the successor rendered
+// into dst and maybeDecide applied in place over the rendered bytes.
+func (w *waitProto) AppendStep(dst []byte, _ int, state string, from int, payload string, sends []Send) ([]byte, []Send) {
+	if (payload != "0" && payload != "1") || state[from] == payload[0] {
+		return append(dst, state...), sends // absorbed: successor == state
+	}
+	off := len(dst)
+	dst = append(dst, state...)
+	dst[off+from] = payload[0]
+	s := dst[off:]
+	if s[w.n+1] == '-' { // maybeDecide, in place
+		count := 0
+		best := byte('9')
+		for i := 0; i < w.n; i++ {
+			if s[i] != '-' {
+				count++
+				if s[i] < best {
+					best = s[i]
+				}
+			}
+		}
+		if count >= w.need {
+			s[w.n+1] = best
+		}
+	}
+	return dst, sends
+}
+
+// AppendInitialSends implements ScratchProtocol: the same broadcast as
+// InitialSends, with constant payload strings instead of per-send
+// string(byte) conversions.
+func (w *waitProto) AppendInitialSends(p int, state string, sends []Send) []Send {
+	pay := valuePayload(state[p])
+	for q := 0; q < w.n; q++ {
+		if q != p {
+			sends = append(sends, Send{To: q, Payload: pay})
+		}
+	}
+	return sends
+}
+
+// valuePayload is string(b) with interned results for the value alphabet:
+// a variable string(byte) that escapes into a Send allocates, a constant
+// does not. Non-value bytes (unreachable on canonical states) fall through
+// to the allocating conversion so the function stays total.
+func valuePayload(b byte) string {
+	switch b {
+	case '0':
+		return "0"
+	case '1':
+		return "1"
+	case '-':
+		return "-"
+	}
+	return string(b)
 }
 
 func (w *waitProto) maybeDecide(state string) string {
@@ -113,7 +178,7 @@ type adoptSwap struct {
 // NewAdoptSwap returns the adopt-and-rebroadcast protocol.
 func NewAdoptSwap(n int) Protocol { return &adoptSwap{n: n} }
 
-var _ Protocol = (*adoptSwap)(nil)
+var _ ScratchProtocol = (*adoptSwap)(nil)
 
 // Name implements Protocol.
 func (a *adoptSwap) Name() string { return "adopt-swap" }
@@ -141,6 +206,26 @@ func (a *adoptSwap) Step(p int, state string, _ int, payload string) (string, []
 	}
 	// Mismatch: adopt and forward around the ring.
 	return payload + "-", []Send{{To: (p + 1) % a.n, Payload: payload}}
+}
+
+// AppendStep implements ScratchProtocol.
+func (a *adoptSwap) AppendStep(dst []byte, p int, state string, _ int, payload string, sends []Send) ([]byte, []Send) {
+	if state[1] != '-' || (payload != "0" && payload != "1") {
+		return append(dst, state...), sends // decided or junk: absorb
+	}
+	if payload == state[:1] {
+		return append(dst, state[0], payload[0]), sends // match: decide
+	}
+	// Mismatch: adopt and forward around the ring. The payload string is a
+	// substring of the configuration, so forwarding it verbatim is safe.
+	dst = append(dst, payload...)
+	dst = append(dst, '-')
+	return dst, append(sends, Send{To: (p + 1) % a.n, Payload: payload})
+}
+
+// AppendInitialSends implements ScratchProtocol.
+func (a *adoptSwap) AppendInitialSends(p int, state string, sends []Send) []Send {
+	return append(sends, Send{To: (p + 1) % a.n, Payload: state[:1]})
 }
 
 // Decide implements Protocol.

@@ -1,0 +1,80 @@
+package ring
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// TestAsyncLCRExpandIntoMatchesSteps checks, state by state over the whole
+// reachable election space, that the zero-allocation expansion emits
+// exactly Steps' transitions.
+func TestAsyncLCRExpandIntoMatchesSteps(t *testing.T) {
+	a, err := NewAsyncLCR(DescendingIDs(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := asyncLCRSystem{a}
+	seen := map[string]bool{}
+	frontier := sys.Init()
+	checked := 0
+	for len(frontier) > 0 {
+		var next []string
+		for _, s := range frontier {
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			want := sys.Steps(s)
+			var got []core.Step[string]
+			x := engine.CollectCtx(func(to string, label string, actor int) {
+				got = append(got, core.Step[string]{To: to, Label: label, Actor: actor})
+			})
+			sys.ExpandInto(s, x)
+			if len(want) == 0 && len(got) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("state %q:\nSteps      = %v\nExpandInto = %v", s, want, got)
+			}
+			checked++
+			for _, st := range want {
+				next = append(next, st.To)
+			}
+		}
+		frontier = next
+	}
+	if checked == 0 {
+		t.Fatal("walk checked nothing")
+	}
+}
+
+// TestAsyncLCRAliasingClean runs the election exploration with the
+// aliasing falsifier checking every state and compares against the
+// sequential Steps-driven graph.
+func TestAsyncLCRAliasingClean(t *testing.T) {
+	a, err := NewAsyncLCR(DescendingIDs(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := core.Explore[string](a.System(), core.ExploreOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := core.Explore[string](a.System(), core.ExploreOptions{
+		Parallelism: 2, VerifyAliasing: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Len() != par.Len() {
+		t.Fatalf("state counts differ: %d vs %d", seq.Len(), par.Len())
+	}
+	for i := 0; i < seq.Len(); i++ {
+		if seq.State(i) != par.State(i) || !reflect.DeepEqual(seq.Successors(i), par.Successors(i)) {
+			t.Fatalf("graphs diverge at state %d", i)
+		}
+	}
+}

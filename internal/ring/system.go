@@ -2,6 +2,7 @@ package ring
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -107,6 +108,60 @@ func (s asyncLCRSystem) Steps(st string) []core.Step[string] {
 		}
 	}
 	return out
+}
+
+var _ core.ScratchSystem[string] = asyncLCRSystem{}
+
+// lcrScratch is ExpandInto's per-worker label render buffer.
+type lcrScratch struct {
+	lbl []byte
+}
+
+// ExpandInto implements core.ScratchSystem: the same deliveries as Steps,
+// in the same link-then-id order with byte-identical labels, rendered into
+// the worker's scratch buffer instead of a fresh []byte per successor.
+func (s asyncLCRSystem) ExpandInto(st string, x *engine.Ctx[string]) {
+	n := len(s.a.ids)
+	if len(st) != n+1 {
+		// Not an encoding this system produced: defer to the spec path.
+		for _, e := range s.Steps(st) {
+			x.Emit(e.To, e.Label, e.Actor)
+		}
+		return
+	}
+	if st[n] != noLeader {
+		return // election decided; the space is a DAG to the leaders
+	}
+	sc, _ := x.Sys.(*lcrScratch)
+	if sc == nil {
+		sc = &lcrScratch{}
+		x.Sys = sc
+	}
+	for link := 0; link < n; link++ {
+		mask := st[link]
+		for id := 0; id < 8; id++ {
+			if mask&(1<<uint(id)) == 0 {
+				continue
+			}
+			dst := (link + 1) % n
+			buf := append(x.Scratch[:0], st...)
+			buf[link] &^= 1 << uint(id)
+			switch {
+			case id == s.a.ids[dst]:
+				buf[n] = byte(dst) // token came home: dst wins
+			case id > s.a.ids[dst]:
+				buf[dst] |= 1 << uint(id) // forward
+			}
+			// Smaller ids are swallowed: the token just disappears.
+			x.Scratch = buf
+			lbl := append(sc.lbl[:0], "deliver id "...)
+			lbl = append(lbl, byte('0'+id)) // ids are < 8 by construction
+			lbl = append(lbl, " to p"...)
+			lbl = strconv.AppendInt(lbl, int64(dst), 10)
+			sc.lbl = lbl
+			x.EmitBytes(buf, x.Label(lbl), dst)
+		}
+	}
 }
 
 // Independence returns the ample-set independence relation of the async

@@ -3,8 +3,10 @@ package rounds
 import (
 	"fmt"
 	"math/bits"
+	"strconv"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // CrashSpace is the lockstep adversary-choice state space underlying the
@@ -72,6 +74,52 @@ func (s crashSpaceSystem) Steps(st string) []core.Step[string] {
 		})
 	}
 	return out
+}
+
+var _ core.ScratchSystem[string] = crashSpaceSystem{}
+
+// csScratch is ExpandInto's per-worker label render buffer.
+type csScratch struct {
+	lbl []byte
+}
+
+// ExpandInto implements core.ScratchSystem: Steps' crash and round-advance
+// transitions, rendered into the worker's scratch buffer.
+func (s crashSpaceSystem) ExpandInto(st string, x *engine.Ctx[string]) {
+	if len(st) != 2 {
+		// Not an encoding this system produced: defer to the spec path.
+		for _, e := range s.Steps(st) {
+			x.Emit(e.To, e.Label, e.Actor)
+		}
+		return
+	}
+	sc, _ := x.Sys.(*csScratch)
+	if sc == nil {
+		sc = &csScratch{}
+		x.Sys = sc
+	}
+	round, mask := int(st[0]), st[1]
+	if bits.OnesCount8(mask) < s.c.MaxFaults {
+		for p := 0; p < s.c.Procs; p++ {
+			if mask&(1<<p) != 0 {
+				continue
+			}
+			buf := append(x.Scratch[:0], byte(round), mask|1<<p)
+			x.Scratch = buf
+			lbl := append(sc.lbl[:0], "crash p"...)
+			lbl = strconv.AppendInt(lbl, int64(p), 10)
+			sc.lbl = lbl
+			x.EmitBytes(buf, x.Label(lbl), core.EnvironmentActor)
+		}
+	}
+	if round < s.c.Rounds {
+		buf := append(x.Scratch[:0], byte(round+1), mask)
+		x.Scratch = buf
+		lbl := append(sc.lbl[:0], "round "...)
+		lbl = strconv.AppendInt(lbl, int64(round+1), 10)
+		sc.lbl = lbl
+		x.EmitBytes(buf, x.Label(lbl), core.EnvironmentActor)
+	}
 }
 
 // System returns the crash-pattern space as a core.System over encoded

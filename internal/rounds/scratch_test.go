@@ -1,0 +1,53 @@
+package rounds
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// TestCrashSpaceExpandIntoMatchesSteps checks, configuration by
+// configuration over the whole crash-pattern space, that the
+// zero-allocation expansion emits exactly Steps' transitions.
+func TestCrashSpaceExpandIntoMatchesSteps(t *testing.T) {
+	c := CrashSpace{Procs: 6, MaxFaults: 3, Rounds: 8}
+	sysI, err := c.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := sysI.(crashSpaceSystem)
+	seen := map[string]bool{}
+	frontier := sys.Init()
+	checked := 0
+	for len(frontier) > 0 {
+		var next []string
+		for _, s := range frontier {
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			want := sys.Steps(s)
+			var got []core.Step[string]
+			x := engine.CollectCtx(func(to string, label string, actor int) {
+				got = append(got, core.Step[string]{To: to, Label: label, Actor: actor})
+			})
+			sys.ExpandInto(s, x)
+			if len(want) == 0 && len(got) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("state %q:\nSteps      = %v\nExpandInto = %v", s, want, got)
+			}
+			checked++
+			for _, st := range want {
+				next = append(next, st.To)
+			}
+		}
+		frontier = next
+	}
+	if checked == 0 {
+		t.Fatal("walk checked nothing")
+	}
+}

@@ -1,0 +1,79 @@
+package sharedmem
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// TestExpandIntoMatchesSteps checks, state by state over the whole
+// reachable space, that the zero-allocation expansion emits exactly Steps'
+// transitions — same successors, labels, actors, same order — for each
+// seed algorithm.
+func TestExpandIntoMatchesSteps(t *testing.T) {
+	for _, alg := range []Algorithm{NewPeterson2(), NewTicketLock(4), NewTournament4()} {
+		t.Run(alg.Name(), func(t *testing.T) {
+			sys := system{alg: alg}
+			seen := map[state]bool{}
+			frontier := sys.Init()
+			checked := 0
+			for len(frontier) > 0 {
+				var next []state
+				for _, s := range frontier {
+					if seen[s] {
+						continue
+					}
+					seen[s] = true
+					want := sys.Steps(s)
+					var got []core.Step[state]
+					x := engine.CollectCtx(func(to state, label string, actor int) {
+						got = append(got, core.Step[state]{To: to, Label: label, Actor: actor})
+					})
+					sys.ExpandInto(s, x)
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("state %q:\nSteps      = %v\nExpandInto = %v", s, want, got)
+					}
+					checked++
+					for _, st := range want {
+						next = append(next, st.To)
+					}
+				}
+				frontier = next
+			}
+			if checked == 0 {
+				t.Fatal("walk checked nothing")
+			}
+		})
+	}
+}
+
+// TestExpandIntoAliasingClean runs a full engine exploration with the
+// aliasing falsifier checking every state: the scratch expansion must not
+// retain emitted buffers, and the graph must match the sequential path.
+func TestExpandIntoAliasingClean(t *testing.T) {
+	alg := NewTicketLock(3)
+	seq, err := core.Explore[state](NewSystem(alg), core.ExploreOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := core.Explore[state](NewSystem(alg), core.ExploreOptions{
+		Parallelism: 2, VerifyAliasing: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Len() != par.Len() {
+		t.Fatalf("state counts differ: %d vs %d", seq.Len(), par.Len())
+	}
+	for i := 0; i < seq.Len(); i++ {
+		if seq.State(i) != par.State(i) {
+			t.Fatalf("state %d differs: %q vs %q", i, seq.State(i), par.State(i))
+		}
+		if !reflect.DeepEqual(seq.Successors(i), par.Successors(i)) {
+			t.Fatalf("successors of state %d differ:\nseq = %v\npar = %v",
+				i, seq.Successors(i), par.Successors(i))
+		}
+	}
+}

@@ -10,6 +10,7 @@ package sharedmem
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
@@ -155,6 +156,64 @@ func (sys system) Steps(s state) []core.Step[state] {
 		steps = append(steps, core.Step[state]{To: encode(newLocals, newVars), Label: label, Actor: actor})
 	}
 	return steps
+}
+
+var _ core.ScratchSystem[state] = system{}
+
+// smScratch is the per-worker label render buffer of ExpandInto, carried
+// in Ctx.Sys.
+type smScratch struct {
+	lbl []byte
+}
+
+// ExpandInto implements core.ScratchSystem: the same n successors as
+// Steps, in the same order with byte-identical labels, but each one
+// rendered into the worker's scratch buffer (two patched bytes over the
+// current encoding) instead of materializing int slices and fmt labels.
+func (sys system) ExpandInto(s state, x *engine.Ctx[state]) {
+	n := sys.alg.NumProcs()
+	vs := sys.alg.Vars()
+	if len(s) != n+len(vs) {
+		// Not an encoding this system produced: defer to the spec path.
+		for _, st := range sys.Steps(s) {
+			x.Emit(st.To, st.Label, st.Actor)
+		}
+		return
+	}
+	sc, _ := x.Sys.(*smScratch)
+	if sc == nil {
+		sc = &smScratch{}
+		x.Sys = sc
+	}
+	for p := 0; p < n; p++ {
+		l := int(s[p])
+		v := sys.alg.Access(p, l)
+		old := int(s[n+v])
+		nl, nv := sys.alg.Step(p, l, old)
+		buf := append(x.Scratch[:0], s...)
+		buf[p] = byte(nl)
+		buf[n+v] = byte(nv)
+		x.Scratch = buf
+		actor := p
+		lbl := sc.lbl[:0]
+		if sys.alg.Region(p, l) == spec.Remainder {
+			actor = core.EnvironmentActor
+			lbl = append(lbl, 'p')
+			lbl = strconv.AppendInt(lbl, int64(p), 10)
+			lbl = append(lbl, " requests"...)
+		} else {
+			lbl = append(lbl, 'p')
+			lbl = strconv.AppendInt(lbl, int64(p), 10)
+			lbl = append(lbl, ": v"...)
+			lbl = strconv.AppendInt(lbl, int64(v), 10)
+			lbl = append(lbl, ' ')
+			lbl = strconv.AppendInt(lbl, int64(old), 10)
+			lbl = append(lbl, "->"...)
+			lbl = strconv.AppendInt(lbl, int64(nv), 10)
+		}
+		sc.lbl = lbl
+		x.EmitBytes(buf, x.Label(lbl), actor)
+	}
 }
 
 // NewSystem exposes the algorithm's transition system (canonical encoded

@@ -7,10 +7,10 @@ import "repro/internal/engine"
 // engine-free so the construction (and its planted truth) can be reasoned
 // about — and reused — without reference to the system under test.
 
-// ExpandFunc returns sp.Expand in the engine's callback form.
+// ExpandFunc returns sp.Expand in the engine's expansion-context form.
 func (sp *Space) ExpandFunc() engine.ExpandFunc[string] {
-	return func(s string, emit engine.Emit[string]) {
-		sp.Expand(s, func(to, label string, actor int) { emit(to, label, actor) })
+	return func(s string, x *engine.Ctx[string]) {
+		sp.Expand(s, func(to, label string, actor int) { x.Emit(to, label, actor) })
 	}
 }
 
@@ -34,6 +34,10 @@ func (sp *Space) Spec() engine.DiffSpec[string] {
 		Independent: AdaptIndependence(sp.Independence()),
 		Decided:     sp.DecidedState,
 		Truth:       &truth,
+		// Every oracle arm runs the buffer-aliasing falsifier: generated
+		// spaces materialize their emissions, so a trip here would point at
+		// the engine's own scratch handling.
+		VerifyAliasing: 1,
 	}
 }
 

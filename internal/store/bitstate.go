@@ -33,24 +33,28 @@ type bitShard struct {
 }
 
 type bitStore[S comparable] struct {
-	shards  []*bitShard
-	mask    uint64
-	fpMask  uint64
-	fpBits  int
-	fp      func(*S) uint64
-	sizeOf  func(*S) int64
-	counter atomic.Int64
-	pages   pagetab[S]
-	bytes   atomic.Int64
+	shards   []*bitShard
+	mask     uint64
+	fpMask   uint64
+	fpBits   int
+	fp       func(*S) uint64
+	sizeOf   func(*S) int64
+	isString bool
+	counter  atomic.Int64
+	pages    pagetab[S]
+	bytes    atomic.Int64
 }
 
 func newBitStore[S comparable](cfg Config, shards int, fp func(*S) uint64) *bitStore[S] {
+	var zero S
+	_, isString := any(zero).(string)
 	st := &bitStore[S]{
-		shards: make([]*bitShard, shards),
-		mask:   uint64(shards - 1),
-		fpMask: ^uint64(0),
-		fp:     fp,
-		sizeOf: sizeOfFunc[S](),
+		shards:   make([]*bitShard, shards),
+		mask:     uint64(shards - 1),
+		fpMask:   ^uint64(0),
+		fp:       fp,
+		sizeOf:   sizeOfFunc[S](),
+		isString: isString,
 	}
 	st.pages.init(0)
 	if cfg.FingerprintBits > 0 && cfg.FingerprintBits < 64 {
@@ -73,6 +77,31 @@ func (st *bitStore[S]) Intern(s S) (int32, bool) {
 	}
 	id := int32(st.counter.Add(1) - 1)
 	sh.m[h] = id
+	st.pages.set(id, s)
+	st.bytes.Add(st.sizeOf(&s) + bitEntryOverhead)
+	sh.mu.Unlock()
+	return id, true
+}
+
+// BytesSupported reports whether InternBytes is usable (string states).
+func (st *bitStore[S]) BytesSupported() bool { return st.isString }
+
+// InternBytes is the zero-copy intern path (see store.BytesInterner). The
+// bitstate index trusts the (masked) fingerprint alone, so a hit costs one
+// map lookup and allocates nothing; only the first state of each
+// fingerprint class materializes its payload.
+func (st *bitStore[S]) InternBytes(h uint64, b []byte) (int32, bool) {
+	h &= st.fpMask
+	sh := st.shards[h&st.mask]
+	sh.mu.Lock()
+	if id, ok := sh.m[h]; ok {
+		sh.mu.Unlock()
+		return id, false
+	}
+	id := int32(st.counter.Add(1) - 1)
+	sh.m[h] = id
+	var s S
+	*any(&s).(*string) = string(b)
 	st.pages.set(id, s)
 	st.bytes.Add(st.sizeOf(&s) + bitEntryOverhead)
 	sh.mu.Unlock()

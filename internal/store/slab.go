@@ -1,0 +1,65 @@
+package store
+
+import "unsafe"
+
+// slabChunkSize is the slab arena's allocation unit: big enough that chunk
+// turnover is rare, small enough that a mostly-dead chunk pinned by one
+// surviving view is cheap.
+const slabChunkSize = 64 << 10
+
+// slab is an append-only byte arena handing out immutable string views of
+// the bytes copied into it. It exists so the mem backend can intern a
+// state payload with zero per-state allocations in steady state: the copy
+// lands in the current chunk and the returned string is an unsafe.String
+// view of those bytes — no per-string header allocation, no fragmentation.
+//
+// Soundness of the unsafe.String views: a chunk's backing array never
+// moves once bytes are handed out, because the arena only appends within
+// the chunk's fixed capacity and starts a new chunk (leaving the old one
+// to the views that reference it) when the remainder doesn't fit. This is
+// the same lifetime argument strings.Builder makes. A slab is not safe for
+// concurrent use; each shard owns one and serializes access through its
+// mutex.
+type slab struct {
+	cur   []byte
+	total int64
+}
+
+// addBytes copies b into the arena and returns a stable string view of the
+// copy.
+func (a *slab) addBytes(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if cap(a.cur)-len(a.cur) < len(b) {
+		a.grow(len(b))
+	}
+	off := len(a.cur)
+	a.cur = append(a.cur, b...)
+	a.total += int64(len(b))
+	return unsafe.String(&a.cur[off], len(b))
+}
+
+// addString is addBytes for a string source (no intermediate conversion).
+func (a *slab) addString(s string) string {
+	if len(s) == 0 {
+		return ""
+	}
+	if cap(a.cur)-len(a.cur) < len(s) {
+		a.grow(len(s))
+	}
+	off := len(a.cur)
+	a.cur = append(a.cur, s...)
+	a.total += int64(len(s))
+	return unsafe.String(&a.cur[off], len(s))
+}
+
+// grow starts a fresh chunk with room for at least n bytes. The old chunk
+// is abandoned to whatever views still reference it.
+func (a *slab) grow(n int) {
+	size := slabChunkSize
+	if n > size {
+		size = n
+	}
+	a.cur = make([]byte, 0, size)
+}

@@ -70,6 +70,7 @@ type spillStore[S comparable] struct {
 	mask     uint64
 	fp       func(*S) uint64
 	sizeOf   func(*S) int64
+	isString bool
 	codec    *codec[S]
 	maxBytes int64
 	counter  atomic.Int64
@@ -113,11 +114,14 @@ func newSpillStore[S comparable](cfg Config, shards int, fp func(*S) uint64) (*s
 	if cdc == nil {
 		return nil, fmt.Errorf("%w: %T", ErrNoCodec, *new(S))
 	}
+	var zero S
+	_, isString := any(zero).(string)
 	st := &spillStore[S]{
 		shards:   make([]*spillShard, shards),
 		mask:     uint64(shards - 1),
 		fp:       fp,
 		sizeOf:   sizeOfFunc[S](),
+		isString: isString,
 		codec:    cdc,
 		maxBytes: cfg.MaxBytes,
 		cache:    make(map[int32]*cacheEnt[S], pageCacheSize),
@@ -160,6 +164,46 @@ func (st *spillStore[S]) Intern(s S) (int32, bool) {
 	st.resident.Add(st.sizeOf(&s))
 	sh.mu.Unlock()
 	return id, true
+}
+
+// BytesSupported reports whether InternBytes is usable (string states).
+func (st *spillStore[S]) BytesSupported() bool { return st.isString }
+
+// InternBytes is the zero-copy intern path (see store.BytesInterner). A
+// dedup hit — the overwhelmingly common case on the hot path — allocates
+// nothing, including when the confirm reads a spilled page back (the
+// comparison against the decoded payload converts nothing). Only a fresh
+// intern materializes the state, which is unavoidable: the payload must
+// outlive the caller's scratch buffer.
+func (st *spillStore[S]) InternBytes(h uint64, b []byte) (int32, bool) {
+	sh := st.shards[h&st.mask]
+	sh.mu.Lock()
+	for _, id := range sh.m[h] {
+		if st.equalsBytes(id, b) {
+			sh.mu.Unlock()
+			return id, false
+		}
+	}
+	id := int32(st.counter.Add(1) - 1)
+	sh.m[h] = append(sh.m[h], id)
+	var s S
+	*any(&s).(*string) = string(b)
+	st.pages.set(id, s)
+	st.resident.Add(st.sizeOf(&s))
+	sh.mu.Unlock()
+	return id, true
+}
+
+// equalsBytes is equals against raw payload bytes; the conversion in the
+// comparison does not allocate.
+func (st *spillStore[S]) equalsBytes(id int32, b []byte) bool {
+	if int(id) < int(st.spilledTo.Load())<<st.pages.bits {
+		st.confirms.Add(1)
+		v, ok := st.spilledState(id)
+		return ok && *any(&v).(*string) == string(b)
+	}
+	v := st.pages.get(id)
+	return *any(&v).(*string) == string(b)
 }
 
 // equals confirms a fingerprint hit against the real payload of id,

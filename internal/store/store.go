@@ -163,6 +163,30 @@ type StateStore[S comparable] interface {
 	Close() error
 }
 
+// BytesInterner is the optional zero-copy extension every built-in backend
+// implements for string-typed states: the expansion hot path interns a
+// successor directly from its encoded bytes, without materializing a
+// string per generated state. The contract binding it to Intern:
+//
+//   - b must be the exact payload bytes of the state (for string states,
+//     the bytes ARE the state: string(b)).
+//   - h must equal what the fingerprint function passed to New returns
+//     for the materialized state. The caller hashes the bytes; the store
+//     never re-derives h.
+//   - InternBytes(h, b) and Intern(string(b)) are interchangeable: same
+//     id assignment, same dedup, same Stats accounting. b is fully
+//     consumed before InternBytes returns — callers may reuse the buffer
+//     immediately.
+//
+// BytesSupported reports whether the extension is live for the store's
+// state type; when it returns false, InternBytes must not be called. The
+// engine probes with a type assertion and falls back to the materializing
+// Intern path when the extension is absent or unsupported.
+type BytesInterner interface {
+	InternBytes(h uint64, b []byte) (id int32, fresh bool)
+	BytesSupported() bool
+}
+
 // New builds the configured backend. shards is the stripe count (a power
 // of two, chosen by the caller from its worker count) and fp the state
 // fingerprint. The spill backend additionally needs a payload codec for S

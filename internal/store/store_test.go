@@ -344,3 +344,89 @@ func TestStatsByteAccounting(t *testing.T) {
 		t.Fatalf("BytesInRAM %d vs shard sum %d", ss.BytesInRAM, sum)
 	}
 }
+
+// TestConformanceInternBytes drives the BytesInterner extension through
+// every backend: InternBytes and Intern must be interchangeable — same id
+// assignment, same dedup verdicts, same payload round-trips — whether a
+// state first arrives as a string or as raw bytes, including across
+// Maintain-driven spilling and under the bitstate backend's lossy merge
+// (which InternBytes must reproduce exactly).
+func TestConformanceInternBytes(t *testing.T) {
+	const n = 4096
+	states := testStates(n)
+	fpBytes := func(b []byte) uint64 {
+		s := string(b)
+		return stringFP(&s)
+	}
+	for name, cfg := range backendConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			st, err := New[string](cfg, 4, stringFP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			bi, ok := any(st).(BytesInterner)
+			if !ok || !bi.BytesSupported() {
+				t.Fatalf("backend %q does not support bytes interning for string states", name)
+			}
+			buf := make([]byte, 0, 64)
+			for i, s := range states {
+				buf = append(buf[:0], s...)
+				var id int32
+				var fresh bool
+				if i%2 == 0 {
+					id, fresh = bi.InternBytes(fpBytes(buf), buf)
+				} else {
+					id, fresh = st.Intern(s)
+				}
+				if !fresh || id != int32(i) {
+					t.Fatalf("first intern of %q = (%d, %v), want (%d, true)", s, id, fresh, i)
+				}
+				// Poison the scratch buffer: the store must have copied.
+				for j := range buf {
+					buf[j] = 0xDB
+				}
+			}
+			if err := st.Maintain(int32(n)); err != nil {
+				t.Fatal(err)
+			}
+			for i, s := range states {
+				// Re-intern through the opposite path from the first pass.
+				buf = append(buf[:0], s...)
+				var id int32
+				var fresh bool
+				if i%2 == 0 {
+					id, fresh = st.Intern(s)
+				} else {
+					id, fresh = bi.InternBytes(fpBytes(buf), buf)
+				}
+				if fresh || id != int32(i) {
+					t.Fatalf("re-intern of %q = (%d, %v), want (%d, false)", s, id, fresh, i)
+				}
+				if got := st.State(int32(i)); got != s {
+					t.Fatalf("State(%d) = %q, want %q", i, got, s)
+				}
+			}
+			if st.Len() != n {
+				t.Fatalf("Len = %d, want %d", st.Len(), n)
+			}
+		})
+	}
+}
+
+// TestInternBytesUnsupported checks that non-string stores report the
+// extension as unavailable rather than mis-serializing.
+func TestInternBytesUnsupported(t *testing.T) {
+	st, err := New[int](Config{}, 1, func(p *int) uint64 { return uint64(*p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	bi, ok := any(st).(BytesInterner)
+	if !ok {
+		t.Fatal("mem store does not implement BytesInterner")
+	}
+	if bi.BytesSupported() {
+		t.Fatal("BytesSupported() = true for int states")
+	}
+}
