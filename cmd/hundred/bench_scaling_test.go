@@ -1,0 +1,64 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestScalingSweep drives the v5 worker-scaling sweep over a scaled-down
+// braid: every grid cell must reproduce the full-mode state count, steal
+// points must carry efficiencies, and barrier baselines must not.
+func TestScalingSweep(t *testing.T) {
+	const lanes, depth = 4, 2_000
+	w := benchWorkload{
+		name: "braid-test",
+		scale: func(sc string, workers int) (int, engine.Stats, error) {
+			var st engine.Stats
+			res, err := engine.Explore([]braidState{{lane: -1}},
+				braidExpand(lanes, depth), engine.Options{
+					Parallelism: workers, Stats: &st, Sched: sc,
+				})
+			if err != nil {
+				return 0, st, err
+			}
+			return len(res.States), st, nil
+		},
+	}
+	want := 1 + lanes*depth
+	pts, err := runScalingSweep(w, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(scalingWorkers)+2 {
+		t.Fatalf("got %d points, want %d steal + 2 barrier", len(pts), len(scalingWorkers))
+	}
+	for _, n := range scalingWorkers {
+		p, ok := scalingPoint(pts, "steal", n)
+		if !ok {
+			t.Fatalf("no steal point at %d workers", n)
+		}
+		if p.Efficiency <= 0 {
+			t.Fatalf("steal@%d carries no efficiency: %+v", n, p)
+		}
+		if p.StatesPerSec <= 0 {
+			t.Fatalf("steal@%d carries no throughput: %+v", n, p)
+		}
+	}
+	if p, ok := scalingPoint(pts, "steal", 1); !ok || p.Efficiency != 1 {
+		t.Fatalf("one-worker steal efficiency = %+v, want 1.0 by definition", p)
+	}
+	for _, n := range []int{1, scalingWorkers[len(scalingWorkers)-1]} {
+		p, ok := scalingPoint(pts, "barrier", n)
+		if !ok {
+			t.Fatalf("no barrier baseline at %d workers", n)
+		}
+		if p.Efficiency != 0 {
+			t.Fatalf("barrier@%d carries a steal efficiency: %+v", n, p)
+		}
+	}
+	// The determinism check must fire when a run's state count drifts.
+	if _, err := runScalingSweep(w, want+1); err == nil {
+		t.Fatal("state-count drift not caught by the sweep")
+	}
+}

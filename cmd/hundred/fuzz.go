@@ -34,6 +34,8 @@ func runFuzz(args []string) int {
 	mult := fs.Int("mult", 2, "max replicas per family")
 	extra := fs.Int("extra", 3, "max extra (non-tree) edges per family")
 	sinks := fs.Int("sinks", 2, "max planted sinks per family")
+	chain := fs.Int("chain", 0,
+		"generate deep-narrow braid spaces instead of product spaces: max chain depth (0 = off); lanes are drawn up to -mult")
 	poison := fs.String("poison", "", "plant a known-unsound hook and require the falsifier to catch it: canon | indep")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -44,7 +46,7 @@ func runFuzz(args []string) int {
 	}
 	base := spacegen.Config{
 		Families: *families, MaxStates: *states, MaxMult: *mult,
-		MaxExtra: *extra, MaxSinks: *sinks,
+		MaxExtra: *extra, MaxSinks: *sinks, Chain: *chain,
 	}
 
 	if *seed >= 0 {
@@ -118,7 +120,13 @@ func fuzzSummary(rep *engine.DiffReport, elapsed time.Duration) string {
 // (space too large, or poison unobservable).
 func fuzzOne(cfg spacegen.Config, poison string) (bool, string, *engine.DiffReport) {
 	sp := spacegen.Generate(cfg)
-	if sp.Truth.States > fuzzStateCap {
+	cap := fuzzStateCap
+	if cfg.Chain > 0 {
+		// Braids are cheap per state (frontier ~= lanes), so the cap is
+		// looser than the product topology's.
+		cap *= 3
+	}
+	if sp.Truth.States > cap {
 		return true, "", nil
 	}
 	spec := sp.Spec()

@@ -67,6 +67,7 @@ var (
 	snapshotEvery  time.Duration
 	storeCfg       store.Config
 	benchBig       bool
+	sched          string
 )
 
 // statsSink returns a fresh telemetry sink when -stats is set (which also
@@ -137,7 +138,15 @@ func run() int {
 		"visited-set backend for state-space experiments: mem | spill | bitstate (bitstate is lossy: verdicts downgrade to \"no violation found\")")
 	maxStoreBytes := flag.Int64("max-store-bytes", 0,
 		"spill backend's resident-payload budget in bytes (0 = 256 MiB default)")
+	flag.StringVar(&sched, "sched", "",
+		"exploration scheduler: barrier (default: per-level fork/join) | steal (persistent work-stealing pool; faster on deep-narrow graphs); results are identical either way")
 	flag.Parse()
+	switch sched {
+	case "", "barrier", "steal":
+	default:
+		fmt.Fprintf(os.Stderr, "hundred: unknown -sched %q (want barrier or steal)\n", sched)
+		return 2
+	}
 	var err error
 	if storeCfg, err = store.ParseFlags(*storeKind, *maxStoreBytes); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -149,6 +158,7 @@ func run() int {
 			"parallel": strconv.Itoa(parallelism),
 			"por":      strconv.FormatBool(usePOR),
 			"store":    string(storeCfg.ResolvedKind()),
+			"sched":    sched,
 			"args":     strings.Join(flag.Args(), " "),
 		},
 	})
@@ -275,7 +285,7 @@ func e02() error {
 		st := statsSink()
 		rep, err := sharedmem.CheckMutex(a, sharedmem.CheckMutexOptions{
 			Parallelism: parallelism, Stats: st, Sink: obsSink, SnapshotEvery: snapshotEvery,
-			Store: storeCfg,
+			Store: storeCfg, Sched: sched,
 		})
 		if err != nil {
 			return err
@@ -308,7 +318,7 @@ func e04() error {
 		st := statsSink()
 		rep, err := sharedmem.CheckMutex(sharedmem.NewTicketLock(n), sharedmem.CheckMutexOptions{
 			Parallelism: parallelism, Stats: st, Sink: obsSink, SnapshotEvery: snapshotEvery,
-			Store: storeCfg,
+			Store: storeCfg, Sched: sched,
 		})
 		if err != nil {
 			return err
@@ -452,7 +462,7 @@ func e11() error {
 		st := statsSink()
 		opts := flp.AnalyzeOptions{
 			Parallelism: parallelism, Stats: st, Sink: obsSink, SnapshotEvery: snapshotEvery,
-			Store: storeCfg, VerifyAliasing: verifyAliasing,
+			Store: storeCfg, VerifyAliasing: verifyAliasing, Sched: sched,
 		}
 		if usePOR {
 			opts.Independent = flp.DeliveryIndependence(p)
@@ -671,7 +681,7 @@ func e21() error {
 	st := statsSink()
 	opts := core.ExploreOptions{
 		Parallelism: parallelism, Sink: obsSink, SnapshotEvery: snapshotEvery,
-		Store: storeCfg, VerifyAliasing: verifyAliasing,
+		Store: storeCfg, VerifyAliasing: verifyAliasing, Sched: sched,
 	}
 	if st != nil {
 		opts.Stats = st

@@ -58,6 +58,13 @@ func (x *Ctx[S]) Emit(to S, label string, actor int) {
 	if e.canon != nil {
 		to = e.canonicalize(to, ws)
 	}
+	if sr := e.steal.Load(); sr != nil {
+		// Free-running discovery: route by shard ownership instead of
+		// interning in place (DedupHits is derived after termination —
+		// the emitter cannot know freshness for forwarded successors).
+		sr.emitState(ws, to, label, actor)
+		return
+	}
 	tid, fresh := e.store.Intern(to)
 	if !fresh {
 		ws.dedup++
@@ -85,25 +92,37 @@ func (x *Ctx[S]) EmitBytes(to []byte, label string, actor int) {
 		return
 	}
 	ws := x.w
+	sr := e.steal.Load()
 	if e.canon != nil {
-		if ent, ok := ws.canonMemo[string(to)]; ok {
-			// Memo hit: this worker already canonicalized these exact raw
-			// bytes, so the id, the remap bit, and the rawSeen entry are all
-			// known — no hashing, no candidate renders. The successor is
-			// necessarily already interned, hence the unconditional dedup.
-			if ent.remapped {
-				ws.canonHits++
+		// The canon memo is disabled under free-running discovery: it
+		// caches interned ids, and a forwarded successor's id resolves
+		// asynchronously in the owning worker — the emitter never learns
+		// it. Every emission then pays the full canonicalization, which
+		// keeps the per-emission counters (canonHits, rawSeen) exactly as
+		// the memo would have replayed them.
+		if sr == nil {
+			if ent, ok := ws.canonMemo[string(to)]; ok {
+				// Memo hit: this worker already canonicalized these exact raw
+				// bytes, so the id, the remap bit, and the rawSeen entry are all
+				// known — no hashing, no candidate renders. The successor is
+				// necessarily already interned, hence the unconditional dedup.
+				if ent.remapped {
+					ws.canonHits++
+				}
+				ws.dedup++
+				ws.arena = append(ws.arena, rawEdge{to: ent.id, actor: int32(actor), label: label})
+				return
 			}
-			ws.dedup++
-			ws.arena = append(ws.arena, rawEdge{to: ent.id, actor: int32(actor), label: label})
-			return
 		}
 		h := e.hashB(to)
 		ws.rawSeen[h] = struct{}{}
 		rep := ws.canonB(ws.canonBuf[:0], to)
 		ws.canonBuf = rep
 		remapped := !bytes.Equal(rep, to)
-		rawKey := string(to) // the one allocation per distinct raw encoding
+		var rawKey string
+		if sr == nil {
+			rawKey = string(to) // the one allocation per distinct raw encoding
+		}
 		if remapped {
 			ws.canonHits++
 			if e.verifyMod != 0 && h%e.verifyMod == 0 {
@@ -111,6 +130,10 @@ func (x *Ctx[S]) EmitBytes(to []byte, label string, actor int) {
 			}
 			to = rep
 			h = e.hashB(rep)
+		}
+		if sr != nil {
+			sr.emitBytes(ws, to, h, label, actor)
+			return
 		}
 		// Fixed points are trivially idempotent and step-commuting, and a
 		// byte-identical representative is trivially in agreement with the
@@ -129,6 +152,10 @@ func (x *Ctx[S]) EmitBytes(to []byte, label string, actor int) {
 		return
 	}
 	h := e.hashB(to)
+	if sr != nil {
+		sr.emitBytes(ws, to, h, label, actor)
+		return
+	}
 	tid, fresh := e.bytesIntern.InternBytes(h, to)
 	if !fresh {
 		ws.dedup++

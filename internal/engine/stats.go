@@ -77,6 +77,21 @@ type Stats struct {
 	// PeakRSSBytes is the process's peak resident set size at run end
 	// (process-wide and monotone across runs; 0 if unmeasurable).
 	PeakRSSBytes int64
+	// Sched names the discovery scheduler the run used ("barrier" or
+	// "steal"). Like WorkerSteps, it describes scheduling, not structure,
+	// and is excluded from the determinism comparisons.
+	Sched string
+	// Steals counts work batches one worker took from another's deque
+	// (steal scheduler only). Scheduling-dependent, excluded from
+	// determinism comparisons.
+	Steals uint64
+	// HandoffBatches and HandoffStates count the batched frontier
+	// forwards between shard-owning workers (steal scheduler only):
+	// HandoffStates successor emissions crossed worker boundaries in
+	// HandoffBatches channel sends. Scheduling-dependent, excluded from
+	// determinism comparisons.
+	HandoffBatches uint64
+	HandoffStates  uint64
 }
 
 // DedupRate returns the fraction of generated successors that hit an
@@ -133,6 +148,8 @@ func (s Stats) Snapshot() obs.ProgressSnapshot {
 		WorkerSteps:     append([]uint64(nil), s.WorkerSteps...),
 		Truncated:       s.Truncated,
 		Final:           true,
+		Steals:          s.Steals,
+		HandoffBatches:  s.HandoffBatches,
 
 		StoreBytesInRAM:        s.Store.BytesInRAM,
 		StoreBytesSpilled:      s.Store.BytesSpilled,
@@ -153,6 +170,9 @@ func (s Stats) String() string {
 	}
 	if s.POREnabled {
 		line += fmt.Sprintf(" ample=%d deferred=%d por-branch=%.2fx", s.AmpleStates, s.DeferredActions, s.PORReductionFactor())
+	}
+	if s.Sched == "steal" {
+		line += fmt.Sprintf(" sched=steal steals=%d handoff=%d/%d", s.Steals, s.HandoffStates, s.HandoffBatches)
 	}
 	if s.Truncated {
 		line += " (truncated)"

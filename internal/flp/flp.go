@@ -308,6 +308,10 @@ type AnalyzeOptions struct {
 	// validity). A lossy backend sets Report.Lossy and downgrades the
 	// verdicts — see Report.Lossy. See store.Config.
 	Store store.Config
+	// Sched selects the exploration scheduler for every exploration
+	// ("barrier" or "steal"; "" = barrier). A performance knob only: the
+	// Report is identical either way. See core.ExploreOptions.Sched.
+	Sched string
 }
 
 // NewSystem exposes a protocol's configuration graph (canonical encoded
@@ -338,7 +342,7 @@ func Analyze(p Protocol, opts AnalyzeOptions) (Report, error) {
 	eopts := core.ExploreOptions{
 		MaxStates: opts.MaxStates, Parallelism: opts.Parallelism, Stats: opts.Stats,
 		Sink: opts.Sink, SnapshotEvery: opts.SnapshotEvery, Store: opts.Store,
-		VerifyAliasing: opts.VerifyAliasing,
+		VerifyAliasing: opts.VerifyAliasing, Sched: opts.Sched,
 	}
 	if opts.Canon != nil {
 		eopts.Canon = opts.Canon
@@ -405,7 +409,7 @@ func Analyze(p Protocol, opts AnalyzeOptions) (Report, error) {
 		}
 		guOpts := core.ExploreOptions{
 			MaxStates: opts.MaxStates, Parallelism: opts.Parallelism, Store: opts.Store,
-			VerifyAliasing: opts.VerifyAliasing,
+			VerifyAliasing: opts.VerifyAliasing, Sched: opts.Sched,
 		}
 		if opts.Canon != nil {
 			// Uniform-vector initials are fixed points of any process

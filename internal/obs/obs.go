@@ -94,6 +94,10 @@ type RunConfig struct {
 	Store string `json:"store,omitempty"`
 	// MaxStoreBytes is the spill backend's resident-payload budget.
 	MaxStoreBytes int64 `json:"max_store_bytes,omitempty"`
+	// Sched names the discovery scheduler ("barrier" or "steal"; empty in
+	// traces from before the work-stealing scheduler, reads as "barrier").
+	// Scheduling, not structure: excluded from trace digests, like Workers.
+	Sched string `json:"sched,omitempty"`
 }
 
 // Mode names the reduction stack of a run: "full", "canon", "por" or
@@ -151,6 +155,18 @@ type ProgressSnapshot struct {
 	Truncated bool `json:"truncated,omitempty"`
 	// Final marks the run_end snapshot: totals equal the run's Stats.
 	Final bool `json:"final,omitempty"`
+
+	// Work-stealing scheduler gauges (zero under the barrier scheduler).
+	// Scheduling-dependent, excluded from trace digests.
+
+	// Steals counts work batches taken from another worker's deque.
+	Steals uint64 `json:"steals,omitempty"`
+	// HandoffBatches counts batched frontier forwards between shard-owning
+	// workers.
+	HandoffBatches uint64 `json:"handoff_batches,omitempty"`
+	// QueueOccupancy is the momentary total of states parked in worker
+	// deques (live snapshots only; zero at barriers and run end).
+	QueueOccupancy uint64 `json:"queue_occupancy,omitempty"`
 
 	// State-store telemetry (absent in traces from before the pluggable
 	// store). Spill byte/segment counters depend on page layout, which

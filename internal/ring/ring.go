@@ -226,7 +226,10 @@ func RunVariableSpeeds(ids []int) (ElectionResult, error) {
 		}
 		kept := tokens[:0]
 		for _, tk := range tokens {
-			if round%(1<<uint(tk.id)) != 0 {
+			// A token's period 2^id overflows int for id >= 63; such a
+			// token cannot move within any representable round count, so
+			// it stays put (the modulus would otherwise divide by zero).
+			if tk.id >= 63 || round%(1<<uint(tk.id)) != 0 {
 				kept = append(kept, tk) // not this token's round to move
 				continue
 			}

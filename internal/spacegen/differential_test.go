@@ -50,6 +50,39 @@ func TestDifferentialOracle(t *testing.T) {
 	t.Logf("oracle passed on %d generated spaces", ran)
 }
 
+// TestDifferentialChainOracle covers the deep-narrow chain topology: the
+// regime where the barrier scheduler degenerates to sequential execution
+// and the steal scheduler's handoff/termination machinery carries all the
+// load. Every space runs the full oracle (which sweeps both schedulers at
+// every worker count) against the closed-form chain truth; one deep braid
+// additionally runs the acceptance worker grid 1/2/8/16.
+func TestDifferentialChainOracle(t *testing.T) {
+	shapes := []Config{
+		{Chain: 900, MaxMult: 1},  // single lane: pure chain, frontier 1
+		{Chain: 600, MaxMult: 3},  // few lanes, odd/even depth mix
+		{Chain: 1800, MaxMult: 2}, // planted depth in the thousands
+	}
+	for _, shape := range shapes {
+		for seed := uint64(0); seed < 5; seed++ {
+			cfg := shape
+			cfg.Seed = seed
+			sp := Generate(cfg)
+			if _, err := engine.Differential(sp.Spec()); err != nil {
+				t.Fatalf("divergence on %s:\n  %v\n  replay: %s",
+					sp.Describe(), err, ReplayLine(cfg, ""))
+			}
+		}
+	}
+	cfg := Config{Seed: 1, Chain: 4000, MaxMult: 4}
+	sp := Generate(cfg)
+	spec := sp.Spec()
+	spec.Workers = []int{1, 2, 8, 16}
+	if _, err := engine.Differential(spec); err != nil {
+		t.Fatalf("divergence on %s:\n  %v\n  replay: %s",
+			sp.Describe(), err, ReplayLine(cfg, ""))
+	}
+}
+
 // TestDifferentialCatchesPoisonedCanon plants the broken (rotating,
 // non-idempotent) canonicalizer and requires the engine's canon falsifier
 // to reject it deterministically.

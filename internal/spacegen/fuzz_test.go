@@ -102,6 +102,41 @@ func FuzzStoreBackends(f *testing.F) {
 	})
 }
 
+// FuzzChainDifferential fuzzes the deep-narrow chain topology: every
+// generated braid must pass the full cross-mode, cross-scheduler oracle
+// against its closed-form truth. The depth mapping keeps one iteration
+// bounded while still reaching depths in the thousands.
+func FuzzChainDifferential(f *testing.F) {
+	f.Add(uint64(0), uint16(100), byte(1))
+	f.Add(uint64(7), uint16(1200), byte(3))
+	f.Add(uint64(42), uint16(3000), byte(2))
+	f.Fuzz(func(t *testing.T, seed uint64, chain uint16, lanes byte) {
+		cfg := Config{
+			Seed:    seed,
+			Chain:   int(chain%4000) + 2,
+			MaxMult: int(lanes%4) + 1,
+		}
+		sp := Generate(cfg)
+		if sp.Truth.States > 3*fuzzStateCap {
+			// Chains are cheap per state (frontier ~= lanes), so the cap is
+			// looser than the product topology's.
+			t.Skip("braid too large for one fuzz iteration")
+		}
+		if _, err := engine.Differential(sp.Spec()); err != nil {
+			shrunk := Shrink(cfg, func(c Config) bool {
+				s := Generate(c)
+				if s.Truth.States > 3*fuzzStateCap {
+					return false
+				}
+				_, e := engine.Differential(s.Spec())
+				return e != nil
+			})
+			t.Fatalf("chain oracle divergence on %s:\n  %v\n  replay: %s",
+				sp.Describe(), err, ReplayLine(shrunk, ""))
+		}
+	})
+}
+
 // FuzzPoisonedCanon fuzzes the negative contract for the canonicalizer: on
 // every space where the rotation poison is observable, the engine's canon
 // falsifier must reject it with ErrCanonUnsound.

@@ -30,11 +30,13 @@ func Shrink(cfg Config, fails func(Config) bool) Config {
 	// Each move proposes a smaller config; halving moves first so huge
 	// knobs collapse in O(log) probes, single decrements mop up.
 	moves := []func(c Config) Config{
+		func(c Config) Config { c.Chain /= 2; return c },
 		func(c Config) Config { c.Families /= 2; return c },
 		func(c Config) Config { c.MaxStates /= 2; return c },
 		func(c Config) Config { c.MaxMult /= 2; return c },
 		func(c Config) Config { c.MaxExtra /= 2; return c },
 		func(c Config) Config { c.MaxSinks /= 2; return c },
+		func(c Config) Config { c.Chain--; return c },
 		func(c Config) Config { c.Families--; return c },
 		func(c Config) Config { c.MaxStates--; return c },
 		func(c Config) Config { c.MaxMult--; return c },
@@ -65,6 +67,9 @@ func ReplayLine(cfg Config, poison string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "hundred fuzz -seed %d -families %d -states %d -mult %d -extra %d -sinks %d",
 		cfg.Seed, cfg.Families, cfg.MaxStates, cfg.MaxMult, cfg.MaxExtra, cfg.MaxSinks)
+	if cfg.Chain > 0 {
+		fmt.Fprintf(&b, " -chain %d", cfg.Chain)
+	}
 	if poison != "" {
 		fmt.Fprintf(&b, " -poison %s", poison)
 	}

@@ -27,6 +27,14 @@
 //     (commuting diamonds, persistence), and POR must preserve the exact
 //     terminal state set.
 //
+// A second topology (Config.Chain) plants the opposite extreme: a
+// deep-narrow "braid" of identical linear chains hanging off one root,
+// with branching ~1 and planted depth in the thousands. Wide products
+// stress per-state throughput; the chains stress the scheduler (the
+// frontier never exceeds the lane count), covering the regime the
+// work-stealing scheduler exists for. Its ground truth, lane-symmetry
+// canonicalizer and (all-false) independence relation are closed-form too.
+//
 // Deliberately-poisoned variants of the canonicalizer and independence
 // relation (see poison.go) provide the negative ground truth: the engine's
 // VerifyCanon / VerifyPOR falsifiers must reject them.
@@ -40,6 +48,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -96,7 +105,26 @@ type Config struct {
 	// MaxSinks is the largest number of planted sinks per family (may be 0:
 	// then every composite run is non-terminating).
 	MaxSinks int
+	// Chain, when positive, switches the generator to the deep-narrow chain
+	// ("braid") topology instead of the product construction: up to MaxMult
+	// lanes (capped at MaxChainLanes), each a linear chain of the same
+	// planted depth drawn in (Chain/2, Chain], hanging off a single root.
+	// Branching factor is 1 everywhere except the root, so BFS frontiers
+	// never exceed the lane count and exploration cost is dominated by
+	// scheduling — the regime the work-stealing scheduler exists for. The
+	// product knobs other than MaxMult are ignored. Ground truth stays
+	// closed-form: 1 + lanes*depth states, one terminal per lane (decided
+	// iff the depth is even, uniformly across lanes so decidedness is
+	// orbit-invariant), and lane symmetry gives a 1 + depth state quotient.
+	Chain int
 }
+
+// MaxChainLanes caps the chain topology's lane count so a lane always
+// renders as one printable byte.
+const MaxChainLanes = 26
+
+// MaxChainDepth caps the planted chain depth.
+const MaxChainDepth = 100_000
 
 // normalized returns cfg with every knob raised to its minimum viable
 // value, so arbitrary fuzzer inputs map onto a generable configuration.
@@ -118,6 +146,12 @@ func (cfg Config) normalized() Config {
 	}
 	if cfg.MaxSinks < 0 {
 		cfg.MaxSinks = 0
+	}
+	if cfg.Chain < 0 {
+		cfg.Chain = 0
+	}
+	if cfg.Chain > MaxChainDepth {
+		cfg.Chain = MaxChainDepth
 	}
 	return cfg
 }
@@ -157,7 +191,15 @@ type Space struct {
 	comp []int
 	// blockStart[f] is the component index where family f's block begins.
 	blockStart []int
+
+	// lanes and depth describe the chain topology; depth > 0 selects it
+	// (Families and comp are then empty).
+	lanes, depth int
 }
+
+// chainRoot is the chain topology's initial state; lane l at position p
+// renders as byte('A'+l) + ":" + decimal(p).
+const chainRoot = "*"
 
 // Generate builds the space for cfg. It never fails: out-of-range knobs
 // are clamped to the nearest viable value first (see Config).
@@ -165,6 +207,13 @@ func Generate(cfg Config) *Space {
 	cfg = cfg.normalized()
 	rng := rand.New(rand.NewSource(int64(cfg.Seed)))
 	sp := &Space{Cfg: cfg}
+	if cfg.Chain > 0 {
+		sp.lanes = 1 + rng.Intn(min(cfg.MaxMult, MaxChainLanes))
+		lo := cfg.Chain/2 + 1
+		sp.depth = lo + rng.Intn(cfg.Chain-lo+1)
+		sp.Truth = chainTruth(sp.lanes, sp.depth)
+		return sp
+	}
 	for f := 0; f < cfg.Families; f++ {
 		fam := genFamily(rng, cfg)
 		sp.blockStart = append(sp.blockStart, len(sp.comp))
@@ -263,6 +312,25 @@ func computeTruth(fams []Family) Truth {
 	return t
 }
 
+// chainTruth evaluates the chain topology's closed-form counts: the root
+// plus lanes*depth lane states; one terminal per lane end, decided iff the
+// depth is even (uniform across lanes, so decidedness is orbit-invariant
+// under the lane symmetry); and a quotient that collapses every lane onto
+// lane A.
+func chainTruth(lanes, depth int) Truth {
+	t := Truth{
+		States:            1 + lanes*depth,
+		Terminals:         lanes,
+		QuotientStates:    1 + depth,
+		QuotientTerminals: 1,
+	}
+	if depth%2 == 0 {
+		t.Decided = lanes
+		t.QuotientDecided = 1
+	}
+	return t
+}
+
 // pow is integer exponentiation (small operands by construction).
 func pow(base, exp int) int {
 	out := 1
@@ -290,8 +358,11 @@ func multisets(n, k int) int {
 func (sp *Space) Components() int { return len(sp.comp) }
 
 // Init returns the single initial composite state: every component on its
-// family's state 0.
+// family's state 0 (or the chain root).
 func (sp *Space) Init() string {
+	if sp.depth > 0 {
+		return chainRoot
+	}
 	b := make([]byte, len(sp.comp))
 	for i := range b {
 		b[i] = stateBase
@@ -299,11 +370,34 @@ func (sp *Space) Init() string {
 	return string(b)
 }
 
+// chainState renders lane l at position p.
+func chainState(lane, pos int) string {
+	return string(byte('A'+lane)) + ":" + strconv.Itoa(pos)
+}
+
+// chainPos decodes a lane state's position (s must not be the root).
+func chainPos(s string) int {
+	p, _ := strconv.Atoi(s[2:])
+	return p
+}
+
 // Expand emits every enabled action of s: for each component, the out-edges
 // of its current family state, with the component index as the actor. The
 // emission order (components ascending, family edge order within) is fixed,
 // so Expand is a pure deterministic function of s.
 func (sp *Space) Expand(s string, emit func(to, label string, actor int)) {
+	if sp.depth > 0 {
+		if s == chainRoot {
+			for l := 0; l < sp.lanes; l++ {
+				emit(chainState(l, 1), "start", l)
+			}
+			return
+		}
+		if p := chainPos(s); p < sp.depth {
+			emit(chainState(int(s[0]-'A'), p+1), "step", int(s[0]-'A'))
+		}
+		return
+	}
 	for i := 0; i < len(s); i++ {
 		fam := sp.Families[sp.comp[i]]
 		for _, e := range fam.Edges[s[i]-stateBase] {
@@ -317,6 +411,9 @@ func (sp *Space) Expand(s string, emit func(to, label string, actor int)) {
 // Terminal reports whether composite state s is terminal (every component
 // on a sink).
 func (sp *Space) Terminal(s string) bool {
+	if sp.depth > 0 {
+		return s != chainRoot && chainPos(s) == sp.depth
+	}
 	for i := 0; i < len(s); i++ {
 		if !sp.Families[sp.comp[i]].Sink[s[i]-stateBase] {
 			return false
@@ -328,6 +425,9 @@ func (sp *Space) Terminal(s string) bool {
 // DecidedState reports whether composite state s is a decided terminal
 // (every component halted on a decided sink).
 func (sp *Space) DecidedState(s string) bool {
+	if sp.depth > 0 {
+		return sp.Terminal(s) && sp.depth%2 == 0
+	}
 	for i := 0; i < len(s); i++ {
 		if !sp.Families[sp.comp[i]].Decided[s[i]-stateBase] {
 			return false
@@ -342,6 +442,19 @@ func (sp *Space) DecidedState(s string) bool {
 // of the product; the sorted representative is idempotent and
 // step-commuting by construction.
 func (sp *Space) Canon() func(string) string {
+	if sp.depth > 0 {
+		// Lane symmetry: the lanes are identical chains, so relabeling any
+		// lane state onto lane A picks one representative per orbit. The
+		// root is alone in its orbit; idempotence and step-commutation are
+		// immediate (every lane state has the single successor "one step
+		// further on the same lane", which the relabeling commutes with).
+		return func(s string) string {
+			if s == chainRoot || s[0] == 'A' {
+				return s
+			}
+			return "A" + s[1:]
+		}
+	}
 	type block struct{ lo, hi int }
 	var blocks []block
 	for f, fam := range sp.Families {
@@ -369,6 +482,15 @@ func (sp *Space) Canon() func(string) string {
 // enabled sets are invariant under other components' steps (the ample-set
 // persistence condition holds with equality).
 func (sp *Space) Independence() func(s string, aActor, bActor int) bool {
+	if sp.depth > 0 {
+		// No two chain actions commute: the only multi-enabled state is the
+		// root, and taking one lane's start disables every other lane's
+		// (the successor state has a single out-edge). The all-false
+		// relation is the strongest sound one — POR degenerates to full
+		// exploration, which still exercises the ample-set machinery (and
+		// the steal scheduler's epoch submode) on the deep-narrow shape.
+		return func(string, int, int) bool { return false }
+	}
 	return func(_ string, aActor, bActor int) bool {
 		return aActor != bActor
 	}
@@ -377,6 +499,12 @@ func (sp *Space) Independence() func(s string, aActor, bActor int) bool {
 // Describe renders the space's shape and truth on one line, for divergence
 // reports and the fuzz subcommand.
 func (sp *Space) Describe() string {
+	if sp.depth > 0 {
+		return fmt.Sprintf("seed=%d chain[lanes=%d depth=%d] truth{states=%d terminals=%d decided=%d quotient=%d qterm=%d qdec=%d}",
+			sp.Cfg.Seed, sp.lanes, sp.depth,
+			sp.Truth.States, sp.Truth.Terminals, sp.Truth.Decided,
+			sp.Truth.QuotientStates, sp.Truth.QuotientTerminals, sp.Truth.QuotientDecided)
+	}
 	var fams []string
 	for _, fam := range sp.Families {
 		edges, sinks := 0, 0

@@ -27,10 +27,14 @@ type memShard struct {
 	// linearly; equal fingerprints of distinct states (a real 64-bit
 	// collision, or the test-only degraded fingerprint) simply occupy
 	// separate slots and are disambiguated by payload confirmation.
-	fps   []uint64
-	ids   []int32
-	used  int
-	bytes int64
+	fps  []uint64
+	ids  []int32
+	used int
+	// bytes is atomic (not mutex-guarded like the rest): Stats may run from
+	// the telemetry monitor while the shard's owner interns lock-free under
+	// the work-stealing scheduler, so the one field Stats reads must not
+	// rely on the mutex the owner skips.
+	bytes atomic.Int64
 	arena slab
 }
 
@@ -97,6 +101,14 @@ func (st *memStore[S]) Intern(s S) (int32, bool) {
 	h := st.fp(&s)
 	sh := st.shards[h&st.mask]
 	sh.mu.Lock()
+	id, fresh := st.intern(sh, h, s)
+	sh.mu.Unlock()
+	return id, fresh
+}
+
+// intern is the lock-free core of Intern: the caller either holds sh.mu or
+// is the shard's single writer (see OwnedInterner).
+func (st *memStore[S]) intern(sh *memShard, h uint64, s S) (int32, bool) {
 	mask := len(sh.ids) - 1
 	i := probeAt(h, len(sh.ids))
 	for {
@@ -105,7 +117,6 @@ func (st *memStore[S]) Intern(s S) (int32, bool) {
 			break
 		}
 		if sh.fps[i] == h && st.pages.get(idp-1) == s {
-			sh.mu.Unlock()
 			return idp - 1, false
 		}
 		i = (i + 1) & mask
@@ -123,12 +134,11 @@ func (st *memStore[S]) Intern(s S) (int32, bool) {
 	} else {
 		st.pages.set(id, s)
 	}
-	sh.bytes += st.sizeOf(&s) + memEntryOverhead
+	sh.bytes.Add(st.sizeOf(&s) + memEntryOverhead)
 	sh.used++
 	if sh.used*16 >= len(sh.ids)*13 {
 		sh.grow()
 	}
-	sh.mu.Unlock()
 	return id, true
 }
 
@@ -144,6 +154,14 @@ func (st *memStore[S]) BytesSupported() bool { return st.isString }
 func (st *memStore[S]) InternBytes(h uint64, b []byte) (int32, bool) {
 	sh := st.shards[h&st.mask]
 	sh.mu.Lock()
+	id, fresh := st.internBytes(sh, h, b)
+	sh.mu.Unlock()
+	return id, fresh
+}
+
+// internBytes is the lock-free core of InternBytes; locking discipline as
+// for intern.
+func (st *memStore[S]) internBytes(sh *memShard, h uint64, b []byte) (int32, bool) {
 	mask := len(sh.ids) - 1
 	i := probeAt(h, len(sh.ids))
 	for {
@@ -154,7 +172,6 @@ func (st *memStore[S]) InternBytes(h uint64, b []byte) (int32, bool) {
 		if sh.fps[i] == h {
 			v := st.pages.get(idp - 1)
 			if *any(&v).(*string) == string(b) {
-				sh.mu.Unlock()
 				return idp - 1, false
 			}
 		}
@@ -166,14 +183,31 @@ func (st *memStore[S]) InternBytes(h uint64, b []byte) (int32, bool) {
 	var owned S
 	*any(&owned).(*string) = sh.arena.addBytes(b)
 	st.pages.set(id, owned)
-	sh.bytes += int64(len(b)) + stringHeaderBytes + memEntryOverhead
+	sh.bytes.Add(int64(len(b)) + stringHeaderBytes + memEntryOverhead)
 	sh.used++
 	if sh.used*16 >= len(sh.ids)*13 {
 		sh.grow()
 	}
-	sh.mu.Unlock()
 	return id, true
 }
+
+// InternOwned interns on behalf of the goroutine owning h's shard,
+// skipping the shard lock. See store.OwnedInterner for the single-writer
+// contract that makes this sound.
+func (st *memStore[S]) InternOwned(h uint64, s S) (int32, bool) {
+	return st.intern(st.shards[h&st.mask], h, s)
+}
+
+// InternBytesOwned is InternOwned over encoded payload bytes. Requires
+// BytesSupported (string states), like InternBytes.
+func (st *memStore[S]) InternBytesOwned(h uint64, b []byte) (int32, bool) {
+	return st.internBytes(st.shards[h&st.mask], h, b)
+}
+
+// OwnedSupported reports that the mem backend implements the single-writer
+// fast path. The shard-selection formula is h & (shards-1), which is what
+// the engine's ownership partition assumes.
+func (st *memStore[S]) OwnedSupported() bool { return true }
 
 func (st *memStore[S]) State(id int32) S { return st.pages.get(id) }
 
@@ -203,9 +237,10 @@ func (st *memStore[S]) Stats() Stats {
 		ShardBytes: make([]int64, len(st.shards)),
 	}
 	for i, sh := range st.shards {
-		sh.mu.Lock()
-		out.ShardBytes[i] = sh.bytes
-		sh.mu.Unlock()
+		// Atomic read only: under the work-stealing scheduler the shard's
+		// owner writes without the mutex, so taking it here would not
+		// synchronize anything anyway.
+		out.ShardBytes[i] = sh.bytes.Load()
 		out.BytesInRAM += out.ShardBytes[i]
 	}
 	return out
