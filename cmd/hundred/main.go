@@ -14,6 +14,8 @@
 //	hundred fuzz -budget 30s   # budgeted generative differential-fuzz sweep
 //	hundred fuzz -seed 3 ...   # replay one generated space (see -help)
 //	hundred trace-lint t.jsonl # validate a JSONL run trace
+//	hundred run -workload lcr -runs 16   # live adversarial runs, refined
+//	hundred run -workload abp -drop 0.3 -buggy  # catches the silent sender
 package main
 
 import (
@@ -109,6 +111,9 @@ func run() int {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "trace-lint" {
 		return runTraceLint(os.Args[2:])
+	}
+	if len(os.Args) > 1 && os.Args[1] == "run" {
+		return runLive(os.Args[2:])
 	}
 	if len(os.Args) > 1 && os.Args[1] == "bench-compare" {
 		return runBenchCompare(os.Args[2:])

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/datalink"
+	"repro/internal/obs"
+	"repro/internal/ring"
+	"repro/internal/runtime"
+	"repro/internal/sharedmem"
+)
+
+// runLive is the `hundred run` subcommand: it executes a workload as a
+// real concurrent system under the seeded adversarial scheduler
+// (internal/runtime) and replays each captured trace into the explored
+// state space (refinement checking), printing one line per run.
+//
+//	hundred run -workload lcr -runs 16 -delay 3          # seeded sweep, refined
+//	hundred run -workload abp -drop 0.3 -buggy           # silent-sender bug: exits 1
+//	hundred run -workload lcr -procs 200 -max-events 2000000 -no-refine
+//	hundred run -workload benor -crash 0.3 -restart-after 8 -trace t.jsonl
+//
+// Exit status: 0 when every run passed (or ran live-only), 1 when any
+// refinement obligation failed, 2 on usage errors.
+func runLive(args []string) int {
+	fs := flag.NewFlagSet("hundred run", flag.ContinueOnError)
+	workload := fs.String("workload", "lcr", "workload: lcr | abp | benor | mutex")
+	buggy := fs.Bool("buggy", false, "run the deliberately broken variant (lcr: own-id forwarder; abp: no retransmission)")
+	procs := fs.Int("procs", 4, "process count (lcr ring size, benor n, mutex processes; abp is fixed at 2)")
+	msgs := fs.Int("msgs", 3, "abp: messages to transfer")
+	phases := fs.Int("phases", 1, "benor: phase bound")
+	alg := fs.String("alg", "ticket", "mutex: algorithm (ticket | tas | peterson | dijkstra)")
+	seed := fs.Int64("seed", 1, "first adversary seed")
+	runs := fs.Int("runs", 1, "number of seeds to sweep, starting at -seed")
+	delay := fs.Int("delay", 0, "max per-action scheduling delay, in rounds")
+	drop := fs.Float64("drop", 0, "per-delivery drop probability (abp only)")
+	dup := fs.Float64("dup", 0, "per-delivery duplication probability")
+	crash := fs.Float64("crash", 0, "per-process crash probability")
+	restartAfter := fs.Int("restart-after", 0, "events after which a crashed process restarts (0 = never)")
+	batch := fs.Int("batch", 0, "concurrent dispatch width (0 = default)")
+	maxEvents := fs.Int("max-events", 1<<16, "scheduling budget per run")
+	noRefine := fs.Bool("no-refine", false, "skip model exploration and refinement checking")
+	tracePath := fs.String("trace", "", "write the rt event stream as a JSONL trace to this file (\"-\" for stdout)")
+	progress := fs.Bool("progress", false, "progress lines on stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	w, err := buildWorkload(*workload, *buggy, *procs, *msgs, *phases, *alg)
+	if err != nil {
+		fmt.Fprintln(fs.Output(), err)
+		return 2
+	}
+
+	sink, obsCleanup, err := obs.SetupCLI(obs.CLIConfig{
+		Tool: "hundred run", Progress: *progress, TracePath: *tracePath,
+		Seed: *seed, Options: map[string]string{"workload": w.Name()},
+	})
+	if err != nil {
+		fmt.Fprintln(fs.Output(), err)
+		return 2
+	}
+	defer obsCleanup()
+
+	var g *core.Graph[string]
+	if !*noRefine {
+		g, err = runtime.ExploreModel(w)
+		switch {
+		case errors.Is(err, runtime.ErrNoModel):
+			fmt.Printf("workload %s has no explorable model at this scale; running live-only\n", w.Name())
+			g = nil
+		case err != nil:
+			fmt.Fprintln(fs.Output(), err)
+			return 2
+		default:
+			fmt.Printf("model %s: %d states, %d edges\n", w.Name(), g.Len(), g.NumEdges())
+		}
+	}
+
+	failures := 0
+	for r := 0; r < *runs; r++ {
+		opts := runtime.Options{
+			Seed: *seed + int64(r), MaxEvents: *maxEvents, Batch: *batch,
+			Delay: *delay, Drop: *drop, Dup: *dup,
+			Crash: *crash, RestartAfter: *restartAfter, Sink: sink,
+		}
+		res, err := runtime.Run(w, opts)
+		if err != nil {
+			fmt.Fprintln(fs.Output(), err)
+			return 2
+		}
+		line := fmt.Sprintf("seed=%-4d events=%-8d trace=%-8d %-9s digest=%s",
+			opts.Seed, res.Events, len(res.Trace), endCause(res), res.Digest)
+		if g == nil {
+			fmt.Printf("%s live-only\n", line)
+			continue
+		}
+		rep, err := runtime.Refine(w, res, g)
+		if err != nil {
+			fmt.Printf("%s REFINE FAIL: %v\n", line, err)
+			failures++
+			continue
+		}
+		fmt.Printf("%s refined ok (ends=%d terminal=%v)\n", line, rep.Ends, rep.TerminalEnd)
+	}
+	if failures > 0 {
+		fmt.Printf("%d of %d runs failed refinement\n", failures, *runs)
+		return 1
+	}
+	return 0
+}
+
+// endCause names the run's end condition.
+func endCause(res *runtime.Result) string {
+	switch {
+	case res.Stopped:
+		return "stopped"
+	case res.Quiesced:
+		return "quiesced"
+	case res.Stalled:
+		return "stalled"
+	case res.Budget:
+		return "budget"
+	default:
+		return "?"
+	}
+}
+
+// buildWorkload constructs the named live workload. The LCR id assignment
+// is a fixed pseudo-random permutation of 0..procs-1, independent of the
+// adversary seed so a sweep refines every run against one explored model.
+func buildWorkload(name string, buggy bool, procs, msgs, phases int, alg string) (runtime.Workload, error) {
+	switch name {
+	case "lcr":
+		ids := rand.New(rand.NewSource(12345)).Perm(procs)
+		if buggy {
+			return ring.NewBuggyLiveLCR(ids)
+		}
+		return ring.NewLiveLCR(ids)
+	case "abp":
+		if buggy {
+			return datalink.NewNoRetransmitABP(msgs)
+		}
+		return datalink.NewLiveABP(msgs)
+	case "benor":
+		if buggy {
+			return nil, fmt.Errorf("hundred run: no buggy variant for %q", name)
+		}
+		inputs := make([]int, procs)
+		for i := range inputs {
+			inputs[i] = i % 2
+		}
+		return consensus.NewLiveBenOr(procs, (procs-1)/2, phases, inputs)
+	case "mutex":
+		if buggy {
+			return nil, fmt.Errorf("hundred run: no buggy variant for %q", name)
+		}
+		var a sharedmem.Algorithm
+		switch alg {
+		case "ticket":
+			a = sharedmem.NewTicketLock(procs)
+		case "tas":
+			a = sharedmem.NewTASLock(procs)
+		case "peterson":
+			a = sharedmem.NewPeterson2()
+		case "dijkstra":
+			a = sharedmem.NewDijkstra(procs)
+		default:
+			return nil, fmt.Errorf("hundred run: unknown mutex algorithm %q (want ticket, tas, peterson, or dijkstra)", alg)
+		}
+		return sharedmem.NewLiveMutex(a), nil
+	default:
+		return nil, fmt.Errorf("hundred run: unknown workload %q (want lcr, abp, benor, or mutex)", name)
+	}
+}

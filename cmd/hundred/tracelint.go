@@ -35,8 +35,8 @@ func runTraceLint(args []string) int {
 			bad++
 			continue
 		}
-		fmt.Printf("%s: ok schema=%d tool=%s runs=%d events=%d levels=%d snapshots=%d digest=%s\n",
-			path, sum.SchemaVersion, sum.Tool, sum.Runs, sum.Events, sum.Levels, sum.Snapshots, sum.Digest)
+		fmt.Printf("%s: ok schema=%d tool=%s runs=%d rt_runs=%d events=%d rt_events=%d levels=%d snapshots=%d digest=%s\n",
+			path, sum.SchemaVersion, sum.Tool, sum.Runs, sum.RTRuns, sum.Events, sum.RTEvents, sum.Levels, sum.Snapshots, sum.Digest)
 	}
 	if bad > 0 {
 		return 1

@@ -51,6 +51,32 @@ func (d *Digest) Publish(ev Event) {
 				s.AmpleStates, s.DeferredActions, s.Truncated)
 			d.n++
 		}
+	case KindRTStart:
+		// Every config field shapes the adversary's RNG stream, so all of
+		// them are structure.
+		if c := ev.RTConfig; c != nil {
+			fmt.Fprintf(d.h, "rt_start workload=%s procs=%d seed=%d max=%d batch=%d drop=%g dup=%g delay=%d crash=%g restart=%d\n",
+				c.Workload, c.Procs, c.Seed, c.MaxEvents, c.Batch,
+				c.Drop, c.Dup, c.Delay, c.Crash, c.RestartAfter)
+			d.n++
+		}
+	case KindRTEvent:
+		// The whole rt_event stream is deterministic under a fixed seed, so
+		// every field folds in — this is what makes runtime digests the
+		// replay-identity check at any GOMAXPROCS.
+		if e := ev.RT; e != nil {
+			fmt.Fprintf(d.h, "rt_event %d %s actor=%d from=%d to=%d label=%q\n",
+				e.Event, e.Kind, e.Actor, e.From, e.To, e.Label)
+			d.n++
+		}
+	case KindRTEnd:
+		if s := ev.RTSummary; s != nil {
+			fmt.Fprintf(d.h, "rt_end events=%d deliver=%d local=%d drop=%d dup=%d crash=%d restart=%d pending=%d halted=%d stopped=%v quiesced=%v stalled=%v budget=%v\n",
+				s.Events, s.Deliveries, s.LocalSteps, s.Drops, s.Dups,
+				s.Crashes, s.Restarts, s.Pending, s.Halted,
+				s.Stopped, s.Quiesced, s.Stalled, s.Budget)
+			d.n++
+		}
 	}
 }
 

@@ -30,11 +30,15 @@ import (
 )
 
 // SchemaVersion identifies the trace event layout. Policy: additive
-// changes (new event kinds, new optional snapshot fields) do not bump the
-// version — consumers must ignore unknown fields and kinds; renaming,
-// removing, or changing the meaning of an existing field does. Validators
-// reject traces written by a newer schema than they understand.
-const SchemaVersion = 1
+// changes (new optional snapshot fields) do not bump the version —
+// consumers must ignore unknown fields; new event *kinds* do bump it,
+// because ValidateTrace rejects kinds it does not know. Renaming,
+// removing, or changing the meaning of an existing field also bumps.
+// Validators reject traces written by a newer schema than they understand.
+//
+// v1: exploration runs (run_start/level/snapshot/truncated/run_end).
+// v2: adds live-runtime runs (rt_start/rt_event/rt_end) — see RuntimeConfig.
+const SchemaVersion = 2
 
 // EventKind discriminates trace events.
 type EventKind string
@@ -58,6 +62,19 @@ const (
 	// KindRunEnd closes a run; its snapshot is final (totals equal the
 	// run's Stats).
 	KindRunEnd EventKind = "run_end"
+
+	// KindRTStart opens one live adversarial runtime run (internal/runtime)
+	// and carries its RuntimeConfig. Runtime runs and exploration runs may
+	// share a trace file, sequentially, never nested.
+	KindRTStart EventKind = "rt_start"
+	// KindRTEvent is one scheduled runtime action: a message delivery, a
+	// local protocol step, an adversary drop/duplication, or a crash or
+	// restart injection. The stream of rt_events under a fixed seed and
+	// config is deterministic at any GOMAXPROCS — it is the replayable
+	// record the refinement oracle embeds into the explored state space.
+	KindRTEvent EventKind = "rt_event"
+	// KindRTEnd closes a runtime run with its RuntimeSummary totals.
+	KindRTEnd EventKind = "rt_end"
 )
 
 // Event is one telemetry record. Exactly one payload field is set,
@@ -75,6 +92,12 @@ type Event struct {
 	Config *RunConfig `json:"config,omitempty"`
 	// Snapshot accompanies level, snapshot, truncated and run_end.
 	Snapshot *ProgressSnapshot `json:"snapshot,omitempty"`
+	// RTConfig accompanies rt_start.
+	RTConfig *RuntimeConfig `json:"rt_config,omitempty"`
+	// RT accompanies rt_event.
+	RT *RuntimeEvent `json:"rt,omitempty"`
+	// RTSummary accompanies rt_end.
+	RTSummary *RuntimeSummary `json:"rt_summary,omitempty"`
 }
 
 // RunConfig describes one exploration run, published with run_start.

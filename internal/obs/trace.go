@@ -93,7 +93,7 @@ func (t *TraceWriter) Publish(ev Event) {
 	}
 	t.seq++
 	ev.Seq = t.seq
-	if ev.Kind == KindRunStart {
+	if ev.Kind == KindRunStart || ev.Kind == KindRTStart {
 		t.run++
 	}
 	ev.Run = t.run

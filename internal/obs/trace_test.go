@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -143,7 +144,8 @@ func TestValidateTraceRejects(t *testing.T) {
 		{"empty", func([]string) []string { return nil }, "no manifest"},
 		{"manifest missing", func(ls []string) []string { return ls[1:] }, "not a manifest"},
 		{"newer schema", func(ls []string) []string {
-			ls[0] = strings.Replace(ls[0], `"schema_version":1`, `"schema_version":99`, 1)
+			cur := fmt.Sprintf(`"schema_version":%d`, SchemaVersion)
+			ls[0] = strings.Replace(ls[0], cur, `"schema_version":99`, 1)
 			return ls
 		}, "newer than this binary"},
 		{"unknown kind", func(ls []string) []string {

@@ -23,6 +23,10 @@ type TraceSummary struct {
 	Snapshots int
 	// FinalStates[i] is run i's final state count (from its run_end).
 	FinalStates []int
+	// RTRuns counts rt_start/rt_end pairs (live runtime runs) and RTEvents
+	// their scheduled actions.
+	RTRuns   int
+	RTEvents int
 	// Digest is the deterministic-event digest recomputed from the file;
 	// it equals the producing TraceWriter's Digest.
 	Digest string
@@ -38,8 +42,15 @@ type TraceSummary struct {
 // telemetry, when present, must cohere with the run's configured backend:
 // spill counters only under a spill store, the lossy flag exactly under a
 // bitstate store. Traces from before the store fields existed carry all
-// zeros there and lint clean. It returns a summary, or the first violation
-// with its line number.
+// zeros there and lint clean.
+//
+// Runtime runs (schema v2) follow the same nesting discipline: rt_start
+// opens with a well-formed RuntimeConfig (probabilities in [0,1], positive
+// procs/batch/budget), rt_events carry known kinds with consecutive
+// 1-based indices and in-range process references, and rt_end's summary
+// totals must account exactly for the observed events. Exploration and
+// runtime runs may share a file sequentially, never interleaved. It
+// returns a summary, or the first violation with its line number.
 func ValidateTrace(r io.Reader) (*TraceSummary, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
@@ -72,6 +83,9 @@ func ValidateTrace(r io.Reader) (*TraceSummary, error) {
 		inRun               bool
 		runStates, runDepth int
 		runCfg              RunConfig
+		inRT                bool
+		rtCfg               RuntimeConfig
+		rtSeen              runtimeTally
 	)
 	line := 1
 	for sc.Scan() {
@@ -91,6 +105,9 @@ func ValidateTrace(r io.Reader) (*TraceSummary, error) {
 			if inRun {
 				return nil, fail(line, "run_start inside an open run")
 			}
+			if inRT {
+				return nil, fail(line, "run_start inside an open runtime run")
+			}
 			if ev.Config == nil {
 				return nil, fail(line, "run_start without a config payload")
 			}
@@ -107,6 +124,9 @@ func ValidateTrace(r io.Reader) (*TraceSummary, error) {
 			}
 			inRun, runStates, runDepth, runCfg = true, 0, 0, *ev.Config
 		case KindLevel, KindSnapshot, KindTruncated, KindRunEnd:
+			if inRT {
+				return nil, fail(line, "%s event inside a runtime run", ev.Kind)
+			}
 			if !inRun {
 				return nil, fail(line, "%s event outside a run", ev.Kind)
 			}
@@ -163,6 +183,86 @@ func ValidateTrace(r io.Reader) (*TraceSummary, error) {
 				sum.FinalStates = append(sum.FinalStates, s.States)
 				inRun = false
 			}
+		case KindRTStart:
+			if inRun || inRT {
+				return nil, fail(line, "rt_start inside an open run")
+			}
+			c := ev.RTConfig
+			if c == nil {
+				return nil, fail(line, "rt_start without a config payload")
+			}
+			if c.Workload == "" {
+				return nil, fail(line, "rt_start config has no workload name")
+			}
+			if c.Procs <= 0 || c.Batch <= 0 || c.MaxEvents <= 0 {
+				return nil, fail(line, "rt_start config has non-positive procs/batch/max_events: %+v", *c)
+			}
+			if bad(c.Drop) || bad(c.Dup) || bad(c.Crash) {
+				return nil, fail(line, "rt_start config probability outside [0,1]: drop=%g dup=%g crash=%g",
+					c.Drop, c.Dup, c.Crash)
+			}
+			if c.Delay < 0 || c.RestartAfter < 0 {
+				return nil, fail(line, "rt_start config has negative delay/restart_after: %+v", *c)
+			}
+			inRT, rtCfg, rtSeen = true, *c, runtimeTally{}
+		case KindRTEvent:
+			if !inRT {
+				return nil, fail(line, "rt_event outside a runtime run")
+			}
+			e := ev.RT
+			if e == nil {
+				return nil, fail(line, "rt_event without a payload")
+			}
+			if e.Event != rtSeen.events+1 {
+				return nil, fail(line, "rt_event index %d, want %d (consecutive 1-based)", e.Event, rtSeen.events+1)
+			}
+			if e.To < 0 || e.To >= rtCfg.Procs {
+				return nil, fail(line, "rt_event targets process %d outside [0,%d)", e.To, rtCfg.Procs)
+			}
+			if e.From < -1 || e.From >= rtCfg.Procs || e.Actor < -1 {
+				return nil, fail(line, "rt_event has out-of-range from=%d actor=%d", e.From, e.Actor)
+			}
+			switch e.Kind {
+			case RTDeliver:
+				rtSeen.deliveries++
+			case RTLocal:
+				rtSeen.locals++
+			case RTDrop:
+				rtSeen.drops++
+			case RTDup:
+				rtSeen.dups++
+			case RTCrash:
+				rtSeen.crashes++
+			case RTRestart:
+				rtSeen.restarts++
+			default:
+				return nil, fail(line, "unknown runtime event kind %q", e.Kind)
+			}
+			rtSeen.events++
+			sum.RTEvents++
+		case KindRTEnd:
+			if !inRT {
+				return nil, fail(line, "rt_end outside a runtime run")
+			}
+			s := ev.RTSummary
+			if s == nil {
+				return nil, fail(line, "rt_end without a summary payload")
+			}
+			want := runtimeTally{
+				events: s.Events, deliveries: s.Deliveries, locals: s.LocalSteps,
+				drops: s.Drops, dups: s.Dups, crashes: s.Crashes, restarts: s.Restarts,
+			}
+			if want != rtSeen {
+				return nil, fail(line, "rt_end totals %+v disagree with observed events %+v", want, rtSeen)
+			}
+			if s.Pending < 0 || s.Halted < 0 || s.Halted > rtCfg.Procs {
+				return nil, fail(line, "rt_end has out-of-range pending=%d halted=%d", s.Pending, s.Halted)
+			}
+			if s.Quiesced && s.Pending > 0 {
+				return nil, fail(line, "rt_end claims quiescence with %d actions pending", s.Pending)
+			}
+			sum.RTRuns++
+			inRT = false
 		default:
 			return nil, fail(line, "unknown event kind %q", ev.Kind)
 		}
@@ -174,12 +274,24 @@ func ValidateTrace(r io.Reader) (*TraceSummary, error) {
 	if inRun {
 		return nil, fmt.Errorf("trace ends inside an open run (missing run_end)")
 	}
-	if sum.Runs == 0 {
+	if inRT {
+		return nil, fmt.Errorf("trace ends inside an open runtime run (missing rt_end)")
+	}
+	if sum.Runs == 0 && sum.RTRuns == 0 {
 		return nil, fmt.Errorf("trace contains no completed runs")
 	}
 	sum.Digest = digest.Sum()
 	return sum, nil
 }
+
+// runtimeTally accumulates per-kind rt_event counts inside one runtime run
+// so rt_end's summary can be checked against what was actually observed.
+type runtimeTally struct {
+	events, deliveries, locals, drops, dups, crashes, restarts int
+}
+
+// bad reports whether p is outside [0,1] (not a probability).
+func bad(p float64) bool { return p < 0 || p > 1 }
 
 // firstOf renders err when non-nil, else the fallback format.
 func firstOf(err error, format string, args ...any) string {

@@ -1,0 +1,35 @@
+package ring
+
+import "testing"
+
+// TestRunVariableSpeedsLargeIDs is the regression test for the 2^id
+// overflow: a token's period 1<<id overflows int64 at id >= 63, and the
+// round modulus used to divide by zero (panic) on such tokens. Rings of
+// 64 and 128 processes necessarily carry ids >= 63, so they exercise the
+// guard; the min-id token still laps the ring and elects its owner.
+func TestRunVariableSpeedsLargeIDs(t *testing.T) {
+	for _, n := range []int{64, 128} {
+		ids := make([]int, n)
+		for i := range ids {
+			// Distinct ids 0..n-1, min id 0 placed mid-ring.
+			ids[i] = (i + n/3) % n
+		}
+		minPos := 0
+		for i, id := range ids {
+			if id < ids[minPos] {
+				minPos = i
+			}
+		}
+		res, err := RunVariableSpeeds(ids)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Leader != minPos || res.LeaderID != 0 {
+			t.Errorf("n=%d: elected position %d (id %d), want position %d (id 0)",
+				n, res.Leader, res.LeaderID, minPos)
+		}
+		if res.Messages > 2*n {
+			t.Errorf("n=%d: %d messages, want O(n) (the min token laps alone)", n, res.Messages)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ErrNoModel is returned by Refine for workloads running at a scale their
+// reference model cannot explore (Model returned nil): live-only sweeps
+// are legitimate, but they carry no conformance verdict.
+var ErrNoModel = errors.New("runtime: workload has no explorable model at this scale")
+
+// ErrNotEmbedded is the refinement failure: the observed execution is not
+// a path of the explored state space, so the live implementation took a
+// step its model forbids.
+var ErrNotEmbedded = errors.New("runtime: live trace does not embed in the explored state space")
+
+// ErrNotQuiescent is the liveness half of the oracle: the live run
+// drained every pending action under a fault-free schedule, yet no model
+// state consistent with the observation is terminal — the model could
+// still act where the implementation has gone silent (a lost
+// retransmission, a dropped timer).
+var ErrNotQuiescent = errors.New("runtime: live run quiesced where the model still has enabled steps")
+
+// RefineReport is the outcome of one successful refinement check.
+type RefineReport struct {
+	// ModelStates and ModelEdges size the explored reference graph.
+	ModelStates int
+	ModelEdges  int
+	// TraceLen is the number of model steps replayed.
+	TraceLen int
+	// Ends is the number of model states consistent with the full
+	// observation; TerminalEnd reports whether one of them is terminal.
+	Ends        int
+	TerminalEnd bool
+}
+
+// ExploreModel explores w's reference model once, for reuse across the
+// seeds of a sweep. It returns ErrNoModel if the workload has no model at
+// this scale.
+func ExploreModel(w Workload) (*core.Graph[string], error) {
+	g, err := w.Model()
+	if err != nil {
+		return nil, fmt.Errorf("runtime: exploring %q model: %w", w.Name(), err)
+	}
+	if g == nil {
+		return nil, ErrNoModel
+	}
+	return g, nil
+}
+
+// Refine replays a live run into the explored model and checks the
+// conformance obligations:
+//
+//  1. Embedding: the observed model steps must trace a path in g from an
+//     initial state (ErrNotEmbedded otherwise, with the failing event).
+//  2. Quiescence: if the run drained its queue (Quiesced) without crash
+//     injections and without hitting the budget, some model state
+//     consistent with the observation must be terminal — a quiet
+//     implementation under a still-enabled model is a liveness bug
+//     (ErrNotQuiescent). Crash injections waive this: starvation is not
+//     modeled, so a crashed run may legitimately idle early.
+//  3. Verdict agreement: the workload's own Check must accept the live
+//     verdict against the consistent end states (election uniqueness,
+//     delivery counts, agreement, mutual exclusion).
+//
+// The workload w must be the same instance that produced res: Check reads
+// the verdict state its spawned procs accumulated.
+func Refine(w Workload, res *Result, g *core.Graph[string]) (*RefineReport, error) {
+	if g == nil {
+		return nil, ErrNoModel
+	}
+	emb := g.EmbedTrace(res.Trace)
+	if !emb.Ok {
+		ev := res.Trace[emb.FailAt]
+		return nil, fmt.Errorf("%w: event %d/%d %q (actor %d) is not enabled in any of the %d model states consistent with the prefix",
+			ErrNotEmbedded, emb.FailAt+1, len(res.Trace), ev.Label, ev.Actor, len(emb.Frontier))
+	}
+	rep := &RefineReport{
+		ModelStates: g.Len(), ModelEdges: g.NumEdges(),
+		TraceLen: len(res.Trace), Ends: len(emb.Ends),
+	}
+	for _, e := range emb.Ends {
+		if g.IsTerminal(e) {
+			rep.TerminalEnd = true
+			break
+		}
+	}
+	if res.Quiesced && res.Crashes == 0 && !res.Budget && !rep.TerminalEnd {
+		return nil, fmt.Errorf("%w: after %d events every consistent model state still has enabled steps",
+			ErrNotQuiescent, res.Events)
+	}
+	if err := w.Check(res, g, emb.Ends); err != nil {
+		return nil, fmt.Errorf("runtime: verdict disagreement for %q: %w", w.Name(), err)
+	}
+	return rep, nil
+}

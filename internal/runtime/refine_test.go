@@ -1,0 +1,216 @@
+package runtime_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/datalink"
+	"repro/internal/ring"
+	"repro/internal/runtime"
+	"repro/internal/sharedmem"
+)
+
+// sweep runs w under nSeeds adversary seeds and refines every run against
+// the explored model, failing on any embedding or verdict disagreement.
+func sweep(t *testing.T, w runtime.Workload, base runtime.Options, nSeeds int) {
+	t.Helper()
+	g, err := runtime.ExploreModel(w)
+	if err != nil {
+		t.Fatalf("exploring model: %v", err)
+	}
+	for seed := 0; seed < nSeeds; seed++ {
+		opts := base
+		opts.Seed = int64(seed)
+		res, err := runtime.Run(w, opts)
+		if err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+		rep, err := runtime.Refine(w, res, g)
+		if err != nil {
+			t.Errorf("seed %d: refine: %v", seed, err)
+			continue
+		}
+		if rep.TraceLen != len(res.Trace) || rep.Ends == 0 {
+			t.Errorf("seed %d: degenerate report %+v", seed, rep)
+		}
+	}
+}
+
+func TestRefineLCRSweep(t *testing.T) {
+	w, err := ring.NewLiveLCR([]int{3, 1, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep(t, w, runtime.Options{Delay: 3, MaxEvents: 4096}, 16)
+}
+
+func TestRefineLCRCrashSweep(t *testing.T) {
+	w, err := ring.NewLiveLCR([]int{2, 4, 1, 3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep(t, w, runtime.Options{Delay: 2, Crash: 0.3, RestartAfter: 5, MaxEvents: 4096}, 16)
+}
+
+func TestRefineABPSweep(t *testing.T) {
+	w, err := datalink.NewLiveABP(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep(t, w, runtime.Options{Delay: 2, Drop: 0.3, MaxEvents: 4096}, 16)
+}
+
+func TestRefineABPCrashSweep(t *testing.T) {
+	w, err := datalink.NewLiveABP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep(t, w, runtime.Options{Delay: 2, Drop: 0.2, Crash: 0.4, RestartAfter: 8, MaxEvents: 2048}, 16)
+}
+
+func TestRefineBenOrSweep(t *testing.T) {
+	w, err := consensus.NewLiveBenOr(3, 1, 1, []int{0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep(t, w, runtime.Options{Delay: 3, MaxEvents: 4096}, 16)
+}
+
+func TestRefineBenOrUnanimousSweep(t *testing.T) {
+	w, err := consensus.NewLiveBenOr(3, 1, 1, []int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep(t, w, runtime.Options{Delay: 2, Crash: 0.25, RestartAfter: 6, MaxEvents: 4096}, 16)
+}
+
+func TestRefineMutexSweep(t *testing.T) {
+	// Mutex processes step forever, so every run ends on budget; the
+	// interesting obligations are embedding and the exact-final-state and
+	// exclusion verdicts.
+	sweep(t, sharedmem.NewLiveMutex(sharedmem.NewTicketLock(3)),
+		runtime.Options{Delay: 2, MaxEvents: 400}, 16)
+}
+
+func TestRefineMutexCrashSweep(t *testing.T) {
+	sweep(t, sharedmem.NewLiveMutex(sharedmem.NewPeterson2()),
+		runtime.Options{Delay: 2, Crash: 0.3, RestartAfter: 10, MaxEvents: 400}, 16)
+}
+
+// TestBuggyLCRRejected is the oracle's negative control: a ring whose
+// processes forward their own returning id instead of electing walks off
+// the explored graph at the first delivery past the missed election.
+func TestBuggyLCRRejected(t *testing.T) {
+	w, err := ring.NewBuggyLiveLCR([]int{3, 1, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := runtime.ExploreModel(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := 0; seed < 16; seed++ {
+		res, err := runtime.Run(w, runtime.Options{Seed: int64(seed), Delay: 2, MaxEvents: 4096})
+		if err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+		_, err = runtime.Refine(w, res, g)
+		if !errors.Is(err, runtime.ErrNotEmbedded) {
+			t.Errorf("seed %d: buggy LCR not rejected by embedding, got %v", seed, err)
+		}
+	}
+}
+
+// TestNoRetransmitABPRejected: a sender that never retransmits goes
+// silent after the adversary's first data drop; the live run quiesces
+// while every consistent model state still has "send data" enabled, and
+// the quiescence rule rejects it.
+func TestNoRetransmitABPRejected(t *testing.T) {
+	w, err := datalink.NewNoRetransmitABP(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := runtime.ExploreModel(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught := 0
+	for seed := 0; seed < 16; seed++ {
+		res, err := runtime.Run(w, runtime.Options{Seed: int64(seed), Delay: 2, Drop: 0.4, MaxEvents: 4096})
+		if err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+		_, err = runtime.Refine(w, res, g)
+		switch {
+		case err == nil:
+			// A lucky schedule where no data packet was dropped completes the
+			// transfer legitimately.
+			if res.Drops > 0 && !res.Stopped {
+				t.Errorf("seed %d: %d drops, not stopped, yet refinement passed", seed, res.Drops)
+			}
+		case errors.Is(err, runtime.ErrNotQuiescent):
+			caught++
+		default:
+			t.Errorf("seed %d: unexpected refinement error: %v", seed, err)
+		}
+	}
+	if caught < 4 {
+		t.Errorf("quiescence rule caught the silent sender in only %d/16 seeds", caught)
+	}
+}
+
+// TestRefineNoModelScale: large configurations run live-only and the
+// oracle reports ErrNoModel rather than guessing.
+func TestRefineNoModelScale(t *testing.T) {
+	ids := make([]int, 100)
+	for i := range ids {
+		ids[i] = (i*37 + 11) % 1009
+	}
+	w, err := ring.NewLiveLCR(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runtime.ExploreModel(w); !errors.Is(err, runtime.ErrNoModel) {
+		t.Fatalf("want ErrNoModel at n=100, got %v", err)
+	}
+	res, err := runtime.Run(w, runtime.Options{Seed: 99, Delay: 4, MaxEvents: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Errorf("live-only election did not complete: %+v", res)
+	}
+	if _, err := runtime.Refine(w, res, nil); !errors.Is(err, runtime.ErrNoModel) {
+		t.Errorf("Refine with nil graph: want ErrNoModel, got %v", err)
+	}
+}
+
+// TestRunDigestSeedSensitivity: distinct seeds on a real workload give
+// distinct digests (the adversary is actually randomized), and repeated
+// seeds reproduce them.
+func TestRunDigestSeedSensitivity(t *testing.T) {
+	w, err := datalink.NewLiveABP(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int64{}
+	for seed := int64(0); seed < 8; seed++ {
+		opts := runtime.Options{Seed: seed, Delay: 3, Drop: 0.25, MaxEvents: 4096}
+		a, err := runtime.Run(w, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := runtime.Run(w, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Digest != b.Digest {
+			t.Fatalf("seed %d not reproducible: %s vs %s", seed, a.Digest, b.Digest)
+		}
+		if prev, dup := seen[a.Digest]; dup {
+			t.Errorf("seeds %d and %d share digest %s", prev, seed, a.Digest)
+		}
+		seen[a.Digest] = seed
+	}
+}

@@ -1,0 +1,47 @@
+#!/bin/sh
+# coverage_floor.sh — the per-package coverage gate CI runs.
+#
+# Packages listed as `enforce` in scripts/coverage_baseline.txt (those
+# already at or above the 80% floor when the baseline was recorded) FAIL
+# the build if they fall under the floor; everything else is warn-only.
+# Every package prints its delta against the recorded baseline so drift
+# is visible before it becomes a failure. Run from anywhere in the repo.
+set -eu
+cd "$(dirname "$0")/.."
+baseline=scripts/coverage_baseline.txt
+
+go test -cover ./... 2>/dev/null | awk -v base="$baseline" '
+BEGIN {
+    floor = 80.0
+    while ((getline line < base) > 0) {
+        n = split(line, f, " ")
+        if (n < 3 || f[1] ~ /^#/) continue
+        basepct[f[1]] = f[2] + 0
+        mode[f[1]] = f[3]
+    }
+    close(base)
+}
+/coverage:/ {
+    pkg = ($1 == "ok" || $1 == "FAIL") ? $2 : $1
+    pct = -1
+    for (i = 1; i <= NF; i++) if ($i == "coverage:") pct = $(i + 1) + 0
+    if (pct < 0) next
+    delta = (pkg in basepct) \
+        ? sprintf("  (baseline %5.1f%%, delta %+.1f)", basepct[pkg], pct - basepct[pkg]) \
+        : "  (new package, no baseline)"
+    if (mode[pkg] == "enforce" && pct < floor) {
+        printf "FAIL  %-28s %5.1f%% fell under the enforced %.0f%% floor%s\n", pkg, pct, floor, delta
+        failed = 1
+    } else if (pct < floor) {
+        printf "WARN  %-28s %5.1f%% under the %.0f%% floor (warn-only)%s\n", pkg, pct, floor, delta
+    } else {
+        printf "ok    %-28s %5.1f%%%s\n", pkg, pct, delta
+    }
+}
+END {
+    if (failed) {
+        print "coverage floor violated: backfill tests or (with justification) demote the package in " base
+        exit 1
+    }
+    print "coverage floor clean"
+}'
