@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -36,7 +37,12 @@ import (
 // efficiency relative to the one-worker steal rate), so scheduler-layer
 // regressions show up as an efficiency drop `hundred bench-compare` warns
 // about. Omitempty again: pre-v5 rows simply carry no scaling points.
-const benchSchemaVersion = 5
+// Version 6 adds the attribution axis: per-row phase fractions of the
+// full-mode exploration (expand/barrier/store-I/O/replay shares of the
+// summed worker clock, plus the sampled canon/intern split), so a
+// throughput regression in history comes annotated with which phase grew.
+// Omitempty once more: pre-v6 rows carry no phases object.
+const benchSchemaVersion = 6
 
 // benchHistoryCap bounds the committed run history: the newest runs win.
 const benchHistoryCap = 16
@@ -103,7 +109,52 @@ type explorationBench struct {
 	// workloads carry it (sweeping every workload would triple the suite's
 	// runtime for redundant curves).
 	Scaling []schedPoint `json:"scaling,omitempty"`
+	// Phases is the schema-v6 phase attribution of the full-mode
+	// exploration (see phaseBench). Absent on pre-v6 rows.
+	Phases *phaseBench `json:"phases,omitempty"`
 }
+
+// phaseBench is one row's phase-fraction record: each exact phase's share
+// of the full-mode run's summed per-worker clock, in [0,1], plus the
+// sampled canon/intern split (fractions of sampled expansion time). Pure
+// timing — bench-compare never gates on it; its job is to annotate a
+// throughput move with which phase grew.
+type phaseBench struct {
+	Expand  float64 `json:"expand"`
+	Barrier float64 `json:"barrier,omitempty"`
+	StoreIO float64 `json:"store_io,omitempty"`
+	Replay  float64 `json:"replay,omitempty"`
+	Steal   float64 `json:"steal,omitempty"`
+	Handoff float64 `json:"handoff,omitempty"`
+	Idle    float64 `json:"idle,omitempty"`
+	Canon   float64 `json:"canon_frac,omitempty"`
+	Intern  float64 `json:"intern_frac,omitempty"`
+}
+
+// benchPhases converts a run's phase profile into the v6 fraction record
+// (nil when the run recorded no profile).
+func benchPhases(st engine.Stats) *phaseBench {
+	p := st.Phases
+	total := p.TotalNs()
+	if total <= 0 {
+		return nil
+	}
+	f := func(ns int64) float64 { return round4(float64(ns) / float64(total)) }
+	return &phaseBench{
+		Expand:  f(p.ExpandNs),
+		Barrier: f(p.BarrierWaitNs),
+		StoreIO: f(p.StoreIONs),
+		Replay:  f(p.ReplayNs),
+		Steal:   f(p.StealNs),
+		Handoff: f(p.HandoffNs),
+		Idle:    f(p.IdleNs),
+		Canon:   round4(p.CanonFrac()),
+		Intern:  round4(p.InternFrac()),
+	}
+}
+
+// round4 keeps the committed JSON readable (four decimal places).
+func round4(v float64) float64 { return math.Round(v*1e4) / 1e4 }
 
 // schedPoint is one cell of a worker-scaling sweep. Efficiency is the
 // parallel efficiency of a steal-scheduler point: states/sec divided by
@@ -466,6 +517,7 @@ func runBench() (benchRecord, error) {
 			row.AllocsPerState = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(full)
 			row.BytesPerState = float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(full)
 		}
+		row.Phases = benchPhases(fullStats)
 		quo, quoStats, err := w.explore(modeQuotient)
 		if err != nil {
 			return rec, fmt.Errorf("%s quotient: %w", w.name, err)

@@ -14,6 +14,8 @@
 //	hundred fuzz -budget 30s   # budgeted generative differential-fuzz sweep
 //	hundred fuzz -seed 3 ...   # replay one generated space (see -help)
 //	hundred trace-lint t.jsonl # validate a JSONL run trace
+//	hundred report t.jsonl     # render a trace into a markdown run report
+//	hundred trace-diff a b     # localize the first divergence of two traces
 //	hundred run -workload lcr -runs 16   # live adversarial runs, refined
 //	hundred run -workload abp -drop 0.3 -buggy  # catches the silent sender
 package main
@@ -91,6 +93,9 @@ func printStats(st *engine.Stats) {
 	}
 	if showStats {
 		fmt.Printf("    [engine] %s\n", st)
+		if line := st.PhaseString(); line != "" {
+			fmt.Printf("    [phases] %s\n", line)
+		}
 	}
 	if line := st.StoreString(); line != "" {
 		fmt.Printf("    [store]  %s\n", line)
@@ -111,6 +116,12 @@ func run() int {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "trace-lint" {
 		return runTraceLint(os.Args[2:])
+	}
+	if len(os.Args) > 1 && os.Args[1] == "report" {
+		return runReport(os.Args[2:])
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace-diff" {
+		return runTraceDiff(os.Args[2:])
 	}
 	if len(os.Args) > 1 && os.Args[1] == "run" {
 		return runLive(os.Args[2:])

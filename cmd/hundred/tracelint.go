@@ -14,10 +14,15 @@ import (
 // with internally consistent snapshots) and reports each file's summary
 // and recomputed deterministic-event digest. Any invalid file fails the
 // command, which is how CI keeps the trace schema honest.
+//
+// Exit codes: 0 every file valid, 1 at least one invalid file, 2 usage
+// error. -q suppresses the per-file ok lines (invalid files still print,
+// on stderr), so scripts can lint by exit code alone.
 func runTraceLint(args []string) int {
 	fs := flag.NewFlagSet("hundred trace-lint", flag.ContinueOnError)
+	quiet := fs.Bool("q", false, "quiet: no per-file summary lines, report only invalid files on stderr")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: hundred trace-lint FILE...")
+		fmt.Fprintln(fs.Output(), "usage: hundred trace-lint [-q] FILE...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -31,8 +36,11 @@ func runTraceLint(args []string) int {
 	for _, path := range fs.Args() {
 		sum, err := lintOne(path)
 		if err != nil {
-			fmt.Printf("%s: INVALID: %v\n", path, err)
+			fmt.Fprintf(os.Stderr, "%s: INVALID: %v\n", path, err)
 			bad++
+			continue
+		}
+		if *quiet {
 			continue
 		}
 		fmt.Printf("%s: ok schema=%d tool=%s runs=%d rt_runs=%d events=%d rt_events=%d levels=%d snapshots=%d digest=%s\n",

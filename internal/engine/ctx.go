@@ -1,6 +1,9 @@
 package engine
 
-import "bytes"
+import (
+	"bytes"
+	"time"
+)
 
 // Ctx is the expansion context the engine hands to an ExpandFunc: the
 // revised expand API that makes the hot path allocation-free. A worker
@@ -55,6 +58,12 @@ func (x *Ctx[S]) Emit(to S, label string, actor int) {
 		return
 	}
 	e, ws := x.e, x.w
+	if ws.profSampling {
+		// Fine-profiled twin for the 1-in-64 sampled states; one
+		// predictable always-false branch when profiling is off.
+		x.emitSampled(to, label, actor)
+		return
+	}
 	if e.canon != nil {
 		to = e.canonicalize(to, ws)
 	}
@@ -66,6 +75,31 @@ func (x *Ctx[S]) Emit(to S, label string, actor int) {
 		return
 	}
 	tid, fresh := e.store.Intern(to)
+	if !fresh {
+		ws.dedup++
+	}
+	ws.arena = append(ws.arena, rawEdge{to: tid, actor: int32(actor), label: label})
+}
+
+// emitSampled is Emit's fine-profiled twin (sink already known nil):
+// behaviorally identical — keep the two in sync — with the
+// canonicalization and intern/forward sections timed into the worker's
+// sample counters. See profile.go for the sampling design.
+func (x *Ctx[S]) emitSampled(to S, label string, actor int) {
+	e, ws := x.e, x.w
+	if e.canon != nil {
+		t := time.Now()
+		to = e.canonicalize(to, ws)
+		ws.prof.sampleCanon.Add(int64(time.Since(t)))
+	}
+	t := time.Now()
+	if sr := e.steal.Load(); sr != nil {
+		sr.emitState(ws, to, label, actor)
+		ws.prof.sampleIntern.Add(int64(time.Since(t)))
+		return
+	}
+	tid, fresh := e.store.Intern(to)
+	ws.prof.sampleIntern.Add(int64(time.Since(t)))
 	if !fresh {
 		ws.dedup++
 	}
@@ -92,6 +126,10 @@ func (x *Ctx[S]) EmitBytes(to []byte, label string, actor int) {
 		return
 	}
 	ws := x.w
+	if ws.profSampling {
+		x.emitBytesSampled(to, label, actor)
+		return
+	}
 	sr := e.steal.Load()
 	if e.canon != nil {
 		// The canon memo is disabled under free-running discovery: it
@@ -157,6 +195,82 @@ func (x *Ctx[S]) EmitBytes(to []byte, label string, actor int) {
 		return
 	}
 	tid, fresh := e.bytesIntern.InternBytes(h, to)
+	if !fresh {
+		ws.dedup++
+	}
+	ws.arena = append(ws.arena, rawEdge{to: tid, actor: int32(actor), label: label})
+}
+
+// emitBytesSampled is the direct path of EmitBytes (sink known nil,
+// bytesDirect known true) for the 1-in-64 fine-sampled states:
+// behaviorally identical — keep the two in sync — with the
+// canonicalization pipeline (memo lookup, raw fingerprint bookkeeping,
+// representative render) and the hash+intern/forward section timed into
+// the worker's sample counters. A sampled memo hit records its true
+// near-zero cost rather than re-paying the pipeline, so the sampled
+// fractions reflect what the run actually spends.
+func (x *Ctx[S]) emitBytesSampled(to []byte, label string, actor int) {
+	e, ws := x.e, x.w
+	prof := ws.prof
+	sr := e.steal.Load()
+	if e.canon != nil {
+		ct := time.Now()
+		if sr == nil {
+			if ent, ok := ws.canonMemo[string(to)]; ok {
+				prof.sampleCanon.Add(int64(time.Since(ct)))
+				if ent.remapped {
+					ws.canonHits++
+				}
+				ws.dedup++
+				ws.arena = append(ws.arena, rawEdge{to: ent.id, actor: int32(actor), label: label})
+				return
+			}
+		}
+		h := e.hashB(to)
+		ws.rawSeen[h] = struct{}{}
+		rep := ws.canonB(ws.canonBuf[:0], to)
+		ws.canonBuf = rep
+		remapped := !bytes.Equal(rep, to)
+		var rawKey string
+		if sr == nil {
+			rawKey = string(to)
+		}
+		if remapped {
+			ws.canonHits++
+			if e.verifyMod != 0 && h%e.verifyMod == 0 {
+				e.checkCanonBytes(to, rep)
+			}
+			to = rep
+			h = e.hashB(rep)
+		}
+		it := time.Now()
+		prof.sampleCanon.Add(int64(it.Sub(ct)))
+		if sr != nil {
+			sr.emitBytes(ws, to, h, label, actor)
+			prof.sampleIntern.Add(int64(time.Since(it)))
+			return
+		}
+		tid, fresh := e.bytesIntern.InternBytes(h, to)
+		prof.sampleIntern.Add(int64(time.Since(it)))
+		if !fresh {
+			ws.dedup++
+		}
+		if len(ws.canonMemo) >= canonMemoCap || ws.canonMemo == nil {
+			ws.canonMemo = make(map[string]canonMemoEntry)
+		}
+		ws.canonMemo[rawKey] = canonMemoEntry{id: tid, remapped: remapped}
+		ws.arena = append(ws.arena, rawEdge{to: tid, actor: int32(actor), label: label})
+		return
+	}
+	it := time.Now()
+	h := e.hashB(to)
+	if sr != nil {
+		sr.emitBytes(ws, to, h, label, actor)
+		prof.sampleIntern.Add(int64(time.Since(it)))
+		return
+	}
+	tid, fresh := e.bytesIntern.InternBytes(h, to)
+	prof.sampleIntern.Add(int64(time.Since(it)))
 	if !fresh {
 		ws.dedup++
 	}

@@ -268,6 +268,13 @@ type worker[S comparable] struct {
 	// edge arena, handoff channels); nil outside Sched == "steal"
 	// free-running runs. See sched_steal.go.
 	sw *stealWorker[S]
+	// prof is the worker's phase-attribution profile; nil when profiling
+	// is off (no Stats out-param and no Sink). profSampling marks the
+	// current expansion as fine-sampled, so the Ctx emit paths divert to
+	// their timed twins — one predictable always-false branch when
+	// profiling is off. See profile.go.
+	prof         *phaseProf
+	profSampling bool
 }
 
 // canonMemoEntry is one canonMemo cache line.
@@ -349,6 +356,12 @@ type explorer[S comparable] struct {
 	steal  atomic.Pointer[stealRun[S]]
 	pspans *pagedSpans
 
+	// profStoreIO and profReplay are the coordinator-only phase counters
+	// (store maintenance between levels, the sequential replay pass);
+	// per-worker phases live in each worker's prof. See profile.go.
+	profStoreIO atomic.Int64
+	profReplay  atomic.Int64
+
 	workers []*worker[S]
 }
 
@@ -378,6 +391,13 @@ func (e *explorer[S]) canonicalize(raw S, ws *worker[S]) S {
 func (e *explorer[S]) expandRange(w int32, cursor *atomic.Int64, hi int, chunk int) {
 	ws := e.workers[w]
 	x := &ws.ctx
+	prof := ws.prof
+	if prof != nil {
+		// One clock read per level entry/exit: all in-level time (expansion
+		// plus chunk claiming and span bookkeeping) is the expand phase.
+		prof.resume(phExpand)
+		defer prof.flush()
+	}
 	for {
 		lo := int(cursor.Add(int64(chunk))) - chunk
 		if lo >= hi {
@@ -390,7 +410,15 @@ func (e *explorer[S]) expandRange(w int32, cursor *atomic.Int64, hi int, chunk i
 		for id := lo; id < end; id++ {
 			off := int32(len(ws.arena))
 			s := e.store.State(int32(id))
-			e.expand(s, x)
+			if prof != nil && id&profSampleMask == 0 {
+				ws.profSampling = true
+				t := time.Now()
+				e.expand(s, x)
+				prof.noteSample(time.Since(t))
+				ws.profSampling = false
+			} else {
+				e.expand(s, x)
+			}
 			sp := span{worker: w, off: off, n: int32(len(ws.arena)) - off}
 			e.spans[id] = sp
 			e.expanded[id] = true
@@ -428,9 +456,20 @@ func (e *explorer[S]) expandRangePOR(w int32, cursor *atomic.Int64, hi int, chun
 	collect := func(to S, label string, actor int) {
 		pa := porAction[S]{act: Action[S]{To: to, Label: label, Actor: actor}, to: to}
 		if e.canon != nil {
-			pa.to = e.canonicalize(to, ws)
+			if ws.profSampling {
+				t := time.Now()
+				pa.to = e.canonicalize(to, ws)
+				ws.prof.sampleCanon.Add(int64(time.Since(t)))
+			} else {
+				pa.to = e.canonicalize(to, ws)
+			}
 		}
 		ws.acts = append(ws.acts, pa)
+	}
+	prof := ws.prof
+	if prof != nil {
+		prof.resume(phExpand)
+		defer prof.flush()
 	}
 	for {
 		lo := int(cursor.Add(int64(chunk))) - chunk
@@ -443,6 +482,11 @@ func (e *explorer[S]) expandRangePOR(w int32, cursor *atomic.Int64, hi int, chun
 		}
 		for id := lo; id < end; id++ {
 			s := e.store.State(int32(id))
+			var sampleT time.Time
+			if prof != nil && id&profSampleMask == 0 {
+				ws.profSampling = true
+				sampleT = time.Now()
+			}
 			ws.acts = ws.acts[:0]
 			x.sink = collect
 			e.expand(s, x)
@@ -464,7 +508,15 @@ func (e *explorer[S]) expandRangePOR(w int32, cursor *atomic.Int64, hi int, chun
 			}
 			off := int32(len(ws.arena))
 			record := func(pa porAction[S]) {
-				tid, fresh := e.store.Intern(pa.to)
+				var tid int32
+				var fresh bool
+				if ws.profSampling {
+					t := time.Now()
+					tid, fresh = e.store.Intern(pa.to)
+					ws.prof.sampleIntern.Add(int64(time.Since(t)))
+				} else {
+					tid, fresh = e.store.Intern(pa.to)
+				}
 				if !fresh {
 					ws.dedup++
 				}
@@ -484,6 +536,10 @@ func (e *explorer[S]) expandRangePOR(w int32, cursor *atomic.Int64, hi int, chun
 			e.spans[id] = span{worker: w, off: off, n: int32(len(ws.arena)) - off}
 			e.expanded[id] = true
 			ws.steps.Add(1)
+			if ws.profSampling {
+				prof.noteSample(time.Since(sampleT))
+				ws.profSampling = false
+			}
 		}
 	}
 }
@@ -594,6 +650,15 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 		ws.ctx = Ctx[S]{e: e, w: ws}
 		e.workers[i] = ws
 	}
+	// Phase profiling is on whenever the caller can observe the result.
+	// The passive-observation rule extends to it: profiles are pure
+	// timing, excluded from digests and diffStats, so results stay
+	// byte-identical with profiling on or off, at any worker count.
+	if opts.Stats != nil || opts.Sink != nil {
+		for _, ws := range e.workers {
+			ws.prof = &phaseProf{}
+		}
+	}
 
 	// Intern initial states sequentially: their provisional ids coincide
 	// with their canonical ones, and duplicates collapse exactly as in a
@@ -640,7 +705,8 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 					}
 				}
 				return steals, batches, occ
-			})
+			},
+			e.livePhases)
 		every := opts.SnapshotEvery
 		if every == 0 {
 			every = DefaultSnapshotEvery
@@ -686,7 +752,7 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 				}(int32(w))
 			}
 			expandLevel(0, cursor, hi, chunk)
-			wg.Wait()
+			waitBarrier(e.workers[0].prof, &wg)
 		}
 		if sched == "steal" && nw > 1 {
 			d, shutdown := e.epochPool(nw, expandLevel)
@@ -724,7 +790,7 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 			// quiescent: the store may spill payloads below the next frontier
 			// (ids < lo) and must surface any sticky I/O error here, so the
 			// failure is deterministic per level, never mid-expansion.
-			if err := e.store.Maintain(int32(lo)); err != nil {
+			if err := e.maintainStore(int32(lo)); err != nil {
 				return nil, fmt.Errorf("engine: state store: %w", err)
 			}
 			if e.canon != nil || e.indep != nil || e.aliasMod != 0 {
@@ -770,7 +836,7 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 		}
 	}
 
-	res, err := e.replay(initIDs, limit)
+	res, err := e.replayTimed(initIDs, limit)
 	if err == nil || errors.Is(err, ErrStateLimit) {
 		// Replay reads spilled payloads back; surface a read failure as
 		// the run's error rather than a silently wrong graph.
@@ -785,6 +851,7 @@ func Explore[S comparable](inits []S, expand ExpandFunc[S], opts Options) (*Resu
 	st.Truncated = res.Truncated
 	st.Store = e.store.Stats()
 	st.Lossy = st.Store.Lossy
+	e.collectPhases(&st)
 	st.PeakRSSBytes = obs.PeakRSS()
 	st.Elapsed = time.Since(start)
 	if secs := st.Elapsed.Seconds(); secs > 0 {

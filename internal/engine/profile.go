@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Phase-attribution profiling. Enabled whenever the caller can observe the
+// result (Options.Stats or Options.Sink installed); with neither, every
+// worker's prof pointer stays nil and the engine keeps its zero-cost
+// disabled path. The design keeps clock reads off the per-state hot path:
+//
+//   - Coarse counters (expand, barrier-wait, steal, handoff, idle) are a
+//     per-worker *phase clock*: each worker attributes wall time at phase
+//     transitions, which happen per level, per batch, or per steal — never
+//     per state. Consecutive expansions share one running interval.
+//   - The fine canon/intern split inside expansion time is *sampled*: one
+//     state in 64 (by provisional id) is timed end-to-end, with its
+//     canonicalization and hash+intern sections timed individually along
+//     the Ctx emit paths. Sample counters are reported raw
+//     (obs.Phases.Sample*) so consumers scale them against each other.
+//   - Coordinator-only phases (store maintenance, replay) are timed
+//     directly around their calls.
+//
+// Everything recorded here is timing, never structure: profiles are
+// excluded from trace digests and from diffStats, so the determinism
+// contract (byte-identical results at any worker count, with or without
+// profiling) is untouched. The overhead contract is the obs layer's ≤3%;
+// measured figures live in EXPERIMENTS.md.
+
+// Phase-clock indices (phaseProf.counters).
+const (
+	phExpand = iota
+	phBarrier
+	phSteal
+	phHandoff
+	phIdle
+	phCount
+)
+
+// profSampleMask selects 1 state in 64 (provisional id & mask == 0) for
+// fine-grained timing. Provisional ids are scheduling-dependent, which is
+// fine: the sample population varies run to run, the reported fractions
+// converge, and nothing digest-relevant depends on them.
+const profSampleMask = 63
+
+// phaseProf is one worker's phase profile. The counters are atomics so
+// the telemetry monitor can read mid-run; cur/last (the phase clock) are
+// owned by the worker's current goroutine and never read elsewhere.
+type phaseProf struct {
+	counters [phCount]atomic.Int64
+	cur      int
+	last     time.Time
+
+	sampled      atomic.Uint64
+	sampleExpand atomic.Int64
+	sampleCanon  atomic.Int64
+	sampleIntern atomic.Int64
+	expandLat    obs.Hist
+}
+
+// resume starts the phase clock in phase ph, discarding any un-flushed
+// interval (used at worker-loop entry, once per level or per run).
+func (p *phaseProf) resume(ph int) { p.cur, p.last = ph, time.Now() }
+
+// to folds the elapsed interval into the current phase and switches to ph.
+func (p *phaseProf) to(ph int) {
+	now := time.Now()
+	p.counters[p.cur].Add(int64(now.Sub(p.last)))
+	p.cur, p.last = ph, now
+}
+
+// flush folds the trailing interval without switching phase (worker-loop
+// exit).
+func (p *phaseProf) flush() { p.to(p.cur) }
+
+// noteSample records one fine-sampled state's end-to-end expansion time.
+func (p *phaseProf) noteSample(d time.Duration) {
+	ns := int64(d)
+	p.sampled.Add(1)
+	p.sampleExpand.Add(ns)
+	p.expandLat.Observe(ns)
+}
+
+// snapshot renders the worker's counters as an obs.Phases (coordinator
+// phases excluded; collectPhases adds those to the aggregate only).
+func (p *phaseProf) snapshot() obs.Phases {
+	return obs.Phases{
+		ExpandNs:       p.counters[phExpand].Load(),
+		BarrierWaitNs:  p.counters[phBarrier].Load(),
+		StealNs:        p.counters[phSteal].Load(),
+		HandoffNs:      p.counters[phHandoff].Load(),
+		IdleNs:         p.counters[phIdle].Load(),
+		SampledStates:  p.sampled.Load(),
+		SampleExpandNs: p.sampleExpand.Load(),
+		SampleCanonNs:  p.sampleCanon.Load(),
+		SampleInternNs: p.sampleIntern.Load(),
+	}
+}
+
+// waitBarrier is the coordinator's fork/join wait, attributed to the
+// coordinating worker's barrier phase (nil-tolerant for unprofiled runs).
+func waitBarrier(p *phaseProf, wg *sync.WaitGroup) {
+	if p == nil {
+		wg.Wait()
+		return
+	}
+	t := time.Now()
+	wg.Wait()
+	p.counters[phBarrier].Add(int64(time.Since(t)))
+}
+
+// profiled reports whether this run records phases.
+func (e *explorer[S]) profiled() bool { return e.workers[0].prof != nil }
+
+// maintainStore wraps store.Maintain with store-I/O attribution.
+func (e *explorer[S]) maintainStore(keepFrom int32) error {
+	if !e.profiled() {
+		return e.store.Maintain(keepFrom)
+	}
+	t := time.Now()
+	err := e.store.Maintain(keepFrom)
+	e.profStoreIO.Add(int64(time.Since(t)))
+	return err
+}
+
+// replayTimed wraps the sequential replay pass with its attribution.
+func (e *explorer[S]) replayTimed(initIDs []int32, limit int) (*Result[S], error) {
+	if !e.profiled() {
+		return e.replay(initIDs, limit)
+	}
+	t := time.Now()
+	res, err := e.replay(initIDs, limit)
+	e.profReplay.Add(int64(time.Since(t)))
+	return res, err
+}
+
+// livePhases is the telemetry monitor's mid-run aggregate view: worker
+// counters summed, coordinator phases added, plus the merged sampled
+// expansion-latency histogram (nil while empty). Reads only atomics, so it
+// is safe against running workers; in-flight phase intervals are simply
+// not yet folded in.
+func (e *explorer[S]) livePhases() (obs.Phases, *obs.HistSnap) {
+	var agg obs.Phases
+	var lat obs.HistSnap
+	if !e.profiled() {
+		return agg, nil
+	}
+	for _, ws := range e.workers {
+		agg.Add(ws.prof.snapshot())
+		lat.Add(ws.prof.expandLat.Snapshot())
+	}
+	agg.StoreIONs = e.profStoreIO.Load()
+	agg.ReplayNs = e.profReplay.Load()
+	if lat.Count == 0 {
+		return agg, nil
+	}
+	return agg, &lat
+}
+
+// collectPhases fills st's final phase profile: per-worker breakdowns,
+// the run-wide aggregate, and the merged sampled-latency histogram.
+func (e *explorer[S]) collectPhases(st *Stats) {
+	if !e.profiled() {
+		return
+	}
+	var agg obs.Phases
+	var lat obs.HistSnap
+	for _, ws := range e.workers {
+		p := ws.prof.snapshot()
+		st.WorkerPhases = append(st.WorkerPhases, p)
+		agg.Add(p)
+		lat.Add(ws.prof.expandLat.Snapshot())
+	}
+	agg.StoreIONs = e.profStoreIO.Load()
+	agg.ReplayNs = e.profReplay.Load()
+	st.Phases = agg
+	st.ExpandLat = lat
+}

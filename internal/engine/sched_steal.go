@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/store"
@@ -362,9 +363,21 @@ func (sr *stealRun[S]) sendBatch(w *worker[S], dst int32, b *handoffBatch[S]) {
 	sw.handoffBatches.Add(1)
 	sw.handoffStates.Add(uint64(len(b.ents)))
 	sr.tokens.Add(1)
+	// Phase attribution: time blocked on the send (and any interleaved
+	// inbox processing, which re-attributes itself) as handoff. Two clock
+	// reads per batch, never per state.
+	prof := w.prof
+	var prev int
+	if prof != nil {
+		prev = prof.cur
+		prof.to(phHandoff)
+	}
 	for {
 		select {
 		case sr.ws[dst].inbox <- b:
+			if prof != nil {
+				prof.to(prev)
+			}
 			return
 		case nb := <-sw.inbox:
 			sr.processBatch(w, nb)
@@ -380,6 +393,15 @@ func (sr *stealRun[S]) sendBatch(w *worker[S], dst int32, b *handoffBatch[S]) {
 func (sr *stealRun[S]) processBatch(w *worker[S], b *handoffBatch[S]) {
 	e := sr.e
 	sw := w.sw
+	// Phase attribution: the whole batch resolution is handoff time; the
+	// previous phase (expand, or handoff when nested under sendBatch) is
+	// restored on the way out. Two clock reads per batch.
+	prof := w.prof
+	var prev int
+	if prof != nil {
+		prev = prof.cur
+		prof.to(phHandoff)
+	}
 	for i := range b.ents {
 		ent := &b.ents[i]
 		var id int32
@@ -408,6 +430,9 @@ func (sr *stealRun[S]) processBatch(w *worker[S], b *handoffBatch[S]) {
 	select {
 	case sr.ws[b.src].free <- b:
 	default:
+	}
+	if prof != nil {
+		prof.to(prev)
 	}
 	if sr.tokens.Add(-1) == 0 {
 		close(sr.done)
@@ -480,12 +505,24 @@ func (sr *stealRun[S]) idle(w *worker[S]) bool {
 		close(sr.done)
 		return false
 	}
+	// Phase attribution: only the blocking wait is idle time; batch
+	// processing re-attributes itself to handoff.
+	prof := w.prof
+	if prof != nil {
+		prof.to(phIdle)
+	}
 	select {
 	case b := <-w.sw.inbox:
 		sr.tokens.Add(1)
+		if prof != nil {
+			prof.to(phExpand)
+		}
 		sr.processBatch(w, b)
 		return true
 	case <-sr.done:
+		if prof != nil {
+			prof.to(phExpand)
+		}
 		return false
 	}
 }
@@ -509,7 +546,17 @@ func (sr *stealRun[S]) expandOne(w *worker[S], id int32) {
 	if e.canon != nil {
 		before = w.canonHits
 	}
-	e.expand(s, &w.ctx)
+	if prof := w.prof; prof != nil && id&profSampleMask == 0 {
+		// 1-in-64 fine sample: end-to-end expansion latency plus the
+		// canon/intern section split recorded along the emit paths.
+		w.profSampling = true
+		t := time.Now()
+		e.expand(s, &w.ctx)
+		prof.noteSample(time.Since(t))
+		w.profSampling = false
+	} else {
+		e.expand(s, &w.ctx)
+	}
 	sw.capturing = false
 	var cd int32
 	if e.canon != nil {
@@ -659,6 +706,14 @@ func (sr *stealRun[S]) checkAliasingSteal(s S, w *worker[S]) {
 func (sr *stealRun[S]) workerLoop(w *worker[S]) {
 	sw := w.sw
 	e := sr.e
+	// The phase clock free-runs in expand across the loop glue (inbox
+	// drain, deque pops): only steal attempts, batch handoffs and idle
+	// waits switch it, so the common path costs zero clock reads.
+	prof := w.prof
+	if prof != nil {
+		prof.resume(phExpand)
+		defer prof.flush()
+	}
 	for {
 		sr.drainInbox(w)
 		if sr.stop.Load() {
@@ -669,7 +724,13 @@ func (sr *stealRun[S]) workerLoop(w *worker[S]) {
 			id, ok = sw.popShared()
 		}
 		if !ok {
+			if prof != nil {
+				prof.to(phSteal)
+			}
 			id, ok = sr.steal(sw)
+			if prof != nil {
+				prof.to(phExpand)
+			}
 		}
 		if !ok {
 			if sr.flushAll(w) {
@@ -1021,7 +1082,21 @@ func (e *explorer[S]) epochPool(nw int, expandLevel func(int32, *atomic.Int64, i
 	for w := 1; w < nw; w++ {
 		jobs[w] = make(chan job)
 		go func(w int32, ch chan job) {
-			for j := range ch {
+			// The wait for the next level's job is this worker's barrier
+			// time (the pool analogue of the fork/join gap).
+			prof := e.workers[w].prof
+			for {
+				var t time.Time
+				if prof != nil {
+					t = time.Now()
+				}
+				j, ok := <-ch
+				if prof != nil {
+					prof.counters[phBarrier].Add(int64(time.Since(t)))
+				}
+				if !ok {
+					return
+				}
 				expandLevel(w, j.cursor, j.hi, j.chunk)
 				wg.Done()
 			}
@@ -1033,7 +1108,7 @@ func (e *explorer[S]) epochPool(nw int, expandLevel func(int32, *atomic.Int64, i
 			jobs[w] <- job{cursor, hi, chunk}
 		}
 		expandLevel(0, cursor, hi, chunk)
-		wg.Wait()
+		waitBarrier(e.workers[0].prof, &wg)
 	}
 	shutdown = func() {
 		for w := 1; w < nw; w++ {

@@ -92,6 +92,16 @@ type Stats struct {
 	// determinism comparisons.
 	HandoffBatches uint64
 	HandoffStates  uint64
+	// Phases is the run's aggregate phase-attribution profile (expand,
+	// barrier-wait, store I/O, replay, steal, handoff, idle — plus the
+	// sampled canon/intern split), summed over workers; WorkerPhases is the
+	// per-worker breakdown and ExpandLat the sampled expansion-latency
+	// histogram. Recorded whenever Options.Stats or Options.Sink is set.
+	// Pure timing: scheduling- and machine-dependent, excluded from the
+	// determinism comparisons and from trace digests.
+	Phases       obs.Phases
+	WorkerPhases []obs.Phases
+	ExpandLat    obs.HistSnap
 }
 
 // DedupRate returns the fraction of generated successors that hit an
@@ -133,7 +143,7 @@ func (s Stats) PORReductionFactor() float64 {
 // event's payload, so "the trace's final snapshot totals equal the
 // returned Stats" holds by construction.
 func (s Stats) Snapshot() obs.ProgressSnapshot {
-	return obs.ProgressSnapshot{
+	snap := obs.ProgressSnapshot{
 		Elapsed:         s.Elapsed,
 		States:          s.States,
 		Edges:           s.Edges,
@@ -156,9 +166,59 @@ func (s Stats) Snapshot() obs.ProgressSnapshot {
 		StoreSegments:          s.Store.Segments,
 		StoreSegmentReads:      s.Store.SegmentReads,
 		StoreCollisionConfirms: s.Store.CollisionConfirms,
+		StorePageCacheHits:     s.Store.PageCacheHits,
 		StoreLossy:             s.Lossy,
 		PeakRSSBytes:           s.PeakRSSBytes,
 	}
+	if s.Store.ReadLat.Count > 0 {
+		rl := s.Store.ReadLat
+		snap.StoreReadLat = &rl
+	}
+	if s.Store.WriteLat.Count > 0 {
+		wl := s.Store.WriteLat
+		snap.StoreWriteLat = &wl
+	}
+	if !s.Phases.Zero() {
+		ph := s.Phases
+		snap.Phases = &ph
+		snap.WorkerPhases = append([]obs.Phases(nil), s.WorkerPhases...)
+	}
+	if s.ExpandLat.Count > 0 {
+		el := s.ExpandLat
+		snap.ExpandLat = &el
+	}
+	return snap
+}
+
+// PhaseString renders the aggregate phase profile as one report line ("" when
+// no profile was recorded). Wall-clock percentages are of the summed
+// per-worker clock (≈ Workers × Elapsed); the canon/intern split comes from
+// the 1-in-64 fine samples.
+func (s Stats) PhaseString() string {
+	p := s.Phases
+	if p.Zero() {
+		return ""
+	}
+	total := p.TotalNs()
+	if total == 0 {
+		return ""
+	}
+	pct := func(ns int64) float64 { return 100 * float64(ns) / float64(total) }
+	line := fmt.Sprintf("phases: expand=%.1f%% barrier=%.1f%% store-io=%.1f%% replay=%.1f%%",
+		pct(p.ExpandNs), pct(p.BarrierWaitNs), pct(p.StoreIONs), pct(p.ReplayNs))
+	if s.Sched == "steal" {
+		line += fmt.Sprintf(" steal=%.1f%% handoff=%.1f%% idle=%.1f%%",
+			pct(p.StealNs), pct(p.HandoffNs), pct(p.IdleNs))
+	}
+	if p.SampledStates > 0 && p.SampleExpandNs > 0 {
+		line += fmt.Sprintf(" | sampled=%d canon=%.1f%% intern=%.1f%% of expand",
+			p.SampledStates, 100*p.CanonFrac(), 100*p.InternFrac())
+		if s.ExpandLat.Count > 0 {
+			line += fmt.Sprintf(" p50=%s p99=%s",
+				time.Duration(s.ExpandLat.QuantileNs(0.5)), time.Duration(s.ExpandLat.QuantileNs(0.99)))
+		}
+	}
+	return line
 }
 
 // String renders the telemetry as a single report line.

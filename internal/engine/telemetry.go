@@ -40,6 +40,10 @@ type telemetry struct {
 	// are scheduling-dependent and appear only in snapshots the trace
 	// digest ignores.
 	schedGauges func() (uint64, uint64, uint64)
+	// phases reads the live phase-attribution aggregate (and the sampled
+	// expansion-latency histogram, nil while empty). Pure timing — always
+	// digest-excluded, stamped into every snapshot.
+	phases func() (obs.Phases, *obs.HistSnap)
 
 	// Barrier-published live values: written by the coordinator between
 	// levels, read by the monitor goroutine.
@@ -60,7 +64,8 @@ type telemetry struct {
 func newTelemetry(sink obs.Sink, start time.Time, maxStates, workers, inits int,
 	canonOn, porOn bool, storeCfg store.Config, sched string,
 	states func() int, workerSteps func() []uint64, storeStats func() store.Stats,
-	schedGauges func() (uint64, uint64, uint64)) *telemetry {
+	schedGauges func() (uint64, uint64, uint64),
+	phases func() (obs.Phases, *obs.HistSnap)) *telemetry {
 	t := &telemetry{
 		sink:        sink,
 		start:       start,
@@ -70,6 +75,7 @@ func newTelemetry(sink obs.Sink, start time.Time, maxStates, workers, inits int,
 		workerSteps: workerSteps,
 		storeStats:  storeStats,
 		schedGauges: schedGauges,
+		phases:      phases,
 	}
 	cfg := &obs.RunConfig{
 		Workers:   workers,
@@ -168,8 +174,23 @@ func (t *telemetry) stampStore(snap *obs.ProgressSnapshot) {
 	snap.StoreSegments = ss.Segments
 	snap.StoreSegmentReads = ss.SegmentReads
 	snap.StoreCollisionConfirms = ss.CollisionConfirms
+	snap.StorePageCacheHits = ss.PageCacheHits
+	if ss.ReadLat.Count > 0 {
+		rl := ss.ReadLat
+		snap.StoreReadLat = &rl
+	}
+	if ss.WriteLat.Count > 0 {
+		wl := ss.WriteLat
+		snap.StoreWriteLat = &wl
+	}
 	snap.StoreLossy = ss.Lossy
 	snap.PeakRSSBytes = obs.PeakRSS()
+	if t.phases != nil {
+		if ph, lat := t.phases(); !ph.Zero() {
+			snap.Phases = &ph
+			snap.ExpandLat = lat
+		}
+	}
 }
 
 // barrierSnapshot assembles a barrier-accurate snapshot after a level

@@ -32,52 +32,63 @@ func NewDigest() *Digest {
 	return &Digest{h: sha256.New()}
 }
 
-// Publish implements Sink, folding in the deterministic events.
-func (d *Digest) Publish(ev Event) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+// DigestLine renders ev's contribution to the trace digest, or ("",
+// false) for events the digest ignores (timer snapshots, manifest lines,
+// payload-less events). The rendered line names exactly the
+// worker-count-invariant fields — nothing timing- or scheduling-dependent
+// — which is why `hundred trace-diff` can compare two traces line-by-line
+// to localize the first structural divergence behind a digest mismatch.
+func DigestLine(ev Event) (string, bool) {
 	switch ev.Kind {
 	case KindRunStart:
 		// Workers is scheduling, not structure; hash only the mode shape.
 		if c := ev.Config; c != nil {
-			fmt.Fprintf(d.h, "start mode=%s max=%d inits=%d\n", c.Mode(), c.MaxStates, c.Inits)
-			d.n++
+			return fmt.Sprintf("start mode=%s max=%d inits=%d\n", c.Mode(), c.MaxStates, c.Inits), true
 		}
 	case KindLevel, KindTruncated, KindRunEnd:
 		if s := ev.Snapshot; s != nil {
-			fmt.Fprintf(d.h, "%s states=%d edges=%d depth=%d frontier=%d peak=%d exp=%d dedup=%d canon=%d raw=%d ample=%d defer=%d trunc=%v\n",
+			return fmt.Sprintf("%s states=%d edges=%d depth=%d frontier=%d peak=%d exp=%d dedup=%d canon=%d raw=%d ample=%d defer=%d trunc=%v\n",
 				ev.Kind, s.States, s.Edges, s.Depth, s.Frontier, s.PeakFrontier,
 				s.Expansions, s.DedupHits, s.CanonHits, s.RawStates,
-				s.AmpleStates, s.DeferredActions, s.Truncated)
-			d.n++
+				s.AmpleStates, s.DeferredActions, s.Truncated), true
 		}
 	case KindRTStart:
 		// Every config field shapes the adversary's RNG stream, so all of
 		// them are structure.
 		if c := ev.RTConfig; c != nil {
-			fmt.Fprintf(d.h, "rt_start workload=%s procs=%d seed=%d max=%d batch=%d drop=%g dup=%g delay=%d crash=%g restart=%d\n",
+			return fmt.Sprintf("rt_start workload=%s procs=%d seed=%d max=%d batch=%d drop=%g dup=%g delay=%d crash=%g restart=%d\n",
 				c.Workload, c.Procs, c.Seed, c.MaxEvents, c.Batch,
-				c.Drop, c.Dup, c.Delay, c.Crash, c.RestartAfter)
-			d.n++
+				c.Drop, c.Dup, c.Delay, c.Crash, c.RestartAfter), true
 		}
 	case KindRTEvent:
 		// The whole rt_event stream is deterministic under a fixed seed, so
 		// every field folds in — this is what makes runtime digests the
 		// replay-identity check at any GOMAXPROCS.
 		if e := ev.RT; e != nil {
-			fmt.Fprintf(d.h, "rt_event %d %s actor=%d from=%d to=%d label=%q\n",
-				e.Event, e.Kind, e.Actor, e.From, e.To, e.Label)
-			d.n++
+			return fmt.Sprintf("rt_event %d %s actor=%d from=%d to=%d label=%q\n",
+				e.Event, e.Kind, e.Actor, e.From, e.To, e.Label), true
 		}
 	case KindRTEnd:
 		if s := ev.RTSummary; s != nil {
-			fmt.Fprintf(d.h, "rt_end events=%d deliver=%d local=%d drop=%d dup=%d crash=%d restart=%d pending=%d halted=%d stopped=%v quiesced=%v stalled=%v budget=%v\n",
+			return fmt.Sprintf("rt_end events=%d deliver=%d local=%d drop=%d dup=%d crash=%d restart=%d pending=%d halted=%d stopped=%v quiesced=%v stalled=%v budget=%v\n",
 				s.Events, s.Deliveries, s.LocalSteps, s.Drops, s.Dups,
 				s.Crashes, s.Restarts, s.Pending, s.Halted,
-				s.Stopped, s.Quiesced, s.Stalled, s.Budget)
-			d.n++
+				s.Stopped, s.Quiesced, s.Stalled, s.Budget), true
 		}
 	}
+	return "", false
+}
+
+// Publish implements Sink, folding in the deterministic events.
+func (d *Digest) Publish(ev Event) {
+	line, ok := DigestLine(ev)
+	if !ok {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.h.Write([]byte(line))
+	d.n++
 }
 
 // Events reports how many events have been folded in.

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the number of finite buckets of a Hist. Bucket i covers
+// durations up to HistBound(i) = 256ns << i, so the ladder spans 256ns to
+// ~8.6s in powers of two; one extra overflow bucket catches everything
+// beyond. The bounds are fixed at compile time — every Hist in the process
+// shares them — which is what makes snapshots mergeable by plain
+// element-wise addition and renderable as one Prometheus histogram.
+const HistBuckets = 26
+
+// HistBound returns the inclusive upper bound, in nanoseconds, of finite
+// bucket i.
+func HistBound(i int) int64 { return 256 << i }
+
+// Hist is a fixed-bucket latency histogram safe for concurrent use:
+// Observe is lock-free, allocation-free (asserted by TestHistObserveZeroAllocs)
+// and cheap enough for I/O paths; Snapshot extracts a mergeable value
+// copy. The zero value is ready to use. Writers and snapshotters may race
+// benignly: a snapshot taken mid-Observe may miss the in-flight sample,
+// never corrupt a count.
+type Hist struct {
+	counts [HistBuckets + 1]atomic.Uint64
+	sum    atomic.Int64
+	n      atomic.Uint64
+}
+
+// Observe records one duration in nanoseconds (negative values clamp to
+// zero).
+func (h *Hist) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[histBucket(ns)].Add(1)
+	h.sum.Add(ns)
+	h.n.Add(1)
+}
+
+// histBucket maps a non-negative duration to its bucket index: the
+// smallest i with ns <= 256<<i, or the overflow bucket.
+func histBucket(ns int64) int {
+	if ns <= 256 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns-1) >> 8)
+	if b > HistBuckets {
+		return HistBuckets
+	}
+	return b
+}
+
+// Snapshot extracts the histogram's current state as a value.
+func (h *Hist) Snapshot() HistSnap {
+	s := HistSnap{SumNs: h.sum.Load(), Count: h.n.Load()}
+	last := -1
+	var counts [HistBuckets + 1]uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		if counts[i] > 0 {
+			last = i
+		}
+	}
+	if last >= 0 {
+		s.Counts = append([]uint64(nil), counts[:last+1]...)
+	}
+	return s
+}
+
+// HistSnap is a point-in-time copy of a Hist: per-bucket counts (trailing
+// zero buckets trimmed; index i is the HistBound(i) bucket, index
+// HistBuckets the overflow bucket), the sum of observed nanoseconds, and
+// the observation count. The JSON form is what snapshot events and run
+// reports carry.
+type HistSnap struct {
+	Counts []uint64 `json:"counts,omitempty"`
+	SumNs  int64    `json:"sum_ns,omitempty"`
+	Count  uint64   `json:"count,omitempty"`
+}
+
+// Add merges o into s (same fixed bucket bounds, so element-wise).
+func (s *HistSnap) Add(o HistSnap) {
+	if len(o.Counts) > len(s.Counts) {
+		s.Counts = append(s.Counts, make([]uint64, len(o.Counts)-len(s.Counts))...)
+	}
+	for i, c := range o.Counts {
+		s.Counts[i] += c
+	}
+	s.SumNs += o.SumNs
+	s.Count += o.Count
+}
+
+// MeanNs is the average observed duration in nanoseconds (0 when empty).
+func (s HistSnap) MeanNs() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.SumNs / int64(s.Count)
+}
+
+// QuantileNs returns an upper bound on the q-quantile (q in [0,1]): the
+// bound of the bucket holding the q-th observation. Overflow-bucket hits
+// report the largest finite bound. 0 when the histogram is empty.
+func (s HistSnap) QuantileNs(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if rank < cum {
+			if i >= HistBuckets {
+				i = HistBuckets - 1
+			}
+			return HistBound(i)
+		}
+	}
+	return HistBound(HistBuckets - 1)
+}
+
+// String renders the snapshot's summary figures.
+func (s HistSnap) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%s p50=%s p99=%s",
+		s.Count,
+		time.Duration(s.MeanNs()).Round(time.Microsecond),
+		time.Duration(s.QuantileNs(0.5)).Round(time.Microsecond),
+		time.Duration(s.QuantileNs(0.99)).Round(time.Microsecond))
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistObserveZeroAllocs(t *testing.T) {
+	// Observe sits on expansion and I/O hot paths; it must never allocate.
+	var h Hist
+	ns := int64(1)
+	if avg := testing.AllocsPerRun(1000, func() {
+		h.Observe(ns)
+		ns <<= 1
+		if ns > 1<<40 {
+			ns = 1
+		}
+	}); avg != 0 {
+		t.Fatalf("Observe allocates %v per call, want 0", avg)
+	}
+}
+
+func TestHistBucketBounds(t *testing.T) {
+	// histBucket must put ns in the smallest bucket whose bound covers it —
+	// exact at every power-of-two boundary, overflow beyond the ladder.
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0}, {-5, 0}, {1, 0}, {256, 0},
+		{257, 1}, {512, 1}, {513, 2},
+		{HistBound(10), 10}, {HistBound(10) + 1, 11},
+		{HistBound(HistBuckets - 1), HistBuckets - 1},
+		{HistBound(HistBuckets-1) + 1, HistBuckets},
+		{1 << 62, HistBuckets},
+	}
+	for _, c := range cases {
+		var h Hist
+		h.Observe(c.ns)
+		s := h.Snapshot()
+		got := len(s.Counts) - 1
+		if got != c.want || s.Counts[got] != 1 {
+			t.Fatalf("Observe(%d) landed in bucket %d (counts %v), want %d", c.ns, got, s.Counts, c.want)
+		}
+	}
+}
+
+func TestHistSnapshotStats(t *testing.T) {
+	var h Hist
+	for _, ns := range []int64{100, 200, 1000, 4000, int64(2 * time.Millisecond)} {
+		h.Observe(ns)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("Count = %d, want 5", s.Count)
+	}
+	if want := int64(100+200+1000+4000) + int64(2*time.Millisecond); s.SumNs != want {
+		t.Fatalf("SumNs = %d, want %d", s.SumNs, want)
+	}
+	if got := s.MeanNs(); got != s.SumNs/5 {
+		t.Fatalf("MeanNs = %d, want %d", got, s.SumNs/5)
+	}
+	// p50 of {100,200,1000,4000,2ms}: the third observation's bucket bound.
+	if got := s.QuantileNs(0.5); got != 1024 {
+		t.Fatalf("p50 = %d, want 1024 (bucket bound covering 1000ns)", got)
+	}
+	// p0 is the smallest bucket's bound, p1 the largest occupied one.
+	if got := s.QuantileNs(0); got != 256 {
+		t.Fatalf("p0 = %d, want 256", got)
+	}
+	if got := s.QuantileNs(1); got != HistBound(histBucket(int64(2*time.Millisecond))) {
+		t.Fatalf("p1 = %d, want the 2ms bucket bound", got)
+	}
+	if got := (HistSnap{}).QuantileNs(0.5); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
+	}
+	if got := (HistSnap{}).String(); got != "n=0" {
+		t.Fatalf("empty String = %q, want n=0", got)
+	}
+	if str := s.String(); !strings.Contains(str, "n=5") || !strings.Contains(str, "p99=") {
+		t.Fatalf("String missing figures: %q", str)
+	}
+}
+
+func TestHistSnapAddMerges(t *testing.T) {
+	// Fixed compile-time bounds make snapshots mergeable element-wise,
+	// including when the operands trimmed to different lengths.
+	var a, b Hist
+	a.Observe(100)
+	a.Observe(100)
+	b.Observe(100)
+	b.Observe(1 << 20)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Add(sb)
+	if sa.Count != 4 || sa.SumNs != 200+100+1<<20 {
+		t.Fatalf("merged snap = %+v", sa)
+	}
+	if sa.Counts[0] != 3 {
+		t.Fatalf("merged bucket 0 = %d, want 3", sa.Counts[0])
+	}
+	if got := len(sa.Counts) - 1; got != histBucket(1<<20) {
+		t.Fatalf("merged length %d, want trimmed to bucket %d", got, histBucket(1<<20))
+	}
+}
+
+func TestHistConcurrentObserve(t *testing.T) {
+	// Writers race each other and a snapshotter; counts must never be lost
+	// or corrupted (run under -race in CI).
+	var h Hist
+	const writers, per = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Snapshot()
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(seed + int64(i))
+			}
+		}(int64(w * 1000))
+	}
+	wg.Wait()
+	close(stop)
+	s := h.Snapshot()
+	if s.Count != writers*per {
+		t.Fatalf("Count = %d, want %d", s.Count, writers*per)
+	}
+	var sum uint64
+	for _, c := range s.Counts {
+		sum += c
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum %d != Count %d", sum, s.Count)
+	}
+}

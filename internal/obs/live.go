@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
 	"time"
 )
@@ -24,6 +25,9 @@ type Live struct {
 	runs      int
 	events    uint64
 	snapshots uint64
+	rtRuns    int
+	rtEvents  map[string]uint64
+	rtFinal   *RuntimeSummary
 	started   time.Time
 }
 
@@ -50,6 +54,17 @@ func (l *Live) Publish(ev Event) {
 		l.last = ev.Snapshot
 	case KindRunEnd:
 		l.last, l.final = ev.Snapshot, ev.Snapshot
+	case KindRTStart:
+		l.rtRuns++
+	case KindRTEvent:
+		if ev.RT != nil {
+			if l.rtEvents == nil {
+				l.rtEvents = make(map[string]uint64)
+			}
+			l.rtEvents[ev.RT.Kind]++
+		}
+	case KindRTEnd:
+		l.rtFinal = ev.RTSummary
 	}
 }
 
@@ -66,10 +81,46 @@ type liveMetrics struct {
 	Final         *ProgressSnapshot `json:"final,omitempty"`
 	StatesPerSec  float64           `json:"states_per_sec,omitempty"`
 	Utilization   float64           `json:"utilization,omitempty"`
+	RTRuns        int               `json:"rt_runs,omitempty"`
+	RTEvents      map[string]uint64 `json:"rt_events,omitempty"`
+	RTFinal       *RuntimeSummary   `json:"rt_final,omitempty"`
 }
 
-// ServeHTTP implements http.Handler: the latest counters as JSON.
-func (l *Live) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+// wantsPrometheus decides the /metrics representation: Prometheus text for
+// scrapers (an Accept header naming text/plain or OpenMetrics, as
+// prometheus sends, or an explicit ?format=prometheus), JSON otherwise —
+// so curl and browsers (Accept: */*) keep the original document.
+func wantsPrometheus(r *http.Request) bool {
+	if r == nil {
+		return false
+	}
+	if r.URL.Query().Get("format") == "prometheus" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
+// ServeHTTP implements http.Handler: the latest counters, as the
+// Prometheus text exposition format when the scraper asks for it (see
+// wantsPrometheus and WritePrometheus) and as JSON by default. Both render
+// from a consistent copy taken under the read lock, so scraping mid-run is
+// safe however hot the producer is.
+func (l *Live) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		l.WritePrometheus(w)
+		return
+	}
+	m := l.metrics()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(m) //nolint:errcheck // best-effort debug endpoint
+}
+
+// metrics assembles the current liveMetrics document under the read lock.
+func (l *Live) metrics() liveMetrics {
 	l.mu.RLock()
 	m := liveMetrics{
 		SchemaVersion: SchemaVersion,
@@ -81,16 +132,21 @@ func (l *Live) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 		Config:        l.config,
 		Snapshot:      l.last,
 		Final:         l.final,
+		RTRuns:        l.rtRuns,
+		RTFinal:       l.rtFinal,
+	}
+	if len(l.rtEvents) > 0 {
+		m.RTEvents = make(map[string]uint64, len(l.rtEvents))
+		for k, v := range l.rtEvents {
+			m.RTEvents[k] = v
+		}
 	}
 	l.mu.RUnlock()
 	if m.Snapshot != nil {
 		m.StatesPerSec = m.Snapshot.StatesPerSec()
 		m.Utilization = m.Snapshot.Utilization()
 	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(m) //nolint:errcheck // best-effort debug endpoint
+	return m
 }
 
 // Handler returns the -serve debug mux: /metrics (the Live JSON document)
@@ -108,7 +164,7 @@ func Handler(l *Live) http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintf(w, "exploration telemetry\n  /metrics      live counters (JSON)\n  /debug/pprof/ profiles\n")
+		fmt.Fprintf(w, "exploration telemetry\n  /metrics      live counters (JSON; Prometheus text with Accept: text/plain or ?format=prometheus)\n  /debug/pprof/ profiles\n")
 	})
 	return mux
 }

@@ -38,7 +38,14 @@ import (
 //
 // v1: exploration runs (run_start/level/snapshot/truncated/run_end).
 // v2: adds live-runtime runs (rt_start/rt_event/rt_end) — see RuntimeConfig.
-const SchemaVersion = 2
+// v3: phase-attribution profiling — snapshot phases/worker_phases/expand_lat,
+//     store page-cache + segment-latency fields, rt batch_lat, and per-event
+//     elapsed_ns. Purely additive, so v2 readers still parse v3 traces; the
+//     version is bumped deliberately (an exception to the additive rule) so
+//     post-hoc tooling like `hundred report` can tell whether a missing
+//     phase block means "profiling off" (v3) or "producer predates
+//     profiling" (v2).
+const SchemaVersion = 3
 
 // EventKind discriminates trace events.
 type EventKind string
@@ -88,6 +95,12 @@ type Event struct {
 	// Seq orders events within a trace file (1-based, strictly
 	// increasing), stamped by TraceWriter.
 	Seq uint64 `json:"seq,omitempty"`
+	// ElapsedNs is the monotonic time since the trace writer was created,
+	// stamped by TraceWriter under its write lock — so it is non-decreasing
+	// across a trace file by construction (ValidateTrace checks), and
+	// reports can order and window events without trusting wall clocks.
+	// Timing, not structure: excluded from trace digests.
+	ElapsedNs int64 `json:"elapsed_ns,omitempty"`
 	// Config accompanies run_start.
 	Config *RunConfig `json:"config,omitempty"`
 	// Snapshot accompanies level, snapshot, truncated and run_end.
@@ -210,10 +223,142 @@ type ProgressSnapshot struct {
 	// StoreLossy flags a lossy (bitstate) store: state counts are lower
 	// bounds and any verdict is "no violation found", never impossibility.
 	StoreLossy bool `json:"store_lossy,omitempty"`
+	// StorePageCacheHits counts spilled-payload reads served from the
+	// store's decompressed-page cache (spill backend only). Together with
+	// StoreSegmentReads (the misses) it gives the page-cache hit rate.
+	StorePageCacheHits uint64 `json:"store_page_cache_hits,omitempty"`
+	// StoreReadLat and StoreWriteLat are the spill backend's segment I/O
+	// latency histograms: per-page decompress-read and compress-write.
+	StoreReadLat  *HistSnap `json:"store_read_lat,omitempty"`
+	StoreWriteLat *HistSnap `json:"store_write_lat,omitempty"`
 	// PeakRSSBytes is the process's peak resident set size, sampled at
 	// publish time. Process-wide and monotone, so it bounds every run in a
 	// multi-run trace from above; zero on platforms without rusage.
 	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
+
+	// Phase-attribution profile (schema v3, present when the engine runs
+	// with profiling enabled — any Stats or Sink installed). Pure timing:
+	// excluded from trace digests, so worker-count invariance holds.
+
+	// Phases is the run-wide aggregate across workers plus the
+	// coordinator-only phases (store I/O, replay).
+	Phases *Phases `json:"phases,omitempty"`
+	// WorkerPhases[i] is worker i's own profile (final snapshots only).
+	WorkerPhases []Phases `json:"worker_phases,omitempty"`
+	// ExpandLat is the sampled per-state expansion latency histogram.
+	ExpandLat *HistSnap `json:"expand_lat,omitempty"`
+}
+
+// Phases attributes a run's worker time to coarse engine phases, in
+// nanoseconds. The coarse counters (Expand through Idle) are exact wall
+// time measured at phase transitions; the Sample* counters are a
+// 1-in-64-states sampling profile that splits expansion time into
+// canonicalization and hash+intern without per-emission clock reads —
+// scale them against each other (CanonFrac, InternFrac), not against the
+// exact counters. All fields are timing, never structure: two runs of the
+// same system agree on everything else and may differ arbitrarily here.
+type Phases struct {
+	// ExpandNs is time spent inside worker expansion loops: ExpandFunc
+	// calls plus per-state bookkeeping (chunk claiming, span recording,
+	// dedup, canon, intern — the sampled counters below split these out).
+	ExpandNs int64 `json:"expand_ns,omitempty"`
+	// BarrierWaitNs is time waiting at level barriers: the coordinator's
+	// fork/join wait, and epoch-pool workers waiting for the next job.
+	BarrierWaitNs int64 `json:"barrier_wait_ns,omitempty"`
+	// StoreIONs is coordinator time in store maintenance (segment spill
+	// between levels). Worker-side segment reads during interning count as
+	// expand time here; the store's own latency histograms isolate them.
+	StoreIONs int64 `json:"store_io_ns,omitempty"`
+	// ReplayNs is the sequential deterministic-replay pass that assigns
+	// final IDs and edges.
+	ReplayNs int64 `json:"replay_ns,omitempty"`
+	// StealNs is work-stealing time: probing and claiming other workers'
+	// deques (steal scheduler only).
+	StealNs int64 `json:"steal_ns,omitempty"`
+	// HandoffNs is time processing cross-shard handoff batches (steal
+	// scheduler only).
+	HandoffNs int64 `json:"handoff_ns,omitempty"`
+	// IdleNs is time parked waiting for work or termination (steal
+	// scheduler only).
+	IdleNs int64 `json:"idle_ns,omitempty"`
+
+	// SampledStates counts the states profiled at fine grain (1 in 64).
+	SampledStates uint64 `json:"sampled_states,omitempty"`
+	// SampleExpandNs is the sampled states' total expansion time;
+	// SampleCanonNs and SampleInternNs are the canonicalization and
+	// hash+intern shares within it.
+	SampleExpandNs int64 `json:"sample_expand_ns,omitempty"`
+	SampleCanonNs  int64 `json:"sample_canon_ns,omitempty"`
+	SampleInternNs int64 `json:"sample_intern_ns,omitempty"`
+}
+
+// Add accumulates o into p, field-wise.
+func (p *Phases) Add(o Phases) {
+	p.ExpandNs += o.ExpandNs
+	p.BarrierWaitNs += o.BarrierWaitNs
+	p.StoreIONs += o.StoreIONs
+	p.ReplayNs += o.ReplayNs
+	p.StealNs += o.StealNs
+	p.HandoffNs += o.HandoffNs
+	p.IdleNs += o.IdleNs
+	p.SampledStates += o.SampledStates
+	p.SampleExpandNs += o.SampleExpandNs
+	p.SampleCanonNs += o.SampleCanonNs
+	p.SampleInternNs += o.SampleInternNs
+}
+
+// Zero reports whether no phase time has been recorded.
+func (p Phases) Zero() bool { return p == Phases{} }
+
+// TotalNs is the sum of the exact (non-sampled) phase counters.
+func (p Phases) TotalNs() int64 {
+	return p.ExpandNs + p.BarrierWaitNs + p.StoreIONs + p.ReplayNs +
+		p.StealNs + p.HandoffNs + p.IdleNs
+}
+
+// CanonFrac estimates the fraction of expansion time spent canonicalizing,
+// from the sampling profile. Zero when nothing was sampled.
+func (p Phases) CanonFrac() float64 {
+	if p.SampleExpandNs <= 0 {
+		return 0
+	}
+	return float64(p.SampleCanonNs) / float64(p.SampleExpandNs)
+}
+
+// InternFrac estimates the fraction of expansion time spent hashing and
+// interning successors, from the sampling profile.
+func (p Phases) InternFrac() float64 {
+	if p.SampleExpandNs <= 0 {
+		return 0
+	}
+	return float64(p.SampleInternNs) / float64(p.SampleExpandNs)
+}
+
+// String renders the profile as one log line: exact phases with their
+// share of TotalNs, then the sampled canon/intern split.
+func (p Phases) String() string {
+	total := p.TotalNs()
+	if total <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	frac := func(name string, ns int64) {
+		if ns > 0 {
+			fmt.Fprintf(&b, " %s=%s(%.0f%%)", name, time.Duration(ns).Round(time.Millisecond), 100*float64(ns)/float64(total))
+		}
+	}
+	frac("expand", p.ExpandNs)
+	frac("barrier", p.BarrierWaitNs)
+	frac("store_io", p.StoreIONs)
+	frac("replay", p.ReplayNs)
+	frac("steal", p.StealNs)
+	frac("handoff", p.HandoffNs)
+	frac("idle", p.IdleNs)
+	if p.SampledStates > 0 {
+		fmt.Fprintf(&b, " ~canon=%.0f%% ~intern=%.0f%% (n=%d sampled)",
+			100*p.CanonFrac(), 100*p.InternFrac(), p.SampledStates)
+	}
+	return strings.TrimSpace(b.String())
 }
 
 // StatesPerSec is the run-average throughput, States / Elapsed.

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoggerSubSecondWindowedRate(t *testing.T) {
+	// Snapshot periods are routinely sub-second (-snapshot 250ms); the
+	// windowed rate must scale by the real Δelapsed, not whole seconds.
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, "")
+	lg.Publish(Event{Kind: KindRunStart, Config: &RunConfig{Workers: 1, MaxStates: 100, Inits: 1}})
+	s1 := ProgressSnapshot{States: 10, Depth: 1, Elapsed: 100 * time.Millisecond}
+	lg.Publish(Event{Kind: KindSnapshot, Snapshot: &s1})
+	s2 := ProgressSnapshot{States: 60, Depth: 1, Elapsed: 350 * time.Millisecond}
+	lg.Publish(Event{Kind: KindSnapshot, Snapshot: &s2})
+	out := buf.String()
+	// Δ50 states over Δ250ms = 200/s.
+	if !strings.Contains(out, "now=200/s") {
+		t.Fatalf("sub-second windowed rate wrong:\n%s", out)
+	}
+	// The first snapshot has no window yet, so no now= figure.
+	first := strings.SplitN(out, "\n", 3)[1]
+	if strings.Contains(first, "now=") {
+		t.Fatalf("first snapshot should not carry a windowed rate: %q", first)
+	}
+}
+
+func TestLoggerCoincidentSnapshots(t *testing.T) {
+	// Two snapshots with the same Elapsed (timer fired faster than the
+	// clock's granularity) must print a zero rate, never NaN or Inf.
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, "")
+	lg.Publish(Event{Kind: KindRunStart, Config: &RunConfig{Workers: 1, MaxStates: 100, Inits: 1}})
+	s1 := ProgressSnapshot{States: 10, Elapsed: 500 * time.Millisecond}
+	lg.Publish(Event{Kind: KindSnapshot, Snapshot: &s1})
+	s2 := ProgressSnapshot{States: 25, Elapsed: 500 * time.Millisecond}
+	lg.Publish(Event{Kind: KindSnapshot, Snapshot: &s2})
+	out := buf.String()
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("coincident snapshots produced a non-finite rate:\n%s", out)
+	}
+	if !strings.Contains(out, "now=0/s") {
+		t.Fatalf("coincident snapshots should rate 0:\n%s", out)
+	}
+}
+
+func TestLoggerRunEndResetsWindow(t *testing.T) {
+	// The window must not leak across runs in one trace: the first snapshot
+	// of run 2 has no predecessor.
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, "")
+	for run := 0; run < 2; run++ {
+		lg.Publish(Event{Kind: KindRunStart, Config: &RunConfig{Workers: 1, MaxStates: 100, Inits: 1}})
+		s := ProgressSnapshot{States: 10, Elapsed: 200 * time.Millisecond}
+		lg.Publish(Event{Kind: KindSnapshot, Snapshot: &s})
+		end := ProgressSnapshot{States: 20, Elapsed: 400 * time.Millisecond, Final: true}
+		lg.Publish(Event{Kind: KindRunEnd, Snapshot: &end})
+	}
+	if strings.Contains(buf.String(), "now=") {
+		t.Fatalf("windowed rate leaked across run boundary:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReadTrace parses a JSONL trace into its manifest and event list. It
+// checks only what parsing needs (a manifest first, JSON per line, a
+// schema this binary understands); run ValidateTrace for the full schema
+// check. Post-hoc tooling (`hundred report`, `hundred trace-diff`) reads
+// traces through here.
+func ReadTrace(r io.Reader) (Manifest, []Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var m Manifest
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return m, nil, err
+		}
+		return m, nil, fmt.Errorf("trace is empty (no manifest line)")
+	}
+	if err := json.Unmarshal(sc.Bytes(), &m); err != nil || m.Kind != KindManifest {
+		return m, nil, fmt.Errorf("trace line 1 is not a manifest: %s", firstOf(err, "kind %q", m.Kind))
+	}
+	if m.SchemaVersion > SchemaVersion {
+		return m, nil, fmt.Errorf("trace schema_version %d is newer than this binary's %d; upgrade the binary",
+			m.SchemaVersion, SchemaVersion)
+	}
+	var evs []Event
+	line := 1
+	for sc.Scan() {
+		line++
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return m, nil, fmt.Errorf("trace line %d: not a JSON event: %v", line, err)
+		}
+		evs = append(evs, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return m, nil, err
+	}
+	return m, evs, nil
+}

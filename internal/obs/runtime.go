@@ -91,4 +91,9 @@ type RuntimeSummary struct {
 	Quiesced bool `json:"quiesced,omitempty"`
 	Stalled  bool `json:"stalled,omitempty"`
 	Budget   bool `json:"budget,omitempty"`
+	// BatchLat is the wall-clock latency histogram of concurrent batch
+	// dispatches (schema v3). The one timing field in the summary: it is
+	// excluded from Digest (see DigestLine), because wall time varies while
+	// the scheduled stream does not.
+	BatchLat *HistSnap `json:"batch_lat,omitempty"`
 }

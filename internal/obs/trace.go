@@ -58,6 +58,7 @@ type TraceWriter struct {
 	closer io.Closer
 	seq    uint64
 	run    int
+	start  time.Time
 	digest *Digest
 	err    error
 }
@@ -69,7 +70,7 @@ func NewTraceWriter(w io.Writer, m Manifest) (*TraceWriter, error) {
 	if m.SchemaVersion == 0 {
 		m.SchemaVersion = SchemaVersion
 	}
-	t := &TraceWriter{bw: bufio.NewWriter(w), digest: NewDigest()}
+	t := &TraceWriter{bw: bufio.NewWriter(w), start: time.Now(), digest: NewDigest()}
 	if c, ok := w.(io.Closer); ok {
 		t.closer = c
 	}
@@ -93,6 +94,10 @@ func (t *TraceWriter) Publish(ev Event) {
 	}
 	t.seq++
 	ev.Seq = t.seq
+	// Stamped under the same lock as Seq, from the monotonic clock: events
+	// later in the file always carry an equal-or-larger elapsed_ns, which
+	// ValidateTrace enforces. Digest ignores it (see DigestLine).
+	ev.ElapsedNs = time.Since(t.start).Nanoseconds()
 	if ev.Kind == KindRunStart || ev.Kind == KindRTStart {
 		t.run++
 	}

@@ -117,6 +117,66 @@ func TestTraceDigestIgnoresTiming(t *testing.T) {
 	}
 }
 
+func TestTraceElapsedNsMonotonic(t *testing.T) {
+	// The writer stamps every event with its own monotonic clock under the
+	// write lock, so elapsed_ns is non-decreasing by construction — the
+	// property ValidateTrace enforces and run reports rely on for
+	// throughput-over-time.
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf, NewManifest("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRun(tw)
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, evs, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last int64
+	for i, ev := range evs {
+		if ev.ElapsedNs < last {
+			t.Fatalf("event %d elapsed_ns regressed %d -> %d", i, last, ev.ElapsedNs)
+		}
+		last = ev.ElapsedNs
+	}
+	if last == 0 {
+		t.Fatal("no event carries a non-zero elapsed_ns stamp")
+	}
+}
+
+func TestDigestLineExcludesProfiling(t *testing.T) {
+	// Regression guard for the passive-observation invariant: none of the
+	// profiling fields — elapsed_ns, phase counters, latency histograms,
+	// store cache counters — may leak into the digest line. If one does,
+	// digests stop being worker-count-invariant (timing differs every run)
+	// and trace-diff reports phantom divergences.
+	snap := ProgressSnapshot{States: 5, Edges: 4, Depth: 1, Frontier: 4,
+		PeakFrontier: 4, Expansions: 5}
+	base, ok := DigestLine(Event{Kind: KindLevel, Run: 1, Seq: 2, Snapshot: &snap})
+	if !ok {
+		t.Fatal("level event should contribute a digest line")
+	}
+	var lat Hist
+	lat.Observe(12345)
+	hs := lat.Snapshot()
+	prof := snap
+	prof.Elapsed = time.Hour
+	prof.WorkerSteps = []uint64{3, 2}
+	prof.Phases = &Phases{ExpandNs: 1e9, BarrierWaitNs: 1e8, SampledStates: 3,
+		SampleExpandNs: 999, SampleCanonNs: 111, SampleInternNs: 222}
+	prof.WorkerPhases = []Phases{{ExpandNs: 5e8}, {ExpandNs: 5e8}}
+	prof.ExpandLat = &hs
+	prof.StorePageCacheHits = 42
+	prof.StoreReadLat, prof.StoreWriteLat = &hs, &hs
+	got, ok := DigestLine(Event{Kind: KindLevel, Run: 1, Seq: 2, ElapsedNs: 1 << 40, Snapshot: &prof})
+	if !ok || got != base {
+		t.Fatalf("profiling fields leaked into the digest line:\n base %q\n prof %q", base, got)
+	}
+}
+
 // validTrace renders one complete run to bytes for mutation tests.
 func validTrace(t *testing.T) []byte {
 	t.Helper()

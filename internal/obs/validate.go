@@ -49,8 +49,11 @@ type TraceSummary struct {
 // procs/batch/budget), rt_events carry known kinds with consecutive
 // 1-based indices and in-range process references, and rt_end's summary
 // totals must account exactly for the observed events. Exploration and
-// runtime runs may share a file sequentially, never interleaved. It
-// returns a summary, or the first violation with its line number.
+// runtime runs may share a file sequentially, never interleaved. The
+// per-event elapsed_ns stamp (schema v3) must be non-decreasing across the
+// file, and phase profiles, when present, must carry non-negative
+// counters. It returns a summary, or the first violation with its line
+// number.
 func ValidateTrace(r io.Reader) (*TraceSummary, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
@@ -80,6 +83,7 @@ func ValidateTrace(r io.Reader) (*TraceSummary, error) {
 	digest := NewDigest()
 	var (
 		lastSeq             uint64
+		lastElapsed         int64
 		inRun               bool
 		runStates, runDepth int
 		runCfg              RunConfig
@@ -99,6 +103,13 @@ func ValidateTrace(r io.Reader) (*TraceSummary, error) {
 			return nil, fail(line, "seq %d is not strictly increasing (previous %d)", ev.Seq, lastSeq)
 		}
 		lastSeq = ev.Seq
+		// elapsed_ns (schema v3) is stamped under the writer's lock from a
+		// monotonic clock, so within one file it never decreases. Traces
+		// from before the field carry zeros throughout, which pass trivially.
+		if ev.ElapsedNs < lastElapsed {
+			return nil, fail(line, "elapsed_ns regressed %d -> %d", lastElapsed, ev.ElapsedNs)
+		}
+		lastElapsed = ev.ElapsedNs
 
 		switch ev.Kind {
 		case KindRunStart:
@@ -139,6 +150,13 @@ func ValidateTrace(r io.Reader) (*TraceSummary, error) {
 			}
 			if s.StoreBytesInRAM < 0 || s.StoreBytesSpilled < 0 || s.StoreSegments < 0 || s.PeakRSSBytes < 0 {
 				return nil, fail(line, "snapshot has negative store/RSS counters: %+v", *s)
+			}
+			if p := s.Phases; p != nil {
+				if p.ExpandNs < 0 || p.BarrierWaitNs < 0 || p.StoreIONs < 0 || p.ReplayNs < 0 ||
+					p.StealNs < 0 || p.HandoffNs < 0 || p.IdleNs < 0 ||
+					p.SampleExpandNs < 0 || p.SampleCanonNs < 0 || p.SampleInternNs < 0 {
+					return nil, fail(line, "snapshot phase profile has negative counters: %+v", *p)
+				}
 			}
 			if (s.StoreBytesSpilled > 0) != (s.StoreSegments > 0) {
 				return nil, fail(line, "spill accounting disagrees: %d bytes across %d segments",

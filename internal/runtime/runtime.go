@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -82,6 +83,10 @@ type Result struct {
 	// Digest is the deterministic trace digest (obs.Digest over the rt
 	// stream): identical seeds yield identical digests at any GOMAXPROCS.
 	Digest string
+	// BatchLat is the concurrent-dispatch latency histogram: one
+	// observation per scheduler round, dispatch fan-out to last reply.
+	// Pure timing (machine-dependent), excluded from Digest.
+	BatchLat obs.HistSnap
 }
 
 // pending is one queued action with its scheduling metadata.
@@ -114,6 +119,7 @@ func Run(w Workload, opts Options) (*Result, error) {
 
 	rng := rand.New(rand.NewSource(opts.Seed))
 	res := &Result{Workload: w.Name(), Procs: n, Seed: opts.Seed}
+	var batchLat obs.Hist
 
 	dig := obs.NewDigest()
 	var sink obs.Sink = dig
@@ -364,7 +370,10 @@ loop:
 		}
 
 		// Concurrent dispatch: every surviving pick targets a distinct
-		// process, so the batch really runs in parallel.
+		// process, so the batch really runs in parallel. Round latency
+		// (fan-out to last reply) feeds the BatchLat histogram — two clock
+		// reads per round, never per action.
+		batchT := time.Now()
 		replies := make([]chan Outcome, len(exec))
 		for i, c := range exec {
 			replies[i] = make(chan Outcome, 1)
@@ -373,6 +382,9 @@ loop:
 		outs := make([]Outcome, len(exec))
 		for i := range exec {
 			outs[i] = <-replies[i]
+		}
+		if len(exec) > 0 {
+			batchLat.Observe(int64(time.Since(batchT)))
 		}
 
 		// Record in pick order, any Stop outcome last: a batch's steps
@@ -444,12 +456,18 @@ loop:
 			res.Pending++
 		}
 	}
-	sink.Publish(obs.Event{Kind: obs.KindRTEnd, RTSummary: &obs.RuntimeSummary{
+	res.BatchLat = batchLat.Snapshot()
+	summary := &obs.RuntimeSummary{
 		Events: res.Events, Deliveries: res.Deliveries, LocalSteps: res.LocalSteps,
 		Drops: res.Drops, Dups: res.Dups, Crashes: res.Crashes, Restarts: res.Restarts,
 		Pending: res.Pending, Halted: res.Halted,
 		Stopped: res.Stopped, Quiesced: res.Quiesced, Stalled: res.Stalled, Budget: res.Budget,
-	}})
+	}
+	if res.BatchLat.Count > 0 {
+		bl := res.BatchLat
+		summary.BatchLat = &bl
+	}
+	sink.Publish(obs.Event{Kind: obs.KindRTEnd, RTSummary: summary})
 	res.Digest = dig.Sum()
 	return res, nil
 }

@@ -10,6 +10,9 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // The spill backend keeps the fingerprint index in RAM — buckets hold ids
@@ -100,6 +103,14 @@ type spillStore[S comparable] struct {
 	compBytes     int64
 	segReads      atomic.Uint64
 	confirms      atomic.Uint64
+	cacheHits     atomic.Uint64
+
+	// readLat and writeLat time the per-page segment I/O: a decompress-read
+	// on a cache miss, a compress-write during Maintain. Both paths are
+	// disk-bound, so always-on observation costs two clock reads per page —
+	// noise next to the I/O itself.
+	readLat  obs.Hist
+	writeLat obs.Hist
 
 	// encScratch and compScratch are the Maintain-only encode buffers: the
 	// raw page image and its compressed form, reused across pages and
@@ -255,17 +266,20 @@ func (st *spillStore[S]) spilledState(id int32) (S, bool) {
 	st.cacheTick++
 	if ent, ok := st.cache[pno]; ok {
 		ent.lastUse = st.cacheTick
+		st.cacheHits.Add(1)
 		return ent.pg.slots[int(id)&st.pages.mask], true
 	}
 	var zero S
 	if st.ioErr != nil {
 		return zero, false
 	}
+	t := time.Now()
 	pg, err := st.readPage(pno)
 	if err != nil {
 		st.ioErr = fmt.Errorf("store: spill read of page %d: %w", pno, err)
 		return zero, false
 	}
+	st.readLat.Observe(int64(time.Since(t)))
 	st.segReads.Add(1)
 	if len(st.cache) >= pageCacheSize {
 		var victim int32
@@ -362,6 +376,7 @@ func (st *spillStore[S]) spillPages(from, upTo int, target int64) error {
 			count = end // only the last eligible page can be partial, and only on the final Maintain
 		}
 		raw, pageBytes := st.encodePage(pg, count)
+		t := time.Now()
 		st.compScratch.Reset()
 		st.flateW.Reset(&st.compScratch)
 		if _, err := st.flateW.Write(raw); err != nil {
@@ -374,6 +389,7 @@ func (st *spillStore[S]) spillPages(from, upTo int, target int64) error {
 		if _, err := f.WriteAt(comp, fileOff); err != nil {
 			return fmt.Errorf("store: segment write: %w", err)
 		}
+		st.writeLat.Observe(int64(time.Since(t)))
 		st.meta = append(st.meta, pageMeta{
 			seg:     int32(segNo),
 			off:     fileOff,
@@ -420,6 +436,9 @@ func (st *spillStore[S]) Stats() Stats {
 		MaxBytes:          st.maxBytes,
 		SegmentReads:      st.segReads.Load(),
 		CollisionConfirms: st.confirms.Load(),
+		PageCacheHits:     st.cacheHits.Load(),
+		ReadLat:           st.readLat.Snapshot(),
+		WriteLat:          st.writeLat.Snapshot(),
 	}
 	out.BytesInRAM = st.resident.Load() + int64(out.States)*spillIndexOverhead
 	st.segMu.Lock()

@@ -16,8 +16,9 @@
 //     result so downstream verdicts are downgraded to "no violation
 //     found". Never an impossibility-proof witness.
 //
-// The package is a leaf: it imports no other internal package, so the
-// engine, core and the CLIs can all select backends without cycles. The
+// The package is near-leaf: its only internal dependency is obs (itself a
+// leaf), for the shared latency-histogram type in Stats — so the engine,
+// core and the CLIs can all select backends without cycles. The
 // concurrency contract mirrors the engine's two-phase BFS: Intern/Probe/
 // State/Len/Stats may be called concurrently during a level; Maintain and
 // Close require quiescence (the engine calls them only at level barriers
@@ -27,6 +28,8 @@ package store
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // Kind names a backend.
@@ -122,6 +125,14 @@ type Stats struct {
 	// CollisionConfirms counts fingerprint hits confirmed against a
 	// spilled payload.
 	CollisionConfirms uint64
+	// PageCacheHits counts spilled-payload reads served from the
+	// decompressed-page LRU cache; with SegmentReads (the misses) it gives
+	// the cache hit rate.
+	PageCacheHits uint64
+	// ReadLat and WriteLat are the spill backend's per-page segment I/O
+	// latency histograms (decompress-read, compress-write).
+	ReadLat  obs.HistSnap
+	WriteLat obs.HistSnap
 	// Lossy reports that the backend may have merged distinct states. A
 	// lossy run can never witness a violation's absence — only report that
 	// none was found in the states it kept.
